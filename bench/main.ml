@@ -1,0 +1,739 @@
+(* Benchmark harness: regenerates every row of Table 1(a) and 1(b) and
+   the Figure 1 / Section 6 lower-bound experiments.
+
+     dune exec bench/main.exe              (proof-size + attack harness)
+     dune exec bench/main.exe -- --timing  (Bechamel verifier timings)
+
+   For each upper-bound row we run the scheme's prover over a sweep of
+   instance sizes, check that every proof is accepted by all nodes,
+   record the maximum proof size in bits per node, and fit the measured
+   series against the growth models {0, Θ(1), Θ(log), Θ(n), Θ(n²),
+   Θ(n²/log n)}; the verdict column compares the fit against the
+   paper's claim. For each lower-bound row we run the corresponding
+   attack: undersized-but-complete schemes are fooled (an accepted
+   no-instance is constructed), honest schemes resist (signatures stay
+   distinct). *)
+
+let st seed = Random.State.make [| seed |]
+
+(* --- measurement ---------------------------------------------------- *)
+
+type row = {
+  id : string;
+  what : string;
+  family : string;
+  paper : string;
+  ok_classes : Complexity.growth list;
+  param : string;
+  series : unit -> (int * int) list;
+}
+
+exception Measure_failure of string
+
+(* Prove and fully verify; return bits per node. *)
+let measured scheme inst =
+  match Scheme.prove_and_check scheme inst with
+  | `Accepted proof -> Proof.size proof
+  | `No_proof ->
+      raise (Measure_failure (scheme.Scheme.name ^ ": prover refused a yes-instance"))
+  | `Rejected (_, vs) ->
+      raise
+        (Measure_failure
+           (Printf.sprintf "%s: own proof rejected at [%s]" scheme.Scheme.name
+              (String.concat "," (List.map string_of_int vs))))
+
+(* Prove only (for the O(n²) rows, where running the verifier at every
+   node of every sweep point would dominate the harness). *)
+let measured_prover_only scheme inst =
+  match scheme.Scheme.prover inst with
+  | Some proof -> Proof.size proof
+  | None ->
+      raise (Measure_failure (scheme.Scheme.name ^ ": prover refused a yes-instance"))
+
+let sweep ?(measure = measured) scheme mk ns () =
+  List.map (fun n -> (n, measure scheme (mk n))) ns
+
+let ns_log = [ 8; 16; 32; 64; 128; 256 ]
+let ns_small = [ 8; 16; 32; 64 ]
+
+(* --- instance makers ------------------------------------------------ *)
+
+let of_g g = Instance.of_graph g
+let even n = if n mod 2 = 0 then n else n + 1
+let odd n = if n mod 2 = 1 then n else n + 1
+
+let spanning_tree_inst g =
+  let pairs = Traversal.spanning_tree g (List.hd (Graph.nodes g)) in
+  Instance.flag_edges (of_g g) (List.map (fun (v, p) -> (min v p, max v p)) pairs)
+
+(* s and t joined by k internally-disjoint paths of length 3:
+   vertex connectivity exactly k. *)
+let theta_graph k =
+  let s = 0 and t = 1 in
+  let g = ref (Graph.add_node (Graph.add_node Graph.empty s) t) in
+  for i = 0 to k - 1 do
+    let a = 2 + (2 * i) and b = 3 + (2 * i) in
+    g := Graph.add_edge !g s a;
+    g := Graph.add_edge !g a b;
+    g := Graph.add_edge !g b t
+  done;
+  (!g, s, t)
+
+let doubled_tree k seed =
+  let t = Random_graphs.tree (st seed) k in
+  let t' = Canonical.shifted t k in
+  Graph.add_edge (Graph.union_disjoint t t') (List.hd (Graph.nodes t))
+    (List.hd (Graph.nodes t'))
+
+let two_components n =
+  let half = max 3 (n / 2) in
+  Graph.union_disjoint (Builders.cycle half)
+    (Canonical.shifted (Builders.cycle half) (2 * half))
+
+(* --- Table 1(a) ----------------------------------------------------- *)
+
+let table_1a =
+  [
+    {
+      id = "T1a-1";
+      what = "Eulerian graph";
+      family = "connected";
+      paper = "0";
+      ok_classes = [ Complexity.Zero ];
+      param = "n";
+      series = sweep Eulerian.scheme (fun n -> of_g (Builders.cycle n)) ns_log;
+    };
+    {
+      id = "T1a-2";
+      what = "line graph";
+      family = "general";
+      paper = "0";
+      ok_classes = [ Complexity.Zero ];
+      param = "n";
+      series =
+        sweep Line_graph_scheme.scheme
+          (fun n -> of_g (Line_graph.of_root_graph (Builders.path (n + 1))))
+          [ 8; 16; 32; 64 ];
+    };
+    {
+      id = "T1a-3";
+      what = "s-t reachability";
+      family = "undirected";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Reachability.undirected_reach
+          (fun n -> St.of_graph (Builders.cycle n) ~s:0 ~t:(n / 2))
+          ns_log;
+    };
+    {
+      id = "T1a-4";
+      what = "s-t unreachability";
+      family = "undirected";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Reachability.undirected_unreach
+          (fun n ->
+            let g = two_components n in
+            St.of_graph g ~s:0 ~t:(Graph.max_id g))
+          ns_log;
+    };
+    {
+      id = "T1a-5";
+      what = "s-t unreachability";
+      family = "directed";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Reachability.directed_unreach
+          (fun n ->
+            (* a directed path plus a reversed tail: t unreachable *)
+            let fwd = List.init (n / 2) (fun i -> (i, i + 1)) in
+            let bwd = List.init (n / 2) (fun i -> (n - i, n - i - 1)) in
+            St.of_digraph (Digraph.of_arcs (fwd @ bwd)) ~s:0 ~t:n)
+          ns_log;
+    };
+    {
+      id = "T1a-6";
+      what = "s-t connectivity = k";
+      family = "planar";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Connectivity.planar
+          (fun rows ->
+            let g = Builders.grid rows rows in
+            Connectivity.instance g ~s:0 ~t:((rows * rows) - 1) ~k:2)
+          [ 3; 4; 5; 6; 8 ];
+    };
+    {
+      id = "T1a-7";
+      what = "bipartite graph";
+      family = "general";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series = sweep Bipartite_scheme.scheme (fun n -> of_g (Builders.cycle (even n))) ns_log;
+    };
+    {
+      id = "T1a-8";
+      what = "even n(G)";
+      family = "cycles";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series = sweep Counting.even_cycle (fun n -> of_g (Builders.cycle (even n))) ns_log;
+    };
+    {
+      id = "T1a-9";
+      what = "s-t connectivity = k";
+      family = "general";
+      paper = "O(log k)";
+      ok_classes = [ Complexity.Logarithmic; Complexity.Constant ];
+      param = "k";
+      series =
+        sweep Connectivity.general
+          (fun k ->
+            let g, s, t = theta_graph k in
+            Connectivity.instance g ~s ~t ~k)
+          [ 2; 4; 8; 16; 32; 64 ];
+    };
+    {
+      id = "T1a-10";
+      what = "chromatic number <= k";
+      family = "general";
+      paper = "O(log k)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "k";
+      series =
+        sweep Chromatic.scheme
+          (fun k -> Chromatic.instance_with_k (Builders.complete k) k)
+          [ 2; 4; 8; 16; 32 ];
+    };
+    {
+      id = "T1a-11";
+      what = "coLCP(0): non-Eulerian";
+      family = "connected";
+      paper = "O(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series = sweep Colcp0.non_eulerian (fun n -> of_g (Builders.star (n - 1))) ns_log;
+    };
+    {
+      id = "T1a-12";
+      what = "monadic Σ¹₁: has-triangle";
+      family = "connected";
+      paper = "O(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep
+          (Sigma11.scheme Sentences.has_triangle)
+          (fun n -> of_g (Builders.wheel (n - 1)))
+          [ 8; 16; 32; 64 ];
+    };
+    {
+      id = "T1a-13";
+      what = "odd n(G)";
+      family = "cycles";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series = sweep Counting.odd_n (fun n -> of_g (Builders.cycle (odd n))) ns_log;
+    };
+    {
+      id = "T1a-14";
+      what = "chromatic number > 2";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series = sweep Non_bipartite.scheme (fun n -> of_g (Builders.cycle (odd n))) ns_log;
+    };
+    {
+      id = "T1a-15";
+      what = "fixpoint-free symmetry";
+      family = "trees";
+      paper = "Θ(n)";
+      ok_classes = [ Complexity.Linear ];
+      param = "n";
+      series =
+        sweep Tree_universal.fixpoint_free_symmetry
+          (fun n -> of_g (doubled_tree (n / 2) (100 + n)))
+          ns_small;
+    };
+    {
+      id = "T1a-16";
+      what = "symmetric graph";
+      family = "connected";
+      paper = "Θ(n²)";
+      ok_classes = [ Complexity.Quadratic; Complexity.Quadratic_over_log ];
+      param = "n";
+      series =
+        sweep ~measure:measured_prover_only Universal.symmetric
+          (fun n -> of_g (Builders.cycle n))
+          ns_small;
+    };
+    {
+      id = "T1a-17";
+      what = "chromatic number > 3";
+      family = "connected";
+      paper = "Ω(n²/log n)..O(n²)";
+      ok_classes = [ Complexity.Quadratic; Complexity.Quadratic_over_log ];
+      param = "n";
+      series =
+        sweep ~measure:measured_prover_only Universal.non_3_colourable
+          (fun n -> of_g (Builders.wheel (odd (n - 1))))
+          ns_small;
+    };
+    {
+      id = "T1a-18";
+      what = "computable property";
+      family = "connected";
+      paper = "O(n²)";
+      ok_classes = [ Complexity.Quadratic; Complexity.Quadratic_over_log ];
+      param = "n";
+      series =
+        sweep ~measure:measured_prover_only
+          (Universal.of_predicate ~name:"connected-universal" Traversal.is_connected)
+          (fun n -> of_g (Random_graphs.connected_gnp (st n) n 0.2))
+          ns_small;
+    };
+  ]
+
+(* --- Table 1(b) ----------------------------------------------------- *)
+
+let table_1b =
+  [
+    {
+      id = "T1b-1";
+      what = "maximal matching";
+      family = "general";
+      paper = "0";
+      ok_classes = [ Complexity.Zero ];
+      param = "n";
+      series =
+        sweep Matching_schemes.maximal
+          (fun n ->
+            let g = Builders.cycle n in
+            Instance.flag_edges (of_g g) (Matching.greedy_maximal g))
+          ns_log;
+    };
+    {
+      id = "T1b-2";
+      what = "LCL: maximal independent set";
+      family = "general";
+      paper = "0";
+      ok_classes = [ Complexity.Zero ];
+      param = "n";
+      series =
+        sweep Lcl.maximal_independent_set
+          (fun n ->
+            let g = Builders.cycle (even n) in
+            Instance.with_node_labels (of_g g)
+              (List.map (fun v -> (v, Bits.one_bit (v mod 2 = 0))) (Graph.nodes g)))
+          ns_log;
+    };
+    {
+      id = "T1b-3";
+      what = "maximum matching";
+      family = "bipartite";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Matching_schemes.maximum_bipartite
+          (fun n ->
+            let g = Builders.cycle (even n) in
+            Instance.flag_edges (of_g g) (Matching.maximum_bipartite g))
+          ns_log;
+    };
+    {
+      id = "T1b-4";
+      what = "max-weight matching";
+      family = "bipartite";
+      paper = "O(log W)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "W";
+      series =
+        (fun () ->
+          (* fixed topology, growing weight range *)
+          let g = Builders.cycle 16 in
+          List.map
+            (fun w_max ->
+              let weights (u, v) = 1 + (((u * 13) + (v * 7)) mod w_max) in
+              let m = Weighted_matching.maximum_weight g weights in
+              let inst = Matching_schemes.weighted_instance g weights m in
+              (w_max, measured Matching_schemes.maximum_weight_bipartite inst))
+            [ 2; 4; 16; 64; 256; 1024 ]);
+    };
+    {
+      id = "T1b-5";
+      what = "leader election";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Leader_election.strong
+          (fun n -> Leader_election.mark_leader (of_g (Builders.cycle n)) 0)
+          ns_log;
+    };
+    {
+      id = "T1b-6";
+      what = "spanning tree";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Spanning_tree_scheme.scheme
+          (fun n -> spanning_tree_inst (Random_graphs.connected_gnp (st n) n 0.1))
+          [ 8; 16; 32; 64; 128 ];
+    };
+    {
+      id = "T1b-7";
+      what = "maximum matching";
+      family = "cycles";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Matching_schemes.maximum_on_cycle
+          (fun n ->
+            let g = Builders.cycle (odd n) in
+            Instance.flag_edges (of_g g) (Matching.maximum_on_cycle g))
+          ns_log;
+    };
+    {
+      id = "T1b-8";
+      what = "Hamiltonian cycle";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Hamiltonian_scheme.scheme
+          (fun n ->
+            let g = Builders.cycle n in
+            Instance.flag_edges (of_g g) (Graph.edges g))
+          ns_log;
+    };
+    {
+      id = "T1b-9";
+      what = "acyclicity";
+      family = "general";
+      paper = "O(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Acyclic.scheme (fun n -> of_g (Random_graphs.tree (st n) n)) ns_log;
+    };
+  ]
+
+(* --- printing ------------------------------------------------------- *)
+
+let print_header title =
+  Format.printf "@.=== %s ===@." title;
+  Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %s@." "id" "property/problem"
+    "family" "paper" "measured bits per node" "fit" "verdict";
+  Format.printf "%s@." (String.make 118 '-')
+
+let print_row r =
+  match r.series () with
+  | exception Measure_failure msg ->
+      Format.printf "%-7s %-28s %-10s %-18s MEASUREMENT FAILED: %s@." r.id r.what
+        r.family r.paper msg
+  | series ->
+      let fit = Complexity.classify series in
+      let verdict = if List.mem fit r.ok_classes then "MATCH" else "DIFFERS" in
+      let series_str =
+        String.concat " "
+          (List.map (fun (n, b) -> Printf.sprintf "%s=%d:%d" r.param n b) series)
+      in
+      let series_str =
+        if String.length series_str <= 32 then series_str
+        else String.sub series_str 0 29 ^ "..."
+      in
+      Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %s@." r.id r.what r.family
+        r.paper series_str (Complexity.label fit) verdict
+
+(* --- lower-bound attack experiments --------------------------------- *)
+
+let gluing_outcome name scheme family =
+  match Gluing.attack ~rows:4 scheme family with
+  | Gluing.Fooled { instance; genuinely_no; quad = (a1, b1), (a2, b2); _ } ->
+      Format.printf
+        "%-34s FOOLED: glued C(%d,%d)+C(%d,%d) -> accepted %d-node no-instance (no=%b)@."
+        name a1 b1 a2 b2 (Instance.n instance) genuinely_no
+  | Gluing.Resisted { pairs; distinct_signatures } ->
+      Format.printf "%-34s resisted: %d/%d signatures distinct@." name
+        distinct_signatures pairs
+  | Gluing.Prover_failed (a, b) ->
+      Format.printf "%-34s prover failed on C(%d,%d)@." name a b
+
+let symmetry_outcome name outcome =
+  match outcome with
+  | Symmetry_lb.Fooled { glued; genuinely_no; _ } ->
+      Format.printf "%-34s FOOLED: accepted %d-node spliced graph (no=%b)@." name
+        (Graph.n glued) genuinely_no
+  | Symmetry_lb.Resisted { family_size; distinct_windows } ->
+      Format.printf "%-34s resisted: %d/%d windows distinct@." name distinct_windows
+        family_size
+  | Symmetry_lb.Prover_failed _ -> Format.printf "%-34s prover failed@." name
+
+let non3col_outcome name outcome =
+  match outcome with
+  | Non3col_lb.Fooled { instance; genuinely_no; _ } ->
+      Format.printf "%-34s FOOLED: accepted %d-node spliced gadget (3-colourable=%b)@."
+        name (Instance.n instance) genuinely_no
+  | Non3col_lb.Resisted { family_size; distinct_windows } ->
+      Format.printf "%-34s resisted: %d/%d windows distinct@." name distinct_windows
+        family_size
+  | Non3col_lb.Prover_failed _ -> Format.printf "%-34s prover failed@." name
+
+let lower_bounds () =
+  Format.printf "@.=== Figure 1 / Section 5.3: gluing cycles ===@.";
+  Format.printf "(undersized-but-complete schemes must be FOOLED; honest Θ(log n) schemes must resist)@.";
+  gluing_outcome "odd-n, 2-bit counters" (Truncated.odd_n_cycle ~bits:2)
+    (Gluing.odd_cycles ~n:9);
+  gluing_outcome "odd-n, honest Θ(log n)" Counting.odd_n (Gluing.odd_cycles ~n:9);
+  gluing_outcome "leader, 2-bit counters" (Truncated.leader_cycle ~bits:2)
+    (Gluing.leader_cycles ~n:8);
+  gluing_outcome "leader, honest Θ(log n)" Leader_election.strong
+    (Gluing.leader_cycles ~n:8);
+  gluing_outcome "max-matching, 2-bit counters" (Truncated.max_matching_cycle ~bits:2)
+    (Gluing.matching_cycles ~n:9);
+  gluing_outcome "max-matching, honest Θ(log n)" Matching_schemes.maximum_on_cycle
+    (Gluing.matching_cycles ~n:9);
+
+  Format.printf "@.--- general k (the paper's arbitrary constant) ---@.";
+  List.iter
+    (fun k ->
+      match
+        Gluing.attack_k ~rows:(2 * k) ~k (Truncated.odd_n_cycle ~bits:2)
+          (Gluing.odd_cycles ~n:9)
+      with
+      | Gluing.Fooled_k { instance; genuinely_no; _ } ->
+          Format.printf
+            "odd-n, k=%d: glued %d-cycle accepted; genuine no-instance = %b %s@." k
+            (Instance.n instance) genuinely_no
+            (if genuinely_no then "(parity flipped: refutation)"
+             else "(odd k keeps parity: pick even k)")
+      | Gluing.Resisted_k _ -> Format.printf "odd-n, k=%d: resisted@." k
+      | Gluing.Prover_failed_k _ -> Format.printf "odd-n, k=%d: prover failed@." k)
+    [ 2; 3; 4 ];
+
+  Format.printf "@.--- budget sweep: where does the attack stop working? ---@.";
+  List.iter
+    (fun bits ->
+      match Gluing.attack ~rows:4 (Truncated.leader_cycle ~bits) (Gluing.leader_cycles ~n:8) with
+      | Gluing.Fooled _ -> Format.printf "leader election, %d-bit counters: FOOLED@." bits
+      | Gluing.Resisted { pairs; distinct_signatures } ->
+          Format.printf "leader election, %d-bit counters: resisted (%d/%d distinct)@."
+            bits distinct_signatures pairs
+      | Gluing.Prover_failed _ -> Format.printf "%d bits: prover failed@." bits)
+    [ 2; 3; 4 ];
+
+  Format.printf "@.=== Section 6.1: symmetric graphs need Ω(n²) bits ===@.";
+  let family = Enumerate.asymmetric_connected 6 in
+  Format.printf "family F_6: %d pairwise non-isomorphic asymmetric connected graphs@."
+    (List.length family);
+  symmetry_outcome "claims scheme, O(Δ log n) bits"
+    (Symmetry_lb.attack_symmetric Truncated.symmetric_claims ~family);
+  symmetry_outcome "universal scheme, Θ(n²) bits"
+    (Symmetry_lb.attack_symmetric Universal.symmetric ~family);
+
+  Format.printf "@.=== Section 6.2: fixpoint-free tree symmetry needs Ω(n) ===@.";
+  let trees = Tree_enum.rooted_trees 6 in
+  Format.printf "family: %d rooted trees on 6 nodes (A000081)@." (List.length trees);
+  symmetry_outcome "claims scheme, O(Δ log n) bits"
+    (Symmetry_lb.attack_trees Truncated.fixpoint_free_claims ~family:trees);
+  symmetry_outcome "tree-universal scheme, Θ(n) bits"
+    (Symmetry_lb.attack_trees Tree_universal.fixpoint_free_symmetry ~family:trees);
+
+  Format.printf "@.=== Section 6.3: non-3-colourability needs Ω(n²/log n) ===@.";
+  let sets =
+    Some [ [ (0, 1) ]; [ (1, 0) ]; [ (0, 0); (1, 1) ]; [ (0, 1); (1, 0) ] ]
+  in
+  let ball_claims =
+    Truncated.ball_claims ~name:"non3col-ball-claims" (fun g ->
+        not (Coloring.is_k_colourable g 3))
+  in
+  non3col_outcome "ball-claims scheme, O(Δ² log n)"
+    (Non3col_lb.attack ~k:1 ~r:1 ~sets ball_claims);
+  non3col_outcome "universal scheme, Θ(n²)"
+    (Non3col_lb.attack ~k:1 ~r:1 ~sets Universal.non_3_colourable);
+
+  Format.printf
+    "@.=== Table 1(a) dash row: connectivity has NO scheme of any size ===@.";
+  let conn_universal =
+    Universal.of_predicate ~name:"connected-universal" Traversal.is_connected
+  in
+  Format.printf
+    "disjoint-union attack vs the universal O(n²) scheme: fooled = %b@."
+    (No_scheme.connectivity_has_no_scheme conn_universal)
+
+(* --- design ablations ------------------------------------------------- *)
+
+let ablations () =
+  Format.printf "@.=== design ablations ===@.";
+  (* 1. mutual vs one-sided pointers (directed reachability) *)
+  let inst, forged = Truncated.one_sided_fooling () in
+  Format.printf
+    "one-sided pointers accept the unreachable 3-cycle instance: %b (FOOLED)@."
+    (Scheme.accepts Truncated.directed_reach_one_sided inst forged);
+  (match
+     Adversary.forge ~restarts:6 ~steps:200 Reachability.directed_reach_pointer
+       inst ~max_bits:8
+   with
+  | Adversary.Fooled _ -> Format.printf "mutual pointers: FOOLED (bug!)@."
+  | Adversary.Resisted { attempts; _ } ->
+      Format.printf
+        "mutual pointers: resisted %d forging attempts on the same instance@."
+        attempts);
+  (* 2. weak vs strong leader election proof sizes *)
+  Format.printf "weak vs strong leader-election bits:";
+  List.iter
+    (fun n ->
+      let g = Builders.cycle n in
+      let s =
+        measured Leader_election.strong
+          (Leader_election.mark_leader (of_g g) 0)
+      in
+      let w = measured Leader_election.weak (of_g g) in
+      Format.printf " n=%d:%d/%d" n s w)
+    [ 8; 32; 128 ];
+  Format.printf "  (strong/weak — within a constant, Section 7.2)@.";
+  (* 3. attack budget vs window capacity (the counting inequality) *)
+  Format.printf
+    "window capacity 2^(bits·(2r+1)) at r=1: bits=1:%d bits=2:%d bits=4:%d — vs |F_6| = 8, |trees_6| = 20@."
+    (Symmetry_lb.forced_collision_bound ~bits:1 ~radius:1)
+    (Symmetry_lb.forced_collision_bound ~bits:2 ~radius:1)
+    (Symmetry_lb.forced_collision_bound ~bits:4 ~radius:1)
+
+(* --- hierarchy summary ----------------------------------------------- *)
+
+let hierarchy () =
+  Format.printf "@.=== The LCP hierarchy at n = 64 (bits per node, measured) ===@.";
+  let entries =
+    [
+      ("LCP(0)     eulerian", measured Eulerian.scheme (of_g (Builders.cycle 64)));
+      ("LCP(1)     bipartite", measured Bipartite_scheme.scheme (of_g (Builders.cycle 64)));
+      ( "LogLCP     leader election",
+        measured Leader_election.strong
+          (Leader_election.mark_leader (of_g (Builders.cycle 64)) 0) );
+      ( "LCP(n)     tree symmetry",
+        measured Tree_universal.fixpoint_free_symmetry (of_g (doubled_tree 32 7)) );
+      ( "LCP(n²)    symmetric graph",
+        measured_prover_only Universal.symmetric (of_g (Builders.cycle 64)) );
+    ]
+  in
+  List.iter (fun (name, bits) -> Format.printf "  %-28s %6d bits@." name bits) entries;
+  Format.printf "  (each level separated by the lower-bound attacks above)@."
+
+(* --- Bechamel timing ------------------------------------------------- *)
+
+module Lcp_instance = Instance
+
+let timing () =
+  let open Bechamel in
+  let open Toolkit in
+  let verifier_test name scheme inst =
+    match Scheme.prove_and_check scheme inst with
+    | `Accepted proof ->
+        let g = Lcp_instance.graph inst in
+        let nodes = Graph.nodes g in
+        Test.make ~name
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun v -> ignore (Scheme.verifier_output scheme inst proof v))
+                 nodes))
+    | _ -> failwith ("prover failed for " ^ name)
+  in
+  let n = 64 in
+  let tests =
+    Test.make_grouped ~name:"verifiers"
+      [
+        verifier_test "eulerian-C64" Eulerian.scheme (of_g (Builders.cycle n));
+        verifier_test "bipartite-C64" Bipartite_scheme.scheme (of_g (Builders.cycle n));
+        verifier_test "leader-C64" Leader_election.strong
+          (Leader_election.mark_leader (of_g (Builders.cycle n)) 0);
+        verifier_test "spanning-tree-G64"
+          Spanning_tree_scheme.scheme
+          (spanning_tree_inst (Random_graphs.connected_gnp (st 5) n 0.1));
+        verifier_test "odd-n-C65" Counting.odd_n (of_g (Builders.cycle 65));
+        verifier_test "non-bipartite-C65" Non_bipartite.scheme (of_g (Builders.cycle 65));
+        verifier_test "maxw-matching-C16"
+          Matching_schemes.maximum_weight_bipartite
+          (let g = Builders.cycle 16 in
+           let w (u, v) = 1 + ((u + v) mod 7) in
+           Matching_schemes.weighted_instance g w (Weighted_matching.maximum_weight g w));
+      ]
+  in
+  let prover_test name scheme inst =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           match scheme.Scheme.prover inst with
+           | Some _ -> ()
+           | None -> failwith "prover refused"))
+  in
+  let prover_tests =
+    Test.make_grouped ~name:"provers"
+      [
+        prover_test "bipartite-C64" Bipartite_scheme.scheme (of_g (Builders.cycle n));
+        prover_test "leader-C64" Leader_election.strong
+          (Leader_election.mark_leader (of_g (Builders.cycle n)) 0);
+        prover_test "non-bipartite-C65" Non_bipartite.scheme (of_g (Builders.cycle 65));
+        prover_test "menger-grid5x5"
+          Connectivity.general
+          (Connectivity.instance (Builders.grid 5 5) ~s:0 ~t:24 ~k:2);
+        prover_test "universal-symmetric-C24" Universal.symmetric
+          (of_g (Builders.cycle 24));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let report title raw =
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Format.printf "=== %s (ns/run) ===@." title;
+    Hashtbl.iter
+      (fun name ols_result ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> Printf.sprintf "%12.0f ns" e
+          | _ -> "?"
+        in
+        Format.printf "  %-44s %s@." name estimate)
+      results
+  in
+  report "verifier timings (all nodes of one instance)"
+    (Benchmark.all cfg Instance.[ monotonic_clock ] tests);
+  report "prover timings (one instance)"
+    (Benchmark.all cfg Instance.[ monotonic_clock ] prover_tests)
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--timing" args then timing ()
+  else begin
+    Format.printf
+      "Locally Checkable Proofs (Göös & Suomela, PODC 2011): experiment harness@.";
+    print_header "Table 1(a): graph properties";
+    List.iter print_row table_1a;
+    print_header "Table 1(b): graph problems (solution verification)";
+    List.iter print_row table_1b;
+    lower_bounds ();
+    ablations ();
+    hierarchy ();
+    Format.printf
+      "@.run with --timing for Bechamel verifier micro-benchmarks.@."
+  end

@@ -1,0 +1,188 @@
+(* A small text format for LCP instances, one directive per line:
+
+     # comment
+     edge U V          an undirected edge (also just "U V")
+     node U            an isolated node
+     arc U V           a directed edge (stored in the of_digraph layout)
+     s U / t U         the distinguished terminals of Section 4
+     leader U          mark U with the 1-bit leader label
+     label U BITS      raw node label, e.g. "label 3 101"
+     flag U V          set edge label bit 1 (solutions: matchings, trees…)
+     weight U V W      weighted edge (flag + gamma-coded weight layout)
+     k N               global input (gamma-coded), e.g. the k of χ ≤ k
+
+   and for proof files:
+
+     V BITS            proof string of node V ("-" for the empty string)
+*)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+type directive =
+  | Edge of int * int
+  | Node of int
+  | Arc of int * int
+  | S of int
+  | T of int
+  | Leader of int
+  | Label of int * string
+  | Flag of int * int
+  | Weight of int * int * int
+  | K of int
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let int w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> fail "line %d: expected an integer, got %S" lineno w
+  in
+  match words with
+  | [] -> None
+  | [ "edge"; u; v ] -> Some (Edge (int u, int v))
+  | [ u; v ] when int_of_string_opt u <> None -> Some (Edge (int u, int v))
+  | [ "node"; u ] -> Some (Node (int u))
+  | [ "arc"; u; v ] -> Some (Arc (int u, int v))
+  | [ "s"; u ] -> Some (S (int u))
+  | [ "t"; u ] -> Some (T (int u))
+  | [ "leader"; u ] -> Some (Leader (int u))
+  | [ "label"; u; bits ] -> Some (Label (int u, bits))
+  | [ "flag"; u; v ] -> Some (Flag (int u, int v))
+  | [ "weight"; u; v; w ] -> Some (Weight (int u, int v, int w))
+  | [ "k"; n ] -> Some (K (int n))
+  | w :: _ -> fail "line %d: unknown directive %S" lineno w
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc lineno =
+    match input_line ic with
+    | line -> go ((lineno, line) :: acc) (lineno + 1)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go [] 1
+
+let load_instance path =
+  let directives = List.filter_map (fun (no, l) -> parse_line no l) (read_lines path) in
+  let graph =
+    List.fold_left
+      (fun g -> function
+        | Edge (u, v) | Flag (u, v) | Weight (u, v, _) | Arc (u, v) ->
+            Graph.add_edge g u v
+        | Node u | S u | T u | Leader u | Label (u, _) -> Graph.add_node g u
+        | K _ -> g)
+      Graph.empty directives
+  in
+  let has_arcs = List.exists (function Arc _ -> true | _ -> false) directives in
+  let base =
+    if has_arcs then begin
+      let d =
+        List.fold_left
+          (fun d -> function
+            | Arc (u, v) -> Digraph.add_arc d u v
+            | Edge (u, v) -> Digraph.add_arc (Digraph.add_arc d u v) v u
+            | _ -> d)
+          (List.fold_left Digraph.add_node Digraph.empty (Graph.nodes graph))
+          directives
+      in
+      Instance.of_digraph d
+    end
+    else Instance.of_graph graph
+  in
+  let weighted =
+    List.exists (function Weight _ -> true | _ -> false) directives
+  in
+  let inst =
+    if weighted then
+      (* weighted layout everywhere: flag bit + gamma weight *)
+      Graph.fold_edges
+        (fun u v acc ->
+          let flagged =
+            List.exists
+              (function
+                | Flag (a, b) -> (min a b, max a b) = (min u v, max u v)
+                | _ -> false)
+              directives
+          in
+          let weight =
+            List.fold_left
+              (fun acc -> function
+                | Weight (a, b, w) when (min a b, max a b) = (min u v, max u v) -> w
+                | _ -> acc)
+              0 directives
+          in
+          let buf = Bits.Writer.create () in
+          Bits.Writer.bool buf flagged;
+          Bits.Writer.int_gamma buf weight;
+          Instance.with_edge_label acc u v (Bits.Writer.contents buf))
+        graph base
+    else
+      List.fold_left
+        (fun acc -> function
+          | Flag (u, v) -> Instance.with_edge_label acc u v (Bits.one_bit true)
+          | _ -> acc)
+        base directives
+  in
+  (* unflagged edges get an explicit 0 bit when any flag is present *)
+  let any_flag = List.exists (function Flag _ -> true | _ -> false) directives in
+  let inst =
+    if any_flag && not weighted then
+      Graph.fold_edges
+        (fun u v acc ->
+          if Bits.length (Instance.edge_label acc u v) = 0 then
+            Instance.with_edge_label acc u v (Bits.one_bit false)
+          else acc)
+        graph inst
+    else inst
+  in
+  let inst =
+    List.fold_left
+      (fun acc -> function
+        | S u -> Instance.with_node_label acc u St.s_label
+        | T u -> Instance.with_node_label acc u St.t_label
+        | Leader u -> Instance.with_node_label acc u (Bits.one_bit true)
+        | Label (u, bits) -> Instance.with_node_label acc u (Bits.of_string bits)
+        | K n -> Instance.with_globals acc (Bits.encode_int n)
+        | Edge _ | Node _ | Flag _ | Weight _ | Arc _ -> acc)
+      inst directives
+  in
+  inst
+
+let load_proof path =
+  let entries =
+    List.filter_map
+      (fun (lineno, line) ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        with
+        | [] -> None
+        | [ v; "-" ] -> Some (int_of_string v, Bits.empty)
+        | [ v; bits ] -> Some (int_of_string v, Bits.of_string bits)
+        | _ -> fail "proof line %d: expected 'NODE BITS'" lineno)
+      (read_lines path)
+  in
+  Proof.of_list entries
+
+let save_proof path proof =
+  let oc = open_out path in
+  List.iter
+    (fun (v, b) ->
+      Printf.fprintf oc "%d %s\n" v
+        (if Bits.length b = 0 then "-" else Bits.to_string b))
+    (Proof.bindings proof);
+  close_out oc

@@ -1,0 +1,401 @@
+(* The lcp command-line tool.
+
+     lcp schemes                          list available schemes
+     lcp prove  -s NAME -g FILE [-o OUT]  run the prover, print/save the proof
+     lcp verify -s NAME -g FILE -p PROOF  run the verifier at every node
+     lcp forge  -s NAME -g FILE [-b BITS] adversarial proof forging
+     lcp attack ATTACK [...]              run a lower-bound attack
+     lcp info   -g FILE                   instance statistics
+
+   Graph files are described in [Graph_file]. *)
+
+open Cmdliner
+
+(* --- scheme registry ------------------------------------------------- *)
+
+let registry : (string * (string * Scheme.t)) list =
+  [
+    ("eulerian", ("Eulerian graph, LCP(0)", Eulerian.scheme));
+    ("line-graph", ("line graph, LCP(0)", Line_graph_scheme.scheme));
+    ("bipartite", ("bipartite graph, LCP(1)", Bipartite_scheme.scheme));
+    ("st-reach", ("s-t reachability (undirected; needs s/t), LCP(1)", Reachability.undirected_reach));
+    ("st-unreach", ("s-t unreachability (undirected)", Reachability.undirected_unreach));
+    ("st-unreach-dir", ("s-t unreachability (directed; use arc)", Reachability.directed_unreach));
+    ("st-reach-dir", ("directed s-t reachability, O(log Δ) pointers", Reachability.directed_reach_pointer));
+    ("connectivity", ("s-t connectivity = k (needs s/t and k)", Connectivity.general));
+    ("connectivity-planar", ("planar s-t connectivity = k, O(1)", Connectivity.planar));
+    ("chromatic", ("chromatic number <= k (needs k)", Chromatic.scheme));
+    ("even-cycle", ("even cycle, LCP(1)", Counting.even_cycle));
+    ("odd-n", ("odd number of nodes, LogLCP", Counting.odd_n));
+    ("even-n", ("even number of nodes, LogLCP", Counting.even_n));
+    ("non-bipartite", ("chromatic number > 2, LogLCP", Non_bipartite.scheme));
+    ("leader", ("leader election (needs leader mark)", Leader_election.strong));
+    ("leader-weak", ("leader election, weak flavour", Leader_election.weak));
+    ("spanning-tree", ("spanning tree (flag the tree edges)", Spanning_tree_scheme.scheme));
+    ("acyclic", ("acyclicity, LogLCP", Acyclic.scheme));
+    ("hamiltonian", ("Hamiltonian cycle (flag the cycle edges)", Hamiltonian_scheme.scheme));
+    ("maximal-matching", ("maximal matching (flag edges), LCP(0)", Matching_schemes.maximal));
+    ("max-matching", ("maximum matching, bipartite (flag edges)", Matching_schemes.maximum_bipartite));
+    ("maxw-matching", ("max-weight matching (weight + flag edges)", Matching_schemes.maximum_weight_bipartite));
+    ("cycle-matching", ("maximum matching on cycles (flag edges)", Matching_schemes.maximum_on_cycle));
+    ("symmetric", ("symmetric graph, Θ(n²)", Universal.symmetric));
+    ("non-3-colourable", ("chromatic number > 3, O(n²)", Universal.non_3_colourable));
+    ("tree-ffsym", ("fixpoint-free tree symmetry, Θ(n)", Tree_universal.fixpoint_free_symmetry));
+    ("non-eulerian", ("coLCP(0): non-Eulerian, LogLCP", Colcp0.non_eulerian));
+    ("sigma11-2col", ("Σ¹₁: 2-colourable", Sigma11.scheme Sentences.two_colourable));
+    ("sigma11-triangle", ("Σ¹₁: has a triangle", Sigma11.scheme Sentences.has_triangle));
+  ]
+
+(* --- arguments -------------------------------------------------------- *)
+
+let scheme_arg =
+  let scheme_conv = Arg.enum (List.map (fun (name, (_, s)) -> (name, s)) registry) in
+  Arg.(
+    required
+    & opt (some scheme_conv) None
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Scheme name (see 'lcp schemes').")
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Instance file (see FORMATS).")
+
+let proof_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "p"; "proof" ] ~docv:"FILE" ~doc:"Proof file: one 'NODE BITS' per line.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the proof here.")
+
+let bits_arg default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "b"; "bits" ] ~docv:"BITS" ~doc:"Adversary's per-node bit budget.")
+
+(* --- commands --------------------------------------------------------- *)
+
+let schemes_cmd =
+  let run () =
+    List.iter
+      (fun (name, (doc, scheme)) ->
+        Format.printf "%-20s r=%d  %s@." name scheme.Scheme.radius doc)
+      registry;
+    0
+  in
+  Cmd.v (Cmd.info "schemes" ~doc:"List the available proof labelling schemes")
+    Term.(const run $ const ())
+
+let load_instance path =
+  try Ok (Graph_file.load_instance path) with
+  | Failure msg -> Error (`Msg msg)
+  | Sys_error msg -> Error (`Msg msg)
+
+let prove_cmd =
+  let run scheme graph output =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst -> (
+        match Scheme.prove_and_check scheme inst with
+        | `No_proof ->
+            Format.printf
+              "no-instance: the prover found no locally checkable proof@.";
+            2
+        | `Rejected (_, vs) ->
+            Format.printf "internal error: own proof rejected at [%s]@."
+              (String.concat ";" (List.map string_of_int vs));
+            3
+        | `Accepted proof ->
+            Format.printf "yes-instance: proof of %d bits per node@."
+              (Proof.size proof);
+            (match output with
+            | Some path ->
+                Graph_file.save_proof path proof;
+                Format.printf "proof written to %s@." path
+            | None ->
+                List.iter
+                  (fun (v, b) ->
+                    Format.printf "  %d %s@." v
+                      (if Bits.length b = 0 then "-" else Bits.to_string b))
+                  (Proof.bindings proof));
+            0)
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Run a scheme's prover on an instance")
+    Term.(const run $ scheme_arg $ graph_arg $ out_arg)
+
+let verify_cmd =
+  let run scheme graph proof =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst -> (
+        let proof =
+          try Ok (Graph_file.load_proof proof)
+          with Failure m | Sys_error m -> Error m
+        in
+        match proof with
+        | Error m -> prerr_endline m; 1
+        | Ok proof -> (
+            match Scheme.decide scheme inst proof with
+            | Scheme.Accept ->
+                Format.printf "ACCEPT: all %d nodes accept@." (Instance.n inst);
+                0
+            | Scheme.Reject vs ->
+                Format.printf "REJECT at nodes [%s]@."
+                  (String.concat "; " (List.map string_of_int vs));
+                2))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run a scheme's verifier at every node")
+    Term.(const run $ scheme_arg $ graph_arg $ proof_arg)
+
+let forge_cmd =
+  let run scheme graph bits =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst -> (
+        match Adversary.forge scheme inst ~max_bits:bits with
+        | Adversary.Fooled proof ->
+            Format.printf
+              "FOOLED: found a proof of <= %d bits accepted by every node!@." bits;
+            List.iter
+              (fun (v, b) ->
+                Format.printf "  %d %s@." v
+                  (if Bits.length b = 0 then "-" else Bits.to_string b))
+              (Proof.bindings proof);
+            2
+        | Adversary.Resisted { best_rejections; attempts } ->
+            Format.printf
+              "resisted: %d attempts; best forgery still rejected at %d node(s)@."
+              attempts best_rejections;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "forge"
+       ~doc:"Try to forge an accepted proof (soundness stress test)")
+    Term.(const run $ scheme_arg $ graph_arg $ bits_arg 4)
+
+let info_cmd =
+  let run graph =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst ->
+        let g = Instance.graph inst in
+        Format.printf "nodes: %d, edges: %d, max degree: %d@." (Graph.n g)
+          (Graph.m g) (Graph.max_degree g);
+        Format.printf "connected: %b, bipartite: %b, eulerian: %b@."
+          (Traversal.is_connected g) (Bipartite.is_bipartite g)
+          (Euler.is_eulerian g);
+        (match St.find inst with
+        | Some (s, t) -> Format.printf "terminals: s=%d t=%d@." s t
+        | None -> ());
+        (match Instance.marked_exactly_one inst with
+        | Some l -> Format.printf "leader: %d@." l
+        | None -> ());
+        let flagged = Instance.flagged_edges inst in
+        if flagged <> [] then
+          Format.printf "flagged edges: %s@."
+            (String.concat " "
+               (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) flagged));
+        0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show instance statistics") Term.(const run $ graph_arg)
+
+let dot_cmd =
+  let proof_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "p"; "proof" ] ~docv:"FILE"
+          ~doc:"Optional proof file; proof bits become node labels.")
+  in
+  let run graph proof =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst ->
+        let g = Instance.graph inst in
+        let proof =
+          match proof with
+          | None -> Proof.empty
+          | Some path -> Graph_file.load_proof path
+        in
+        let node_attrs v =
+          let bits = Proof.get proof v in
+          let label = Instance.node_label inst v in
+          let text =
+            Printf.sprintf "%d%s%s" v
+              (if Bits.length label > 0 then "\nL:" ^ Bits.to_string label else "")
+              (if Bits.length bits > 0 then "\nP:" ^ Bits.to_string bits else "")
+          in
+          ("label", text)
+          :: (if Bits.length label > 0 && Bits.get label 0 then
+                [ ("style", "filled"); ("fillcolor", "lightblue") ]
+              else [])
+        in
+        let edge_attrs u v =
+          let l = Instance.edge_label inst u v in
+          if Bits.length l >= 1 && Bits.get l 0 then
+            [ ("penwidth", "3"); ("color", "blue") ]
+          else []
+        in
+        print_string (Dot.of_graph ~name:(Filename.basename graph) ~node_attrs ~edge_attrs g);
+        0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export an instance (and optional proof) as Graphviz DOT")
+    Term.(const run $ graph_arg $ proof_opt)
+
+let attack_cmd =
+  let attack_conv =
+    Arg.enum
+      [ ("gluing-odd", `Gluing_odd); ("gluing-leader", `Gluing_leader);
+        ("gluing-matching", `Gluing_matching); ("symmetry", `Symmetry);
+        ("trees", `Trees); ("non3col", `Non3col) ]
+  in
+  let attack_arg =
+    Arg.(
+      required
+      & pos 0 (some attack_conv) None
+      & info [] ~docv:"ATTACK"
+          ~doc:
+            "One of: gluing-odd, gluing-leader, gluing-matching, symmetry, \
+             trees, non3col.")
+  in
+  let honest_arg =
+    Arg.(
+      value & flag
+      & info [ "honest" ]
+          ~doc:"Attack the honest scheme instead of the undersized one.")
+  in
+  let n_arg =
+    Arg.(value & opt int 9 & info [ "n" ] ~docv:"N" ~doc:"Cycle length (gluing).")
+  in
+  let run attack honest n =
+    let gluing_report = function
+      | Gluing.Fooled { instance; quad = (a1, b1), (a2, b2); genuinely_no; _ } ->
+          Format.printf
+            "FOOLED: glued C(%d,%d) and C(%d,%d) into an accepted %d-node \
+             no-instance (genuinely no: %b)@."
+            a1 b1 a2 b2 (Instance.n instance) genuinely_no;
+          2
+      | Gluing.Resisted { pairs; distinct_signatures } ->
+          Format.printf "resisted: %d/%d signatures distinct@." distinct_signatures
+            pairs;
+          0
+      | Gluing.Prover_failed (a, b) ->
+          Format.printf "prover failed on C(%d,%d)@." a b;
+          1
+    in
+    let sym_report = function
+      | Symmetry_lb.Fooled { glued; genuinely_no; _ } ->
+          Format.printf "FOOLED: accepted spliced %d-node graph (genuinely no: %b)@."
+            (Graph.n glued) genuinely_no;
+          2
+      | Symmetry_lb.Resisted { family_size; distinct_windows } ->
+          Format.printf "resisted: %d/%d windows distinct@." distinct_windows
+            family_size;
+          0
+      | Symmetry_lb.Prover_failed _ ->
+          Format.printf "prover failed@.";
+          1
+    in
+    match attack with
+    | `Gluing_odd ->
+        let n = if n mod 2 = 0 then n + 1 else n in
+        let scheme = if honest then Counting.odd_n else Truncated.odd_n_cycle ~bits:2 in
+        gluing_report (Gluing.attack ~rows:4 scheme (Gluing.odd_cycles ~n))
+    | `Gluing_leader ->
+        let scheme =
+          if honest then Leader_election.strong else Truncated.leader_cycle ~bits:2
+        in
+        gluing_report (Gluing.attack ~rows:4 scheme (Gluing.leader_cycles ~n))
+    | `Gluing_matching ->
+        let n = if n mod 2 = 0 then n + 1 else n in
+        let scheme =
+          if honest then Matching_schemes.maximum_on_cycle
+          else Truncated.max_matching_cycle ~bits:2
+        in
+        gluing_report (Gluing.attack ~rows:4 scheme (Gluing.matching_cycles ~n))
+    | `Symmetry ->
+        let scheme =
+          if honest then Universal.symmetric else Truncated.symmetric_claims
+        in
+        sym_report
+          (Symmetry_lb.attack_symmetric scheme ~family:(Enumerate.asymmetric_connected 6))
+    | `Trees ->
+        let scheme =
+          if honest then Tree_universal.fixpoint_free_symmetry
+          else Truncated.fixpoint_free_claims
+        in
+        sym_report (Symmetry_lb.attack_trees scheme ~family:(Tree_enum.rooted_trees 6))
+    | `Non3col -> (
+        let scheme =
+          if honest then Universal.non_3_colourable
+          else
+            Truncated.ball_claims ~name:"non3col-ball-claims" (fun g ->
+                not (Coloring.is_k_colourable g 3))
+        in
+        let sets =
+          Some [ [ (0, 1) ]; [ (1, 0) ]; [ (0, 0); (1, 1) ]; [ (0, 1); (1, 0) ] ]
+        in
+        match Non3col_lb.attack ~k:1 ~r:1 ~sets scheme with
+        | Non3col_lb.Fooled { instance; genuinely_no; _ } ->
+            Format.printf
+              "FOOLED: accepted spliced %d-node gadget (3-colourable: %b)@."
+              (Instance.n instance) genuinely_no;
+            2
+        | Non3col_lb.Resisted { family_size; distinct_windows } ->
+            Format.printf "resisted: %d/%d windows distinct@." distinct_windows
+              family_size;
+            0
+        | Non3col_lb.Prover_failed _ ->
+            Format.printf "prover failed@.";
+            1)
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run one of the paper's lower-bound attacks")
+    Term.(const run $ attack_arg $ honest_arg $ n_arg)
+
+let table_cmd =
+  let run () =
+    let st = Random.State.make [| 0xCAFE |] in
+    Format.printf "%-8s %-38s %-14s %s@." "id" "scheme" "paper" "bits/node at n=8,12,16";
+    Format.printf "%s@." (String.make 80 '-');
+    List.iter
+      (fun (e : Catalog.entry) ->
+        let bits_at size =
+          match e.Catalog.yes st size with
+          | None -> "-"
+          | Some inst -> (
+              match Scheme.prove_and_check e.Catalog.scheme inst with
+              | `Accepted proof -> string_of_int (Proof.size proof)
+              | _ -> "!")
+        in
+        Format.printf "%-8s %-38s %-14s %s@." e.Catalog.id
+          e.Catalog.scheme.Scheme.name e.Catalog.paper_class
+          (String.concat ", " (List.map bits_at [ 8; 12; 16 ])))
+      Catalog.all;
+    Format.printf
+      "@.(the full sweep with growth fits and attacks: dune exec bench/main.exe)@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Measured proof sizes for every Table 1 row")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "locally checkable proofs (Göös & Suomela, PODC 2011)" in
+  Cmd.group
+    (Cmd.info "lcp" ~doc ~version:"1.0.0")
+    [
+      schemes_cmd; prove_cmd; verify_cmd; forge_cmd; info_cmd; dot_cmd;
+      attack_cmd; table_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,87 @@
+(* A self-verifying network (Table 1(b): spanning tree and leader
+   election, both Θ(log n)).
+
+   Scenario: a management plane has installed a spanning tree and
+   elected a leader in a data-centre-ish random topology. Every switch
+   stores an O(log n)-bit certificate; a constant-time distributed
+   audit then confirms the control state — and pinpoints faults when a
+   certificate or the elected state is corrupted.
+
+     dune exec examples/network_audit.exe
+*)
+
+let () =
+  let st = Random.State.make [| 2026 |] in
+  let g = Random_graphs.connected_gnp st 40 0.08 in
+  Format.printf "topology: %d switches, %d links, diameter %d@." (Graph.n g)
+    (Graph.m g) (Traversal.diameter g);
+
+  (* The control plane picks a spanning tree (here: BFS from switch 7)
+     and labels the links. *)
+  let root = 7 in
+  let tree_links =
+    List.map (fun (v, p) -> (min v p, max v p)) (Traversal.spanning_tree g root)
+  in
+  let inst = Instance.flag_edges (Instance.of_graph g) tree_links in
+
+  (match Scheme.prove_and_check Spanning_tree_scheme.scheme inst with
+  | `Accepted proof ->
+      Format.printf "spanning-tree audit: PASS (certificates of %d bits/node)@."
+        (Proof.size proof);
+
+      (* Fault injection: corrupt one switch's certificate. *)
+      let victim = 23 in
+      let corrupted = Proof.set proof victim (Bits.flip (Proof.get proof victim) 3) in
+      (match Scheme.decide Spanning_tree_scheme.scheme inst corrupted with
+      | Scheme.Accept -> Format.printf "corruption not detected!?@."
+      | Scheme.Reject alarms ->
+          Format.printf "corrupted switch %d's certificate -> alarms at [%s]@."
+            victim
+            (String.concat "; " (List.map string_of_int alarms)));
+
+      (* Fault injection: cut a tree link out of the labelling. *)
+      let u, v = List.hd tree_links in
+      let broken =
+        Instance.flag_edges (Instance.of_graph g) (List.tl tree_links)
+      in
+      (match Scheme.decide Spanning_tree_scheme.scheme broken proof with
+      | Scheme.Accept -> Format.printf "missing link not detected!?@."
+      | Scheme.Reject alarms ->
+          Format.printf "dropped tree link %d-%d -> alarms at [%s]@." u v
+            (String.concat "; " (List.map string_of_int alarms)))
+  | _ -> Format.printf "spanning-tree audit: could not certify@.");
+
+  (* Leader election: certify, then forge a second leader. *)
+  let leader_inst = Leader_election.mark_leader (Instance.of_graph g) root in
+  (match Scheme.prove_and_check Leader_election.strong leader_inst with
+  | `Accepted proof ->
+      Format.printf "leader audit: PASS (leader = switch %d)@." root;
+      let usurper = 31 in
+      let two_leaders =
+        Instance.with_node_labels leader_inst
+          [ (usurper, Bits.one_bit true) ]
+      in
+      (match Scheme.decide Leader_election.strong two_leaders proof with
+      | Scheme.Accept -> Format.printf "second leader not detected!?@."
+      | Scheme.Reject alarms ->
+          Format.printf "switch %d also claims leadership -> alarms at [%s]@."
+            usurper
+            (String.concat "; " (List.map string_of_int alarms)));
+      (* An adversary with the full proof space cannot do better. *)
+      (match
+         Adversary.forge ~restarts:5 ~steps:200 Leader_election.strong two_leaders
+           ~max_bits:(Proof.size proof)
+       with
+      | Adversary.Fooled _ -> Format.printf "adversary forged a certificate!?@."
+      | Adversary.Resisted { best_rejections; attempts } ->
+          Format.printf
+            "adversarial forging: resisted (%d attempts, best still had %d alarms)@."
+            attempts best_rejections)
+  | _ -> Format.printf "leader audit: could not certify@.");
+
+  (* Global facts through local counters: the network convinces itself
+     of its own size. *)
+  let size_inst = Instance.of_graph g in
+  match Scheme.prove_and_check (Counting.exact_n (Graph.n g)) size_inst with
+  | `Accepted _ -> Format.printf "size audit: all switches agree n = %d@." (Graph.n g)
+  | _ -> Format.printf "size audit failed@."

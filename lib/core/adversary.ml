@@ -1,0 +1,87 @@
+type outcome =
+  | Fooled of Proof.t
+  | Resisted of { best_rejections : int; attempts : int }
+
+let rejection_count scheme inst proof =
+  match Scheme.decide scheme inst proof with
+  | Scheme.Accept -> 0
+  | Scheme.Reject vs -> List.length vs
+
+let random_proof st nodes max_bits =
+  List.fold_left
+    (fun p v ->
+      let len = Random.State.int st (max_bits + 1) in
+      Proof.set p v (Bits.random st len))
+    Proof.empty nodes
+
+(* Mutate the proof string of one node: flip a bit, lengthen, shorten,
+   or resample. *)
+let mutate st max_bits proof v =
+  let b = Proof.get proof v in
+  let len = Bits.length b in
+  let choice = Random.State.int st 4 in
+  let b' =
+    if choice = 0 && len > 0 then Bits.flip b (Random.State.int st len)
+    else if choice = 1 && len < max_bits then
+      Bits.append b (Bits.one_bit (Random.State.bool st))
+    else if choice = 2 && len > 0 then Bits.take (len - 1) b
+    else Bits.random st (Random.State.int st (max_bits + 1))
+  in
+  Proof.set proof v b'
+
+let forge ?(seed = 0xBADC0DE) ?(restarts = 12) ?(steps = 400) scheme inst ~max_bits =
+  let st = Random.State.make [| seed |] in
+  let nodes = Graph.nodes (Instance.graph inst) in
+  let attempts = ref 0 in
+  let best = ref max_int in
+  let exception Win of Proof.t in
+  try
+    for _restart = 1 to restarts do
+      let proof = ref (random_proof st nodes max_bits) in
+      let score = ref (rejection_count scheme inst !proof) in
+      incr attempts;
+      if !score = 0 then raise (Win !proof);
+      best := min !best !score;
+      for _step = 1 to steps do
+        (* Prefer mutating at or next to a rejecting node. *)
+        let target =
+          match Scheme.decide scheme inst !proof with
+          | Scheme.Accept -> raise (Win !proof)
+          | Scheme.Reject (v :: _) ->
+              let g = Instance.graph inst in
+              let near = v :: Traversal.ball g v scheme.Scheme.radius in
+              List.nth near (Random.State.int st (List.length near))
+          | Scheme.Reject [] -> assert false
+        in
+        let candidate = mutate st max_bits !proof target in
+        let s = rejection_count scheme inst candidate in
+        incr attempts;
+        if s <= !score then begin
+          proof := candidate;
+          score := s
+        end;
+        best := min !best !score;
+        if !score = 0 then raise (Win !proof)
+      done
+    done;
+    Resisted { best_rejections = !best; attempts = !attempts }
+  with Win proof -> Fooled proof
+
+let tamper ?(seed = 0x7A3) scheme inst proof ~trials =
+  let st = Random.State.make [| seed |] in
+  let candidates =
+    Proof.bindings proof |> List.filter (fun (_, b) -> Bits.length b > 0)
+  in
+  if candidates = [] then []
+  else
+    List.init trials (fun _ ->
+        let v, b = List.nth candidates (Random.State.int st (List.length candidates)) in
+        let corrupted =
+          Proof.set proof v (Bits.flip b (Random.State.int st (Bits.length b)))
+        in
+        let rejecting =
+          match Scheme.decide scheme inst corrupted with
+          | Scheme.Accept -> []
+          | Scheme.Reject vs -> vs
+        in
+        (corrupted, rejecting))

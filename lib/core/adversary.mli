@@ -1,0 +1,35 @@
+(** Adversarial proof forging. A locally checkable proof "cannot be
+    fooled even by an adversarial entity" (Section 3.1) — this module
+    plays that adversary: given a {e no}-instance and a bit budget, it
+    searches for a proof every node accepts. Finding one falsifies
+    soundness at that budget; failing to find one is evidence (the
+    exhaustive checker gives certainty on tiny instances).
+
+    The search is randomised hill-climbing on the number of rejecting
+    nodes, with restarts, plus targeted bit mutations near rejecting
+    nodes. *)
+
+type outcome =
+  | Fooled of Proof.t  (** All nodes accepted a proof of a no-instance. *)
+  | Resisted of { best_rejections : int; attempts : int }
+
+val forge :
+  ?seed:int ->
+  ?restarts:int ->
+  ?steps:int ->
+  Scheme.t ->
+  Instance.t ->
+  max_bits:int ->
+  outcome
+(** [forge scheme inst ~max_bits] tries to fool the verifier with
+    proofs of at most [max_bits] bits per node. *)
+
+val tamper :
+  ?seed:int -> Scheme.t -> Instance.t -> Proof.t -> trials:int ->
+  (Proof.t * Graph.node list) list
+(** Random single-bit corruptions of a valid proof, with the rejecting
+    nodes each corruption produces. Demonstrates fault detection; an
+    empty rejection list in the result means the corruption went
+    undetected (possible — a proof may stay valid, e.g. swapping the
+    two colour classes of a 2-colouring elsewhere — but each entry
+    reports it honestly). *)

@@ -1,0 +1,29 @@
+(** Asynchronous variant of the LOCAL gather (complementing
+    {!Simulator}): messages are delivered one at a time in an
+    adversarial (seeded-random) order rather than in lockstep rounds,
+    and nodes forward whenever they learn something new. Verification
+    by view-gathering is delivery-order independent — knowledge only
+    grows — so the final views must coincide with the synchronous and
+    the direct ones; the tests confirm it. What asynchrony costs is
+    messages, which the transcript reports. *)
+
+type transcript = {
+  deliveries : int;  (** Point-to-point messages delivered. *)
+  quiescent : bool;
+      (** Whether the network reached the no-pending-messages state
+          (always true unless the bound below was hit). *)
+}
+
+val gather :
+  ?seed:int ->
+  ?max_deliveries:int ->
+  Instance.t ->
+  Proof.t ->
+  radius:int ->
+  (Graph.node * View.t) list * transcript
+(** Run to quiescence (every node's radius-[radius] knowledge can no
+    longer grow), delivering messages in seeded-random order.
+    [max_deliveries] (default 1_000_000) bounds runaway loops. *)
+
+val agrees_with_synchronous :
+  ?seed:int -> Instance.t -> Proof.t -> radius:int -> bool

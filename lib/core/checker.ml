@@ -1,0 +1,116 @@
+type completeness_report = {
+  instances_checked : int;
+  all_accepted : bool;
+  max_proof_bits : int;
+  bound_respected : bool;
+  failures : string list;
+}
+
+let completeness scheme instances =
+  let report =
+    {
+      instances_checked = 0;
+      all_accepted = true;
+      max_proof_bits = 0;
+      bound_respected = true;
+      failures = [];
+    }
+  in
+  List.fold_left
+    (fun report inst ->
+      let report = { report with instances_checked = report.instances_checked + 1 } in
+      match Scheme.prove_and_check scheme inst with
+      | `No_proof ->
+          {
+            report with
+            all_accepted = false;
+            failures =
+              Printf.sprintf "%s: prover returned None on a yes-instance (n=%d)"
+                scheme.Scheme.name (Instance.n inst)
+              :: report.failures;
+          }
+      | `Rejected (_, vs) ->
+          {
+            report with
+            all_accepted = false;
+            failures =
+              Printf.sprintf "%s: nodes [%s] rejected a valid proof (n=%d)"
+                scheme.Scheme.name
+                (String.concat "," (List.map string_of_int vs))
+                (Instance.n inst)
+              :: report.failures;
+          }
+      | `Accepted proof ->
+          let bits = Proof.size proof in
+          let bound = scheme.Scheme.size_bound (Instance.n inst) in
+          let ok = bits <= bound in
+          {
+            report with
+            max_proof_bits = max report.max_proof_bits bits;
+            bound_respected = report.bound_respected && ok;
+            failures =
+              (if ok then report.failures
+               else
+                 Printf.sprintf "%s: proof of %d bits exceeds bound %d (n=%d)"
+                   scheme.Scheme.name bits bound (Instance.n inst)
+                 :: report.failures);
+          })
+    report instances
+
+let soundness_random ?(seed = 0xC0FFEE) scheme inst ~samples ~max_bits =
+  let st = Random.State.make [| seed |] in
+  let nodes = Graph.nodes (Instance.graph inst) in
+  let ok = ref true in
+  for _ = 1 to samples do
+    if !ok then begin
+      let proof =
+        List.fold_left
+          (fun p v ->
+            let len = Random.State.int st (max_bits + 1) in
+            Proof.set p v (Bits.random st len))
+          Proof.empty nodes
+      in
+      if Scheme.accepts scheme inst proof then ok := false
+    end
+  done;
+  !ok
+
+(* All bit strings of length 0..max_bits, shortest first. *)
+let all_strings max_bits =
+  let rec go len acc =
+    if len > max_bits then List.rev acc
+    else begin
+      let count = 1 lsl len in
+      let strings =
+        List.init count (fun i ->
+            Bits.of_bools (List.init len (fun j -> i lsr (len - 1 - j) land 1 = 1)))
+      in
+      go (len + 1) (List.rev_append strings acc)
+    end
+  in
+  go 0 []
+
+let exhaustive_proof_count ~n ~max_bits =
+  let per_node = float_of_int ((1 lsl (max_bits + 1)) - 1) in
+  per_node ** float_of_int n
+
+let soundness_exhaustive scheme inst ~max_bits =
+  let nodes = Array.of_list (Graph.nodes (Instance.graph inst)) in
+  let n = Array.length nodes in
+  let choices = Array.of_list (all_strings max_bits) in
+  let k = Array.length choices in
+  let rec go i proof =
+    if i = n then not (Scheme.accepts scheme inst proof)
+    else begin
+      let rec try_choice c =
+        if c = k then true
+        else if go (i + 1) (Proof.set proof nodes.(i) choices.(c)) then
+          try_choice (c + 1)
+        else false
+      in
+      try_choice 0
+    end
+  in
+  go 0 Proof.empty
+
+let prover_refuses scheme inst = scheme.Scheme.prover inst = None

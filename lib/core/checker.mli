@@ -1,0 +1,37 @@
+(** Scheme validation harness: executable completeness and soundness.
+
+    Completeness is checked directly from the definition. Soundness
+    ("for a no-instance, {e every} proof has a rejecting node") is
+    checked three ways, in increasing strength and cost:
+    random proofs, adversarial hill-climbing proof forging, and — for
+    tiny instances — exhaustive enumeration of all proofs up to a bit
+    budget, which is a genuine proof of soundness at that budget. *)
+
+type completeness_report = {
+  instances_checked : int;
+  all_accepted : bool;
+  max_proof_bits : int;
+  bound_respected : bool;
+  failures : string list;
+}
+
+val completeness :
+  Scheme.t -> Instance.t list -> completeness_report
+(** Every listed instance must be a yes-instance: the prover must
+    return a proof, within the size bound, accepted by all nodes. *)
+
+val soundness_random :
+  ?seed:int -> Scheme.t -> Instance.t -> samples:int -> max_bits:int -> bool
+(** True when every sampled random proof is rejected somewhere. *)
+
+val soundness_exhaustive :
+  Scheme.t -> Instance.t -> max_bits:int -> bool
+(** Enumerates {e all} proofs assigning each node a string of length
+    [0..max_bits] — exponential, intended for [n·max_bits ≲ 16]. *)
+
+val prover_refuses : Scheme.t -> Instance.t -> bool
+(** The prover returns [None] (it recognises a no-instance). *)
+
+val exhaustive_proof_count : n:int -> max_bits:int -> float
+(** Number of proofs {!soundness_exhaustive} would enumerate — guard
+    against accidentally expensive calls. *)

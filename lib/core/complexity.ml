@@ -1,0 +1,85 @@
+type growth =
+  | Zero
+  | Constant
+  | Logarithmic
+  | Linear
+  | Quadratic
+  | Quadratic_over_log
+
+let label = function
+  | Zero -> "0"
+  | Constant -> "Θ(1)"
+  | Logarithmic -> "Θ(log n)"
+  | Linear -> "Θ(n)"
+  | Quadratic -> "Θ(n²)"
+  | Quadratic_over_log -> "Θ(n²/log n)"
+
+let model g n =
+  let nf = float_of_int n in
+  let lg = log (max 2.0 nf) /. log 2.0 in
+  match g with
+  | Zero -> 0.0
+  | Constant -> 1.0
+  | Logarithmic -> lg
+  | Linear -> nf
+  | Quadratic -> nf *. nf
+  | Quadratic_over_log -> nf *. nf /. lg
+
+(* Affine least squares: fit  bits ≈ a·f(n) + c  and report the root
+   mean squared residual normalised by the mean of the series. The
+   affine offset matters: real schemes carry constant header bits on
+   top of their asymptotic payload, which would wreck a pure-ratio
+   fit. *)
+let affine_rmse series g =
+  let xs = List.map (fun (n, _) -> model g n) series in
+  let ys = List.map (fun (_, b) -> float_of_int b) series in
+  let len = float_of_int (List.length series) in
+  let mean l = List.fold_left ( +. ) 0.0 l /. len in
+  let mx = mean xs and my = mean ys in
+  let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs in
+  let sxy =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let a = if sxx = 0.0 then 0.0 else sxy /. sxx in
+  let a = max a 0.0 (* growth models must not be used upside-down *) in
+  let c = my -. (a *. mx) in
+  let rmse =
+    sqrt
+      (List.fold_left2
+         (fun acc x y -> acc +. (((a *. x) +. c -. y) ** 2.0))
+         0.0 xs ys
+      /. len)
+  in
+  if my <= 0.0 then infinity else rmse /. my
+
+let fit_ratio series g =
+  match g with
+  | Zero -> if List.for_all (fun (_, b) -> b = 0) series then 0.0 else infinity
+  | Constant ->
+      (* a pure constant: spread around the mean *)
+      let ys = List.map (fun (_, b) -> float_of_int b) series in
+      let len = float_of_int (List.length ys) in
+      let my = List.fold_left ( +. ) 0.0 ys /. len in
+      if my <= 0.0 then infinity
+      else
+        sqrt (List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.0)) 0.0 ys /. len)
+        /. my
+  | _ -> affine_rmse series g
+
+(* Prefer the simplest adequate model: candidates in increasing
+   complexity, pick the first within 15% (absolute 0.01) of the best
+   achievable residual. *)
+let classify series =
+  if series = [] then invalid_arg "Complexity.classify: empty series";
+  if List.for_all (fun (_, b) -> b = 0) series then Zero
+  else begin
+    let candidates =
+      [ Constant; Logarithmic; Linear; Quadratic; Quadratic_over_log ]
+    in
+    let scored = List.map (fun g -> (fit_ratio series g, g)) candidates in
+    let best = List.fold_left (fun acc (r, _) -> min acc r) infinity scored in
+    let threshold = max (best *. 1.15) (best +. 0.01) in
+    match List.find_opt (fun (r, _) -> r <= threshold) scored with
+    | Some (_, g) -> g
+    | None -> assert false
+  end

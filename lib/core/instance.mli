@@ -1,0 +1,61 @@
+(** Problem instances: a graph plus the auxiliary information the paper
+    allows — node labels (s/t marks, solution bits, leader flags),
+    edge labels (matching membership, orientations, weights) and a
+    global input shared by all nodes (e.g. the constant [k] of the
+    s–t connectivity scheme, which "is given as input to all nodes").
+
+    Labels are bit strings; each scheme fixes its own field layout
+    using {!Bits.Writer}/{!Bits.Reader}. Labels are {e inputs} visible
+    to the verifier, as opposed to the proof, which is the
+    nondeterministic part. *)
+
+type t
+
+val of_graph : Graph.t -> t
+val graph : t -> Graph.t
+val n : t -> int
+
+val node_label : t -> Graph.node -> Bits.t
+(** Empty when unset. *)
+
+val edge_label : t -> Graph.node -> Graph.node -> Bits.t
+(** Symmetric: queried with either endpoint order. Empty when unset. *)
+
+val globals : t -> Bits.t
+
+val with_node_label : t -> Graph.node -> Bits.t -> t
+val with_node_labels : t -> (Graph.node * Bits.t) list -> t
+val with_edge_label : t -> Graph.node -> Graph.node -> Bits.t -> t
+val with_edge_labels : t -> ((Graph.node * Graph.node) * Bits.t) list -> t
+val with_globals : t -> Bits.t -> t
+
+val mark_nodes : t -> (Graph.node * bool) list -> t
+(** Single-bit node labels: [(v, b)] sets node [v]'s label to the one
+    bit [b]. *)
+
+val marked_exactly_one : t -> Graph.node option
+(** When exactly one node has label "1", that node; else [None].
+    Convenience for s/t/leader-style promises. *)
+
+val flag_edges : t -> (Graph.node * Graph.node) list -> t
+(** Single-bit edge labels: listed edges get "1", all other edges of
+    the graph get "0". Raises on non-edges. *)
+
+val flagged_edges : t -> (Graph.node * Graph.node) list
+(** Edges whose label has first bit 1, each as [(u, v)], [u < v]. *)
+
+val of_digraph : Digraph.t -> t
+(** Encodes a directed graph over its underlying undirected graph:
+    each edge label is two bits [(u→v?, v→u?)] with [u < v]. *)
+
+val arc_exists : t -> Graph.node -> Graph.node -> bool
+(** Reads the {!of_digraph} encoding: is there an arc u→v? *)
+
+val relabel : t -> (Graph.node -> Graph.node) -> t
+(** Rename nodes everywhere (graph, labels); injective maps only. *)
+
+val union_disjoint : t -> t -> t
+(** Disjoint union of graphs and labels; globals must agree. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type verdict = Accept | Reject of Graph.node list
+
+type t = {
+  name : string;
+  radius : int;
+  size_bound : int -> int;
+  prover : Instance.t -> Proof.t option;
+  verifier : View.t -> bool;
+}
+
+let make ~name ~radius ~size_bound ~prover ~verifier =
+  if radius < 0 then invalid_arg "Scheme.make: negative radius";
+  { name; radius; size_bound; prover; verifier }
+
+let verifier_output s inst proof v =
+  let view = View.make inst proof ~centre:v ~radius:s.radius in
+  try s.verifier view with Bits.Reader.Decode_error _ -> false
+
+let decide s inst proof =
+  let rejecting =
+    Graph.fold_nodes
+      (fun v acc -> if verifier_output s inst proof v then acc else v :: acc)
+      (Instance.graph inst) []
+  in
+  match rejecting with [] -> Accept | vs -> Reject (List.rev vs)
+
+let accepts s inst proof = decide s inst proof = Accept
+
+let prove_and_check s inst =
+  match s.prover inst with
+  | None -> `No_proof
+  | Some proof -> (
+      match decide s inst proof with
+      | Accept -> `Accepted proof
+      | Reject vs -> `Rejected (proof, vs))

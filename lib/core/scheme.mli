@@ -1,0 +1,47 @@
+(** Proof labelling schemes [(f, A)] (Section 2.2): a prover [f] that
+    produces a proof for every yes-instance, and a local verifier [A]
+    with a constant horizon.
+
+    A property [P] admits locally checkable proofs of size [s] when
+    - completeness: every yes-instance has a proof of size at most
+      [s(n)] accepted by all nodes, and
+    - soundness: no-instances are rejected by at least one node under
+      {e every} proof. *)
+
+type verdict = Accept | Reject of Graph.node list
+(** [Reject vs] carries the non-empty list of rejecting nodes. *)
+
+type t = {
+  name : string;
+  radius : int;  (** The verifier's local horizon [r]. *)
+  size_bound : int -> int;
+      (** Claimed proof size [s(n)] in bits per node; checked by the
+          test suite and measured by the benchmarks. *)
+  prover : Instance.t -> Proof.t option;
+      (** [Some proof] on yes-instances, [None] when the prover
+          recognises a no-instance (no valid proof exists). *)
+  verifier : View.t -> bool;
+}
+
+val make :
+  name:string ->
+  radius:int ->
+  size_bound:(int -> int) ->
+  prover:(Instance.t -> Proof.t option) ->
+  verifier:(View.t -> bool) ->
+  t
+
+val decide : t -> Instance.t -> Proof.t -> verdict
+(** Run the verifier at every node (decision by unanimity). The empty
+    graph is accepted vacuously. A verifier that raises
+    [Bits.Reader.Decode_error] — a malformed proof — rejects at that
+    node. *)
+
+val accepts : t -> Instance.t -> Proof.t -> bool
+
+val prove_and_check : t -> Instance.t -> [ `Accepted of Proof.t | `No_proof | `Rejected of Proof.t * Graph.node list ]
+(** Convenience: run the prover, then the verifier on its output. A
+    correct scheme never returns [`Rejected] on a yes-instance. *)
+
+val verifier_output : t -> Instance.t -> Proof.t -> Graph.node -> bool
+(** The output of a single node — [A(G, P, v)]. *)

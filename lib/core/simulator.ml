@@ -1,0 +1,149 @@
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type record = {
+  id : Graph.node;
+  adjacency : Graph.node list;
+  label : Bits.t;
+  proof_bits : Bits.t;
+  edge_bits : (Graph.node * Bits.t) list; (* labels of incident edges *)
+}
+
+type transcript = { rounds : int; messages_sent : int; max_message_bits : int }
+
+let record_bits r =
+  Bits.length r.label + Bits.length r.proof_bits
+  + List.fold_left (fun acc (_, b) -> acc + Bits.length b + 64) 64 r.edge_bits
+  + (64 * (1 + List.length r.adjacency))
+
+let gather inst proof ~radius =
+  let g = Instance.graph inst in
+  let initial v =
+    {
+      id = v;
+      adjacency = Graph.neighbours g v;
+      label = Instance.node_label inst v;
+      proof_bits = Proof.get proof v;
+      edge_bits =
+        List.map (fun u -> (u, Instance.edge_label inst v u)) (Graph.neighbours g v);
+    }
+  in
+  (* knowledge.(v) : record IntMap — everything v has heard of. *)
+  let knowledge = Hashtbl.create 64 in
+  Graph.iter_nodes
+    (fun v -> Hashtbl.replace knowledge v (IntMap.singleton v (initial v)))
+    g;
+  let messages = ref 0 in
+  let max_bits = ref 0 in
+  for _round = 1 to radius do
+    (* Synchronous: compute all outgoing messages from the current
+       state, then deliver. *)
+    let outgoing =
+      Graph.fold_nodes
+        (fun v acc -> (v, Hashtbl.find knowledge v) :: acc)
+        g []
+    in
+    List.iter
+      (fun (v, known) ->
+        let payload =
+          IntMap.fold (fun _ r acc -> record_bits r + acc) known 0
+        in
+        List.iter
+          (fun u ->
+            incr messages;
+            max_bits := max !max_bits payload;
+            let k_u = Hashtbl.find knowledge u in
+            let merged =
+              IntMap.union (fun _ r _ -> Some r) k_u known
+            in
+            Hashtbl.replace knowledge u merged)
+          (Graph.neighbours g v))
+      outgoing
+  done;
+  (* A node's final knowledge covers its radius-r ball; rebuild the view
+     by restricting the instance to the nodes it knows within distance
+     r (computable locally from the learnt adjacency lists). *)
+  let views =
+    Graph.fold_nodes
+      (fun v acc ->
+        let known = Hashtbl.find knowledge v in
+        let known_ids =
+          IntMap.fold (fun id _ s -> IntSet.add id s) known IntSet.empty
+        in
+        (* Local BFS over learnt adjacency, bounded by radius. *)
+        let dist = Hashtbl.create 32 in
+        Hashtbl.replace dist v 0;
+        let q = Queue.create () in
+        Queue.push v q;
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          let d = Hashtbl.find dist x in
+          if d < radius then
+            match IntMap.find_opt x known with
+            | None -> ()
+            | Some r ->
+                List.iter
+                  (fun y ->
+                    if IntSet.mem y known_ids && not (Hashtbl.mem dist y) then begin
+                      Hashtbl.replace dist y (d + 1);
+                      Queue.push y q
+                    end)
+                  r.adjacency
+        done;
+        let ball = Hashtbl.fold (fun x _ acc -> x :: acc) dist [] in
+        let ball_set = IntSet.of_list ball in
+        (* Assemble a fresh instance covering exactly the ball. *)
+        let sub_graph =
+          IntSet.fold
+            (fun x acc ->
+              let r = IntMap.find x known in
+              List.fold_left
+                (fun acc y ->
+                  if IntSet.mem y ball_set then Graph.add_edge acc x y else acc)
+                (Graph.add_node acc x) r.adjacency)
+            ball_set Graph.empty
+        in
+        let sub_inst = Instance.of_graph sub_graph in
+        let sub_inst = Instance.with_globals sub_inst (Instance.globals inst) in
+        let sub_inst =
+          IntSet.fold
+            (fun x acc ->
+              let r = IntMap.find x known in
+              let acc =
+                if Bits.length r.label > 0 then
+                  Instance.with_node_label acc x r.label
+                else acc
+              in
+              List.fold_left
+                (fun acc (y, b) ->
+                  if IntSet.mem y ball_set && Bits.length b > 0 then
+                    Instance.with_edge_label acc x y b
+                  else acc)
+                acc r.edge_bits)
+            ball_set sub_inst
+        in
+        let sub_proof =
+          IntSet.fold
+            (fun x acc -> Proof.set acc x (IntMap.find x known).proof_bits)
+            ball_set Proof.empty
+        in
+        (v, View.make sub_inst sub_proof ~centre:v ~radius) :: acc)
+      g []
+  in
+  ( List.rev views,
+    { rounds = radius; messages_sent = !messages; max_message_bits = !max_bits } )
+
+let run_verifier inst proof ~radius verifier =
+  let views, transcript = gather inst proof ~radius in
+  ( List.map
+      (fun (v, view) ->
+        (v, try verifier view with Bits.Reader.Decode_error _ -> false))
+      views,
+    transcript )
+
+let agrees_with_direct inst proof ~radius =
+  let views, _ = gather inst proof ~radius in
+  List.for_all
+    (fun (v, view) ->
+      View.equal view (View.make inst proof ~centre:v ~radius))
+    views

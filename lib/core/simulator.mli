@@ -1,0 +1,30 @@
+(** Synchronous LOCAL-model simulator (Peleg). A local verifier with
+    horizon [r] "can be implemented as a distributed algorithm that
+    completes in r synchronous communication rounds" (Section 2.1); this
+    module implements that claim executably.
+
+    Every node starts knowing its own identity, label, proof string,
+    the global input, and its incident edges; in each round all nodes
+    exchange their entire knowledge with their neighbours. After [r]
+    rounds each node reconstructs its radius-[r] view, which tests
+    compare against {!View.make}'s direct extraction. *)
+
+type transcript = {
+  rounds : int;
+  messages_sent : int;  (** Total knowledge records transmitted. *)
+  max_message_bits : int;
+      (** Upper bound on the largest single message, counting label,
+          proof and adjacency payloads. *)
+}
+
+val gather : Instance.t -> Proof.t -> radius:int -> (Graph.node * View.t) list * transcript
+(** Run [radius] rounds of full-knowledge exchange and build each
+    node's view from what it has learnt. *)
+
+val run_verifier :
+  Instance.t -> Proof.t -> radius:int -> (View.t -> bool) -> (Graph.node * bool) list * transcript
+(** Gather, then apply the verifier at every node. *)
+
+val agrees_with_direct : Instance.t -> Proof.t -> radius:int -> bool
+(** True when every simulated view equals the directly extracted one —
+    the executable form of the LOCAL-equivalence claim. *)

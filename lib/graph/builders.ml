@@ -1,0 +1,120 @@
+let cycle_of_ids ids =
+  match ids with
+  | [] | [ _ ] | [ _; _ ] -> invalid_arg "Builders.cycle_of_ids: need >= 3 nodes"
+  | first :: _ ->
+      let rec close acc = function
+        | [ last ] -> (last, first) :: acc
+        | a :: (b :: _ as rest) -> close ((a, b) :: acc) rest
+        | [] -> acc
+      in
+      Graph.create ~nodes:ids ~edges:(close [] ids)
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: need n >= 3";
+  cycle_of_ids (List.init n Fun.id)
+
+let path_of_ids ids =
+  match ids with
+  | [] -> invalid_arg "Builders.path_of_ids: need >= 1 node"
+  | _ ->
+      let rec link acc = function
+        | [] | [ _ ] -> acc
+        | a :: (b :: _ as rest) -> link ((a, b) :: acc) rest
+      in
+      Graph.create ~nodes:ids ~edges:(link [] ids)
+
+let path n =
+  if n < 1 then invalid_arg "Builders.path: need n >= 1";
+  path_of_ids (List.init n Fun.id)
+
+let complete n =
+  let vs = List.init n Fun.id in
+  let edges =
+    List.concat_map (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) vs) vs
+  in
+  Graph.create ~nodes:vs ~edges
+
+let complete_bipartite a b =
+  let left = List.init a Fun.id in
+  let right = List.init b (fun i -> a + i) in
+  let edges = List.concat_map (fun u -> List.map (fun v -> (u, v)) right) left in
+  Graph.create ~nodes:(left @ right) ~edges
+
+let star k =
+  Graph.create
+    ~nodes:(List.init (k + 1) Fun.id)
+    ~edges:(List.init k (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid: need positive dims";
+  let id r c = (r * cols) + c in
+  let nodes = List.init (rows * cols) Fun.id in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~nodes ~edges:!edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Builders.hypercube: negative dimension";
+  let size = 1 lsl d in
+  let nodes = List.init size Fun.id in
+  let edges = ref [] in
+  List.iter
+    (fun v ->
+      for b = 0 to d - 1 do
+        let u = v lxor (1 lsl b) in
+        if v < u then edges := (v, u) :: !edges
+      done)
+    nodes;
+  Graph.create ~nodes ~edges:!edges
+
+let petersen =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  let spokes = List.init 5 (fun i -> (i, 5 + i)) in
+  Graph.create ~nodes:(List.init 10 Fun.id) ~edges:(outer @ inner @ spokes)
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Builders.binary_tree: negative depth";
+  let size = (1 lsl (depth + 1)) - 1 in
+  let nodes = List.init size Fun.id in
+  let edges =
+    List.concat_map
+      (fun v ->
+        List.filter (fun (_, c) -> c < size) [ (v, (2 * v) + 1); (v, (2 * v) + 2) ])
+      nodes
+  in
+  Graph.create ~nodes ~edges
+
+let caterpillar spine legs =
+  if spine < 1 || legs < 0 then invalid_arg "Builders.caterpillar";
+  let g = ref (path spine) in
+  let next = ref spine in
+  for s = 0 to spine - 1 do
+    for _ = 1 to legs do
+      g := Graph.add_edge !g s !next;
+      incr next
+    done
+  done;
+  !g
+
+let wheel k =
+  if k < 3 then invalid_arg "Builders.wheel: need k >= 3";
+  let rim = cycle k in
+  let hub = k in
+  List.fold_left (fun g v -> Graph.add_edge g hub v) rim (List.init k Fun.id)
+
+let disjoint_cycles lengths =
+  let _, g =
+    List.fold_left
+      (fun (base, acc) len ->
+        if len < 3 then invalid_arg "Builders.disjoint_cycles: length < 3";
+        let ids = List.init len (fun i -> base + i) in
+        (base + len, Graph.union_disjoint acc (cycle_of_ids ids)))
+      (0, Graph.empty) lengths
+  in
+  g

@@ -1,0 +1,74 @@
+(* Enumerate permutations of the node set that respect degree classes
+   (images must have the same degree sequence position), and pick the
+   lexicographically smallest adjacency relation. *)
+
+let best_relabelling g =
+  let nodes = Array.of_list (Graph.nodes g) in
+  let n = Array.length nodes in
+  (* Adjacency matrix bits in row-major upper-triangular order for a
+     candidate permutation perm : position -> original node. *)
+  let matrix_key perm =
+    let buf = Buffer.create (n * n / 2) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Buffer.add_char buf
+          (if Graph.mem_edge g perm.(i) perm.(j) then '1' else '0')
+      done
+    done;
+    Buffer.contents buf
+  in
+  let best = ref None in
+  let degree_of = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace degree_of v (Graph.degree g v)) nodes;
+  (* Candidates at each position: sort by degree descending to fix
+     degree classes; only permute within classes... positions with
+     higher degree come first, so a permutation must map position i to
+     a node with the i-th degree in the sorted degree sequence. *)
+  let sorted_degrees =
+    Array.to_list nodes
+    |> List.map (Hashtbl.find degree_of)
+    |> List.sort (fun a b -> compare b a)
+    |> Array.of_list
+  in
+  let perm = Array.make n (-1) in
+  let used = Hashtbl.create 16 in
+  let rec go i =
+    if i = n then begin
+      let key = matrix_key perm in
+      match !best with
+      | Some (k, _) when k <= key -> ()
+      | _ -> best := Some (key, Array.copy perm)
+    end
+    else
+      Array.iter
+        (fun v ->
+          if (not (Hashtbl.mem used v)) && Hashtbl.find degree_of v = sorted_degrees.(i)
+          then begin
+            perm.(i) <- v;
+            Hashtbl.replace used v ();
+            go (i + 1);
+            Hashtbl.remove used v
+          end)
+        nodes
+  in
+  go 0;
+  match !best with
+  | Some (key, p) -> (key, p)
+  | None -> ("", [||])
+
+let canonical_key g =
+  let key, _ = best_relabelling g in
+  Printf.sprintf "%d:%s" (Graph.n g) key
+
+let canonical_form g =
+  let _, perm = best_relabelling g in
+  if Array.length perm = 0 then Graph.empty
+  else begin
+    (* perm.(i) is the original node placed at position i; the
+       canonical node ids are 1..n as in the paper. *)
+    let target = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.replace target v (i + 1)) perm;
+    Graph.relabel g (Hashtbl.find target)
+  end
+
+let shifted g i = Graph.relabel g (fun v -> v + i)

@@ -1,0 +1,19 @@
+(** Canonical forms of small graphs (Section 6.1 needs a canonical form
+    [C(G)] with node set [{1, …, n}] and shifted copies [C(G, i)]).
+
+    The canonical form is computed by brute force over node
+    permutations restricted to degree classes, so it is meant for the
+    small graphs of the enumeration experiments (n ≤ 9 or so). *)
+
+val canonical_key : Graph.t -> string
+(** An isomorphism-invariant key: two graphs have equal keys iff they
+    are isomorphic. *)
+
+val canonical_form : Graph.t -> Graph.t
+(** [canonical_form g] is the isomorphic copy of [g] on node set
+    [{1, …, n}] whose adjacency matrix is lexicographically smallest.
+    Satisfies: [canonical_form g = canonical_form h] iff [g ≅ h]. *)
+
+val shifted : Graph.t -> int -> Graph.t
+(** [shifted (canonical_form g) i] is the paper's [C(G, i)]: node [v]
+    becomes [i + v]. Works on any graph. *)

@@ -1,0 +1,16 @@
+(** Graphviz DOT export, for eyeballing instances, proofs and the
+    lower-bound constructions ([lcp dot], or programmatically). *)
+
+val of_graph :
+  ?name:string ->
+  ?node_attrs:(Graph.node -> (string * string) list) ->
+  ?edge_attrs:(Graph.node -> Graph.node -> (string * string) list) ->
+  Graph.t ->
+  string
+(** Undirected DOT ([graph { … }]). Attribute callbacks return
+    [(key, value)] pairs rendered as [key="value"]. *)
+
+val of_digraph : ?name:string -> Digraph.t -> string
+
+val escape : string -> string
+(** Escape for a double-quoted DOT string. *)

@@ -1,0 +1,57 @@
+let pairs n =
+  let res = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      res := (i, j) :: !res
+    done
+  done;
+  !res
+
+let of_mask n pair_list mask =
+  let g = List.fold_left Graph.add_node Graph.empty (List.init n Fun.id) in
+  List.fold_left
+    (fun (g, bit) (i, j) ->
+      ((if mask land (1 lsl bit) <> 0 then Graph.add_edge g i j else g), bit + 1))
+    (g, 0) pair_list
+  |> fst
+
+let all_graphs n =
+  if n < 0 || n > 6 then invalid_arg "Enumerate.all_graphs: supported for n <= 6";
+  let pair_list = pairs n in
+  let np = List.length pair_list in
+  let seen = Hashtbl.create 1024 in
+  let res = ref [] in
+  for mask = 0 to (1 lsl np) - 1 do
+    let g = of_mask n pair_list mask in
+    let key = Canonical.canonical_key g in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      res := g :: !res
+    end
+  done;
+  List.rev !res
+
+let connected_graphs n = List.filter Traversal.is_connected (all_graphs n)
+
+let asymmetric_connected n =
+  List.filter Automorphism.is_asymmetric (connected_graphs n)
+
+let sample_asymmetric_connected st ~n ~count ~attempts =
+  let seen = Hashtbl.create 64 in
+  let res = ref [] in
+  let found = ref 0 in
+  let tries = ref 0 in
+  while !found < count && !tries < attempts do
+    incr tries;
+    let p = 0.3 +. Random.State.float st 0.4 in
+    let g = Random_graphs.gnp st n p in
+    if Traversal.is_connected g && Automorphism.is_asymmetric g then begin
+      let key = Canonical.canonical_key g in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        res := g :: !res;
+        incr found
+      end
+    end
+  done;
+  List.rev !res

@@ -1,0 +1,21 @@
+(** Exhaustive and sampled enumeration of small graphs up to
+    isomorphism. Section 6.1's lower bound needs the family [F_k] of
+    pairwise non-isomorphic asymmetric connected graphs on [k] nodes;
+    the line-graph module derives Beineke's forbidden subgraphs from
+    the set of all graphs on at most 6 nodes. *)
+
+val all_graphs : int -> Graph.t list
+(** All graphs on nodes [0..n-1] up to isomorphism (one representative
+    per class). Exhaustive over the [2^(n(n-1)/2)] labelled graphs —
+    intended for [n ≤ 6]. *)
+
+val connected_graphs : int -> Graph.t list
+val asymmetric_connected : int -> Graph.t list
+(** The family [F_k] of Section 6.1 (exhaustive; [k ≤ 6] practical). *)
+
+val sample_asymmetric_connected :
+  Random.State.t -> n:int -> count:int -> attempts:int -> Graph.t list
+(** Randomly sample pairwise non-isomorphic asymmetric connected graphs
+    on [n] nodes; stops after [count] found or [attempts] tried. For
+    sizes where exhaustive enumeration is infeasible — the
+    lower-bound attack only needs {e many} graphs, not all. *)

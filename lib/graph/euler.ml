@@ -1,0 +1,47 @@
+let all_degrees_even g =
+  Graph.fold_nodes (fun v acc -> acc && Graph.degree g v mod 2 = 0) g true
+
+let is_eulerian g = Traversal.is_connected g && all_degrees_even g
+
+let eulerian_circuit g =
+  if not (is_eulerian g) then None
+  else if Graph.is_empty g then Some []
+  else begin
+    (* Hierholzer with a mutable copy of the adjacency structure. *)
+    let remaining = Hashtbl.create 64 in
+    Graph.iter_nodes (fun v -> Hashtbl.replace remaining v (ref (Graph.neighbours g v))) g;
+    let used = Hashtbl.create 64 in
+    let key u v = if u < v then (u, v) else (v, u) in
+    let next_edge v =
+      let cands = Hashtbl.find remaining v in
+      let rec pick = function
+        | [] -> None
+        | u :: rest ->
+            if Hashtbl.mem used (key v u) then begin
+              cands := rest;
+              pick rest
+            end
+            else begin
+              cands := rest;
+              Hashtbl.replace used (key v u) ();
+              Some u
+            end
+      in
+      pick !cands
+    in
+    let start = List.hd (Graph.nodes g) in
+    (* Iterative Hierholzer: stack of the current trail. *)
+    let stack = ref [ start ] in
+    let circuit = ref [] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest -> (
+          match next_edge v with
+          | Some u -> stack := u :: !stack
+          | None ->
+              circuit := v :: !circuit;
+              stack := rest)
+    done;
+    if List.length !circuit = Graph.m g + 1 then Some !circuit else None
+  end

@@ -1,0 +1,262 @@
+module IntSet = Set.Make (Int)
+
+(* Arc-indexed residual representation: arcs stored in pairs, arc i and
+   its reverse i lxor 1. *)
+type flow_network = {
+  node_ids : int array;
+  index_of : (int, int) Hashtbl.t;
+  heads : int array;        (* arc -> head node index *)
+  caps : int array;         (* arc -> residual capacity (mutable via array) *)
+  out_arcs : int list array; (* node index -> arc ids *)
+  orig_cap : int array;
+}
+
+let network ~nodes ~arcs =
+  let node_ids = Array.of_list (List.sort_uniq Int.compare nodes) in
+  let index_of = Hashtbl.create 64 in
+  Array.iteri (fun i v -> Hashtbl.replace index_of v i) node_ids;
+  let n = Array.length node_ids in
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, c) ->
+      if c < 0 then invalid_arg "Flow.network: negative capacity";
+      if not (Hashtbl.mem index_of u && Hashtbl.mem index_of v) then
+        invalid_arg "Flow.network: arc endpoint not in node list";
+      let key = (u, v) in
+      Hashtbl.replace pairs key (c + Option.value ~default:0 (Hashtbl.find_opt pairs key)))
+    arcs;
+  let arc_list = Hashtbl.fold (fun (u, v) c acc -> (u, v, c) :: acc) pairs [] in
+  let arc_list = List.sort compare arc_list in
+  let na = 2 * List.length arc_list in
+  let heads = Array.make na 0 in
+  let caps = Array.make na 0 in
+  let out_arcs = Array.make n [] in
+  List.iteri
+    (fun i (u, v, c) ->
+      let ui = Hashtbl.find index_of u and vi = Hashtbl.find index_of v in
+      let a = 2 * i in
+      heads.(a) <- vi;
+      caps.(a) <- c;
+      heads.(a + 1) <- ui;
+      caps.(a + 1) <- 0;
+      out_arcs.(ui) <- a :: out_arcs.(ui);
+      out_arcs.(vi) <- (a + 1) :: out_arcs.(vi))
+    arc_list;
+  { node_ids; index_of; heads; caps; out_arcs; orig_cap = Array.copy caps }
+
+let reset net = Array.blit net.orig_cap 0 net.caps 0 (Array.length net.caps)
+
+let bfs_augment net s t =
+  let n = Array.length net.node_ids in
+  let via = Array.make n (-1) in
+  via.(s) <- -2;
+  let q = Queue.create () in
+  Queue.push s q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = net.heads.(a) in
+        if net.caps.(a) > 0 && via.(v) = -1 then begin
+          via.(v) <- a;
+          if v = t then found := true else Queue.push v q
+        end)
+      net.out_arcs.(u)
+  done;
+  if not !found then 0
+  else begin
+    (* Bottleneck. *)
+    let rec bottleneck v acc =
+      if v = s then acc
+      else
+        let a = via.(v) in
+        bottleneck net.heads.(a lxor 1) (min acc net.caps.(a))
+    in
+    let b = bottleneck t max_int in
+    let rec push v =
+      if v <> s then begin
+        let a = via.(v) in
+        net.caps.(a) <- net.caps.(a) - b;
+        net.caps.(a lxor 1) <- net.caps.(a lxor 1) + b;
+        push net.heads.(a lxor 1)
+      end
+    in
+    push t;
+    b
+  end
+
+let run_max_flow net ~source ~sink =
+  reset net;
+  let s =
+    match Hashtbl.find_opt net.index_of source with
+    | Some i -> i
+    | None -> invalid_arg "Flow.max_flow: unknown source"
+  in
+  let t =
+    match Hashtbl.find_opt net.index_of sink with
+    | Some i -> i
+    | None -> invalid_arg "Flow.max_flow: unknown sink"
+  in
+  if s = t then invalid_arg "Flow.max_flow: source = sink";
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let pushed = bfs_augment net s t in
+    if pushed = 0 then continue := false else total := !total + pushed
+  done;
+  !total
+
+let flows net =
+  let res = ref [] in
+  Array.iteri
+    (fun a cap ->
+      if a mod 2 = 0 then begin
+        let f = net.orig_cap.(a) - cap in
+        if f > 0 then
+          let u = net.node_ids.(net.heads.(a lxor 1)) in
+          let v = net.node_ids.(net.heads.(a)) in
+          res := ((u, v), f) :: !res
+      end)
+    net.caps;
+  List.sort compare !res
+
+let max_flow net ~source ~sink =
+  let v = run_max_flow net ~source ~sink in
+  (v, flows net)
+
+let min_cut_side net ~source ~sink =
+  ignore (run_max_flow net ~source ~sink);
+  let s = Hashtbl.find net.index_of source in
+  let seen = Array.make (Array.length net.node_ids) false in
+  seen.(s) <- true;
+  let q = Queue.create () in
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = net.heads.(a) in
+        if net.caps.(a) > 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+      net.out_arcs.(u)
+  done;
+  let res = ref [] in
+  Array.iteri (fun i b -> if b then res := net.node_ids.(i) :: !res) seen;
+  List.sort Int.compare !res
+
+(* --- Menger machinery on the node-split graph. ---
+
+   Nodes of g map to v_in = 2v, v_out = 2v+1; s and t are not split
+   (their in and out coincide as 2s+1 / 2t respectively). Split arcs
+   v_in -> v_out have capacity 1, adjacency arcs have "infinite"
+   capacity so minimum cuts consist of split arcs only. *)
+
+let split_network g ~s ~t =
+  if s = t then invalid_arg "Flow: s = t";
+  if not (Graph.mem_node g s && Graph.mem_node g t) then
+    invalid_arg "Flow: unknown terminal";
+  if Graph.mem_edge g s t then
+    invalid_arg "Flow: s and t must not be adjacent (Menger precondition)";
+  let inf = Graph.n g + 1 in
+  let v_in v = 2 * v and v_out v = 2 * v + 1 in
+  let nodes =
+    List.concat_map (fun v -> [ v_in v; v_out v ]) (Graph.nodes g)
+  in
+  let split_arcs =
+    Graph.fold_nodes
+      (fun v acc -> if v = s || v = t then acc else (v_in v, v_out v, 1) :: acc)
+      g []
+  in
+  let adj_arcs =
+    Graph.fold_edges
+      (fun u v acc -> (v_out u, v_in v, inf) :: (v_out v, v_in u, inf) :: acc)
+      g []
+  in
+  (* For the unsplit terminals, connect their in to out with infinite
+     capacity so both directions work uniformly. *)
+  let terminal_arcs = [ (v_in s, v_out s, inf); (v_in t, v_out t, inf) ] in
+  (network ~nodes ~arcs:(split_arcs @ adj_arcs @ terminal_arcs), v_out s, v_in t)
+
+let decompose_paths g ~s ~t flow_arcs =
+  (* Follow unit flow from s: each unit leaves via some v_out u -> v_in w
+     adjacency arc. Build successor multiset keyed by original node. *)
+  let succ = Hashtbl.create 64 in
+  List.iter
+    (fun ((a, b), f) ->
+      (* Adjacency arcs go from odd (out) to even (in) ids of different
+         nodes. *)
+      if a mod 2 = 1 && b mod 2 = 0 && a / 2 <> b / 2 then
+        for _ = 1 to f do
+          Hashtbl.add succ (a / 2) (b / 2)
+        done)
+    flow_arcs;
+  let rec walk acc v =
+    if v = t then List.rev (t :: acc)
+    else begin
+      let w = Hashtbl.find succ v in
+      Hashtbl.remove succ v;
+      walk (v :: acc) w
+    end
+  in
+  let rec collect acc =
+    if Hashtbl.mem succ s then collect (walk [] s :: acc) else List.rev acc
+  in
+  ignore g;
+  collect []
+
+(* Remove chords: if two non-consecutive path nodes are adjacent in g,
+   shortcut. Keeps paths internally disjoint (only removes nodes) and
+   preserves the single separator crossing (an S–T edge cannot exist). *)
+let rec shortcut g path =
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  let exception Found of int * int in
+  try
+    for i = 0 to n - 3 do
+      for j = i + 2 to n - 1 do
+        if not (i = 0 && j = n - 1) && Graph.mem_edge g arr.(i) arr.(j) then
+          raise (Found (i, j))
+      done
+    done;
+    path
+  with Found (i, j) ->
+    let prefix = Array.to_list (Array.sub arr 0 (i + 1)) in
+    let suffix = Array.to_list (Array.sub arr j (n - j)) in
+    shortcut g (prefix @ suffix)
+
+let vertex_disjoint_paths g ~s ~t =
+  let net, src, snk = split_network g ~s ~t in
+  let _, fl = max_flow net ~source:src ~sink:snk in
+  let paths = decompose_paths g ~s:s ~t:t fl in
+  List.map (shortcut g) paths
+
+let vertex_connectivity g ~s ~t =
+  let net, src, snk = split_network g ~s ~t in
+  run_max_flow net ~source:src ~sink:snk
+
+let vertex_separator g ~s ~t =
+  let net, src, snk = split_network g ~s ~t in
+  let side = IntSet.of_list (min_cut_side net ~source:src ~sink:snk) in
+  (* Cut arcs are split arcs v_in -> v_out with v_in inside, v_out
+     outside. *)
+  Graph.fold_nodes
+    (fun v acc ->
+      if v <> s && v <> t && IntSet.mem (2 * v) side && not (IntSet.mem ((2 * v) + 1) side)
+      then v :: acc
+      else acc)
+    g []
+  |> List.sort Int.compare
+
+let menger_certificate g ~s ~t =
+  let k = vertex_connectivity g ~s ~t in
+  if k = 0 then None
+  else begin
+    let paths = vertex_disjoint_paths g ~s ~t in
+    let sep = vertex_separator g ~s ~t in
+    assert (List.length paths = k);
+    assert (List.length sep = k);
+    Some (paths, sep)
+  end

@@ -1,0 +1,60 @@
+(* graph6: byte 0 is n + 63 (n <= 62); then the upper-triangle
+   adjacency bits x(0,1), x(0,2), x(1,2), x(0,3), … (column by column),
+   packed big-endian into 6-bit groups, each offset by 63. *)
+
+let check_contiguous g =
+  let n = Graph.n g in
+  if n > 62 then invalid_arg "Graph6.encode: supports n <= 62";
+  if Graph.nodes g <> List.init n Fun.id then
+    invalid_arg "Graph6.encode: nodes must be exactly 0..n-1";
+  n
+
+let encode g =
+  let n = check_contiguous g in
+  let bits = ref [] in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      bits := Graph.mem_edge g i j :: !bits
+    done
+  done;
+  let bits = List.rev !bits in
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf (Char.chr (n + 63));
+  let rec pack = function
+    | [] -> ()
+    | l ->
+        let rec take6 acc k = function
+          | rest when k = 6 -> (acc, rest)
+          | [] -> take6 (acc * 2) (k + 1) []
+          | b :: rest -> take6 ((acc * 2) + if b then 1 else 0) (k + 1) rest
+        in
+        let group, rest = take6 0 0 l in
+        Buffer.add_char buf (Char.chr (group + 63));
+        pack rest
+  in
+  pack bits;
+  Buffer.contents buf
+
+let decode s =
+  if String.length s < 1 then invalid_arg "Graph6.decode: empty";
+  let n = Char.code s.[0] - 63 in
+  if n < 0 || n > 62 then invalid_arg "Graph6.decode: bad size byte";
+  let need = (n * (n - 1) / 2 + 5) / 6 in
+  if String.length s <> 1 + need then
+    invalid_arg
+      (Printf.sprintf "Graph6.decode: expected %d data bytes, got %d" need
+         (String.length s - 1));
+  let bit idx =
+    let byte = Char.code s.[1 + (idx / 6)] - 63 in
+    if byte < 0 || byte > 63 then invalid_arg "Graph6.decode: bad data byte";
+    byte lsr (5 - (idx mod 6)) land 1 = 1
+  in
+  let g = ref (List.fold_left Graph.add_node Graph.empty (List.init n Fun.id)) in
+  let idx = ref 0 in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      if bit !idx then g := Graph.add_edge !g i j;
+      incr idx
+    done
+  done;
+  !g

@@ -1,0 +1,10 @@
+(** The graph6 interchange format (McKay's nauty suite), for graphs on
+    up to 62 nodes — handy for importing standard test graphs and
+    exporting counterexamples to other tools. Nodes are [0..n-1]. *)
+
+val encode : Graph.t -> string
+(** Raises [Invalid_argument] when n > 62 or the node ids are not
+    exactly [0..n-1] (relabel first). *)
+
+val decode : string -> Graph.t
+(** Raises [Invalid_argument] on malformed input. *)

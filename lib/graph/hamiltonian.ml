@@ -1,0 +1,48 @@
+module IntSet = Set.Make (Int)
+
+let is_hamiltonian_cycle g seq =
+  match seq with
+  | [] | [ _ ] | [ _; _ ] -> false
+  | first :: _ ->
+      let rec edges_ok = function
+        | [ last ] -> Graph.mem_edge g last first
+        | a :: (b :: _ as rest) -> Graph.mem_edge g a b && edges_ok rest
+        | [] -> false
+      in
+      List.length seq = Graph.n g
+      && List.sort_uniq Int.compare seq = Graph.nodes g
+      && edges_ok seq
+
+let search g ~cycle =
+  let n = Graph.n g in
+  if n = 0 then None
+  else if n = 1 then if cycle then None else Some (Graph.nodes g)
+  else if cycle && n = 2 then None
+  else begin
+    let start = List.hd (Graph.nodes g) in
+    (* For a cycle we may anchor at any node; for a path we must try
+       all start nodes. *)
+    let starts = if cycle then [ start ] else Graph.nodes g in
+    let exception Found of Graph.node list in
+    let rec extend acc seen v depth =
+      if depth = n then begin
+        if (not cycle) || Graph.mem_edge g v (List.nth (List.rev acc) 0) then
+          raise (Found (List.rev acc))
+      end
+      else
+        List.iter
+          (fun u ->
+            if not (IntSet.mem u seen) then
+              extend (u :: acc) (IntSet.add u seen) u (depth + 1))
+          (Graph.neighbours g v)
+    in
+    try
+      List.iter
+        (fun s -> extend [ s ] (IntSet.singleton s) s 1)
+        starts;
+      None
+    with Found seq -> Some seq
+  end
+
+let hamiltonian_cycle g = search g ~cycle:true
+let hamiltonian_path g = search g ~cycle:false

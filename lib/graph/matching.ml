@@ -1,0 +1,167 @@
+module IntSet = Set.Make (Int)
+
+type matching = (Graph.node * Graph.node) list
+
+let is_matching g matching =
+  let rec disjoint seen = function
+    | [] -> true
+    | (u, v) :: rest ->
+        u < v
+        && Graph.mem_edge g u v
+        && (not (IntSet.mem u seen))
+        && (not (IntSet.mem v seen))
+        && disjoint (IntSet.add u (IntSet.add v seen)) rest
+  in
+  disjoint IntSet.empty matching
+
+let matched_nodes matching =
+  List.concat_map (fun (u, v) -> [ u; v ]) matching |> List.sort_uniq Int.compare
+
+let is_maximal g matching =
+  is_matching g matching
+  &&
+  let matched = IntSet.of_list (matched_nodes matching) in
+  Graph.fold_edges
+    (fun u v acc -> acc && (IntSet.mem u matched || IntSet.mem v matched))
+    g true
+
+let greedy_maximal g =
+  let matched = ref IntSet.empty in
+  Graph.fold_edges
+    (fun u v acc ->
+      if IntSet.mem u !matched || IntSet.mem v !matched then acc
+      else begin
+        matched := IntSet.add u (IntSet.add v !matched);
+        (u, v) :: acc
+      end)
+    g []
+  |> List.rev
+
+let is_vertex_cover g cover =
+  let c = IntSet.of_list cover in
+  List.for_all (Graph.mem_node g) cover
+  && Graph.fold_edges (fun u v acc -> acc && (IntSet.mem u c || IntSet.mem v c)) g true
+
+(* Maximum bipartite matching: Kuhn's augmenting-path algorithm from
+   the left side of the 2-colouring. *)
+let maximum_bipartite g =
+  match Bipartite.sides g with
+  | None -> invalid_arg "Matching.maximum_bipartite: graph is not bipartite"
+  | Some (left, _right) ->
+      let mate = Hashtbl.create 64 in
+      let try_augment u =
+        let visited = Hashtbl.create 16 in
+        let rec dfs u =
+          List.exists
+            (fun v ->
+              if Hashtbl.mem visited v then false
+              else begin
+                Hashtbl.replace visited v ();
+                match Hashtbl.find_opt mate v with
+                | None ->
+                    Hashtbl.replace mate v u;
+                    Hashtbl.replace mate u v;
+                    true
+                | Some u' ->
+                    if dfs u' then begin
+                      Hashtbl.replace mate v u;
+                      Hashtbl.replace mate u v;
+                      true
+                    end
+                    else false
+              end)
+            (Graph.neighbours g u)
+        in
+        dfs u
+      in
+      List.iter (fun u -> ignore (try_augment u)) left;
+      let left_set = IntSet.of_list left in
+      Hashtbl.fold
+        (fun u v acc ->
+          if IntSet.mem u left_set then (min u v, max u v) :: acc else acc)
+        mate []
+      |> List.sort_uniq compare
+
+let koenig_cover g matching =
+  match Bipartite.sides g with
+  | None -> invalid_arg "Matching.koenig_cover: graph is not bipartite"
+  | Some (left, _right) ->
+      let left_set = IntSet.of_list left in
+      let mate = Hashtbl.create 64 in
+      List.iter
+        (fun (u, v) ->
+          Hashtbl.replace mate u v;
+          Hashtbl.replace mate v u)
+        matching;
+      (* Alternating BFS from unmatched left nodes: Z = reachable nodes
+         along non-matching edges (left -> right) and matching edges
+         (right -> left). Cover = (L \ Z) ∪ (R ∩ Z). *)
+      let z = Hashtbl.create 64 in
+      let q = Queue.create () in
+      List.iter
+        (fun u ->
+          if not (Hashtbl.mem mate u) then begin
+            Hashtbl.replace z u ();
+            Queue.push u q
+          end)
+        left;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        if IntSet.mem u left_set then
+          List.iter
+            (fun v ->
+              if Hashtbl.find_opt mate u <> Some v && not (Hashtbl.mem z v) then begin
+                Hashtbl.replace z v ();
+                Queue.push v q
+              end)
+            (Graph.neighbours g u)
+        else
+          match Hashtbl.find_opt mate u with
+          | Some w when not (Hashtbl.mem z w) ->
+              Hashtbl.replace z w ();
+              Queue.push w q
+          | _ -> ()
+      done;
+      Graph.fold_nodes
+        (fun v acc ->
+          let in_z = Hashtbl.mem z v in
+          let in_left = IntSet.mem v left_set in
+          if (in_left && not in_z) || ((not in_left) && in_z) then v :: acc
+          else acc)
+        g []
+      |> List.rev
+
+let cycle_order g =
+  (* Returns the nodes of a cycle graph in traversal order. *)
+  let ok =
+    Graph.n g >= 3
+    && Graph.m g = Graph.n g
+    && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
+    && Traversal.is_connected g
+  in
+  if not ok then invalid_arg "Matching: graph is not a cycle";
+  let start = List.hd (Graph.nodes g) in
+  let rec walk acc prev v =
+    let next =
+      List.find (fun u -> u <> prev) (Graph.neighbours g v)
+    in
+    if next = start then List.rev (v :: acc)
+    else walk (v :: acc) v next
+  in
+  match Graph.neighbours g start with
+  | first :: _ -> start :: walk [] start first
+  | [] -> assert false
+
+let maximum_on_cycle g =
+  let order = Array.of_list (cycle_order g) in
+  let n = Array.length order in
+  let rec take acc i =
+    if i + 1 >= n then List.rev acc
+    else take ((min order.(i) order.(i + 1), max order.(i) order.(i + 1)) :: acc) (i + 2)
+  in
+  take [] 0
+
+let is_maximum_on_cycle g matching =
+  let n = Graph.n g in
+  ignore (cycle_order g);
+  is_matching g matching && List.length matching = n / 2

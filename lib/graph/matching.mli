@@ -1,0 +1,38 @@
+(** Matchings. The LCP(0) scheme for maximal matchings needs only a
+    validity check; the LCP(1) scheme for maximum matchings in
+    bipartite graphs (Section 2.3) needs a maximum matching and a
+    König minimum vertex cover as its certificate. *)
+
+type matching = (Graph.node * Graph.node) list
+(** Each matched pair once, [u < v]. *)
+
+val is_matching : Graph.t -> matching -> bool
+(** Edges of the graph, pairwise disjoint. *)
+
+val is_maximal : Graph.t -> matching -> bool
+(** No edge of the graph has both endpoints unmatched. *)
+
+val greedy_maximal : Graph.t -> matching
+(** A maximal matching (greedy over edges in sorted order). *)
+
+val matched_nodes : matching -> Graph.node list
+val is_vertex_cover : Graph.t -> Graph.node list -> bool
+
+val maximum_bipartite : Graph.t -> matching
+(** A maximum-cardinality matching of a bipartite graph, by repeated
+    augmenting paths. Raises [Invalid_argument] when the graph is not
+    bipartite. *)
+
+val koenig_cover : Graph.t -> matching -> Graph.node list
+(** [koenig_cover g matching] is a minimum vertex cover with
+    [|cover| = |matching|], given a {e maximum} matching of the
+    bipartite graph [g] (König's theorem). Sorted. *)
+
+val maximum_on_cycle : Graph.t -> matching
+(** A maximum matching of a single cycle: [floor (n/2)] edges. Raises
+    [Invalid_argument] when the graph is not a cycle. *)
+
+val is_maximum_on_cycle : Graph.t -> matching -> bool
+(** For a cycle: the matching is maximum iff it leaves at most
+    [n mod 2] nodes unmatched... precisely, iff its size is
+    [floor (n/2)]. *)

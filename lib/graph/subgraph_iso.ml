@@ -1,0 +1,56 @@
+(* Straightforward backtracking with degree pruning. [exact] demands a
+   bijection (graph isomorphism); otherwise an injective induced
+   embedding. *)
+
+let embed ~exact pattern g =
+  let p_nodes = Array.of_list (Graph.nodes pattern) in
+  let np = Array.length p_nodes in
+  if exact && (np <> Graph.n g || Graph.m pattern <> Graph.m g) then None
+  else if np > Graph.n g then None
+  else begin
+    (* Order pattern nodes so each (after the first) touches an earlier
+       one when possible: improves pruning. *)
+    let order = Array.copy p_nodes in
+    let pos = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.replace pos v i) order;
+    let assignment = Hashtbl.create 16 in
+    let used = Hashtbl.create 16 in
+    let candidates = Array.of_list (Graph.nodes g) in
+    let compatible pv gv =
+      let dp = Graph.degree pattern pv and dg = Graph.degree g gv in
+      (if exact then dp = dg else dp <= dg)
+      && Array.for_all
+           (fun pu ->
+             match Hashtbl.find_opt assignment pu with
+             | None -> true
+             | Some gu ->
+                 Bool.equal (Graph.mem_edge pattern pv pu) (Graph.mem_edge g gv gu))
+           order
+    in
+    let exception Found in
+    let rec go i =
+      if i = np then raise Found
+      else
+        let pv = order.(i) in
+        Array.iter
+          (fun gv ->
+            if (not (Hashtbl.mem used gv)) && compatible pv gv then begin
+              Hashtbl.replace assignment pv gv;
+              Hashtbl.replace used gv ();
+              go (i + 1);
+              Hashtbl.remove assignment pv;
+              Hashtbl.remove used gv
+            end)
+          candidates
+    in
+    try
+      go 0;
+      None
+    with Found ->
+      Some (Array.to_list (Array.map (fun pv -> (pv, Hashtbl.find assignment pv)) order))
+  end
+
+let isomorphism g h = embed ~exact:true g h
+let are_isomorphic g h = isomorphism g h <> None
+let find_induced ~pattern g = embed ~exact:false pattern g
+let contains_induced ~pattern g = find_induced ~pattern g <> None

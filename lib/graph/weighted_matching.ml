@@ -1,0 +1,240 @@
+type weights = Graph.node * Graph.node -> int
+type dual = (Graph.node * int) list
+
+let edge_weight w u v = w (min u v, max u v)
+
+let weight_of_matching w m =
+  List.fold_left (fun acc (u, v) -> acc + edge_weight w u v) 0 m
+
+(* Successive best-gain augmenting paths. We model the matching as a
+   min-cost flow and find, at each step, the alternating path from an
+   unmatched left node to an unmatched right node with the largest
+   total gain (sum of added weights minus removed weights), by
+   Bellman–Ford over "cost = -gain". Augmenting along maximum-gain
+   paths yields, after each step, a maximum-weight matching among
+   matchings of that cardinality; we stop when the best gain is <= 0. *)
+let maximum_weight g w =
+  match Bipartite.sides g with
+  | None -> invalid_arg "Weighted_matching.maximum_weight: not bipartite"
+  | Some (left, right) ->
+      Graph.iter_edges
+        (fun u v ->
+          if edge_weight w u v < 0 then
+            invalid_arg "Weighted_matching.maximum_weight: negative weight")
+        g;
+      let mate = Hashtbl.create 64 in
+      let is_matched v = Hashtbl.mem mate v in
+      let nodes = left @ right in
+      let best_path () =
+        (* dist.(v) = largest gain of an alternating path from any
+           unmatched left node ending at v; for left v the path ends
+           ready to leave via a non-matching edge, for right v it just
+           arrived via a non-matching edge. *)
+        let dist = Hashtbl.create 64 in
+        let pred = Hashtbl.create 64 in
+        List.iter (fun u -> if not (is_matched u) then Hashtbl.replace dist u 0) left;
+        let relax v d p =
+          match Hashtbl.find_opt dist v with
+          | Some d' when d' >= d -> false
+          | _ ->
+              Hashtbl.replace dist v d;
+              Hashtbl.replace pred v p;
+              true
+        in
+        let changed = ref true in
+        let rounds = ref 0 in
+        while !changed && !rounds <= List.length nodes + 1 do
+          changed := false;
+          incr rounds;
+          List.iter
+            (fun u ->
+              match Hashtbl.find_opt dist u with
+              | None -> ()
+              | Some du ->
+                  List.iter
+                    (fun v ->
+                      if Hashtbl.find_opt mate u <> Some v then begin
+                        (* Take non-matching edge u-v (gain +w). *)
+                        let dv = du + edge_weight w u v in
+                        if relax v dv u then changed := true;
+                        ()
+                      end)
+                    (Graph.neighbours g u))
+            left;
+          List.iter
+            (fun v ->
+              match (Hashtbl.find_opt dist v, Hashtbl.find_opt mate v) with
+              | Some dv, Some u ->
+                  (* Retreat along the matching edge v-u (gain -w). *)
+                  let du = dv - edge_weight w u v in
+                  if relax u du v then changed := true
+              | _ -> ())
+            right
+        done;
+        (* Best endpoint: unmatched right node with positive gain. *)
+        List.fold_left
+          (fun best v ->
+            if is_matched v then best
+            else
+              match Hashtbl.find_opt dist v with
+              | Some d when d > 0 -> (
+                  match best with
+                  | Some (_, d') when d' >= d -> best
+                  | _ -> Some (v, d))
+              | _ -> best)
+          None right
+        |> Option.map (fun (v, _) ->
+               let rec build acc v =
+                 match Hashtbl.find_opt pred v with
+                 | None -> v :: acc
+                 | Some p -> build (v :: acc) p
+               in
+               build [] v)
+      in
+      let rec loop () =
+        match best_path () with
+        | None -> ()
+        | Some path ->
+            (* path alternates left, right, left, right, ...; flip
+               matching along it. *)
+            let rec flip = function
+              | u :: v :: rest ->
+                  Hashtbl.replace mate u v;
+                  Hashtbl.replace mate v u;
+                  (* The next pair (if any) starts with the old mate
+                     relationship being overwritten as we go. *)
+                  flip rest
+              | _ -> ()
+            in
+            flip path;
+            loop ()
+      in
+      loop ();
+      let module IS = Set.Make (Int) in
+      let left_set = IS.of_list left in
+      Hashtbl.fold
+        (fun u v acc -> if IS.mem u left_set then (min u v, max u v) :: acc else acc)
+        mate []
+      |> List.sort_uniq compare
+
+(* Dual extraction by difference constraints. With the matching fixed,
+   write y_b = t_b for each matched right node b and y_a = w(a, b) - t_b
+   for its mate a; unmatched nodes get y = 0. Feasibility constraints
+   become a longest-path system over the t variables, whose minimal
+   solution we compute by Bellman–Ford. A positive cycle or a violated
+   upper bound certifies that the matching was not maximum-weight. *)
+let dual_certificate g w m =
+  if not (Matching.is_matching g m) then None
+  else
+    match Bipartite.sides g with
+    | None -> invalid_arg "Weighted_matching.dual_certificate: not bipartite"
+    | Some (left, right) ->
+        let module IS = Set.Make (Int) in
+        let left_set = IS.of_list left in
+        let mate = Hashtbl.create 64 in
+        List.iter
+          (fun (u, v) ->
+            Hashtbl.replace mate u v;
+            Hashtbl.replace mate v u)
+          m;
+        let matched_right = List.filter (Hashtbl.mem mate) right in
+        (* Lower bounds: t_b >= 0; t_b >= w(a', b) for unmatched left
+           a' adjacent to b. Difference arcs: t_{b'} >= t_b +
+           (w(a, b') - w(a, b)) for a = mate(b) adjacent to b'. *)
+        let lower = Hashtbl.create 64 in
+        List.iter (fun b -> Hashtbl.replace lower b 0) matched_right;
+        let ok = ref true in
+        Graph.iter_edges
+          (fun x y ->
+            let a, b = if IS.mem x left_set then (x, y) else (y, x) in
+            match (Hashtbl.find_opt mate a, Hashtbl.find_opt mate b) with
+            | None, None ->
+                (* Both unmatched: y_a = y_b = 0 needs w(a,b) <= 0. *)
+                if edge_weight w a b > 0 then ok := false
+            | None, Some _ ->
+                let cur = Hashtbl.find lower b in
+                Hashtbl.replace lower b (max cur (edge_weight w a b))
+            | Some _, None | Some _, Some _ -> ())
+          g;
+        if not !ok then None
+        else begin
+          (* Bellman–Ford longest paths on t. *)
+          let t = Hashtbl.copy lower in
+          let changed = ref true in
+          let rounds = ref 0 in
+          let limit = List.length matched_right + 1 in
+          while !changed && !rounds <= limit do
+            changed := false;
+            incr rounds;
+            List.iter
+              (fun b ->
+                let a = Hashtbl.find mate b in
+                let tb = Hashtbl.find t b in
+                List.iter
+                  (fun b' ->
+                    if b' <> b then
+                      match Hashtbl.find_opt mate b' with
+                      | Some _ when Hashtbl.mem t b' ->
+                          let cand = tb + edge_weight w a b' - edge_weight w a b in
+                          if cand > Hashtbl.find t b' then begin
+                            Hashtbl.replace t b' cand;
+                            changed := true
+                          end
+                      | _ -> ())
+                  (Graph.neighbours g a))
+              matched_right
+          done;
+          if !changed then None (* positive cycle: matching not optimal *)
+          else begin
+            (* Upper bounds keep y_a >= 0 and cover edges from matched
+               left nodes to unmatched right nodes. *)
+            let violations =
+              List.exists
+                (fun b ->
+                  let a = Hashtbl.find mate b in
+                  let tb = Hashtbl.find t b in
+                  tb > edge_weight w a b
+                  || List.exists
+                       (fun b' ->
+                         b' <> b
+                         && (not (Hashtbl.mem mate b'))
+                         && (not (IS.mem b' left_set))
+                         && tb > edge_weight w a b - edge_weight w a b')
+                       (Graph.neighbours g a))
+                matched_right
+            in
+            if violations then None
+            else
+              let y v =
+                if IS.mem v left_set then
+                  match Hashtbl.find_opt mate v with
+                  | None -> 0
+                  | Some b -> edge_weight w v b - Hashtbl.find t b
+                else Option.value ~default:0 (Hashtbl.find_opt t v)
+              in
+              Some (List.map (fun v -> (v, y v)) (Graph.nodes g))
+          end
+        end
+
+let check_certificate g w m dual =
+  let y = Hashtbl.create 64 in
+  List.iter (fun (v, yv) -> Hashtbl.replace y v yv) dual;
+  let yv v = match Hashtbl.find_opt y v with Some x -> x | None -> -1 in
+  let max_w =
+    Graph.fold_edges (fun u v acc -> max acc (edge_weight w u v)) g 0
+  in
+  let matched = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace matched u ();
+      Hashtbl.replace matched v ())
+    m;
+  Matching.is_matching g m
+  && List.for_all (fun v -> yv v >= 0 && yv v <= max_w) (Graph.nodes g)
+  && Graph.fold_edges
+       (fun u v acc -> acc && yv u + yv v >= edge_weight w u v)
+       g true
+  && List.for_all (fun (u, v) -> yv u + yv v = edge_weight w u v) m
+  && List.for_all
+       (fun v -> Hashtbl.mem matched v || yv v = 0)
+       (Graph.nodes g)

@@ -1,0 +1,34 @@
+(** Maximum-weight matchings in bipartite graphs, with the LP-duality
+    certificates of Section 2.3.
+
+    The primal LP maximises [Σ w_e x_e] subject to [A x ≤ 1]; the dual
+    minimises [Σ y_v] subject to [Aᵀ y ≥ w], [y ≥ 0]. Total
+    unimodularity gives integral optima on both sides, and with weights
+    in [0..W] there is an optimal dual with [y_v ∈ {0..W}] — the
+    O(log W) locally checkable proof. *)
+
+type weights = Graph.node * Graph.node -> int
+(** Edge weights, queried with [u < v]; must be non-negative. *)
+
+val weight_of_matching : weights -> Matching.matching -> int
+
+val maximum_weight : Graph.t -> weights -> Matching.matching
+(** A maximum-weight matching of a bipartite graph, by successive
+    best-gain augmenting paths (min-cost-flow style, Bellman–Ford).
+    Raises [Invalid_argument] if the graph is not bipartite or a weight
+    is negative. *)
+
+type dual = (Graph.node * int) list
+(** Dual value [y_v] for every node, sorted by node. *)
+
+val dual_certificate : Graph.t -> weights -> Matching.matching -> dual option
+(** [dual_certificate g w m] computes integral duals witnessing that
+    [m] is maximum-weight: feasibility [y_u + y_v ≥ w(u,v)] on every
+    edge, complementary slackness ([y] tight on matched edges, [y_v =
+    0] on unmatched nodes), and [0 ≤ y_v ≤ W]. Returns [None] when no
+    such certificate exists — i.e. when [m] is {e not} maximum-weight. *)
+
+val check_certificate :
+  Graph.t -> weights -> Matching.matching -> dual -> bool
+(** Global re-check of the conditions above (used by tests; the LCP
+    verifier checks the same conditions locally). *)

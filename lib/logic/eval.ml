@@ -1,0 +1,45 @@
+type sets = int -> Graph.node -> bool
+
+let lookup env v =
+  match List.assoc_opt v env with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound variable %s" v)
+
+let rec eval ~adjacent ~within env sets (f : Formula.t) =
+  match f with
+  | True -> true
+  | False -> false
+  | Not f -> not (eval ~adjacent ~within env sets f)
+  | And (a, b) -> eval ~adjacent ~within env sets a && eval ~adjacent ~within env sets b
+  | Or (a, b) -> eval ~adjacent ~within env sets a || eval ~adjacent ~within env sets b
+  | Implies (a, b) ->
+      (not (eval ~adjacent ~within env sets a)) || eval ~adjacent ~within env sets b
+  | Adj (a, b) -> adjacent (lookup env a) (lookup env b)
+  | Eq (a, b) -> lookup env a = lookup env b
+  | In_set (i, v) -> sets i (lookup env v)
+  | Exists_near (v, d, f) ->
+      List.exists
+        (fun node -> eval ~adjacent ~within ((v, node) :: env) sets f)
+        (within d)
+  | Forall_near (v, d, f) ->
+      List.for_all
+        (fun node -> eval ~adjacent ~within ((v, node) :: env) sets f)
+        (within d)
+
+let eval_global g sets ~x ~y f =
+  let adjacent a b = Graph.mem_node g a && Graph.mem_node g b && Graph.mem_edge g a b in
+  let within d = Traversal.ball g y d in
+  let env = ("y", y) :: (match x with Some a -> [ ("x", a) ] | None -> []) in
+  eval ~adjacent ~within env sets f
+
+let eval_local view sets ~x f =
+  let y = View.centre view in
+  let g = View.graph view in
+  let adjacent a b = Graph.mem_node g a && Graph.mem_node g b && Graph.mem_edge g a b in
+  let within d =
+    Graph.fold_nodes
+      (fun u acc -> if View.dist_to_centre view u <= d then u :: acc else acc)
+      g []
+  in
+  let env = ("y", y) :: (match x with Some a -> [ ("x", a) ] | None -> []) in
+  eval ~adjacent ~within env sets f

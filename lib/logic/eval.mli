@@ -1,0 +1,24 @@
+(** Evaluation of local first-order formulas.
+
+    Two evaluators are provided and tested against each other:
+    - a {e global} one on a whole graph (the semantics), and
+    - a {e local} one on a radius-r view centred at [y], which is what
+      the compiled verifier runs. Locality of φ around [y] guarantees
+      they agree whenever the view radius covers the formula's
+      locality. *)
+
+type sets = int -> Graph.node -> bool
+(** [sets i v]: does v belong to X_i? *)
+
+val eval_global :
+  Graph.t -> sets -> x:Graph.node option -> y:Graph.node -> Formula.t -> bool
+(** Quantifier bounds are distances from [y] in the whole graph. [x]
+    may be [None] for sentences with [uses_x = false]; evaluating a
+    formula that mentions ["x"] then raises [Invalid_argument]. *)
+
+val eval_local :
+  View.t -> sets -> x:Graph.node option -> Formula.t -> bool
+(** Evaluates around [y] = the view's centre, using only nodes, edges
+    and distances of the view. [x] is an identifier that may or may not
+    appear in the view — [Eq] comparisons against it still work, which
+    is how the compiled scheme refers to a far-away leader. *)

@@ -1,0 +1,72 @@
+type var = string
+
+type t =
+  | True
+  | False
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Adj of var * var
+  | Eq of var * var
+  | In_set of int * var
+  | Exists_near of var * int * t
+  | Forall_near of var * int * t
+
+type sentence = { name : string; k : int; locality : int; uses_x : bool; phi : t }
+
+let rec locality_radius = function
+  | True | False | Adj _ | Eq _ | In_set _ -> 0
+  | Not f -> locality_radius f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+      max (locality_radius a) (locality_radius b)
+  | Exists_near (_, d, f) | Forall_near (_, d, f) -> max d (locality_radius f)
+
+let rec free_vars_acc bound acc = function
+  | True | False -> acc
+  | Not f -> free_vars_acc bound acc f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+      free_vars_acc bound (free_vars_acc bound acc a) b
+  | Adj (a, b) | Eq (a, b) ->
+      let add v acc = if List.mem v bound || List.mem v acc then acc else v :: acc in
+      add a (add b acc)
+  | In_set (_, v) -> if List.mem v bound || List.mem v acc then acc else v :: acc
+  | Exists_near (v, _, f) | Forall_near (v, _, f) ->
+      free_vars_acc (v :: bound) acc f
+
+let free_vars f = List.sort String.compare (free_vars_acc [] [] f)
+
+let rec max_set_index = function
+  | True | False | Adj _ | Eq _ -> -1
+  | In_set (i, _) -> i
+  | Not f -> max_set_index f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> max (max_set_index a) (max_set_index b)
+  | Exists_near (_, _, f) | Forall_near (_, _, f) -> max_set_index f
+
+let rec no_shadowing = function
+  | True | False | Adj _ | Eq _ | In_set _ -> true
+  | Not f -> no_shadowing f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> no_shadowing a && no_shadowing b
+  | Exists_near (v, _, f) | Forall_near (v, _, f) ->
+      v <> "x" && v <> "y" && no_shadowing f
+
+let well_formed s =
+  let allowed = if s.uses_x then [ "x"; "y" ] else [ "y" ] in
+  List.for_all (fun v -> List.mem v allowed) (free_vars s.phi)
+  && max_set_index s.phi < s.k
+  && locality_radius s.phi <= s.locality
+  && s.k >= 0 && s.locality >= 0
+  && no_shadowing s.phi
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "⊤"
+  | False -> Format.fprintf ppf "⊥"
+  | Not f -> Format.fprintf ppf "¬%a" pp f
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf ppf "(%a → %a)" pp a pp b
+  | Adj (a, b) -> Format.fprintf ppf "%s~%s" a b
+  | Eq (a, b) -> Format.fprintf ppf "%s=%s" a b
+  | In_set (i, v) -> Format.fprintf ppf "X%d(%s)" i v
+  | Exists_near (v, d, f) -> Format.fprintf ppf "∃%s≤%d.%a" v d pp f
+  | Forall_near (v, d, f) -> Format.fprintf ppf "∀%s≤%d.%a" v d pp f

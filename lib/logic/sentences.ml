@@ -1,0 +1,133 @@
+(** Worked monadic Σ¹₁ sentences. On the family of connected graphs,
+    each compiles to a LogLCP scheme via {!Sigma11.scheme}. *)
+
+open Formula
+
+let xor a b = Or (And (a, Not b), And (Not a, b))
+
+(** 2-colourability: ∃X ∀y ∀z∈B(y,1): y~z → (X(y) ⊕ X(z)). *)
+let two_colourable =
+  {
+    name = "two-colourable";
+    k = 1;
+    locality = 1;
+    uses_x = false;
+    phi =
+      Forall_near
+        ( "z", 1,
+          Implies (Adj ("y", "z"), xor (In_set (0, "y")) (In_set (0, "z"))) );
+  }
+
+(** Contains a triangle: ∃x ∀y (y = x → a triangle sits at y). *)
+let has_triangle =
+  {
+    name = "has-triangle";
+    k = 0;
+    locality = 1;
+    uses_x = true;
+    phi =
+      Implies
+        ( Eq ("y", "x"),
+          Exists_near
+            ( "z1", 1,
+              And
+                ( Adj ("y", "z1"),
+                  Exists_near
+                    ("z2", 1, And (Adj ("y", "z2"), Adj ("z1", "z2"))) ) ) );
+  }
+
+(** Some node has degree ≥ 3. *)
+let has_degree_three =
+  let distinct a b = Not (Eq (a, b)) in
+  {
+    name = "has-degree-three";
+    k = 0;
+    locality = 1;
+    uses_x = true;
+    phi =
+      Implies
+        ( Eq ("y", "x"),
+          Exists_near
+            ( "z1", 1,
+              And
+                ( Adj ("y", "z1"),
+                  Exists_near
+                    ( "z2", 1,
+                      And
+                        ( And (Adj ("y", "z2"), distinct "z1" "z2"),
+                          Exists_near
+                            ( "z3", 1,
+                              And
+                                ( Adj ("y", "z3"),
+                                  And (distinct "z1" "z3", distinct "z2" "z3")
+                                ) ) ) ) ) ) );
+  }
+
+(** The graph is a cycle (within the connected family): every node has
+    exactly two neighbours. *)
+let is_cycle =
+  {
+    name = "is-cycle";
+    k = 0;
+    locality = 1;
+    uses_x = false;
+    phi =
+      Exists_near
+        ( "z1", 1,
+          And
+            ( Adj ("y", "z1"),
+              Exists_near
+                ( "z2", 1,
+                  And
+                    ( And (Adj ("y", "z2"), Not (Eq ("z1", "z2"))),
+                      Forall_near
+                        ( "z3", 1,
+                          Implies
+                            ( Adj ("y", "z3"),
+                              Or (Eq ("z3", "z1"), Eq ("z3", "z2")) ) ) ) ) ) );
+  }
+
+(** 3-colourability: two monadic sets encode the colour (00, 01, 10 —
+    11 is forbidden); adjacent nodes differ. ∃X₀ X₁ ∀y: ¬(X₀ y ∧ X₁ y)
+    ∧ ∀z~y: colour(y) ≠ colour(z). *)
+let three_colourable =
+  let same_colour a b =
+    And
+      ( Or (And (In_set (0, a), In_set (0, b)), And (Not (In_set (0, a)), Not (In_set (0, b)))),
+        Or (And (In_set (1, a), In_set (1, b)), And (Not (In_set (1, a)), Not (In_set (1, b))))
+      )
+  in
+  {
+    name = "three-colourable";
+    k = 2;
+    locality = 1;
+    uses_x = false;
+    phi =
+      And
+        ( Not (And (In_set (0, "y"), In_set (1, "y"))),
+          Forall_near
+            ("z", 1, Implies (Adj ("y", "z"), Not (same_colour "y" "z"))) );
+  }
+
+(** Reference deciders, used by tests to validate [Sigma11.holds] and
+    the compiled schemes. *)
+let two_colourable_ref g = Bipartite.is_bipartite g
+
+let has_triangle_ref g =
+  Graph.fold_edges
+    (fun u v acc ->
+      acc
+      || List.exists
+           (fun w -> Graph.mem_edge g u w && Graph.mem_edge g v w)
+           (Graph.nodes g))
+    g false
+
+let has_degree_three_ref g =
+  Graph.fold_nodes (fun v acc -> acc || Graph.degree g v >= 3) g false
+
+let is_cycle_ref g =
+  Graph.n g >= 3
+  && Traversal.is_connected g
+  && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
+
+let three_colourable_ref g = Coloring.is_k_colourable g 3

@@ -1,0 +1,24 @@
+(** Worked monadic Σ¹₁ sentences (Section 7.5) and reference deciders
+    for validating both the brute-force model checker and the compiled
+    LogLCP schemes. *)
+
+val two_colourable : Formula.sentence
+(** ∃X ∀y ∀z~y: X(y) ⊕ X(z) — k = 1, no ∃x witness. *)
+
+val has_triangle : Formula.sentence
+(** ∃x ∀y (y = x → a triangle at y) — k = 0, uses the witness. *)
+
+val has_degree_three : Formula.sentence
+val is_cycle : Formula.sentence
+(** Within the connected family: every node has exactly two
+    neighbours. *)
+
+val three_colourable : Formula.sentence
+(** Two monadic sets encode three colours (the fourth combination is
+    forbidden); adjacent nodes differ. *)
+
+val two_colourable_ref : Graph.t -> bool
+val has_triangle_ref : Graph.t -> bool
+val has_degree_three_ref : Graph.t -> bool
+val is_cycle_ref : Graph.t -> bool
+val three_colourable_ref : Graph.t -> bool

@@ -1,0 +1,195 @@
+(** Section 6.3 — explicit graphs G_A for A ⊆ I × I, I = {0..2^k - 1},
+    with the paper's properties:
+
+    (i)   n(G_A) = Θ(2^k) (uniform over A — only edges vary with A);
+    (ii)  distinguished nodes T, F, N, x₀..x_{k-1}, y₀..y_{k-1};
+    (iii) in any 3-colouring, T, F, N get three distinct colours;
+    (iv)  each xᵢ, yᵢ is coloured "true" or "false";
+    (v)   valid 3-colourings encode exactly the pairs (x, y) ∈ A.
+
+    Construction: a palette triangle; variable nodes forced to T/F by
+    an edge to N; negated copies via NOT gadgets; for {e every} pair
+    p = (a, b) a clause OR-chain computing "x ≠ a ∨ y ≠ b", whose
+    output is forced true (an extra edge to F) exactly when p ∉ A.
+    All clauses true ⟺ (x, y) avoids the complement of A ⟺ (x, y) ∈ A.
+
+    The OR gadget on inputs u, v (both T/F-forced) is the classic
+    3-colouring gate: a triangle {i₁, i₂, o} with u–i₁, v–i₂ and o–N.
+    It forces o = F when u = v = F, forces u = T or v = T when o = T,
+    and is satisfiable in all intended cases.
+
+    [pair_graph] joins G_A and an isomorphic shifted copy G'_B with the
+    2k+1 triangle-chain wires of the paper, identifying wire endpoints
+    with N/T/xᵢ/yᵢ on both sides; wire layers propagate colours, so a
+    3-colouring of G_{A,B} exists iff A ∩ B ≠ ∅. *)
+
+type gadget = {
+  graph : Graph.t;
+  t_node : Graph.node;
+  f_node : Graph.node;
+  n_node : Graph.node;
+  xs : Graph.node array;
+  ys : Graph.node array;
+  k : int;
+  size : int; (* nodes allocated, uniform over A *)
+}
+
+let all_pairs k =
+  let m = 1 lsl k in
+  List.concat_map (fun a -> List.init m (fun b -> (a, b))) (List.init m Fun.id)
+
+(* Deterministic builder: ids are allocated by a counter whose
+   trajectory does not depend on A. *)
+let build ?(base = 0) ~k (a_set : (int * int) list) =
+  let next = ref base in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let g = ref Graph.empty in
+  let node () =
+    let v = fresh () in
+    g := Graph.add_node !g v;
+    v
+  in
+  let edge u v = g := Graph.add_edge !g u v in
+  let t_node = node () and f_node = node () and n_node = node () in
+  edge t_node f_node;
+  edge f_node n_node;
+  edge t_node n_node;
+  let var () =
+    let v = node () in
+    edge v n_node;
+    v
+  in
+  let xs = Array.init k (fun _ -> var ()) in
+  let ys = Array.init k (fun _ -> var ()) in
+  let not_gate u =
+    let w = node () in
+    edge w u;
+    edge w n_node;
+    w
+  in
+  let not_xs = Array.map not_gate xs in
+  let not_ys = Array.map not_gate ys in
+  let or_gate u v =
+    let i1 = node () and i2 = node () and o = node () in
+    edge i1 i2;
+    edge i1 o;
+    edge i2 o;
+    edge u i1;
+    edge v i2;
+    edge o n_node;
+    o
+  in
+  (* Clause for pair (a, b): OR over the literals "xᵢ ≠ aᵢ", "yᵢ ≠ bᵢ".
+     The literal node is the variable itself when the constant bit is
+     0 (xᵢ = T ⟹ xᵢ ≠ 0), and its negation when the bit is 1. *)
+  let literal vars not_vars value i =
+    if (value lsr i) land 1 = 1 then not_vars.(i) else vars.(i)
+  in
+  List.iter
+    (fun (a, b) ->
+      let literals =
+        List.init k (literal xs not_xs a) @ List.init k (literal ys not_ys b)
+      in
+      let out =
+        match literals with
+        | [] -> invalid_arg "Gadgets.build: k must be >= 1"
+        | [ l ] ->
+            (* Degenerate single-literal clause: buffer through an OR
+               with itself to keep the uniform layout. *)
+            or_gate l l
+        | l1 :: l2 :: rest -> List.fold_left or_gate (or_gate l1 l2) rest
+      in
+      (* Force the clause true exactly when the pair is forbidden. *)
+      if not (List.mem (a, b) a_set) then edge out f_node)
+    (all_pairs k);
+  { graph = !g; t_node; f_node; n_node; xs; ys; k; size = !next - base }
+
+(* A wire between endpoint triples (n₁, v₁) and (n₂, v₂): layers
+   1..3r of triangles; layer 1 contains n₁ and v₁ (plus one fresh
+   node), layer 3r contains n₂ and v₂; consecutive layers are joined
+   by all j ≠ j' edges, which forces colours to propagate along each
+   of the three tracks. *)
+let wire g ~fresh ~layers (n1, v1) (n2, v2) =
+  let g = ref g in
+  let edge u v = g := Graph.add_edge !g u v in
+  let node () =
+    let v = fresh () in
+    g := Graph.add_node !g v;
+    v
+  in
+  let layer_of = function
+    | 0 -> [| n1; v1; node () |]
+    | i when i = layers - 1 -> [| n2; v2; node () |]
+    | _ -> [| node (); node (); node () |]
+  in
+  let all = Array.init layers layer_of in
+  Array.iter
+    (fun layer ->
+      edge layer.(0) layer.(1);
+      edge layer.(1) layer.(2);
+      edge layer.(0) layer.(2))
+    all;
+  for i = 0 to layers - 2 do
+    for j = 0 to 2 do
+      for j' = 0 to 2 do
+        if j <> j' then edge all.(i).(j) all.(i + 1).(j')
+      done
+    done
+  done;
+  !g
+
+type pair_graph = {
+  combined : Graph.t;
+  left : gadget;
+  right : gadget;
+  wire_window : Graph.node list;
+      (** The internal wire nodes W — identical identifiers for every
+          (A, B), the fooling-set window. *)
+}
+
+let pair_graph ~k ~r a_set b_set =
+  if r < 1 then invalid_arg "Gadgets.pair_graph: r >= 1";
+  let left = build ~base:0 ~k a_set in
+  let right = build ~base:left.size ~k b_set in
+  let layers = 3 * r in
+  let wire_base = 2 * left.size in
+  let next = ref wire_base in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let g = Graph.union_disjoint left.graph right.graph in
+  let endpoints =
+    ((left.t_node, right.t_node)
+    :: List.init k (fun i -> (left.xs.(i), right.xs.(i)))
+    @ List.init k (fun i -> (left.ys.(i), right.ys.(i))))
+  in
+  let g =
+    List.fold_left
+      (fun g (v1, v2) ->
+        wire g ~fresh ~layers (left.n_node, v1) (right.n_node, v2))
+      g endpoints
+  in
+  let wire_window = List.init (!next - wire_base) (fun i -> wire_base + i) in
+  { combined = g; left; right; wire_window }
+
+(** A constructive 3-colouring of G_{A,B} encoding the pair (x, y) —
+    used for completeness checks without a search, and to certify
+    3-colourability of the glued fooling instance. Returns [None] if
+    (x, y) ∉ A ∩ B (the colouring would be invalid). *)
+let encode_colouring pg (x, y) =
+  (* Colour convention: T = 0, F = 1, N = 2; a variable bit 1 means
+     colour T. The palette and variables are pinned, the solver fills
+     in gate internals and wires — which are forced anyway. *)
+  let bit_colour value i = if (value lsr i) land 1 = 1 then 0 else 1 in
+  let pre =
+    [ (pg.left.t_node, 0); (pg.left.f_node, 1); (pg.left.n_node, 2) ]
+    @ Array.to_list (Array.mapi (fun i v -> (v, bit_colour x i)) pg.left.xs)
+    @ Array.to_list (Array.mapi (fun i v -> (v, bit_colour y i)) pg.left.ys)
+  in
+  Coloring.k_colouring_with pg.combined 3 ~pre

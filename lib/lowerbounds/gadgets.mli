@@ -1,0 +1,47 @@
+(** Section 6.3's gadget graphs, built explicitly (the paper defers the
+    construction to its extended version; ours satisfies the properties
+    (i)–(v) it relies on, and the tests check them).
+
+    [build ~k a_set] produces G_A for A ⊆ I×I, I = {0..2^k-1}: a
+    palette triangle (T, F, N), variable nodes x₀..x_{k-1}, y₀..y_{k-1}
+    forced to T/F, NOT gates for the negated literals, and — for
+    {e every} pair p — a clause OR-chain computing "(x,y) ≠ p", whose
+    output is forced true exactly when p ∉ A. Only edges depend on A;
+    the node layout is uniform, so instances for different A share
+    identifiers (which the fooling-set splice requires).
+
+    [pair_graph] joins G_A and a shifted copy G'_B with the paper's
+    2k+1 triangle-chain wires (3r layers each) identifying N/T/xᵢ/yᵢ
+    across; colours propagate along wires, so G_{A,B} is 3-colourable
+    iff A ∩ B ≠ ∅. *)
+
+type gadget = {
+  graph : Graph.t;
+  t_node : Graph.node;
+  f_node : Graph.node;
+  n_node : Graph.node;
+  xs : Graph.node array;
+  ys : Graph.node array;
+  k : int;
+  size : int;
+}
+
+val all_pairs : int -> (int * int) list
+(** I × I for I = {0..2^k - 1}. *)
+
+val build : ?base:int -> k:int -> (int * int) list -> gadget
+(** Identifiers are allocated from [base] by a counter whose course is
+    independent of the pair set. *)
+
+type pair_graph = {
+  combined : Graph.t;
+  left : gadget;
+  right : gadget;
+  wire_window : Graph.node list;
+}
+
+val pair_graph : k:int -> r:int -> (int * int) list -> (int * int) list -> pair_graph
+
+val encode_colouring : pair_graph -> int * int -> Coloring.colouring option
+(** A proper 3-colouring of the pair graph that encodes the given
+    (x, y) on the variable nodes — exists iff (x, y) ∈ A ∩ B. *)

@@ -1,0 +1,32 @@
+type outcome =
+  | Fooled of { instance : Instance.t; proof : Proof.t }
+  | Prover_failed
+  | Unexpectedly_rejected of Graph.node list
+
+let attack (scheme : Scheme.t) ~component ~other =
+  let i1 = component () in
+  let i2 = other () in
+  match (scheme.Scheme.prover i1, scheme.Scheme.prover i2) with
+  | Some p1, Some p2
+    when Scheme.accepts scheme i1 p1 && Scheme.accepts scheme i2 p2 -> (
+      let instance = Instance.union_disjoint i1 i2 in
+      let proof = Proof.union_disjoint p1 p2 in
+      match Scheme.decide scheme instance proof with
+      | Scheme.Accept -> Fooled { instance; proof }
+      | Scheme.Reject vs -> Unexpectedly_rejected vs)
+  | _ -> Prover_failed
+
+let connectivity_has_no_scheme scheme =
+  let st = Random.State.make [| 0x5EED |] in
+  let component () =
+    Instance.of_graph (Random_graphs.connected_gnp st 9 0.3)
+  in
+  let other () =
+    Instance.of_graph
+      (Canonical.shifted (Random_graphs.connected_gnp st 8 0.35) 100)
+  in
+  match attack scheme ~component ~other with
+  | Fooled { instance; _ } ->
+      (* the union must genuinely be disconnected *)
+      not (Traversal.is_connected (Instance.graph instance))
+  | Prover_failed | Unexpectedly_rejected _ -> false

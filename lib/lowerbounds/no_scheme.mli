@@ -1,0 +1,30 @@
+(** Table 1(a), last row: "connected graph / general" has a dash — no
+    locally checkable proof of {e any} size exists when the family
+    allows disconnected inputs. The argument is one line: take two
+    proved connected yes-instances on disjoint identifier sets; their
+    disjoint union is a no-instance, yet every node's radius-r view
+    (and proof) is exactly what it was in its own accepted component,
+    so every verifier accepts.
+
+    Unlike the bit-counting attacks, this one defeats {e every} scheme,
+    with any proof size — which is why the attack function takes the
+    scheme as a parameter and always wins (provided the scheme is
+    complete for the two components). *)
+
+type outcome =
+  | Fooled of { instance : Instance.t; proof : Proof.t }
+      (** The disconnected union, accepted by all nodes. *)
+  | Prover_failed
+  | Unexpectedly_rejected of Graph.node list
+      (** Cannot happen for a genuinely local verifier; would indicate
+          the "verifier" peeks outside its view. *)
+
+val attack :
+  Scheme.t -> component:(unit -> Instance.t) -> other:(unit -> Instance.t) -> outcome
+(** [attack scheme ~component ~other] — the two thunks must build
+    yes-instances on disjoint identifier sets with equal globals. *)
+
+val connectivity_has_no_scheme : Scheme.t -> bool
+(** Runs {!attack} with two connected random graphs against a scheme
+    that claims to verify connectivity; [true] when the scheme was
+    fooled (i.e. the impossibility holds for it). *)

@@ -1,0 +1,467 @@
+(** Handicapped schemes: complete but undersized.
+
+    The lower-bound theorems say that below a certain proof size no
+    scheme can be both complete and sound. To demonstrate them
+    mechanically we exhibit the natural undersized candidates — each is
+    {e complete} (every yes-instance has an accepted proof within the
+    budget) and locally plausible, and the attack constructions of
+    Sections 5.3 and 6 then forge accepted no-instances, certifying
+    their unsoundness. The honest Θ-sized schemes resist the same
+    attacks.
+
+    The cyclic counter schemes replace the unbounded distance counters
+    of the spanning-tree certificate by counters mod m = 2^bits; the
+    claims schemes replace the O(n²)-bit full-graph encoding by local
+    O(Δ log n)-bit assertions that neighbours can cross-check but never
+    globally ground. *)
+
+let mod_of_bits bits =
+  if bits < 2 then invalid_arg "Truncated: need at least 2 bits";
+  1 lsl bits
+
+(* --- cyclic position counters on cycles --------------------------- *)
+
+(* Proof layout: origin flag ++ position mod m (fixed width). A node of
+   the cycle family carrying flag 1 claims position 0. *)
+let encode_pos ~bits ~origin pos =
+  let buf = Bits.Writer.create () in
+  Bits.Writer.bool buf origin;
+  Bits.Writer.int_fixed buf ~width:bits (pos mod mod_of_bits bits);
+  Bits.Writer.contents buf
+
+let decode_pos ~bits view u =
+  let cur = Bits.Reader.of_bits (View.proof_of view u) in
+  let origin = Bits.Reader.bool cur in
+  let pos = Bits.Reader.int_fixed cur ~width:bits in
+  Bits.Reader.expect_end cur;
+  (origin, pos)
+
+let cycle_order g =
+  let start = List.hd (Graph.nodes g) in
+  let rec walk acc prev v =
+    if v = start then List.rev acc
+    else
+      match Graph.neighbours g v with
+      | [ a; b ] -> walk (v :: acc) v (if a = prev then b else a)
+      | _ -> invalid_arg "Truncated: not a cycle"
+  in
+  match Graph.neighbours g start with
+  | [ first; _ ] -> start :: walk [] start first
+  | _ -> invalid_arg "Truncated: not a cycle"
+
+let is_cycle g =
+  Graph.n g >= 3
+  && Graph.m g = Graph.n g
+  && Traversal.is_connected g
+  && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
+
+let pos_proof ~bits g ~origin =
+  let order = cycle_order g in
+  (* rotate so the origin is first *)
+  let rec rotate = function
+    | [] -> []
+    | x :: rest as l -> if x = origin then l else rotate (rest @ [ x ])
+  in
+  let order = rotate order in
+  List.mapi (fun i v -> (v, encode_pos ~bits ~origin:(i = 0) i)) order
+  |> List.fold_left (fun p (v, b) -> Proof.set p v b) Proof.empty
+
+(* Common local check: one neighbour plays successor (position + 1 mod
+   m, or an origin — the cycle closes there), the other predecessor
+   (position - 1 mod m; at an origin the predecessor is the closing
+   node, whose position [pred_at_origin] constrains). The {e missing}
+   check — "there is exactly one origin" — is exactly what costs
+   Θ(log n), and its absence is what the gluing attack exploits. *)
+let counter_checks ~bits ~pred_at_origin view =
+  let m = mod_of_bits bits in
+  let v = View.centre view in
+  let origin, pos = decode_pos ~bits view v in
+  ((not origin) || pos = 0)
+  &&
+  match View.neighbours view v with
+  | [ a; b ] ->
+      let succ_ok (o, p) = o || p = (pos + 1) mod m in
+      let pred_ok (_, p) =
+        if origin then pred_at_origin p else p = (pos + m - 1) mod m
+      in
+      let la = decode_pos ~bits view a and lb = decode_pos ~bits view b in
+      (succ_ok la && pred_ok lb) || (succ_ok lb && pred_ok la)
+  | _ -> false
+
+(** Odd number of nodes, on cycles, with [bits] = O(1) instead of
+    Θ(log n). [bits] must make m even so that position parity survives
+    reduction mod m; the origin then checks that its incoming
+    neighbour sits at an even position — correct when the origin is
+    unique, fooled when gluing creates two origins. *)
+let odd_n_cycle ~bits =
+  Scheme.make
+    ~name:(Printf.sprintf "odd-n-cycle-mod-%d-bits" bits)
+    ~radius:1
+    ~size_bound:(fun _ -> bits + 1)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if is_cycle g && Graph.n g mod 2 = 1 then
+        Some (pos_proof ~bits g ~origin:(List.hd (Graph.nodes g)))
+      else None)
+    ~verifier:
+      (* Closing position = (n - 1) mod m; even iff n is odd (m even). *)
+      (counter_checks ~bits ~pred_at_origin:(fun p -> p mod 2 = 0))
+
+(** Leader election on cycles with O(1) bits: the "leader ⇒ position
+    0" direction is checkable, the "position 0 ⇒ leader" direction is
+    not (position 0 recurs every m hops), and uniqueness of the leader
+    is unprovable in o(log n) bits. *)
+let leader_cycle ~bits =
+  Scheme.make
+    ~name:(Printf.sprintf "leader-cycle-mod-%d-bits" bits)
+    ~radius:1
+    ~size_bound:(fun _ -> bits + 1)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if not (is_cycle g) then None
+      else
+        match Instance.marked_exactly_one inst with
+        | None -> None
+        | Some leader -> Some (pos_proof ~bits g ~origin:leader))
+    ~verifier:(fun view ->
+      counter_checks ~bits ~pred_at_origin:(fun _ -> true) view
+      &&
+      let v = View.centre view in
+      let origin, _ = decode_pos ~bits view v in
+      let marked =
+        let l = View.label_of view v in
+        Bits.length l >= 1 && Bits.get l 0
+      in
+      (* A marked leader must be an origin at position 0. Nothing can
+         stop several origin-leader pairs far apart — that is the
+         Θ(log n) gap. *)
+      Bool.equal marked origin)
+
+(** Maximum matching on cycles with O(1) bits: "unmatched ⇒ origin" is
+    locally checkable; uniqueness of the unmatched node is not. *)
+let max_matching_cycle ~bits =
+  Scheme.make
+    ~name:(Printf.sprintf "max-matching-cycle-mod-%d-bits" bits)
+    ~radius:1
+    ~size_bound:(fun _ -> bits + 1)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if not (is_cycle g) then None
+      else begin
+        let m = Instance.flagged_edges inst in
+        if not (Matching.is_matching g m) then None
+        else begin
+          let covered = Matching.matched_nodes m in
+          let unmatched =
+            List.filter (fun v -> not (List.mem v covered)) (Graph.nodes g)
+          in
+          match unmatched with
+          | [] -> Some (pos_proof ~bits g ~origin:(List.hd (Graph.nodes g)))
+          | [ u ] -> Some (pos_proof ~bits g ~origin:u)
+          | _ -> None
+        end
+      end)
+    ~verifier:(fun view ->
+      counter_checks ~bits ~pred_at_origin:(fun _ -> true) view
+      &&
+      let v = View.centre view in
+      let origin, _ = decode_pos ~bits view v in
+      let matched =
+        List.filter
+          (fun u ->
+            let l = View.edge_label_of view v u in
+            Bits.length l >= 1 && Bits.get l 0)
+          (View.neighbours view v)
+      in
+      match matched with
+      | [] -> origin
+      | [ _ ] -> true
+      | _ -> false)
+
+(* --- local claims instead of global encodings ---------------------- *)
+
+(* Claim layout: image id ++ gamma-coded list of the image's neighbour
+   ids — a node's assertion about where an automorphism g sends it and
+   what g's image neighbourhood looks like. Locally cross-checkable,
+   globally groundless: the Section 6.1 attack splices two coherent
+   claim systems into an asymmetric graph. *)
+let encode_claim ~image ~image_neighbours ~extra =
+  let buf = Bits.Writer.create () in
+  Bits.Writer.int_gamma buf image;
+  Bits.Writer.list buf Bits.Writer.int_gamma image_neighbours;
+  Bits.Writer.bits buf extra;
+  Bits.Writer.contents buf
+
+(** Symmetric graphs with O(Δ log n) bits per node: each node claims
+    its image under a non-trivial automorphism together with the
+    image's neighbourhood; neighbours cross-check that their images
+    are adjacent. A spanning-tree certificate roots the graph at a
+    node whose image differs from itself (non-triviality). *)
+let symmetric_claims =
+  Scheme.make ~name:"symmetric-claims" ~radius:1
+    ~size_bound:(fun n -> 40 * (Bits.int_width (max 2 n) + 2) * 8)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if not (Traversal.is_connected g) then None
+      else
+        match Automorphism.nontrivial_automorphism g with
+        | None -> None
+        | Some mapping ->
+            let image = Hashtbl.create 64 in
+            List.iter (fun (u, w) -> Hashtbl.replace image u w) mapping;
+            let moved = List.find (fun (u, w) -> u <> w) mapping in
+            let root = fst moved in
+            let cert = Hashtbl.create 64 in
+            List.iter
+              (fun (v, c) -> Hashtbl.replace cert v c)
+              (Tree_cert.prove g ~root);
+            Some
+              (Graph.fold_nodes
+                 (fun v p ->
+                   let w = Hashtbl.find image v in
+                   Proof.set p v
+                     (encode_claim ~image:w
+                        ~image_neighbours:(Graph.neighbours g w)
+                        ~extra:(Tree_cert.encode (Hashtbl.find cert v))))
+                 g Proof.empty))
+    ~verifier:(fun view ->
+      let parse u =
+        let cur = Bits.Reader.of_bits (View.proof_of view u) in
+        let image = Bits.Reader.int_gamma cur in
+        let image_neighbours = Bits.Reader.list cur Bits.Reader.int_gamma in
+        let cert = Tree_cert.read cur in
+        Bits.Reader.expect_end cur;
+        (image, image_neighbours, cert)
+      in
+      let v = View.centre view in
+      let image, image_nbrs, _ = parse v in
+      let cert_of u =
+        let _, _, c = parse u in
+        c
+      in
+      Tree_cert.check_at view ~cert_of
+      (* Claimed image degree matches mine. *)
+      && List.length image_nbrs = View.degree_in_view view v
+      (* My neighbours' images are exactly my image's neighbours. *)
+      && (let claimed =
+            List.map
+              (fun u ->
+                let iu, _, _ = parse u in
+                iu)
+              (View.neighbours view v)
+          in
+          List.sort_uniq Int.compare claimed = List.sort Int.compare claimed
+          && List.sort Int.compare claimed = List.sort Int.compare image_nbrs)
+      (* Non-triviality at the certified root. *)
+      && ((not (Tree_cert.is_root (cert_of v))) || image <> v))
+
+(** Fixpoint-free symmetry on trees with O(Δ log n) bits: same claim
+    structure; "fixpoint-free" is even locally checkable (every node
+    checks image ≠ self), so no tree certificate is needed. Still
+    unsound — Section 6.2's splice fools it. *)
+let fixpoint_free_claims =
+  Scheme.make ~name:"fixpoint-free-claims" ~radius:1
+    ~size_bound:(fun n -> 40 * (Bits.int_width (max 2 n) + 2) * 8)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if not (Tree_enum.is_tree g) then None
+      else
+        match Automorphism.fixpoint_free_automorphism g with
+        | None -> None
+        | Some mapping ->
+            let image = Hashtbl.create 64 in
+            List.iter (fun (u, w) -> Hashtbl.replace image u w) mapping;
+            Some
+              (Graph.fold_nodes
+                 (fun v p ->
+                   let w = Hashtbl.find image v in
+                   Proof.set p v
+                     (encode_claim ~image:w
+                        ~image_neighbours:(Graph.neighbours g w)
+                        ~extra:Bits.empty))
+                 g Proof.empty))
+    ~verifier:(fun view ->
+      let parse u =
+        let cur = Bits.Reader.of_bits (View.proof_of view u) in
+        let image = Bits.Reader.int_gamma cur in
+        let image_neighbours = Bits.Reader.list cur Bits.Reader.int_gamma in
+        Bits.Reader.expect_end cur;
+        (image, image_neighbours)
+      in
+      let v = View.centre view in
+      let image, image_nbrs = parse v in
+      image <> v
+      && List.length image_nbrs = View.degree_in_view view v
+      && (let claimed = List.map (fun u -> fst (parse u)) (View.neighbours view v) in
+          List.sort_uniq Int.compare claimed = List.sort Int.compare claimed
+          && List.sort Int.compare claimed = List.sort Int.compare image_nbrs))
+
+(** Ball certificates: every node carries an encoding of its radius-1
+    ball plus a shared one-bit verdict. Plausible ("certify your
+    neighbourhood, agree on the answer"), o(n²/log n)-sized, complete
+    for any property — and fooled by the Section 6.3 fooling set, whose
+    two yes-instances agree on every ball along the wires. *)
+let ball_claims ~name (predicate : Graph.t -> bool) =
+  Scheme.make ~name ~radius:1
+    ~size_bound:(fun n -> 80 * Bits.int_width (max 2 n) * 8)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      if (not (Traversal.is_connected g)) || Graph.is_empty g || not (predicate g)
+      then None
+      else
+        Some
+          (Graph.fold_nodes
+             (fun v p ->
+               let ball = Graph.induced g (Traversal.ball g v 1) in
+               let buf = Bits.Writer.create () in
+               Bits.Writer.bool buf true;
+               Bits.Writer.bits buf (Graph_code.encode ball);
+               Proof.set p v (Bits.Writer.contents buf))
+             g Proof.empty))
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let cur = Bits.Reader.of_bits (View.proof_of view v) in
+      let verdict = Bits.Reader.bool cur in
+      let rest =
+        Bits.sub (View.proof_of view v) 1 (Bits.length (View.proof_of view v) - 1)
+      in
+      verdict
+      && (let claimed = Graph_code.decode rest in
+          Graph.equal claimed (View.graph view))
+      && List.for_all
+           (fun u ->
+             let b = View.proof_of view u in
+             Bits.length b >= 1 && Bits.get b 0)
+           (View.neighbours view v))
+
+(* --- ablation: one-sided pointers for directed reachability -------- *)
+
+(* The tempting O(log Δ) scheme for directed s–t reachability stores
+   only a successor pointer (plus a mod-3 hop counter) along a path.
+   It is complete — and unsound: a disjoint pointer cycle of length
+   divisible by 3 satisfies every local check, so the chain from s may
+   feed into a cycle while an unreachable t idles with no successor.
+   [Reachability.directed_reach_pointer] fixes this with mutual
+   pointers; [one_sided_fooling] constructs the explicit counterexample
+   this ablation is about. *)
+let directed_reach_one_sided =
+  Scheme.make ~name:"st-reach-directed-one-sided" ~radius:2
+    ~size_bound:(fun n -> (2 * Bits.int_width (max 2 n)) + 6)
+    ~prover:(fun inst ->
+      match St.find inst with
+      | None -> None
+      | Some (s, t) ->
+          let g = Instance.graph inst in
+          let parent = Hashtbl.create 64 in
+          Hashtbl.replace parent s s;
+          let q = Queue.create () in
+          Queue.push s q;
+          while not (Queue.is_empty q) do
+            let v = Queue.pop q in
+            List.iter
+              (fun u ->
+                if Instance.arc_exists inst v u && not (Hashtbl.mem parent u)
+                then begin
+                  Hashtbl.replace parent u v;
+                  Queue.push u q
+                end)
+              (Graph.neighbours g v)
+          done;
+          if not (Hashtbl.mem parent t) then None
+          else begin
+            let rec walk acc v =
+              if v = s then v :: acc else walk (v :: acc) (Hashtbl.find parent v)
+            in
+            let path = Array.of_list (walk [] t) in
+            let out_rank v target =
+              let succs =
+                List.filter (Instance.arc_exists inst v) (Graph.neighbours g v)
+              in
+              let rec rank k = function
+                | [] -> invalid_arg "Truncated: successor not an out-neighbour"
+                | x :: rest -> if x = target then k else rank (k + 1) rest
+              in
+              rank 0 succs
+            in
+            let proof = ref Proof.empty in
+            Graph.iter_nodes
+              (fun v -> proof := Proof.set !proof v (Bits.one_bit false))
+              g;
+            Array.iteri
+              (fun i v ->
+                let buf = Bits.Writer.create () in
+                Bits.Writer.bool buf true;
+                Bits.Writer.int_fixed buf ~width:2 (i mod 3);
+                (if i + 1 < Array.length path then begin
+                   Bits.Writer.bool buf true;
+                   Bits.Writer.int_gamma buf (out_rank v path.(i + 1))
+                 end
+                 else Bits.Writer.bool buf false);
+                proof := Proof.set !proof v (Bits.Writer.contents buf))
+              path;
+            Some !proof
+          end)
+    ~verifier:(fun view ->
+      let parse u =
+        let cur = Bits.Reader.of_bits (View.proof_of view u) in
+        if not (Bits.Reader.bool cur) then None
+        else begin
+          let hop = Bits.Reader.int_fixed cur ~width:2 in
+          let succ =
+            if Bits.Reader.bool cur then Some (Bits.Reader.int_gamma cur) else None
+          in
+          Some (hop, succ)
+        end
+      in
+      let v = View.centre view in
+      match parse v with
+      | None -> (not (St.is_s view v)) && not (St.is_t view v)
+      | Some (hop, succ) -> (
+          hop < 3
+          && (if St.is_s view v then hop = 0 else true)
+          &&
+          match succ with
+          | None -> St.is_t view v
+          | Some rank -> (
+              let outs =
+                List.filter (fun x -> View.arc_exists view v x) (View.neighbours view v)
+              in
+              match List.nth_opt outs rank with
+              | None -> false
+              | Some u -> (
+                  match parse u with
+                  | Some (hop', _) -> hop' = (hop + 1) mod 3
+                  | None -> false))))
+
+(** The counterexample: s feeds a 3-cycle, t sits apart and is not
+    reachable — yet the forged proof below is accepted at every node.
+    Returns (instance, forged proof). *)
+let one_sided_fooling () =
+  (* arcs: s=0 -> 1, cycle 1 -> 2 -> 3 -> 1; t=4 with an incoming arc
+     from 5 so it is a legitimate node of the digraph. *)
+  let d = Digraph.of_arcs [ (0, 1); (1, 2); (2, 3); (3, 1); (5, 4) ] in
+  let inst = St.of_digraph d ~s:0 ~t:4 in
+  let mk ~hop ~succ =
+    let buf = Bits.Writer.create () in
+    Bits.Writer.bool buf true;
+    Bits.Writer.int_fixed buf ~width:2 hop;
+    (match succ with
+    | None -> Bits.Writer.bool buf false
+    | Some rank ->
+        Bits.Writer.bool buf true;
+        Bits.Writer.int_gamma buf rank);
+    Bits.Writer.contents buf
+  in
+  let off = Bits.one_bit false in
+  let proof =
+    Proof.of_list
+      [
+        (0, mk ~hop:0 ~succ:(Some 0)); (* s -> node 1 *)
+        (1, mk ~hop:1 ~succ:(Some 0)); (* 1 -> 2 *)
+        (2, mk ~hop:2 ~succ:(Some 0)); (* 2 -> 3 *)
+        (3, mk ~hop:0 ~succ:(Some 0)); (* 3 -> 1: hop 0 -> 1 consistent! *)
+        (4, mk ~hop:2 ~succ:None);     (* t: on path, no successor *)
+        (5, off);
+      ]
+  in
+  (inst, proof)

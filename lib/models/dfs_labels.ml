@@ -1,0 +1,55 @@
+(** DFS interval identifiers (Section 7.1, direction M2 → M1): generate
+    unique identifiers from the discovery/finishing times of a DFS on a
+    rooted spanning tree. The point is that local consistency of the
+    intervals — checkable by each node against its tree children —
+    forces global uniqueness, so a port-numbering-plus-leader network
+    can bootstrap identifiers inside a proof.
+
+    Local consistency at node v with interval (x, y) and children
+    intervals (x₁,y₁) … (x_d,y_d) ordered by x:
+    - leaf: y = x + 1;
+    - else: x₁ = x + 1, x_{i+1} = y_i + 1, y = y_d + 1;
+    - root: x = 0.
+
+    These checks pin every interval to the exact DFS numbering of the
+    certified tree, hence all intervals are distinct. *)
+
+type interval = { disc : int; fin : int }
+
+let write buf i =
+  Bits.Writer.int_gamma buf i.disc;
+  Bits.Writer.int_gamma buf i.fin
+
+let read cur =
+  let disc = Bits.Reader.int_gamma cur in
+  let fin = Bits.Reader.int_gamma cur in
+  { disc; fin }
+
+(** Cantor pairing of the interval — an injective integer identifier
+    derived from (disc, fin). *)
+let to_id i =
+  let s = i.disc + i.fin in
+  (s * (s + 1) / 2) + i.fin
+
+let assign g ~root =
+  List.map (fun (v, (x, y)) -> (v, { disc = x; fin = y })) (Traversal.dfs_intervals g root)
+
+(** [check_locally ~mine ~children ~is_root] applies the consistency
+    rules; [children] are the intervals of tree children in any
+    order. *)
+let check_locally ~mine ~children ~is_root =
+  let sorted = List.sort (fun a b -> compare a.disc b.disc) children in
+  ((not is_root) || mine.disc = 0)
+  && (match sorted with
+     | [] -> mine.fin = mine.disc + 1
+     | first :: _ ->
+         first.disc = mine.disc + 1
+         &&
+         let rec chain = function
+           | [ last ] -> mine.fin = last.fin + 1
+           | a :: (b :: _ as rest) -> b.disc = a.fin + 1 && chain rest
+           | [] -> false
+         in
+         chain sorted)
+  && mine.disc >= 0
+  && mine.fin > mine.disc

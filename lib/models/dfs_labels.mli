@@ -1,0 +1,22 @@
+(** DFS interval identifiers (Section 7.1): discovery/finishing times
+    on a rooted spanning tree. Their local consistency — each node's
+    children tile its open interval — forces the numbering to be a
+    genuine DFS, hence globally unique; this is how a port-numbering
+    network bootstraps identifiers inside a proof. *)
+
+type interval = { disc : int; fin : int }
+
+val write : Bits.Writer.buf -> interval -> unit
+val read : Bits.Reader.cursor -> interval
+
+val to_id : interval -> int
+(** Injective (Cantor-pairing) integer identifier. *)
+
+val assign : Graph.t -> root:Graph.node -> (Graph.node * interval) list
+(** DFS on a tree (typically a spanning tree of the real graph). *)
+
+val check_locally :
+  mine:interval -> children:interval list -> is_root:bool -> bool
+(** The consistency rules: root discovers at 0; a leaf finishes one
+    tick after discovery; children tile the parent's open interval
+    consecutively. *)

@@ -1,0 +1,121 @@
+type kkp_view = {
+  me : Graph.node;
+  my_label : Bits.t;
+  my_proof : Bits.t;
+  neighbour_proofs : Bits.t list;
+}
+
+type t = {
+  name : string;
+  size_bound : int -> int;
+  prover : Instance.t -> Proof.t option;
+  verifier : kkp_view -> bool;
+}
+
+let view_at inst proof v =
+  let g = Instance.graph inst in
+  {
+    me = v;
+    my_label = Instance.node_label inst v;
+    my_proof = Proof.get proof v;
+    neighbour_proofs = List.map (Proof.get proof) (Graph.neighbours g v);
+  }
+
+let decide s inst proof =
+  let rejecting =
+    Graph.fold_nodes
+      (fun v acc ->
+        let ok =
+          try s.verifier (view_at inst proof v)
+          with Bits.Reader.Decode_error _ -> false
+        in
+        if ok then acc else v :: acc)
+      (Instance.graph inst) []
+  in
+  match rejecting with [] -> Scheme.Accept | vs -> Scheme.Reject (List.rev vs)
+
+let accepts s inst proof = decide s inst proof = Scheme.Accept
+
+let to_lcp s =
+  Scheme.make ~name:(s.name ^ "-as-lcp") ~radius:1 ~size_bound:s.size_bound
+    ~prover:s.prover
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      s.verifier
+        {
+          me = v;
+          my_label = View.label_of view v;
+          my_proof = View.proof_of view v;
+          neighbour_proofs = List.map (View.proof_of view) (View.neighbours view v);
+        })
+
+let agreement =
+  {
+    name = "kkp-agreement";
+    (* gamma-length-prefixed echo of the label *)
+    size_bound = (fun _ -> 64);
+    prover =
+      (fun inst ->
+        let g = Instance.graph inst in
+        (* yes-instance: all labels equal (per component is enough for
+           the verifier; the problem is stated on connected graphs) *)
+        let labels =
+          Graph.fold_nodes (fun v acc -> Instance.node_label inst v :: acc) g []
+        in
+        match labels with
+        | [] -> Some Proof.empty
+        | l :: rest ->
+            if List.for_all (Bits.equal l) rest then
+              Some
+                (Graph.fold_nodes
+                   (fun v p ->
+                     let buf = Bits.Writer.create () in
+                     Bits.Writer.int_gamma buf (Bits.length l);
+                     Bits.Writer.bits buf (Instance.node_label inst v);
+                     Proof.set p v (Bits.Writer.contents buf))
+                   g Proof.empty)
+            else None);
+    verifier =
+      (fun view ->
+        (* my proof echoes my label; neighbours' proofs equal mine *)
+        let cur = Bits.Reader.of_bits view.my_proof in
+        let len = Bits.Reader.int_gamma cur in
+        len = Bits.length view.my_label
+        && (let echoed =
+              Bits.of_bools (List.init len (fun _ -> Bits.Reader.bool cur))
+            in
+            Bits.Reader.expect_end cur;
+            Bits.equal echoed view.my_label)
+        && List.for_all (Bits.equal view.my_proof) view.neighbour_proofs);
+  }
+
+(* Structural equality of KKP views. *)
+let kkp_view_equal a b =
+  a.me = b.me
+  && Bits.equal a.my_label b.my_label
+  && Bits.equal a.my_proof b.my_proof
+  && List.length a.neighbour_proofs = List.length b.neighbour_proofs
+  && List.for_all2 Bits.equal a.neighbour_proofs b.neighbour_proofs
+
+let constant_labelling g bit =
+  Instance.with_node_labels (Instance.of_graph g)
+    (List.map (fun v -> (v, Bits.one_bit bit)) (Graph.nodes g))
+
+let agreement_indistinguishable g ~u =
+  if not (Graph.mem_node g u) then invalid_arg "Kkp: unknown node";
+  if Graph.degree g u = 0 then invalid_arg "Kkp: u must have a neighbour";
+  let mixed =
+    Instance.with_node_labels (Instance.of_graph g)
+      (List.map (fun v -> (v, Bits.one_bit (v = u))) (Graph.nodes g))
+  in
+  let all0 = constant_labelling g false in
+  let all1 = constant_labelling g true in
+  (* With empty proofs, each node's mixed view must occur verbatim in
+     one of the two constant (yes-instance) labellings. *)
+  Graph.fold_nodes
+    (fun v acc ->
+      let mixed_view = view_at mixed Proof.empty v in
+      acc
+      && (kkp_view_equal mixed_view (view_at all0 Proof.empty v)
+         || kkp_view_equal mixed_view (view_at all1 Proof.empty v)))
+    g true

@@ -1,0 +1,23 @@
+(** Port numberings (Angluin) — the communication structure of model M2
+    (Section 7.1). Our views always carry identifiers, so "an M2
+    verifier" is modelled behaviourally: its verdicts must be invariant
+    under renaming the identifiers (ports being derivable from id
+    order). *)
+
+val assignment : Graph.t -> Graph.node -> int -> Graph.node
+(** [assignment g v i] — the neighbour behind port [i] (1-based,
+    i-th smallest neighbour identifier). *)
+
+val port_of : Graph.t -> Graph.node -> Graph.node -> int
+(** Inverse of {!assignment}. *)
+
+val invariant_under_relabelling :
+  Random.State.t -> Scheme.t -> Instance.t -> Proof.t -> factor:int -> bool
+(** Compare per-node verdict vectors before/after a random injective
+    renaming (instance and proof keys renamed; proof {e contents}
+    untouched — id-free schemes survive, id-embedding ones need not). *)
+
+val triangle_free_m1 : Scheme.t
+(** Triangle-freeness: locally checkable with identifiers (model M1),
+    famously not in anonymous networks — Section 7.1's separating
+    example. *)

@@ -1,0 +1,16 @@
+(** The scheme translations of Section 7.1: LogLCP is the same class in
+    model M1 (unique identifiers) and model M2 (port numbering plus a
+    unique leader), at an O(log n) proof-size overhead per direction. *)
+
+val m1_of_m2 : Scheme.t -> Scheme.t
+(** [m1_of_m2 inner] — [inner] expects leader-marked instances (bit 0
+    of the node label); the result proves the same property of plain
+    (unmarked) connected instances, electing and certifying a leader
+    inside the proof. *)
+
+val m2_of_m1 : Scheme.t -> Scheme.t
+(** [m2_of_m1 inner] — instances must carry the M2 leader mark; the
+    proof holds DFS intervals from which both unique identifiers and
+    the spanning tree are reconstructed, with no true-identifier
+    content at all: verdicts are invariant under renaming every node
+    (tested). The verifier simulates [inner] on the relabelled ball. *)

@@ -1,0 +1,93 @@
+(* Proof framing: gamma(|p1|) ++ p1 ++ p2 per node. *)
+let frame p1 p2 =
+  let buf = Bits.Writer.create () in
+  Bits.Writer.int_gamma buf (Bits.length p1);
+  Bits.Writer.bits buf p1;
+  Bits.Writer.bits buf p2;
+  Bits.Writer.contents buf
+
+let unframe b =
+  let cur = Bits.Reader.of_bits b in
+  let len = Bits.Reader.int_gamma cur in
+  if len > Bits.Reader.remaining cur then
+    raise (Bits.Reader.Decode_error "conj frame overruns");
+  let p1 = Bits.of_bools (List.init len (fun _ -> Bits.Reader.bool cur)) in
+  let p2 =
+    Bits.of_bools
+      (List.init (Bits.Reader.remaining cur) (fun _ -> Bits.Reader.bool cur))
+  in
+  (p1, p2)
+
+(* Rebuild one component's proof across the ball and run that scheme's
+   verifier on the restricted view. *)
+let run_component (scheme : Scheme.t) view pick =
+  let ball = Graph.nodes (View.graph view) in
+  let proof =
+    List.fold_left
+      (fun p u -> Proof.set p u (pick (View.proof_of view u)))
+      Proof.empty ball
+  in
+  let inner_view =
+    View.make (View.instance view) proof ~centre:(View.centre view)
+      ~radius:scheme.Scheme.radius
+  in
+  try scheme.Scheme.verifier inner_view with Bits.Reader.Decode_error _ -> false
+
+let conj ~name (s1 : Scheme.t) (s2 : Scheme.t) =
+  Scheme.make ~name
+    ~radius:(max s1.Scheme.radius s2.Scheme.radius)
+    ~size_bound:(fun n ->
+      s1.Scheme.size_bound n + s2.Scheme.size_bound n
+      + (2 * Bits.int_width (max 2 (s1.Scheme.size_bound n)))
+      + 4)
+    ~prover:(fun inst ->
+      match (s1.Scheme.prover inst, s2.Scheme.prover inst) with
+      | Some p1, Some p2 ->
+          Some
+            (Graph.fold_nodes
+               (fun v p -> Proof.set p v (frame (Proof.get p1 v) (Proof.get p2 v)))
+               (Instance.graph inst) Proof.empty)
+      | _ -> None)
+    ~verifier:(fun view ->
+      run_component s1 view (fun b -> fst (unframe b))
+      && run_component s2 view (fun b -> snd (unframe b)))
+
+let disj ~name (s1 : Scheme.t) (s2 : Scheme.t) =
+  Scheme.make ~name
+    ~radius:(max 1 (max s1.Scheme.radius s2.Scheme.radius))
+    ~size_bound:(fun n -> max (s1.Scheme.size_bound n) (s2.Scheme.size_bound n) + 1)
+    ~prover:(fun inst ->
+      let tag which proof =
+        Some
+          (Graph.fold_nodes
+             (fun v p ->
+               Proof.set p v (Bits.append (Bits.one_bit which) (Proof.get proof v)))
+             (Instance.graph inst) Proof.empty)
+      in
+      (* prefer the first disjunct whose prover succeeds *and* whose
+         proof passes (a prover may be optimistic) *)
+      let try_scheme which (s : Scheme.t) =
+        match s.Scheme.prover inst with
+        | Some proof when Scheme.accepts s inst proof -> tag which proof
+        | _ -> None
+      in
+      match try_scheme false s1 with
+      | Some p -> Some p
+      | None -> try_scheme true s2)
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let selector u =
+        let b = View.proof_of view u in
+        if Bits.length b < 1 then raise (Bits.Reader.Decode_error "no selector");
+        Bits.get b 0
+      in
+      let mine = selector v in
+      List.for_all (fun u -> selector u = mine) (View.neighbours view v)
+      &&
+      let payload b = Bits.sub b 1 (Bits.length b - 1) in
+      if mine then run_component s2 view payload else run_component s1 view payload)
+
+let restrict ~name promise (scheme : Scheme.t) =
+  Scheme.make ~name ~radius:scheme.Scheme.radius ~size_bound:scheme.Scheme.size_bound
+    ~prover:(fun inst -> if promise inst then scheme.Scheme.prover inst else None)
+    ~verifier:scheme.Scheme.verifier

@@ -1,0 +1,21 @@
+(** Closure properties of the LCP classes, as scheme combinators: if
+    P₁ ∈ LCP(f₁) and P₂ ∈ LCP(f₂) then P₁ ∧ P₂ ∈ LCP(f₁ + f₂ + O(log))
+    (concatenate proofs, run both verifiers), and on connected families
+    P₁ ∨ P₂ ∈ LCP(max + O(1)) (a globally-agreed selector bit names the
+    disjunct that holds). The combinators make the hierarchy usable as
+    an algebra: complex properties assemble from Table 1 pieces. *)
+
+val conj : name:string -> Scheme.t -> Scheme.t -> Scheme.t
+(** Both properties hold. Radius = max of the two; proof = gamma-length
+    framed concatenation. *)
+
+val disj : name:string -> Scheme.t -> Scheme.t -> Scheme.t
+(** At least one property holds — on {e connected} instances: the
+    selector bit's neighbour-agreement check only spans components, so
+    the family promise matters (a disconnected instance could satisfy
+    different disjuncts in different components without satisfying
+    either globally). *)
+
+val restrict : name:string -> (Instance.t -> bool) -> Scheme.t -> Scheme.t
+(** Narrow the prover to a sub-family (e.g. add a structural promise);
+    the verifier is unchanged. Handy for building catalogue entries. *)

@@ -1,0 +1,31 @@
+(** Section 4.2: s–t vertex connectivity = k via Menger's theorem.
+
+    The proof partitions V into S ∪ C ∪ T and labels k vertex-disjoint
+    chordless s–t paths with a path index (O(log k) bits) and the
+    distance from s mod 3. On planar graphs a 3-colouring of the
+    path-adjacency conflict graph replaces the indices — O(1) bits.
+
+    [k] is a global input ("given as input to all nodes"). *)
+
+type region = S | C | T
+
+type label = { region : region; path : (int * int) option }
+(** [(index-or-colour, dist-from-s mod 3)] for path nodes. *)
+
+val write_label : Bits.Writer.buf -> label -> unit
+val read_label : Bits.Reader.cursor -> label
+
+val globals_of_k : int -> Bits.t
+val k_of_globals : View.t -> int
+
+val instance : Graph.t -> s:Graph.node -> t:Graph.node -> k:int -> Instance.t
+(** Terminal marks plus the global [k]. *)
+
+val general : Scheme.t
+(** O(log k) bits; exact per-index uniqueness checks at s and t. *)
+
+val planar : Scheme.t
+(** O(1) bits; the prover 3-colours the conflict graph of the Menger
+    paths and fails (returns [None]) if 3 colours do not suffice —
+    they always do on the planar benchmark instances, per the paper's
+    observation. *)

@@ -1,0 +1,105 @@
+(** Counting the nodes of a connected graph with a certified spanning
+    tree (Section 5.1): every node stores its subtree size alongside
+    the tree certificate; the root learns n(G) and checks the desired
+    predicate. Also the Θ(1) parity scheme for the family of cycles:
+    a cycle is even iff it is 2-colourable. *)
+
+type cert = { tree : Tree_cert.t; count : int }
+
+let encode c =
+  let buf = Bits.Writer.create () in
+  Tree_cert.write buf c.tree;
+  Bits.Writer.int_gamma buf c.count;
+  Bits.Writer.contents buf
+
+let cert_of view u =
+  let cur = Bits.Reader.of_bits (View.proof_of view u) in
+  let tree = Tree_cert.read cur in
+  let count = Bits.Reader.int_gamma cur in
+  Bits.Reader.expect_end cur;
+  { tree; count }
+
+let prove inst =
+  let g = Instance.graph inst in
+  if Graph.is_empty g || not (Traversal.is_connected g) then None
+  else begin
+    let root = List.hd (Graph.nodes g) in
+    let certs = Tree_cert.prove g ~root in
+    let children = Hashtbl.create 64 in
+    List.iter
+      (fun (v, c) ->
+        match c.Tree_cert.parent with
+        | Some p -> Hashtbl.add children p v
+        | None -> ())
+      certs;
+    let rec subtree v = 1 + List.fold_left (fun acc c -> acc + subtree c) 0 (Hashtbl.find_all children v) in
+    Some
+      (List.fold_left
+         (fun p (v, tree) -> Proof.set p v (encode { tree; count = subtree v }))
+         Proof.empty certs)
+  end
+
+(** [scheme ~name ~accept_n] proves any decidable predicate of n(G) on
+    connected graphs with Θ(log n) bits — used for "odd number of
+    nodes" (tight by the gluing lower bound) and relatives. *)
+let scheme ~name ~accept_n ~is_yes =
+  Scheme.make ~name ~radius:1
+    ~size_bound:(fun n -> Tree_cert.size_bound n + (2 * Bits.int_width (max 2 n)) + 2)
+    ~prover:(fun inst -> if is_yes inst then prove inst else None)
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let c = cert_of view v in
+      Tree_cert.check_at view ~cert_of:(fun u -> (cert_of view u).tree)
+      &&
+      let child_sum =
+        List.fold_left
+          (fun acc u ->
+            let cu = cert_of view u in
+            if cu.tree.Tree_cert.parent = Some v then acc + cu.count else acc)
+          0 (View.neighbours view v)
+      in
+      c.count = 1 + child_sum
+      && (if Tree_cert.is_root c.tree then accept_n c.count else true))
+
+let odd_n =
+  scheme ~name:"odd-n" ~accept_n:(fun n -> n mod 2 = 1)
+    ~is_yes:(fun inst ->
+      let g = Instance.graph inst in
+      Traversal.is_connected g && Graph.n g mod 2 = 1)
+
+let even_n =
+  scheme ~name:"even-n" ~accept_n:(fun n -> n mod 2 = 0)
+    ~is_yes:(fun inst ->
+      let g = Instance.graph inst in
+      Traversal.is_connected g && Graph.n g mod 2 = 0)
+
+let exact_n target =
+  scheme
+    ~name:(Printf.sprintf "n-equals-%d" target)
+    ~accept_n:(fun n -> n = target)
+    ~is_yes:(fun inst ->
+      let g = Instance.graph inst in
+      Traversal.is_connected g && Graph.n g = target)
+
+(** Θ(1) parity on the family of cycles: even cycles are exactly the
+    bipartite ones, so one alternating bit per node suffices
+    (Table 1(a): "even n(G) / cycles"). *)
+let even_cycle =
+  Scheme.make ~name:"even-n-cycle" ~radius:1
+    ~size_bound:(fun _ -> 1)
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      match Bipartite.two_colouring g with
+      | Some colour when Graph.n g mod 2 = 0 ->
+          Some
+            (Graph.fold_nodes
+               (fun v p -> Proof.set p v (Bits.one_bit (colour v)))
+               g Proof.empty)
+      | _ -> None)
+    ~verifier:(fun view ->
+      let bit u =
+        let b = View.proof_of view u in
+        Bits.length b >= 1 && Bits.get b 0
+      in
+      let v = View.centre view in
+      List.for_all (fun u -> bit u <> bit v) (View.neighbours view v))

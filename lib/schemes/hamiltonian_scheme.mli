@@ -1,0 +1,8 @@
+(** Θ(log n): Hamiltonian cycle verification (Section 5.1) — the
+    flagged cycle minus one edge is a spanning path, certified as a
+    rooted spanning tree whose every node has at most one child; the
+    closing edge returns to the root. *)
+
+val flagged : View.t -> Graph.node -> Graph.node -> bool
+val scheme : Scheme.t
+val is_yes : Instance.t -> bool

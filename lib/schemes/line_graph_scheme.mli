@@ -1,0 +1,11 @@
+(** LCP(0): line graphs (Section 1.1), via Beineke's nine forbidden
+    induced subgraphs — each fits in a radius-5 ball, so a local
+    verifier needs no proof at all. The forbidden list itself is
+    {e derived} by {!Line_graph.forbidden_subgraphs}. *)
+
+val radius : int
+(** 5 — enough to contain any forbidden pattern around one of its
+    nodes. *)
+
+val scheme : Scheme.t
+val is_yes : Instance.t -> bool

@@ -1,0 +1,13 @@
+(** Θ(log n): chromatic number > 2 on connected graphs (Section 5.1).
+    The proof exhibits an odd cycle: a leader on the cycle (certified
+    unique by a spanning tree) plus strictly increasing position
+    counters along successor pointers; the closing position is even,
+    so the certified closed walk is odd — impossible in a bipartite
+    graph. Tight by the gluing lower bound. *)
+
+type cert = { tree : Tree_cert.t; cycle : (int * Graph.node) option }
+
+val encode : cert -> Bits.t
+val cert_of : View.t -> Graph.node -> cert
+val is_yes : Instance.t -> bool
+val scheme : Scheme.t

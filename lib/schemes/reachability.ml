@@ -1,0 +1,238 @@
+(** Section 4.1 — reachability and unreachability.
+
+    - Undirected s–t reachability ∈ LCP(1): mark the nodes [U] of a
+      chordless s–t path; local degree checks force the marked set to
+      contain a path from s to t.
+    - s–t unreachability ∈ LCP(1), both undirected and directed: mark
+      a side [S] of a cut with no (out-going) edge to the rest.
+    - Directed s–t reachability: whether it is in LCP(O(1)) is open
+      (Ajtai–Fagin); the O(log Δ) upper bound stores a pointer to the
+      successor along a path. *)
+
+let marked view u =
+  let b = View.proof_of view u in
+  Bits.length b >= 1 && Bits.get b 0
+
+let mark_proof g marked_nodes =
+  Graph.fold_nodes
+    (fun v p -> Proof.set p v (Bits.one_bit (List.mem v marked_nodes)))
+    g Proof.empty
+
+(* Keep only chordless paths so that "exactly two marked neighbours"
+   holds along the path (a chord would break it). *)
+let chordless_path g s t =
+  match Traversal.shortest_path g s t with
+  | None -> None
+  | Some p -> Some p
+(* Shortest paths are automatically chordless. *)
+
+let undirected_reach =
+  Scheme.make ~name:"st-reach-undirected" ~radius:1
+    ~size_bound:(fun _ -> 1)
+    ~prover:(fun inst ->
+      match St.find inst with
+      | None -> None
+      | Some (s, t) -> (
+          match chordless_path (Instance.graph inst) s t with
+          | None -> None
+          | Some path -> Some (mark_proof (Instance.graph inst) path)))
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let marked_neighbours =
+        List.filter (marked view) (View.neighbours view v)
+      in
+      if St.is_s view v || St.is_t view v then
+        marked view v && List.length marked_neighbours = 1
+      else if marked view v then List.length marked_neighbours = 2
+      else true)
+
+let undirected_unreach =
+  Scheme.make ~name:"st-unreach-undirected" ~radius:1
+    ~size_bound:(fun _ -> 1)
+    ~prover:(fun inst ->
+      match St.find inst with
+      | None -> None
+      | Some (s, t) ->
+          let g = Instance.graph inst in
+          let side = Traversal.component g s in
+          if List.mem t side then None else Some (mark_proof g side))
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let mine = marked view v in
+      (if St.is_s view v then mine else true)
+      && (if St.is_t view v then not mine else true)
+      && List.for_all (fun u -> marked view u = mine) (View.neighbours view v))
+
+let directed_unreach =
+  Scheme.make ~name:"st-unreach-directed" ~radius:1
+    ~size_bound:(fun _ -> 1)
+    ~prover:(fun inst ->
+      match St.find inst with
+      | None -> None
+      | Some (s, t) ->
+          let g = Instance.graph inst in
+          (* S = nodes reachable from s along arcs; no arc may leave it. *)
+          let module IS = Set.Make (Int) in
+          let rec grow seen = function
+            | [] -> seen
+            | v :: rest ->
+                if IS.mem v seen then grow seen rest
+                else
+                  let succ =
+                    List.filter (Instance.arc_exists inst v) (Graph.neighbours g v)
+                  in
+                  grow (IS.add v seen) (succ @ rest)
+          in
+          let side = grow IS.empty [ s ] in
+          if IS.mem t side then None
+          else Some (mark_proof g (IS.elements side)))
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let mine = marked view v in
+      (if St.is_s view v then mine else true)
+      && (if St.is_t view v then not mine else true)
+      && List.for_all
+           (fun u ->
+             (* No arc from a marked node to an unmarked one. *)
+             (not (View.arc_exists view v u)) || (not mine) || marked view u)
+           (View.neighbours view v))
+
+(* Directed reachability upper bound O(log Δ): each path node stores
+   {e mutual} pointers — the rank of its successor among its sorted
+   out-neighbours and the rank of its predecessor among its sorted
+   in-neighbours. The mutual checks make the successor relation a
+   partial bijection on marked nodes, so the component of s is a
+   genuine directed path; it can only terminate at t. (A one-sided
+   pointer chain would be unsound: disjoint pointer cycles fool it.)
+   Ranks need a radius-2 view, since computing a neighbour's
+   out-neighbour list requires seeing that neighbour's edges. Whether
+   O(1) bits suffice in general digraphs is the open problem the paper
+   cites (Ajtai–Fagin). *)
+let directed_reach_pointer =
+  Scheme.make ~name:"st-reach-directed-pointer" ~radius:2
+    ~size_bound:(fun n -> (4 * Bits.int_width (max 2 n)) + 8)
+    ~prover:(fun inst ->
+      match St.find inst with
+      | None -> None
+      | Some (s, t) ->
+          let g = Instance.graph inst in
+          (* BFS along arcs. *)
+          let parent = Hashtbl.create 64 in
+          Hashtbl.replace parent s s;
+          let q = Queue.create () in
+          Queue.push s q;
+          while not (Queue.is_empty q) do
+            let v = Queue.pop q in
+            List.iter
+              (fun u ->
+                if Instance.arc_exists inst v u && not (Hashtbl.mem parent u)
+                then begin
+                  Hashtbl.replace parent u v;
+                  Queue.push u q
+                end)
+              (Graph.neighbours g v)
+          done;
+          if not (Hashtbl.mem parent t) then None
+          else begin
+            let rec walk acc v =
+              if v = s then v :: acc else walk (v :: acc) (Hashtbl.find parent v)
+            in
+            let path = Array.of_list (walk [] t) in
+            let out_rank v target =
+              let succs =
+                List.filter (Instance.arc_exists inst v) (Graph.neighbours g v)
+              in
+              let rec rank k = function
+                | [] -> invalid_arg "Reachability: successor not an out-neighbour"
+                | x :: rest -> if x = target then k else rank (k + 1) rest
+              in
+              rank 0 succs
+            in
+            let in_rank v source =
+              let preds =
+                List.filter
+                  (fun u -> Instance.arc_exists inst u v)
+                  (Graph.neighbours g v)
+              in
+              let rec rank k = function
+                | [] -> invalid_arg "Reachability: predecessor not an in-neighbour"
+                | x :: rest -> if x = source then k else rank (k + 1) rest
+              in
+              rank 0 preds
+            in
+            let proof = ref Proof.empty in
+            Graph.iter_nodes
+              (fun v -> proof := Proof.set !proof v (Bits.one_bit false))
+              g;
+            Array.iteri
+              (fun i v ->
+                let buf = Bits.Writer.create () in
+                Bits.Writer.bool buf true;
+                (if i > 0 then begin
+                   Bits.Writer.bool buf true;
+                   Bits.Writer.int_gamma buf (in_rank v path.(i - 1))
+                 end
+                 else Bits.Writer.bool buf false);
+                (if i + 1 < Array.length path then begin
+                   Bits.Writer.bool buf true;
+                   Bits.Writer.int_gamma buf (out_rank v path.(i + 1))
+                 end
+                 else Bits.Writer.bool buf false);
+                proof := Proof.set !proof v (Bits.Writer.contents buf))
+              path;
+            Some !proof
+          end)
+    ~verifier:(fun view ->
+      let parse u =
+        let cur = Bits.Reader.of_bits (View.proof_of view u) in
+        if not (Bits.Reader.bool cur) then None
+        else begin
+          let pred =
+            if Bits.Reader.bool cur then Some (Bits.Reader.int_gamma cur) else None
+          in
+          let succ =
+            if Bits.Reader.bool cur then Some (Bits.Reader.int_gamma cur) else None
+          in
+          Some (pred, succ)
+        end
+      in
+      let out_neighbour u rank =
+        let succs =
+          List.filter (fun x -> View.arc_exists view u x) (View.neighbours view u)
+        in
+        List.nth_opt succs rank
+      in
+      let in_neighbour u rank =
+        let preds =
+          List.filter (fun x -> View.arc_exists view x u) (View.neighbours view u)
+        in
+        List.nth_opt preds rank
+      in
+      let v = View.centre view in
+      match parse v with
+      | None -> (not (St.is_s view v)) && not (St.is_t view v)
+      | Some (pred, succ) -> (
+          (match pred with
+          | None -> St.is_s view v
+          | Some rank -> (
+              (not (St.is_s view v))
+              &&
+              match in_neighbour v rank with
+              | None -> false
+              | Some u -> (
+                  (* Mutual: my predecessor's successor pointer names me. *)
+                  match parse u with
+                  | Some (_, Some succ_rank) -> out_neighbour u succ_rank = Some v
+                  | _ -> false)))
+          &&
+          match succ with
+          | None -> St.is_t view v
+          | Some rank -> (
+              (not (St.is_t view v))
+              &&
+              match out_neighbour v rank with
+              | None -> false
+              | Some u -> (
+                  match parse u with
+                  | Some (Some pred_rank, _) -> in_neighbour u pred_rank = Some v
+                  | _ -> false))))

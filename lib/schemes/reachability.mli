@@ -1,0 +1,25 @@
+(** Section 4.1: reachability and unreachability with O(1) bits.
+
+    Instances carry the {!St} marks. The undirected reachability proof
+    marks a chordless s–t path (1 bit); the unreachability proofs mark
+    a closed side of a cut (1 bit). Directed reachability is {e open}
+    in LCP(O(1)); {!directed_reach_pointer} is the O(log Δ) upper bound
+    with mutual successor/predecessor pointers (one-sided pointers
+    would be unsound — disjoint pointer cycles fool them). *)
+
+val undirected_reach : Scheme.t
+(** Θ(1): marks a shortest (hence chordless) s–t path. *)
+
+val undirected_unreach : Scheme.t
+(** Θ(1): marks the component of s; no edge may leave the marked set. *)
+
+val directed_unreach : Scheme.t
+(** Θ(1): marks the set of nodes reachable from s along arcs; no arc
+    may leave it. Instances use the {!Instance.of_digraph} layout. *)
+
+val directed_reach_pointer : Scheme.t
+(** O(log Δ) bits, radius 2: each path node stores the rank of its
+    successor among its out-neighbours and of its predecessor among its
+    in-neighbours; mutual agreement makes the pointer relation a
+    partial bijection whose s-component is a genuine directed path
+    ending at t. *)

@@ -1,0 +1,55 @@
+(** Θ(log n): verifying that the edges labelled 1 form a spanning tree
+    (Korman–Kutten–Peleg; Section 5.1 and Table 1(b)). This is a
+    {e strong} scheme: the tree is chosen by the adversary and the
+    prover must certify whatever it is given — any spanning tree can be
+    rooted anywhere and equipped with root/distance/parent labels. *)
+
+let cert_of view u = Tree_cert.decode (View.proof_of view u)
+
+let scheme =
+  Scheme.make ~name:"spanning-tree" ~radius:1 ~size_bound:Tree_cert.size_bound
+    ~prover:(fun inst ->
+      let g = Instance.graph inst in
+      let edges = Instance.flagged_edges inst in
+      match Graph.nodes g with
+      | [] -> None
+      | root :: _ -> (
+          match Tree_cert.prove_tree g ~edges ~root with
+          | None -> None
+          | Some certs ->
+              Some
+                (List.fold_left
+                   (fun p (v, c) -> Proof.set p v (Tree_cert.encode c))
+                   Proof.empty certs)))
+    ~verifier:(fun view ->
+      let v = View.centre view in
+      let c = cert_of view v in
+      let flagged u =
+        let l = View.edge_label_of view v u in
+        Bits.length l >= 1 && Bits.get l 0
+      in
+      Tree_cert.check_at view ~cert_of:(cert_of view)
+      && (match c.Tree_cert.parent with
+         | None -> true
+         | Some p -> flagged p)
+      && List.for_all
+           (fun u ->
+             (* Every flagged incident edge is a parent edge in one of
+                the two directions — flagged = tree edges exactly. *)
+             (not (flagged u))
+             || c.Tree_cert.parent = Some u
+             || (cert_of view u).Tree_cert.parent = Some v)
+           (View.neighbours view v))
+
+let is_yes inst =
+  let g = Instance.graph inst in
+  let edges = Instance.flagged_edges inst in
+  let t =
+    Graph.fold_nodes
+      (fun v acc -> Graph.add_node acc v)
+      g
+      (List.fold_left (fun acc (u, v) -> Graph.add_edge acc u v) Graph.empty edges)
+  in
+  (not (Graph.is_empty g))
+  && Graph.m t = Graph.n g - 1
+  && Traversal.is_connected t

@@ -1,0 +1,35 @@
+(** Conventions for the two distinguished nodes of the reachability and
+    connectivity problems (Section 4): "we have the promise that there
+    is exactly one node with label s and exactly one node with label
+    t". Node label layout: bit 0 = "I am s", bit 1 = "I am t". *)
+
+let s_label = Bits.of_string "10"
+let t_label = Bits.of_string "01"
+
+let mark inst ~s ~t =
+  if s = t then invalid_arg "St.mark: s = t";
+  Instance.with_node_labels inst [ (s, s_label); (t, t_label) ]
+
+let of_graph g ~s ~t = mark (Instance.of_graph g) ~s ~t
+let of_digraph d ~s ~t = mark (Instance.of_digraph d) ~s ~t
+
+let is_s_label l = Bits.length l >= 1 && Bits.get l 0
+let is_t_label l = Bits.length l >= 2 && Bits.get l 1
+let is_s view u = is_s_label (View.label_of view u)
+let is_t view u = is_t_label (View.label_of view u)
+
+let find inst =
+  let g = Instance.graph inst in
+  let s =
+    Graph.fold_nodes
+      (fun v acc -> if is_s_label (Instance.node_label inst v) then v :: acc else acc)
+      g []
+  in
+  let t =
+    Graph.fold_nodes
+      (fun v acc -> if is_t_label (Instance.node_label inst v) then v :: acc else acc)
+      g []
+  in
+  match (s, t) with
+  | [ s ], [ t ] -> Some (s, t)
+  | _ -> None

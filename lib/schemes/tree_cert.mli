@@ -1,0 +1,52 @@
+(** The locally checkable rooted-spanning-tree certificate of Korman,
+    Kutten & Peleg, as used throughout Section 5: each node carries
+    (root identity, its distance to the root, its parent pointer), all
+    in O(log n) bits.
+
+    Local checks force global correctness on connected graphs: parent
+    pointers strictly decrease the distance field, so every node's
+    pointer chain terminates at a distance-0 node; a distance-0 node
+    must carry its own identity as the root field; and neighbours must
+    agree on the root field, so there is exactly one root. The parent
+    edges therefore form a spanning tree rooted at a unique,
+    globally-agreed node — the versatile tool behind leader election,
+    counting, acyclicity, non-bipartiteness and the LogLCP
+    normalisation results. *)
+
+type t = {
+  root : Graph.node;  (** Claimed root identity. *)
+  dist : int;  (** Hop distance to the root along the tree. *)
+  parent : Graph.node option;  (** [None] exactly at the root. *)
+}
+
+val write : Bits.Writer.buf -> t -> unit
+val read : Bits.Reader.cursor -> t
+val encode : t -> Bits.t
+val decode : Bits.t -> t
+
+val size_bound : int -> int
+(** Generous bit bound for graphs whose identifiers are polynomial in
+    [n] (the paper's standing assumption). *)
+
+val prove : Graph.t -> root:Graph.node -> (Graph.node * t) list
+(** BFS spanning tree of the root's component. *)
+
+val prove_tree :
+  Graph.t -> edges:(Graph.node * Graph.node) list -> root:Graph.node ->
+  (Graph.node * t) list option
+(** Certificate for a {e given} spanning tree (strong schemes must
+    certify an adversary's tree): distances measured inside the edge
+    set. [None] if the edges do not connect the graph as a tree. *)
+
+val check_at :
+  View.t -> cert_of:(Graph.node -> t) -> bool
+(** The local verification at the view's centre. [cert_of] decodes the
+    certificate embedded in a node's proof string (it is given the
+    already-parsed certificate by the calling scheme); it may raise
+    [Bits.Reader.Decode_error] to reject. Requires radius ≥ 1. *)
+
+val parent_claims : View.t -> cert_of:(Graph.node -> t) -> Graph.node -> Graph.node list
+(** Neighbours of the given node (in the view) whose certificate names
+    it as parent — its tree children, as far as the view can see. *)
+
+val is_root : t -> bool

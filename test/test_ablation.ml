@@ -1,0 +1,98 @@
+(* Design ablations recorded in DESIGN.md: what breaks when a scheme
+   drops one of its checks. *)
+
+open Test_util
+
+let check = Alcotest.(check bool)
+
+let one_sided_pointers () =
+  (* complete on genuine yes-instances *)
+  let chain = Digraph.of_arcs [ (0, 1); (1, 2); (2, 3) ] in
+  assert_complete Truncated.directed_reach_one_sided
+    [ St.of_digraph chain ~s:0 ~t:3 ];
+  (* the explicit counterexample: s feeds a 3-cycle, t unreachable *)
+  let inst, forged = Truncated.one_sided_fooling () in
+  (match St.find inst with
+  | Some (s, t) ->
+      let g = Instance.graph inst in
+      let d =
+        Graph.fold_edges
+          (fun u v acc ->
+            let acc = if Instance.arc_exists inst u v then Digraph.add_arc acc u v else acc in
+            if Instance.arc_exists inst v u then Digraph.add_arc acc v u else acc)
+          g
+          (List.fold_left Digraph.add_node Digraph.empty (Graph.nodes g))
+      in
+      check "t is genuinely unreachable" false (List.mem t (Digraph.reachable d s))
+  | None -> Alcotest.fail "instance lost its terminals");
+  check "one-sided scheme is FOOLED" true
+    (Scheme.accepts Truncated.directed_reach_one_sided inst forged);
+  (* the mutual-pointer scheme is not fooled: prover refuses, random
+     and hill-climbing forging fail *)
+  assert_refuses Reachability.directed_reach_pointer [ inst ];
+  assert_sound_random ~samples:300 ~max_bits:8 Reachability.directed_reach_pointer
+    [ inst ];
+  assert_sound_adversarial ~max_bits:6 Reachability.directed_reach_pointer [ inst ]
+
+let weak_vs_strong_sizes () =
+  (* ablation: letting the prover choose the solution does not buy more
+     than a constant number of bits for leader election *)
+  List.iter
+    (fun n ->
+      let g = Builders.cycle n in
+      let strong_bits =
+        proof_size Leader_election.strong
+          (Leader_election.mark_leader (Instance.of_graph g) 0)
+      in
+      let weak_bits = proof_size Leader_election.weak (Instance.of_graph g) in
+      check
+        (Printf.sprintf "weak within constant of strong at n=%d" n)
+        true
+        (abs (weak_bits - strong_bits) <= 8))
+    [ 8; 32; 128 ]
+
+let counter_modulus_parity () =
+  (* ablation: the odd-n counter scheme needs an even modulus — with
+     2 bits (m = 4) parity survives; the scheme built on an odd-ish
+     modulus cannot even be expressed here (mod_of_bits rejects < 2),
+     but the even-m completeness across cycle lengths is worth pinning
+     down, including lengths not divisible by m. *)
+  List.iter
+    (fun n ->
+      assert_complete (Truncated.odd_n_cycle ~bits:2)
+        [ Instance.of_graph (Builders.cycle n) ])
+    [ 7; 9; 11; 13; 15; 17 ];
+  List.iter
+    (fun n ->
+      assert_refuses (Truncated.odd_n_cycle ~bits:2)
+        [ Instance.of_graph (Builders.cycle n) ])
+    [ 8; 10; 12 ]
+
+let chordless_paths_matter () =
+  (* ablation: the s-t reachability verifier counts marked neighbours,
+     which only works because the prover marks a *chordless* path. A
+     path with a chord is rejected — the honest prover never emits
+     one, but this pins the invariant down. *)
+  let g = Graph.of_edges [ (0, 1); (1, 2); (2, 3); (0, 2) ] in
+  let inst = St.of_graph g ~s:0 ~t:3 in
+  (* mark the chorded path 0-1-2-3: node 2 sees three marked
+     neighbours? no — 0,1,3 marked and adjacent: 2 has marked
+     neighbours {1, 3, 0} = 3 ≠ 2: reject *)
+  let chorded =
+    Proof.of_list
+      [ (0, Bits.one_bit true); (1, Bits.one_bit true); (2, Bits.one_bit true);
+        (3, Bits.one_bit true) ]
+  in
+  check "chorded marking rejected" false
+    (Scheme.accepts Reachability.undirected_reach inst chorded);
+  (* the prover's shortest path avoids the trap *)
+  assert_complete Reachability.undirected_reach [ inst ]
+
+let suite =
+  ( "ablations",
+    [
+      Alcotest.test_case "one-sided vs mutual pointers" `Quick one_sided_pointers;
+      Alcotest.test_case "weak vs strong proof sizes" `Quick weak_vs_strong_sizes;
+      Alcotest.test_case "counter modulus parity" `Quick counter_modulus_parity;
+      Alcotest.test_case "chordless paths matter" `Quick chordless_paths_matter;
+    ] )

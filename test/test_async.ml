@@ -1,0 +1,59 @@
+(* The asynchronous gather converges to exactly the radius-r views, in
+   any delivery order. *)
+
+let check = Alcotest.(check bool)
+
+let agreement_cases () =
+  List.iter
+    (fun (g, radius, seed) ->
+      let inst =
+        Instance.with_node_labels (Instance.of_graph g)
+          (List.map (fun v -> (v, Bits.encode_int (v mod 3))) (Graph.nodes g))
+      in
+      let proof =
+        Graph.fold_nodes
+          (fun v p -> Proof.set p v (Bits.encode_int (v * 5)))
+          g Proof.empty
+      in
+      check
+        (Printf.sprintf "async = direct (n=%d, r=%d, seed=%d)" (Graph.n g) radius seed)
+        true
+        (Async_simulator.agrees_with_synchronous ~seed inst proof ~radius))
+    [
+      (Builders.cycle 9, 2, 1);
+      (Builders.cycle 9, 2, 2);
+      (Builders.grid 3 4, 1, 3);
+      (Builders.grid 3 4, 3, 4);
+      (Builders.star 5, 1, 5);
+      (Random_graphs.connected_gnp (Random.State.make [| 9 |]) 12 0.25, 2, 6);
+    ]
+
+let qcheck_async =
+  QCheck.Test.make ~name:"async gather is delivery-order independent" ~count:20
+    QCheck.(triple (int_range 3 9) (int_range 1 3) (int_bound 1_000_000))
+    (fun (n, radius, seed) ->
+      let g = Random_graphs.connected_gnp (Random.State.make [| seed |]) n 0.35 in
+      let proof =
+        Graph.fold_nodes (fun v p -> Proof.set p v (Bits.encode_int v)) g Proof.empty
+      in
+      let inst = Instance.of_graph g in
+      Async_simulator.agrees_with_synchronous ~seed inst proof ~radius)
+
+let costs_more_messages () =
+  (* asynchrony without rounds costs extra deliveries vs the
+     synchronous schedule on the same task *)
+  let g = Builders.cycle 12 in
+  let inst = Instance.of_graph g in
+  let _, sync = Simulator.gather inst Proof.empty ~radius:2 in
+  let _, async = Async_simulator.gather inst Proof.empty ~radius:2 in
+  check "async quiescent" true async.Async_simulator.quiescent;
+  check "async >= sync messages" true
+    (async.Async_simulator.deliveries >= sync.Simulator.messages_sent)
+
+let suite =
+  ( "async-simulator",
+    [
+      Alcotest.test_case "async agrees with direct" `Quick agreement_cases;
+      QCheck_alcotest.to_alcotest qcheck_async;
+      Alcotest.test_case "async message cost" `Quick costs_more_messages;
+    ] )

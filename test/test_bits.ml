@@ -1,0 +1,94 @@
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let roundtrip_gamma () =
+  List.iter
+    (fun v -> check_int (Printf.sprintf "gamma %d" v) v (Bits.decode_int (Bits.encode_int v)))
+    [ 0; 1; 2; 3; 7; 8; 100; 1023; 1024; 999999 ]
+
+let gamma_size () =
+  (* Elias gamma of v+1 costs 2·⌊log2(v+1)⌋ + 1 bits. *)
+  List.iter
+    (fun v ->
+      let expected = (2 * (Bits.int_width (v + 1) - 1)) + 1 in
+      check_int (Printf.sprintf "gamma size %d" v) expected
+        (Bits.length (Bits.encode_int v)))
+    [ 0; 1; 3; 7; 100 ]
+
+let fixed_roundtrip () =
+  let buf = Bits.Writer.create () in
+  Bits.Writer.int_fixed buf ~width:7 93;
+  Bits.Writer.int_fixed buf ~width:3 5;
+  let cur = Bits.Reader.of_bits (Bits.Writer.contents buf) in
+  check_int "first" 93 (Bits.Reader.int_fixed cur ~width:7);
+  check_int "second" 5 (Bits.Reader.int_fixed cur ~width:3);
+  check "end" true (Bits.Reader.at_end cur)
+
+let list_roundtrip () =
+  let buf = Bits.Writer.create () in
+  Bits.Writer.list buf Bits.Writer.int_gamma [ 4; 0; 17; 3 ];
+  let cur = Bits.Reader.of_bits (Bits.Writer.contents buf) in
+  Alcotest.(check (list int))
+    "list" [ 4; 0; 17; 3 ]
+    (Bits.Reader.list cur Bits.Reader.int_gamma)
+
+let truncation_raises () =
+  let b = Bits.take 3 (Bits.encode_int 1000) in
+  Alcotest.check_raises "decode error" (Bits.Reader.Decode_error "truncated")
+    (fun () -> ignore (Bits.decode_int b))
+
+let string_ops () =
+  let b = Bits.of_string "01101" in
+  check_int "length" 5 (Bits.length b);
+  check "bit 1" true (Bits.get b 1);
+  check "bit 0" false (Bits.get b 0);
+  check_str "flip" "01001" (Bits.to_string (Bits.flip b 2));
+  check_str "sub" "110" (Bits.to_string (Bits.sub b 1 3));
+  check_str "append" "0110101101"
+    (Bits.to_string (Bits.append b b));
+  check_str "take" "011" (Bits.to_string (Bits.take 3 b));
+  check_str "take over" "01101" (Bits.to_string (Bits.take 99 b))
+
+let int_width () =
+  List.iter
+    (fun (n, w) -> check_int (Printf.sprintf "width %d" n) w (Bits.int_width n))
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 3); (255, 8); (256, 9) ]
+
+let qcheck_gamma =
+  QCheck.Test.make ~name:"gamma roundtrips" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun v -> Bits.decode_int (Bits.encode_int v) = v)
+
+let qcheck_bools =
+  QCheck.Test.make ~name:"of_bools/to_bools roundtrips" ~count:200
+    QCheck.(list bool)
+    (fun bs -> Bits.to_bools (Bits.of_bools bs) = bs)
+
+let qcheck_writer_reader =
+  QCheck.Test.make ~name:"mixed writer/reader roundtrips" ~count:200
+    QCheck.(pair (list (int_bound 1000)) (list bool))
+    (fun (ints, bools) ->
+      let buf = Bits.Writer.create () in
+      Bits.Writer.list buf Bits.Writer.int_gamma ints;
+      Bits.Writer.list buf Bits.Writer.bool bools;
+      let cur = Bits.Reader.of_bits (Bits.Writer.contents buf) in
+      let ints' = Bits.Reader.list cur Bits.Reader.int_gamma in
+      let bools' = Bits.Reader.list cur Bits.Reader.bool in
+      Bits.Reader.expect_end cur;
+      ints' = ints && bools' = bools)
+
+let suite =
+  ( "bits",
+    [
+      Alcotest.test_case "gamma roundtrip" `Quick roundtrip_gamma;
+      Alcotest.test_case "gamma size formula" `Quick gamma_size;
+      Alcotest.test_case "fixed-width roundtrip" `Quick fixed_roundtrip;
+      Alcotest.test_case "list roundtrip" `Quick list_roundtrip;
+      Alcotest.test_case "truncation raises" `Quick truncation_raises;
+      Alcotest.test_case "string operations" `Quick string_ops;
+      Alcotest.test_case "int_width" `Quick int_width;
+      QCheck_alcotest.to_alcotest qcheck_gamma;
+      QCheck_alcotest.to_alcotest qcheck_bools;
+      QCheck_alcotest.to_alcotest qcheck_writer_reader;
+    ] )

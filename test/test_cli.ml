@@ -1,0 +1,98 @@
+(* The instance file format behind bin/lcp. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let write_tmp content =
+  let path = Filename.temp_file "lcp_test" ".lcp" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let parse content = Graph_file.load_instance (write_tmp content)
+
+let basic_edges () =
+  let inst = parse "0 1\n1 2\nedge 2 3\nnode 9\n# comment\n" in
+  let g = Instance.graph inst in
+  check_int "nodes" 5 (Graph.n g);
+  check_int "edges" 3 (Graph.m g);
+  check "isolated node" true (Graph.mem_node g 9)
+
+let marks () =
+  let inst = parse "0 1\n1 2\ns 0\nt 2\n" in
+  (match St.find inst with
+  | Some (s, t) ->
+      check_int "s" 0 s;
+      check_int "t" 2 t
+  | None -> Alcotest.fail "marks not found");
+  let inst = parse "0 1\nleader 1\n" in
+  check "leader" true (Instance.marked_exactly_one inst = Some 1)
+
+let flags () =
+  let inst = parse "0 1\n1 2\n2 3\nflag 1 2\n" in
+  check "flagged" true (Instance.flagged_edges inst = [ (1, 2) ]);
+  (* unflagged edges carry an explicit 0 *)
+  check_int "label present" 1 (Bits.length (Instance.edge_label inst 0 1))
+
+let weights () =
+  let inst = parse "0 1\n1 2\nweight 0 1 5\nweight 1 2 3\nflag 0 1\n" in
+  check_int "weight 0-1" 5 (Matching_schemes.instance_weights inst (0, 1));
+  check_int "weight 1-2" 3 (Matching_schemes.instance_weights inst (1, 2));
+  check "flagged" true (Instance.flagged_edges inst = [ (0, 1) ])
+
+let arcs () =
+  let inst = parse "arc 0 1\narc 1 2\narc 2 0\ns 0\nt 2\n" in
+  check "arc 0->1" true (Instance.arc_exists inst 0 1);
+  check "no arc 1->0" false (Instance.arc_exists inst 1 0)
+
+let globals () =
+  let inst = parse "0 1\n1 2\nk 3\n" in
+  check_int "k" 3 (Bits.decode_int (Instance.globals inst))
+
+let labels () =
+  let inst = parse "0 1\nlabel 0 1011\n" in
+  check "label" true (Bits.equal (Instance.node_label inst 0) (Bits.of_string "1011"))
+
+let proof_roundtrip () =
+  let proof =
+    Proof.of_list [ (0, Bits.of_string "101"); (1, Bits.empty); (2, Bits.of_string "0") ]
+  in
+  let path = Filename.temp_file "lcp_test" ".proof" in
+  Graph_file.save_proof path proof;
+  let proof' = Graph_file.load_proof path in
+  check "roundtrip" true (Proof.equal proof proof')
+
+let bad_input () =
+  Alcotest.check_raises "unknown directive"
+    (Failure "line 1: unknown directive \"frobnicate\"") (fun () ->
+      ignore (parse "frobnicate 3\n"));
+  Alcotest.check_raises "bad int"
+    (Failure "line 1: expected an integer, got \"x\"") (fun () ->
+      ignore (parse "edge x 1\n"))
+
+(* End-to-end: a file-driven prove/verify cycle. *)
+let end_to_end () =
+  let inst = parse "0 1\n1 2\n2 3\n3 0\n" in
+  match Scheme.prove_and_check Bipartite_scheme.scheme inst with
+  | `Accepted proof ->
+      let path = Filename.temp_file "lcp_test" ".proof" in
+      Graph_file.save_proof path proof;
+      check "verify from file" true
+        (Scheme.accepts Bipartite_scheme.scheme inst (Graph_file.load_proof path))
+  | _ -> Alcotest.fail "prove failed"
+
+let suite =
+  ( "cli-format",
+    [
+      Alcotest.test_case "edges and nodes" `Quick basic_edges;
+      Alcotest.test_case "s/t/leader marks" `Quick marks;
+      Alcotest.test_case "edge flags" `Quick flags;
+      Alcotest.test_case "weights" `Quick weights;
+      Alcotest.test_case "arcs" `Quick arcs;
+      Alcotest.test_case "globals" `Quick globals;
+      Alcotest.test_case "raw labels" `Quick labels;
+      Alcotest.test_case "proof file roundtrip" `Quick proof_roundtrip;
+      Alcotest.test_case "bad input" `Quick bad_input;
+      Alcotest.test_case "file-driven prove/verify" `Quick end_to_end;
+    ] )

@@ -1,0 +1,99 @@
+(* Closure of LCP classes under conjunction and (connected)
+   disjunction, as executable combinators. *)
+
+open Test_util
+
+let check = Alcotest.(check bool)
+let of_g g = Instance.of_graph g
+
+let conj_scheme =
+  Combinators.conj ~name:"bipartite-and-eulerian" Bipartite_scheme.scheme
+    Eulerian.scheme
+
+let conjunction () =
+  (* even cycles satisfy both *)
+  assert_complete conj_scheme [ of_g (Builders.cycle 6); of_g (Builders.cycle 10) ];
+  (* odd cycle: eulerian but not bipartite *)
+  assert_refuses conj_scheme [ of_g (Builders.cycle 7) ];
+  assert_sound_random ~max_bits:4 conj_scheme [ of_g (Builders.cycle 7) ];
+  (* path: bipartite but not eulerian *)
+  assert_refuses conj_scheme [ of_g (Builders.path 5) ];
+  assert_sound_random ~max_bits:4 conj_scheme [ of_g (Builders.path 5) ];
+  assert_sound_exhaustive ~max_bits:2 conj_scheme [ of_g (Builders.cycle 5) ]
+
+let conj_log_level () =
+  (* conjunction at the LogLCP level: odd n AND non-bipartite *)
+  let s =
+    Combinators.conj ~name:"odd-and-non-bipartite" Counting.odd_n
+      Non_bipartite.scheme
+  in
+  assert_complete s [ of_g (Builders.cycle 7); of_g (Builders.cycle 9) ];
+  assert_refuses s [ of_g (Builders.cycle 8) ];
+  (* C8 even AND bipartite: both fail *)
+  assert_sound_random ~max_bits:8 s [ of_g (Builders.cycle 8) ];
+  (* grid 3x3: odd n but bipartite *)
+  assert_refuses s [ of_g (Builders.grid 3 3) ];
+  assert_sound_random ~max_bits:8 s [ of_g (Builders.grid 3 3) ]
+
+let disj_scheme =
+  Combinators.disj ~name:"eulerian-or-bipartite" Eulerian.scheme
+    Bipartite_scheme.scheme
+
+let disjunction () =
+  (* C5: eulerian, not bipartite *)
+  assert_complete disj_scheme [ of_g (Builders.cycle 5) ];
+  (* P4: bipartite, not eulerian *)
+  assert_complete disj_scheme [ of_g (Builders.path 4) ];
+  (* C6: both *)
+  assert_complete disj_scheme [ of_g (Builders.cycle 6) ];
+  (* wheel W5: hub degree 5 (odd) and chromatic number 4: neither *)
+  assert_refuses disj_scheme [ of_g (Builders.wheel 5) ];
+  assert_sound_random ~max_bits:4 disj_scheme [ of_g (Builders.wheel 5) ];
+  assert_sound_exhaustive ~max_bits:2 disj_scheme [ of_g (Builders.wheel 5) ]
+
+let disj_selector_agreement () =
+  (* forged proofs with disagreeing selectors are rejected even when
+     both payloads would locally pass *)
+  let g = Builders.cycle 6 in
+  let inst = of_g g in
+  match Scheme.prove_and_check disj_scheme inst with
+  | `Accepted proof ->
+      let flipped =
+        Proof.set proof 0 (Bits.flip (Proof.get proof 0) 0)
+      in
+      check "selector disagreement caught" false
+        (Scheme.accepts disj_scheme inst flipped)
+  | _ -> Alcotest.fail "prover failed"
+
+let restriction () =
+  let s =
+    Combinators.restrict ~name:"bipartite-on-cycles"
+      (fun inst ->
+        let g = Instance.graph inst in
+        Graph.n g >= 3
+        && Graph.m g = Graph.n g
+        && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true)
+      Bipartite_scheme.scheme
+  in
+  assert_complete s [ of_g (Builders.cycle 6) ];
+  (* outside the promise the prover refuses, even on a yes-instance of
+     the unrestricted property *)
+  assert_refuses s [ of_g (Builders.path 4) ]
+
+let sizes_add_up () =
+  let bits inst = proof_size conj_scheme inst in
+  (* 1 bit (bipartite) + 0 (eulerian) + small frame *)
+  check "conj size is sum plus frame" true (bits (of_g (Builders.cycle 8)) <= 8);
+  let d = proof_size disj_scheme (of_g (Builders.cycle 5)) in
+  check "disj size is max plus selector" true (d <= 2)
+
+let suite =
+  ( "combinators",
+    [
+      Alcotest.test_case "conjunction" `Quick conjunction;
+      Alcotest.test_case "conjunction at LogLCP level" `Quick conj_log_level;
+      Alcotest.test_case "disjunction" `Quick disjunction;
+      Alcotest.test_case "selector agreement" `Quick disj_selector_agreement;
+      Alcotest.test_case "restriction" `Quick restriction;
+      Alcotest.test_case "combined sizes" `Quick sizes_add_up;
+    ] )

@@ -1,0 +1,67 @@
+(* Section 3.2: the LCP model strictly generalises the proof labelling
+   schemes of Korman–Kutten–Peleg. *)
+
+let check = Alcotest.(check bool)
+
+let labelled g f =
+  Instance.with_node_labels (Instance.of_graph g)
+    (List.map (fun v -> (v, f v)) (Graph.nodes g))
+
+let agreement_with_proofs () =
+  (* yes-instances accepted with the echo proof *)
+  List.iter
+    (fun g ->
+      let inst = labelled g (fun _ -> Bits.of_string "101") in
+      match Kkp.agreement.Kkp.prover inst with
+      | Some proof -> check "accepted" true (Kkp.accepts Kkp.agreement inst proof)
+      | None -> Alcotest.fail "prover refused a yes-instance")
+    [ Builders.cycle 6; Builders.grid 3 3; Builders.star 4 ];
+  (* disagreement detected under the honest proof discipline: forge
+     attempts through the LCP embedding *)
+  let mixed = labelled (Builders.path 4) (fun v -> Bits.one_bit (v = 0)) in
+  check "prover refuses" true (Kkp.agreement.Kkp.prover mixed = None);
+  let as_lcp = Kkp.to_lcp Kkp.agreement in
+  check "no small forged proof" true
+    (Checker.soundness_random as_lcp mixed ~samples:300 ~max_bits:4)
+
+let embedding_agrees () =
+  (* KKP decisions coincide with the LCP embedding's decisions *)
+  let inst = labelled (Builders.cycle 5) (fun _ -> Bits.of_string "1") in
+  let proof = Option.get (Kkp.agreement.Kkp.prover inst) in
+  let as_lcp = Kkp.to_lcp Kkp.agreement in
+  check "embed accept" true (Scheme.accepts as_lcp inst proof);
+  let tampered = Proof.set proof 2 (Bits.of_string "1010101") in
+  check "both reject tampering"
+    (Kkp.accepts Kkp.agreement inst tampered)
+    (Scheme.accepts as_lcp inst tampered)
+
+let lemma_2_1 () =
+  (* With empty proofs, KKP views cannot separate mixed labellings from
+     constant ones — on any graph where the marked node has a
+     neighbour. *)
+  List.iter
+    (fun (g, u) ->
+      check "indistinguishable" true (Kkp.agreement_indistinguishable g ~u))
+    [
+      (Builders.path 2, 0);
+      (Builders.cycle 6, 3);
+      (Builders.grid 3 3, 4);
+      (Random_graphs.connected_gnp (Random.State.make [| 3 |]) 10 0.3, 5);
+    ];
+  (* …whereas the LCP(0) agreement verifier separates them instantly,
+     because LCP views include neighbour labels. *)
+  let g = Builders.cycle 6 in
+  let mixed = labelled g (fun v -> Bits.one_bit (v = 3)) in
+  check "LCP(0) rejects mixed" false
+    (Scheme.accepts Lcl.agreement mixed Proof.empty);
+  let const = labelled g (fun _ -> Bits.one_bit true) in
+  check "LCP(0) accepts constant" true
+    (Scheme.accepts Lcl.agreement const Proof.empty)
+
+let suite =
+  ( "kkp-model",
+    [
+      Alcotest.test_case "agreement with echo proofs" `Quick agreement_with_proofs;
+      Alcotest.test_case "LCP embedding" `Quick embedding_agrees;
+      Alcotest.test_case "Lemma 2.1 separation" `Quick lemma_2_1;
+    ] )

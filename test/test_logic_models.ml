@@ -1,0 +1,215 @@
+(* Monadic Σ¹₁ (Section 7.5) and the model translations (Section 7.1),
+   plus the weak/strong distinction (7.2). *)
+
+open Test_util
+
+let check = Alcotest.(check bool)
+let of_g g = Instance.of_graph g
+
+(* --- formulas --- *)
+
+let well_formedness () =
+  List.iter
+    (fun s -> check (s.Formula.name ^ " well-formed") true (Formula.well_formed s))
+    [ Sentences.two_colourable; Sentences.has_triangle;
+      Sentences.has_degree_three; Sentences.is_cycle ];
+  let bad = { Sentences.two_colourable with Formula.k = 0 } in
+  check "set index out of range" false (Formula.well_formed bad)
+
+let eval_agreement () =
+  (* local evaluation on a big-enough view agrees with global *)
+  let g = Random_graphs.connected_gnp (st 1) 9 0.35 in
+  let sets _ v = v mod 2 = 0 in
+  List.iter
+    (fun (s : Formula.sentence) ->
+      Graph.iter_nodes
+        (fun y ->
+          let x = if s.Formula.uses_x then Some (List.hd (Graph.nodes g)) else None in
+          let view =
+            View.make (of_g g) Proof.empty ~centre:y ~radius:s.Formula.locality
+          in
+          check
+            (Printf.sprintf "%s local=global at %d" s.Formula.name y)
+            (Eval.eval_global g sets ~x ~y s.Formula.phi)
+            (Eval.eval_local view sets ~x s.Formula.phi))
+        g)
+    [ Sentences.two_colourable; Sentences.has_degree_three; Sentences.is_cycle ]
+
+let holds_matches_reference () =
+  let graphs =
+    [
+      Builders.cycle 5; Builders.cycle 6; Builders.path 4; Builders.star 3;
+      Builders.complete 4; Random_graphs.connected_gnp (st 2) 6 0.4;
+      Random_graphs.tree (st 3) 6;
+    ]
+  in
+  List.iter
+    (fun g ->
+      check "two-colourable" (Sentences.two_colourable_ref g)
+        (Sigma11.holds Sentences.two_colourable g);
+      check "has-triangle" (Sentences.has_triangle_ref g)
+        (Sigma11.holds Sentences.has_triangle g);
+      check "degree-three" (Sentences.has_degree_three_ref g)
+        (Sigma11.holds Sentences.has_degree_three g);
+      check "is-cycle" (Sentences.is_cycle_ref g)
+        (Sigma11.holds Sentences.is_cycle g);
+      if Graph.n g <= 6 then
+        check "three-colourable" (Sentences.three_colourable_ref g)
+          (Sigma11.holds Sentences.three_colourable g))
+    graphs
+
+(* --- T1a-12: compiled Σ¹₁ schemes --- *)
+
+let sigma11_schemes () =
+  let sch_2col = Sigma11.scheme Sentences.two_colourable in
+  assert_complete sch_2col [ of_g (Builders.cycle 6); of_g (Builders.path 5) ];
+  assert_refuses sch_2col [ of_g (Builders.cycle 5) ];
+  assert_sound_random ~max_bits:4 sch_2col [ of_g (Builders.cycle 5) ];
+  let sch_tri = Sigma11.scheme Sentences.has_triangle in
+  assert_complete sch_tri [ of_g (Builders.complete 4); of_g (Builders.wheel 5) ];
+  assert_refuses sch_tri [ of_g (Builders.cycle 6) ];
+  assert_sound_random ~max_bits:6 sch_tri [ of_g (Builders.cycle 6) ];
+  assert_sound_adversarial ~max_bits:6 sch_tri [ of_g (Builders.cycle 6) ];
+  let sch_cycle = Sigma11.scheme Sentences.is_cycle in
+  assert_complete sch_cycle [ of_g (Builders.cycle 7) ];
+  assert_refuses sch_cycle [ of_g (Builders.path 6) ];
+  (* 3-colourability needs two monadic sets: instances stay tiny
+     because the witness search is 2^(2n) *)
+  let sch_3col = Sigma11.scheme Sentences.three_colourable in
+  assert_complete sch_3col [ of_g (Builders.cycle 5); of_g (Builders.complete 3) ];
+  assert_refuses sch_3col [ of_g (Builders.complete 4) ];
+  assert_sound_random ~max_bits:2 sch_3col [ of_g (Builders.complete 4) ]
+
+(* --- Section 7.3 is covered in the LogLCP suite; Section 7.1: --- *)
+
+let ports_basic () =
+  let g = Builders.star 3 in
+  let port = Ports.assignment g in
+  Alcotest.(check int) "centre port 1" 1 (port 0 1);
+  Alcotest.(check int) "centre port 3" 3 (port 0 3);
+  Alcotest.(check int) "port_of inverts" 2 (Ports.port_of g 0 (port 0 2))
+
+let relabelling_invariance () =
+  (* Schemes whose proofs carry all id-dependence are verdict-invariant
+     under renaming (the proof is renamed along). *)
+  let g = Builders.cycle 8 in
+  let inst = of_g g in
+  List.iter
+    (fun (scheme : Scheme.t) ->
+      match Scheme.prove_and_check scheme inst with
+      | `Accepted proof ->
+          check (scheme.Scheme.name ^ " invariant") true
+            (Ports.invariant_under_relabelling (st 4) scheme inst proof ~factor:3)
+      | _ -> Alcotest.fail "prover failed")
+    [ Bipartite_scheme.scheme; Counting.even_cycle ]
+(* Note: id-carrying schemes (tree certificates) are deliberately NOT
+   invariant — their proofs embed identifiers that a renaming leaves
+   stale. That asymmetry is the M1/M2 gap of Section 7.1; the
+   [m2_of_m1] translation below removes it. *)
+
+let m1_of_m2 () =
+  (* The inner scheme needs a leader: leader election's strong scheme
+     consumes leader-marked instances; lifting it yields a scheme for
+     plain connected graphs. *)
+  let lifted = Translate.m1_of_m2 Leader_election.strong in
+  assert_complete ~sizes_ok:false lifted
+    [ of_g (Builders.cycle 8); of_g (Builders.grid 3 3);
+      of_g (Random_graphs.tree (st 5) 9) ];
+  assert_sound_random ~max_bits:10 lifted
+    [ of_g (Graph.union_disjoint (Builders.cycle 3) (Canonical.shifted (Builders.cycle 3) 5)) ]
+
+let m2_of_m1 () =
+  (* Lift the M1 odd-n scheme into the port-numbering model: instances
+     carry a leader mark, proofs carry DFS-interval identifiers. *)
+  let lifted = Translate.m2_of_m1 Counting.odd_n in
+  let with_leader g = Leader_election.mark_leader (of_g g) (List.hd (Graph.nodes g)) in
+  assert_complete ~sizes_ok:false lifted
+    [ with_leader (Builders.cycle 7); with_leader (Builders.grid 3 3);
+      with_leader (Random_graphs.tree (st 6) 9) ];
+  assert_refuses lifted [ with_leader (Builders.cycle 8) ];
+  assert_sound_random ~max_bits:10 lifted [ with_leader (Builders.cycle 6) ];
+  (* The lifted verifier never *reads* true identifiers: renaming the
+     instance while keeping the proof's DFS ids gives the same verdict
+     vector. *)
+  let inst = with_leader (Builders.cycle 7) in
+  (match Scheme.prove_and_check lifted inst with
+  | `Accepted proof ->
+      check "verdicts invariant under renaming" true
+        (Ports.invariant_under_relabelling (st 7) lifted inst proof ~factor:4)
+  | _ -> Alcotest.fail "lifted prover failed")
+
+let dfs_labels_local_checks () =
+  let g = Random_graphs.tree (st 8) 10 in
+  let root = List.hd (Graph.nodes g) in
+  let intervals = Dfs_labels.assign g ~root in
+  let interval v = List.assoc v intervals in
+  let parent = Hashtbl.create 16 in
+  List.iter (fun (v, p) -> Hashtbl.replace parent v p) (Traversal.spanning_tree g root);
+  Graph.iter_nodes
+    (fun v ->
+      let children =
+        List.filter (fun u -> Hashtbl.find_opt parent u = Some v) (Graph.neighbours g v)
+      in
+      check
+        (Printf.sprintf "dfs consistency at %d" v)
+        true
+        (Dfs_labels.check_locally ~mine:(interval v)
+           ~children:(List.map interval children)
+           ~is_root:(v = root)))
+    g;
+  (* uniqueness of the derived identifiers *)
+  let ids = List.map (fun (_, i) -> Dfs_labels.to_id i) intervals in
+  check "ids distinct" true (List.length (List.sort_uniq compare ids) = List.length ids)
+
+let dfs_labels_reject_tampering () =
+  let g = Builders.path 3 in
+  let intervals = Dfs_labels.assign g ~root:0 in
+  let interval v = List.assoc v intervals in
+  (* shifting a leaf interval breaks the chain rule at its parent *)
+  let fake = { Dfs_labels.disc = (interval 2).Dfs_labels.disc + 1;
+               fin = (interval 2).Dfs_labels.fin + 1 } in
+  check "tampered child caught" false
+    (Dfs_labels.check_locally ~mine:(interval 1) ~children:[ fake ] ~is_root:false)
+
+(* --- Section 7.2: weak vs strong --- *)
+
+let weak_vs_strong () =
+  let g = Builders.cycle 9 in
+  (* strong: every choice of leader is certifiable *)
+  List.iter
+    (fun leader ->
+      assert_complete Leader_election.strong
+        [ Leader_election.mark_leader (of_g g) leader ])
+    (Graph.nodes g);
+  (* weak: the prover picks its own leader on the unlabelled instance *)
+  assert_complete Leader_election.weak [ of_g g ];
+  (* and weak proofs are within a constant of strong ones *)
+  let s = proof_size Leader_election.strong (Leader_election.mark_leader (of_g g) 0) in
+  let w = proof_size Leader_election.weak (of_g g) in
+  check "weak ~ strong size" true (abs (w - s) <= 8)
+
+(* --- the M1-only triangle-freeness verifier (7.1's example) --- *)
+
+let triangle_free_m1 () =
+  assert_complete Ports.triangle_free_m1
+    [ of_g (Builders.cycle 9); of_g (Builders.grid 3 3) ];
+  assert_refuses Ports.triangle_free_m1 [ of_g (Builders.complete 3) ];
+  check "triangle rejected locally" false
+    (Scheme.accepts Ports.triangle_free_m1 (of_g (Builders.wheel 5)) Proof.empty)
+
+let suite =
+  ( "logic-models",
+    [
+      Alcotest.test_case "formula well-formedness" `Quick well_formedness;
+      Alcotest.test_case "local = global evaluation" `Quick eval_agreement;
+      Alcotest.test_case "Sigma11.holds matches references" `Slow holds_matches_reference;
+      Alcotest.test_case "T1a-12 compiled sigma11 schemes" `Slow sigma11_schemes;
+      Alcotest.test_case "port numbering" `Quick ports_basic;
+      Alcotest.test_case "relabelling invariance" `Quick relabelling_invariance;
+      Alcotest.test_case "7.1 m1-of-m2" `Quick m1_of_m2;
+      Alcotest.test_case "7.1 m2-of-m1" `Quick m2_of_m1;
+      Alcotest.test_case "DFS labels consistent" `Quick dfs_labels_local_checks;
+      Alcotest.test_case "DFS labels reject tampering" `Quick dfs_labels_reject_tampering;
+      Alcotest.test_case "7.2 weak vs strong" `Quick weak_vs_strong;
+      Alcotest.test_case "7.1 triangle-freeness in M1" `Quick triangle_free_m1;
+    ] )

@@ -1,0 +1,84 @@
+(* Section 7.4: LogLCP verifiers on bounded-degree graphs read O(log n)
+   bits and tabulate polynomially. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fingerprint_faithful () =
+  (* equal views, equal fingerprints; different views, different ones *)
+  let g = Builders.cycle 8 in
+  let inst = Instance.of_graph g in
+  let proof =
+    Graph.fold_nodes (fun v p -> Proof.set p v (Bits.encode_int v)) g Proof.empty
+  in
+  let view v = View.make inst proof ~centre:v ~radius:1 in
+  check "same view same print" true
+    (Bits.equal (Lookup.fingerprint (view 3)) (Lookup.fingerprint (view 3)));
+  check "different centre different print" false
+    (Bits.equal (Lookup.fingerprint (view 3)) (Lookup.fingerprint (view 4)));
+  (* proof change flips the print *)
+  let proof' = Proof.set proof 3 (Bits.of_string "111") in
+  let view' = View.make inst proof' ~centre:3 ~radius:1 in
+  check "proof change changes print" false
+    (Bits.equal (Lookup.fingerprint (view 3)) (Lookup.fingerprint view'))
+
+let table_agrees_with_direct () =
+  let st = Random.State.make [| 17 |] in
+  let table = Lookup.tabulate Bipartite_scheme.scheme in
+  for _ = 1 to 10 do
+    let g = Random_graphs.connected_gnp st 10 0.25 in
+    let inst = Instance.of_graph g in
+    match Scheme.prove_and_check Bipartite_scheme.scheme inst with
+    | `Accepted proof ->
+        check "tabulated accept" true (Lookup.decide table inst proof = Scheme.Accept);
+        (* and on a corrupted proof both reject in the same places *)
+        let bad = Proof.set proof (List.hd (Graph.nodes g)) (Bits.of_string "1") in
+        check "tabulated = direct on corrupted" true
+          (Lookup.decide table inst bad = Scheme.decide Bipartite_scheme.scheme inst bad)
+    | _ -> ()
+  done;
+  check "table not empty" true (Lookup.entries table > 0)
+
+let input_bits_logarithmic () =
+  (* On degree-2 graphs (cycles), the per-view input is O(log n) bits:
+     ids dominate, everything else is constant. *)
+  let bits_at n =
+    let g = Builders.cycle n in
+    let inst = Instance.of_graph g in
+    match Scheme.prove_and_check Counting.odd_n inst with
+    | `Accepted proof ->
+        Graph.fold_nodes
+          (fun v acc ->
+            max acc
+              (Lookup.fingerprint_bits (View.make inst proof ~centre:v ~radius:1)))
+          g 0
+    | _ -> Alcotest.fail "prover failed"
+  in
+  let series = List.map (fun n -> (n, bits_at n)) [ 9; 17; 33; 65; 129 ] in
+  check "view input is O(log n)" true
+    (Complexity.classify series = Complexity.Logarithmic)
+
+let table_polynomial () =
+  (* One cycle of size n: exactly n distinct views (ids differ), so the
+     table grows linearly in n on this family — comfortably 2^O(log n). *)
+  let table = Lookup.tabulate Bipartite_scheme.scheme in
+  let g = Builders.cycle 32 in
+  let inst = Instance.of_graph g in
+  (match Scheme.prove_and_check Bipartite_scheme.scheme inst with
+  | `Accepted proof -> ignore (Lookup.decide table inst proof)
+  | _ -> Alcotest.fail "prover failed");
+  check_int "one entry per node" 32 (Lookup.entries table);
+  (* running the same instance again adds nothing *)
+  (match Scheme.prove_and_check Bipartite_scheme.scheme inst with
+  | `Accepted proof -> ignore (Lookup.decide table inst proof)
+  | _ -> ());
+  check_int "memoised" 32 (Lookup.entries table)
+
+let suite =
+  ( "lookup-np-poly",
+    [
+      Alcotest.test_case "fingerprints are faithful" `Quick fingerprint_faithful;
+      Alcotest.test_case "table agrees with direct" `Quick table_agrees_with_direct;
+      Alcotest.test_case "input bits are O(log n)" `Quick input_bits_logarithmic;
+      Alcotest.test_case "table size is polynomial" `Quick table_polynomial;
+    ] )

@@ -1,0 +1,303 @@
+(* The paper's lower bounds, demonstrated mechanically:
+   - Section 5.3 / Figure 1: gluing cycles fools every complete scheme
+     with o(log n) bits (our undersized counter schemes), while the
+     honest Θ(log n) schemes resist with fully diverse signatures.
+   - Section 6.1/6.2: the ⊙-splice fools the O(Δ log n) "claims"
+     schemes; the universal encodings resist.
+   - Section 6.3: the wire-window fooling set fools the ball-claims
+     scheme on the 3-colouring gadgets. *)
+
+open Test_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- the undersized schemes are complete --- *)
+
+let truncated_complete () =
+  assert_complete ~sizes_ok:true (Truncated.odd_n_cycle ~bits:2)
+    [ Instance.of_graph (Builders.cycle 7); Instance.of_graph (Builders.cycle 13) ];
+  assert_refuses (Truncated.odd_n_cycle ~bits:2) [ Instance.of_graph (Builders.cycle 8) ];
+  let leader_inst n =
+    Leader_election.mark_leader (Instance.of_graph (Builders.cycle n)) 0
+  in
+  assert_complete (Truncated.leader_cycle ~bits:2) [ leader_inst 8; leader_inst 11 ];
+  let matching_inst n =
+    let g = Builders.cycle n in
+    Instance.flag_edges (Instance.of_graph g) (Matching.maximum_on_cycle g)
+  in
+  assert_complete (Truncated.max_matching_cycle ~bits:2)
+    [ matching_inst 7; matching_inst 9 ]
+
+(* --- F1: the gluing attack fools the undersized schemes --- *)
+
+let gluing_fools_odd_n () =
+  let family = Gluing.odd_cycles ~n:9 in
+  match Gluing.attack ~rows:3 (Truncated.odd_n_cycle ~bits:2) family with
+  | Gluing.Fooled { instance; genuinely_no; quad = _; proof = _ } ->
+      check "glued instance is even" true genuinely_no;
+      check_int "glued size 2n" 18 (Instance.n instance)
+  | Gluing.Resisted _ -> Alcotest.fail "undersized odd-n scheme must be fooled"
+  | Gluing.Prover_failed (a, b) ->
+      Alcotest.fail (Printf.sprintf "prover failed on C(%d,%d)" a b)
+
+let gluing_fools_leader () =
+  let family = Gluing.leader_cycles ~n:8 in
+  match Gluing.attack ~rows:3 (Truncated.leader_cycle ~bits:2) family with
+  | Gluing.Fooled { instance; genuinely_no; _ } ->
+      check "two leaders in glued instance" true genuinely_no;
+      check "marked twice" true (Instance.marked_exactly_one instance = None)
+  | _ -> Alcotest.fail "undersized leader scheme must be fooled"
+
+let gluing_fools_matching () =
+  let family = Gluing.matching_cycles ~n:9 in
+  match Gluing.attack ~rows:3 (Truncated.max_matching_cycle ~bits:2) family with
+  | Gluing.Fooled { instance; genuinely_no; _ } ->
+      check "glued matching not maximum" true genuinely_no;
+      (* two unmatched nodes in an even cycle *)
+      let g = Instance.graph instance in
+      let matched = Matching.matched_nodes (Instance.flagged_edges instance) in
+      check_int "two unmatched" 2 (Graph.n g - List.length matched)
+  | _ -> Alcotest.fail "undersized matching scheme must be fooled"
+
+(* --- the honest Θ(log n) schemes resist the same attack --- *)
+
+let gluing_resists_honest () =
+  let family = Gluing.odd_cycles ~n:9 in
+  (match Gluing.attack ~rows:3 Counting.odd_n family with
+  | Gluing.Resisted { distinct_signatures; pairs } ->
+      (* identifiers make every signature unique *)
+      check_int "all signatures distinct" pairs distinct_signatures
+  | Gluing.Fooled _ -> Alcotest.fail "honest odd-n scheme fooled: soundness bug!"
+  | Gluing.Prover_failed _ -> Alcotest.fail "honest prover failed");
+  let family = Gluing.leader_cycles ~n:8 in
+  (match Gluing.attack ~rows:3 Leader_election.strong family with
+  | Gluing.Resisted _ -> ()
+  | _ -> Alcotest.fail "honest leader scheme must resist");
+  let family = Gluing.matching_cycles ~n:9 in
+  match Gluing.attack ~rows:3 Matching_schemes.maximum_on_cycle family with
+  | Gluing.Resisted _ -> ()
+  | _ -> Alcotest.fail "honest matching scheme must resist"
+
+(* --- the general-k construction --- *)
+
+let gluing_k3_leader () =
+  (* three glued cycles: three leaders *)
+  let family = Gluing.leader_cycles ~n:8 in
+  match Gluing.attack_k ~rows:6 ~k:3 (Truncated.leader_cycle ~bits:2) family with
+  | Gluing.Fooled_k { instance; genuinely_no; cycle; _ } ->
+      check "three cycles used" true (List.length cycle = 3);
+      check "glued instance is a no-instance" true genuinely_no;
+      check_int "3n nodes" 24 (Instance.n instance);
+      let leaders =
+        Graph.fold_nodes
+          (fun v acc ->
+            let l = Instance.node_label instance v in
+            if Bits.length l >= 1 && Bits.get l 0 then acc + 1 else acc)
+          (Instance.graph instance) 0
+      in
+      check_int "three leaders" 3 leaders
+  | _ -> Alcotest.fail "k=3 gluing must fool the 2-bit scheme"
+
+let gluing_k3_odd_parity () =
+  (* parameter choice matters: three odd cycles glue into an ODD cycle —
+     a yes-instance; the attack reports genuinely_no = false, exactly as
+     the paper's "choose an odd n and an even k" instructs. *)
+  let family = Gluing.odd_cycles ~n:9 in
+  (match Gluing.attack_k ~rows:6 ~k:3 (Truncated.odd_n_cycle ~bits:2) family with
+  | Gluing.Fooled_k { genuinely_no; instance; _ } ->
+      check "27-cycle is still odd: not a counterexample" false genuinely_no;
+      check_int "3n nodes" 27 (Instance.n instance)
+  | _ -> Alcotest.fail "collision expected");
+  (* k = 4 restores the refutation *)
+  match Gluing.attack_k ~rows:8 ~k:4 (Truncated.odd_n_cycle ~bits:2) family with
+  | Gluing.Fooled_k { genuinely_no; instance; _ } ->
+      check "36-cycle is even: genuine counterexample" true genuinely_no;
+      check_int "4n nodes" 36 (Instance.n instance)
+  | _ -> Alcotest.fail "k=4 gluing must fool the 2-bit scheme"
+
+let gluing_k3_honest_resists () =
+  let family = Gluing.leader_cycles ~n:8 in
+  match Gluing.attack_k ~rows:4 ~k:3 Leader_election.strong family with
+  | Gluing.Resisted_k { pairs; distinct_signatures } ->
+      check_int "all distinct" pairs distinct_signatures
+  | _ -> Alcotest.fail "honest scheme must resist k=3 gluing"
+
+(* --- direct sanity of the glued construction --- *)
+
+let cycle_ids_structure () =
+  let ids = Gluing.cycle_ids ~n:9 ~a:2 ~b:11 in
+  check_int "nine nodes" 9 (List.length ids);
+  check "starts at a" true (List.hd ids = 2);
+  check "ends at b" true (List.nth ids 8 = 11);
+  check "distinct" true (List.length (List.sort_uniq compare ids) = 9);
+  (* disjointness across different (a, b) pairs *)
+  let ids' = Gluing.cycle_ids ~n:9 ~a:3 ~b:12 in
+  check "disjoint" true
+    (List.for_all (fun v -> not (List.mem v ids')) ids)
+
+(* --- 6.1: symmetric graphs --- *)
+
+let odot_properties () =
+  let f6 = Enumerate.asymmetric_connected 6 in
+  let g1 = List.nth f6 0 and g2 = List.nth f6 1 in
+  check "G(x)G same is symmetric" true (Automorphism.is_symmetric (Symmetry_lb.odot g1 g1));
+  check "G(x)H different is asymmetric" true
+    (Automorphism.is_asymmetric (Symmetry_lb.odot g1 g2));
+  check_int "3k nodes" 18 (Graph.n (Symmetry_lb.odot g1 g1))
+
+let symmetry_attack_fools_claims () =
+  let family = Enumerate.asymmetric_connected 6 in
+  match Symmetry_lb.attack_symmetric Truncated.symmetric_claims ~family with
+  | Symmetry_lb.Fooled { genuinely_no; glued; _ } ->
+      check "spliced graph is asymmetric" true genuinely_no;
+      check_int "size 3k" 18 (Graph.n glued)
+  | Symmetry_lb.Resisted { family_size; distinct_windows } ->
+      Alcotest.fail
+        (Printf.sprintf "claims scheme resisted (%d graphs, %d windows)" family_size
+           distinct_windows)
+  | Symmetry_lb.Prover_failed _ -> Alcotest.fail "claims prover failed"
+
+let symmetry_attack_resisted_by_universal () =
+  let family = Enumerate.asymmetric_connected 6 in
+  match Symmetry_lb.attack_symmetric Universal.symmetric ~family with
+  | Symmetry_lb.Resisted { family_size; distinct_windows } ->
+      check_int "every window distinct" family_size distinct_windows
+  | Symmetry_lb.Fooled _ -> Alcotest.fail "universal scheme fooled: soundness bug!"
+  | Symmetry_lb.Prover_failed _ -> Alcotest.fail "universal prover failed"
+
+(* --- 6.2: fixpoint-free symmetry on trees --- *)
+
+let odot_rooted_properties () =
+  let trees = Tree_enum.rooted_trees 6 in
+  let t1 = List.nth trees 0 and t2 = List.nth trees 1 in
+  check "t(x)t has fixpoint-free symmetry" true
+    (Automorphism.has_fixpoint_free_symmetry (Symmetry_lb.odot_rooted t1 t1));
+  check "t1(x)t2 does not" false
+    (Automorphism.has_fixpoint_free_symmetry (Symmetry_lb.odot_rooted t1 t2))
+
+let tree_attack_fools_claims () =
+  let family = Tree_enum.rooted_trees 6 in
+  match Symmetry_lb.attack_trees Truncated.fixpoint_free_claims ~family with
+  | Symmetry_lb.Fooled { genuinely_no; _ } ->
+      check "spliced tree has no fixpoint-free symmetry" true genuinely_no
+  | Symmetry_lb.Resisted _ -> Alcotest.fail "claims scheme resisted on trees"
+  | Symmetry_lb.Prover_failed _ -> Alcotest.fail "claims prover failed on trees"
+
+let tree_attack_resisted_by_universal () =
+  let family = Tree_enum.rooted_trees 6 in
+  match Symmetry_lb.attack_trees Tree_universal.fixpoint_free_symmetry ~family with
+  | Symmetry_lb.Resisted { family_size; distinct_windows } ->
+      check_int "every window distinct" family_size distinct_windows
+  | Symmetry_lb.Fooled _ -> Alcotest.fail "tree-universal scheme fooled!"
+  | Symmetry_lb.Prover_failed _ -> Alcotest.fail "tree-universal prover failed"
+
+(* --- 6.3: non-3-colourability gadgets --- *)
+
+let gadget_properties () =
+  let k = 1 in
+  let a = [ (0, 1); (1, 0) ] in
+  let pg = Gadgets.pair_graph ~k ~r:1 a a in
+  (* palette forced *)
+  check "combined connected" true (Traversal.is_connected pg.Gadgets.combined);
+  (* A∩A ≠ ∅: 3-colourable, and the encoding-colouring exists for a
+     pair in the intersection *)
+  (match Gadgets.encode_colouring pg (0, 1) with
+  | Some c -> check "proper" true (Coloring.is_proper pg.Gadgets.combined c)
+  | None -> Alcotest.fail "G_{A,A} must be colourable at (0,1)");
+  (* pairs outside A are not encodable *)
+  check "pair outside A not encodable" true
+    (Gadgets.encode_colouring pg (0, 0) = None);
+  (* G_{A, co-A} is not 3-colourable at all *)
+  let coa = Non3col_lb.complement ~k a in
+  let hard = Gadgets.pair_graph ~k ~r:1 a coa in
+  check "G_{A,coA} not 3-colourable" false
+    (Coloring.is_k_colourable hard.Gadgets.combined 3)
+
+let gadget_k2_smoke () =
+  (* k = 2: I×I has 16 pairs; the gadgets grow to Θ(2^k) but stay
+     uniform, with the wires landing on A-independent identifiers.
+     (Colouring semantics are exercised at k = 1, where the exhaustive
+     3-colouring searches stay small.) *)
+  let a = [ (0, 3); (2, 1); (3, 3) ] in
+  let g1 = Gadgets.build ~k:2 a in
+  let g2 = Gadgets.build ~k:2 (Non3col_lb.complement ~k:2 a) in
+  Alcotest.(check int) "uniform size" g1.Gadgets.size g2.Gadgets.size;
+  check "same node ids" true (Graph.nodes g1.Gadgets.graph = Graph.nodes g2.Gadgets.graph);
+  let pg = Gadgets.pair_graph ~k:2 ~r:2 a a in
+  let pg' = Gadgets.pair_graph ~k:2 ~r:2 (Non3col_lb.complement ~k:2 a) a in
+  check "connected" true (Traversal.is_connected pg.Gadgets.combined);
+  check "window ids A-independent" true
+    (pg.Gadgets.wire_window = pg'.Gadgets.wire_window);
+  (* wire distance: any left-gadget node is >= 3r - 1 hops from any
+     right-gadget node *)
+  let left_t = pg.Gadgets.left.Gadgets.t_node in
+  let right_t = pg.Gadgets.right.Gadgets.t_node in
+  match Traversal.distance pg.Gadgets.combined left_t right_t with
+  | Some d -> check "gadgets are far apart" true (d >= (3 * 2) - 1)
+  | None -> Alcotest.fail "disconnected pair graph"
+
+let gadget_uniform_layout () =
+  let k = 1 in
+  let g1 = Gadgets.build ~k [ (0, 0) ] in
+  let g2 = Gadgets.build ~k [ (1, 1); (0, 1) ] in
+  check_int "same size" g1.Gadgets.size g2.Gadgets.size;
+  check "same nodes" true
+    (Graph.nodes g1.Gadgets.graph = Graph.nodes g2.Gadgets.graph)
+
+let non3col_attack_fools_ball_claims () =
+  let scheme =
+    Truncated.ball_claims ~name:"non3col-ball-claims" (fun g ->
+        not (Coloring.is_k_colourable g 3))
+  in
+  (* a handful of subsets is enough: ball claims collide immediately *)
+  let sets =
+    Some [ [ (0, 1) ]; [ (1, 0) ]; [ (0, 0); (1, 1) ]; [ (0, 1); (1, 0) ] ]
+  in
+  match Non3col_lb.attack ~k:1 ~r:1 ~sets scheme with
+  | Non3col_lb.Fooled { genuinely_no; _ } ->
+      check "spliced gadget is 3-colourable" true genuinely_no
+  | Non3col_lb.Resisted _ -> Alcotest.fail "ball-claims scheme resisted"
+  | Non3col_lb.Prover_failed _ -> Alcotest.fail "ball-claims prover failed"
+
+let non3col_attack_resisted_by_universal () =
+  let sets = Some [ [ (0, 1) ]; [ (1, 0) ]; [ (0, 0); (1, 1) ] ] in
+  match Non3col_lb.attack ~k:1 ~r:1 ~sets Universal.non_3_colourable with
+  | Non3col_lb.Resisted { family_size; distinct_windows } ->
+      check_int "every window distinct" family_size distinct_windows
+  | Non3col_lb.Fooled _ -> Alcotest.fail "universal non-3-col scheme fooled!"
+  | Non3col_lb.Prover_failed _ -> Alcotest.fail "universal prover failed on gadgets"
+
+(* --- counting bound sanity --- *)
+
+let counting_bounds () =
+  check "window capacity bound" true
+    (Symmetry_lb.forced_collision_bound ~bits:1 ~radius:1 = 8);
+  check "huge budgets saturate" true
+    (Symmetry_lb.forced_collision_bound ~bits:30 ~radius:3 = max_int)
+
+let suite =
+  ( "lowerbounds",
+    [
+      Alcotest.test_case "undersized schemes are complete" `Quick truncated_complete;
+      Alcotest.test_case "F1 gluing fools odd-n" `Quick gluing_fools_odd_n;
+      Alcotest.test_case "F1 gluing fools leader election" `Quick gluing_fools_leader;
+      Alcotest.test_case "F1 gluing fools matching" `Quick gluing_fools_matching;
+      Alcotest.test_case "honest schemes resist gluing" `Slow gluing_resists_honest;
+      Alcotest.test_case "F1 general k: three leaders" `Quick gluing_k3_leader;
+      Alcotest.test_case "F1 general k: parity parameters" `Quick gluing_k3_odd_parity;
+      Alcotest.test_case "F1 general k: honest resists" `Quick gluing_k3_honest_resists;
+      Alcotest.test_case "cycle id layout" `Quick cycle_ids_structure;
+      Alcotest.test_case "6.1 odot properties" `Slow odot_properties;
+      Alcotest.test_case "6.1 claims scheme fooled" `Slow symmetry_attack_fools_claims;
+      Alcotest.test_case "6.1 universal resists" `Slow symmetry_attack_resisted_by_universal;
+      Alcotest.test_case "6.2 rooted odot properties" `Quick odot_rooted_properties;
+      Alcotest.test_case "6.2 claims scheme fooled" `Quick tree_attack_fools_claims;
+      Alcotest.test_case "6.2 tree-universal resists" `Quick tree_attack_resisted_by_universal;
+      Alcotest.test_case "6.3 gadget properties" `Slow gadget_properties;
+      Alcotest.test_case "6.3 gadgets at k=2" `Slow gadget_k2_smoke;
+      Alcotest.test_case "6.3 uniform layout" `Quick gadget_uniform_layout;
+      Alcotest.test_case "6.3 ball-claims fooled" `Slow non3col_attack_fools_ball_claims;
+      Alcotest.test_case "6.3 universal resists" `Slow non3col_attack_resisted_by_universal;
+      Alcotest.test_case "counting bounds" `Quick counting_bounds;
+    ] )

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "lcp"
+    [
+      Test_bits.suite;
+      Test_graph.suite;
+      Test_algorithms.suite;
+      Test_symmetry.suite;
+      Test_core.suite;
+      Test_schemes_basic.suite;
+      Test_schemes_log.suite;
+      Test_schemes_poly.suite;
+      Test_logic_models.suite;
+      Test_lowerbounds.suite;
+      Test_kkp.suite;
+      Test_cli.suite;
+      Test_ablation.suite;
+      Test_catalog.suite;
+      Test_no_scheme.suite;
+      Test_lookup.suite;
+      Test_async.suite;
+      Test_combinators.suite;
+      Test_properties.suite;
+      Test_edge_cases.suite;
+    ]

@@ -1,0 +1,76 @@
+(* Table 1(a)'s dash row: "connected graph / general" — no locally
+   checkable proof of ANY size. The disjoint-union attack defeats every
+   complete scheme, including the all-powerful universal one. *)
+
+let check = Alcotest.(check bool)
+
+let universal_connectivity_fooled () =
+  let scheme =
+    Universal.of_predicate ~name:"connected-universal" Traversal.is_connected
+  in
+  check "even the universal scheme is fooled" true
+    (No_scheme.connectivity_has_no_scheme scheme)
+
+let logn_connectivity_fooled () =
+  (* a Θ(log n) attempt: certify a spanning tree of "the" graph — the
+     classic broken idea, fooled the same way (each component gets its
+     own root). *)
+  let attempt =
+    Scheme.make ~name:"connected-via-tree" ~radius:1
+      ~size_bound:Tree_cert.size_bound
+      ~prover:(fun inst ->
+        let g = Instance.graph inst in
+        if Graph.is_empty g || not (Traversal.is_connected g) then None
+        else
+          Some
+            (List.fold_left
+               (fun p (v, c) -> Proof.set p v (Tree_cert.encode c))
+               Proof.empty
+               (Tree_cert.prove g ~root:(List.hd (Graph.nodes g)))))
+      ~verifier:(fun view ->
+        Tree_cert.check_at view ~cert_of:(fun u ->
+            Tree_cert.decode (View.proof_of view u)))
+  in
+  check "tree-certificate connectivity is fooled" true
+    (No_scheme.connectivity_has_no_scheme attempt)
+
+let fooled_instance_structure () =
+  let scheme =
+    Universal.of_predicate ~name:"connected-universal" Traversal.is_connected
+  in
+  let st = Random.State.make [| 5 |] in
+  let component () = Instance.of_graph (Random_graphs.connected_gnp st 7 0.4) in
+  let other () =
+    Instance.of_graph (Canonical.shifted (Random_graphs.connected_gnp st 6 0.4) 50)
+  in
+  match No_scheme.attack scheme ~component ~other with
+  | No_scheme.Fooled { instance; proof } ->
+      check "disconnected" false (Traversal.is_connected (Instance.graph instance));
+      check "accepted everywhere" true (Scheme.accepts scheme instance proof)
+  | No_scheme.Prover_failed -> Alcotest.fail "prover failed on a component"
+  | No_scheme.Unexpectedly_rejected _ ->
+      Alcotest.fail "a local verifier cannot reject the union"
+
+let sound_on_promise_family () =
+  (* The same universal scheme is perfectly sound when the family is
+     promised connected — the impossibility is about the family, not
+     the scheme. On a single connected no-instance of some property it
+     still works; here: "is a tree" over connected inputs. *)
+  let scheme = Universal.of_predicate ~name:"tree-universal-check" Tree_enum.is_tree in
+  let yes = Instance.of_graph (Random_graphs.tree (Random.State.make [| 2 |]) 9) in
+  (match Scheme.prove_and_check scheme yes with
+  | `Accepted _ -> ()
+  | _ -> Alcotest.fail "tree accepted");
+  let no = Instance.of_graph (Builders.cycle 8) in
+  check "cycle refused" true (scheme.Scheme.prover no = None);
+  check "cycle unforgeable" true
+    (Checker.soundness_random scheme no ~samples:60 ~max_bits:10)
+
+let suite =
+  ( "no-scheme",
+    [
+      Alcotest.test_case "universal connectivity fooled" `Quick universal_connectivity_fooled;
+      Alcotest.test_case "log-size connectivity fooled" `Quick logn_connectivity_fooled;
+      Alcotest.test_case "fooled instance structure" `Quick fooled_instance_structure;
+      Alcotest.test_case "sound under the connectivity promise" `Quick sound_on_promise_family;
+    ] )

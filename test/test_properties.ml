@@ -1,0 +1,218 @@
+(* Cross-validation of the graph substrate against brute force on
+   small instances — the algorithms the schemes' correctness rides on. *)
+
+let check = Alcotest.(check bool)
+
+let arb_small_graph =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Graph.pp g)
+    QCheck.Gen.(
+      let* n = int_range 2 7 in
+      let* p = float_range 0.2 0.8 in
+      let* seed = int_bound 1_000_000 in
+      return (Random_graphs.gnp (Random.State.make [| seed |]) n p))
+
+(* --- vertex connectivity vs brute-force separators --- *)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun l -> x :: l) s
+
+let brute_vertex_connectivity g s t =
+  (* minimum size of a vertex set (excluding s, t) whose removal
+     disconnects s from t *)
+  let others = List.filter (fun v -> v <> s && v <> t) (Graph.nodes g) in
+  subsets others
+  |> List.filter (fun cut ->
+         let g' = List.fold_left Graph.remove_node g cut in
+         Traversal.distance g' s t = None)
+  |> List.fold_left (fun acc cut -> min acc (List.length cut)) max_int
+
+let qcheck_connectivity_brute =
+  QCheck.Test.make ~name:"vertex connectivity matches brute-force min cut"
+    ~count:60 arb_small_graph (fun g ->
+      let nodes = Graph.nodes g in
+      let s = List.hd nodes and t = List.nth nodes (List.length nodes - 1) in
+      QCheck.assume (s <> t && not (Graph.mem_edge g s t));
+      Flow.vertex_connectivity g ~s ~t = brute_vertex_connectivity g s t)
+
+(* --- maximum matching vs brute force --- *)
+
+let brute_max_matching g =
+  let edges = Graph.edges g in
+  let rec go acc best = function
+    | [] -> max best (List.length acc)
+    | (u, v) :: rest ->
+        let best = go acc best rest in
+        let used = Matching.matched_nodes acc in
+        if List.mem u used || List.mem v used then best
+        else go ((u, v) :: acc) best rest
+  in
+  go [] 0 edges
+
+let qcheck_matching_brute =
+  QCheck.Test.make ~name:"bipartite maximum matching matches brute force"
+    ~count:60
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_bound 1_000_000))
+    (fun (a, b, seed) ->
+      let g = Random_graphs.bipartite (Random.State.make [| seed |]) a b 0.5 in
+      List.length (Matching.maximum_bipartite g) = brute_max_matching g)
+
+(* --- chromatic number vs brute force --- *)
+
+let brute_chromatic g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let nodes = Array.of_list (Graph.nodes g) in
+    let rec try_k k =
+      let colours = Hashtbl.create 8 in
+      let rec go i =
+        if i = Array.length nodes then true
+        else
+          let v = nodes.(i) in
+          let rec attempt c =
+            c < k
+            && ((not
+                   (List.exists
+                      (fun u -> Hashtbl.find_opt colours u = Some c)
+                      (Graph.neighbours g v)))
+                && begin
+                     Hashtbl.replace colours v c;
+                     if go (i + 1) then true
+                     else begin
+                       Hashtbl.remove colours v;
+                       attempt (c + 1)
+                     end
+                   end
+               || attempt (c + 1))
+          in
+          attempt 0
+      in
+      if go 0 then k else try_k (k + 1)
+    in
+    try_k 1
+  end
+
+let qcheck_chromatic_brute =
+  QCheck.Test.make ~name:"chromatic number matches naive search" ~count:40
+    arb_small_graph (fun g -> Coloring.chromatic_number g = brute_chromatic g)
+
+(* --- automorphism count vs all permutations --- *)
+
+let brute_automorphisms g =
+  let nodes = Array.of_list (Graph.nodes g) in
+  let n = Array.length nodes in
+  let rec perms acc available =
+    match available with
+    | [] -> [ List.rev acc ]
+    | _ -> List.concat_map (fun x -> perms (x :: acc) (List.filter (( <> ) x) available)) available
+  in
+  perms [] (Array.to_list nodes)
+  |> List.filter (fun perm ->
+         let map = Hashtbl.create 8 in
+         List.iteri (fun i img -> Hashtbl.replace map nodes.(i) img) perm;
+         let ok = ref true in
+         for i = 0 to n - 1 do
+           for j = i + 1 to n - 1 do
+             let u = nodes.(i) and v = nodes.(j) in
+             if
+               Bool.equal (Graph.mem_edge g u v)
+                 (Graph.mem_edge g (Hashtbl.find map u) (Hashtbl.find map v))
+               = false
+             then ok := false
+           done
+         done;
+         !ok)
+  |> List.length
+
+let qcheck_automorphisms_brute =
+  QCheck.Test.make ~name:"automorphism count matches n! enumeration" ~count:25
+    QCheck.(pair (int_range 2 5) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let g = Random_graphs.gnp (Random.State.make [| seed |]) n 0.5 in
+      Automorphism.count_automorphisms g = brute_automorphisms g)
+
+(* --- canonical form properties --- *)
+
+let qcheck_canonical_idempotent =
+  QCheck.Test.make ~name:"canonical form is idempotent and isomorphic" ~count:60
+    arb_small_graph (fun g ->
+      let c = Canonical.canonical_form g in
+      Graph.equal c (Canonical.canonical_form c) && Subgraph_iso.are_isomorphic g c)
+
+(* --- Euler circuits on constructed Eulerian graphs --- *)
+
+let qcheck_euler =
+  QCheck.Test.make ~name:"Hierholzer succeeds on unions of cycles" ~count:40
+    QCheck.(pair (int_range 1 3) (int_bound 1_000_000))
+    (fun (layers, seed) ->
+      let st = Random.State.make [| seed |] in
+      let g = Random_graphs.regular_even st 7 layers in
+      (* regular_even may merge parallel edges; keep only genuinely
+         even-degree connected results *)
+      QCheck.assume (Euler.is_eulerian g);
+      match Euler.eulerian_circuit g with
+      | Some walk -> List.length walk = Graph.m g + 1
+      | None -> false)
+
+(* --- tree codec on random trees --- *)
+
+let qcheck_tree_codec =
+  QCheck.Test.make ~name:"tree structure codec preserves rooted shape" ~count:60
+    QCheck.(pair (int_range 2 14) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let t = Random_graphs.tree (Random.State.make [| seed |]) n in
+      let root = List.hd (Graph.nodes t) in
+      let code = Tree_code.encode_structure t ~root in
+      let t' = Tree_code.decode_structure code in
+      Bits.length code = 2 * (n - 1)
+      && Tree_enum.canonical_code t root
+         = Tree_enum.canonical_code t'.Tree_enum.tree t'.Tree_enum.root)
+
+(* --- tree certificates resist random corruption --- *)
+
+let qcheck_tree_cert_tamper =
+  QCheck.Test.make ~name:"corrupted spanning-tree certificates are rejected"
+    ~count:40
+    QCheck.(pair (int_range 4 10) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let g = Random_graphs.connected_gnp st n 0.3 in
+      let inst = Leader_election.mark_leader (Instance.of_graph g) 0 in
+      match Scheme.prove_and_check Leader_election.strong inst with
+      | `Accepted proof ->
+          let victim =
+            List.nth (Graph.nodes g) (Random.State.int st (Graph.n g))
+          in
+          let bits = Proof.get proof victim in
+          QCheck.assume (Bits.length bits > 0);
+          let corrupted =
+            Proof.set proof victim
+              (Bits.flip bits (Random.State.int st (Bits.length bits)))
+          in
+          (* either caught, or the flip happened to decode identically;
+             never silently accepted with a *different* decoded cert *)
+          (match Scheme.decide Leader_election.strong inst corrupted with
+          | Scheme.Reject _ -> true
+          | Scheme.Accept -> (
+              try
+                Tree_cert.decode (Proof.get corrupted victim)
+                = Tree_cert.decode bits
+              with Bits.Reader.Decode_error _ -> false))
+      | _ -> false)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest qcheck_connectivity_brute;
+      QCheck_alcotest.to_alcotest qcheck_matching_brute;
+      QCheck_alcotest.to_alcotest qcheck_chromatic_brute;
+      QCheck_alcotest.to_alcotest qcheck_automorphisms_brute;
+      QCheck_alcotest.to_alcotest qcheck_canonical_idempotent;
+      QCheck_alcotest.to_alcotest qcheck_euler;
+      QCheck_alcotest.to_alcotest qcheck_tree_codec;
+      QCheck_alcotest.to_alcotest qcheck_tree_cert_tamper;
+    ] )

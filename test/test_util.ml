@@ -1,0 +1,78 @@
+(* Shared helpers for scheme tests: completeness, soundness, and size
+   measurement, with readable failure messages. *)
+
+let check = Alcotest.(check bool)
+
+let assert_complete ?(sizes_ok = true) scheme instances =
+  let report = Checker.completeness scheme instances in
+  List.iter (fun msg -> Alcotest.fail msg) report.Checker.failures;
+  check (scheme.Scheme.name ^ ": all accepted") true report.Checker.all_accepted;
+  if sizes_ok then
+    check (scheme.Scheme.name ^ ": size bound") true report.Checker.bound_respected
+
+let assert_refuses scheme instances =
+  List.iter
+    (fun inst ->
+      check
+        (Printf.sprintf "%s: prover refuses (n=%d)" scheme.Scheme.name
+           (Instance.n inst))
+        true
+        (Checker.prover_refuses scheme inst))
+    instances
+
+let assert_sound_random ?(samples = 200) ?(max_bits = 4) scheme instances =
+  List.iter
+    (fun inst ->
+      check
+        (Printf.sprintf "%s: random soundness (n=%d)" scheme.Scheme.name
+           (Instance.n inst))
+        true
+        (Checker.soundness_random scheme inst ~samples ~max_bits))
+    instances
+
+let assert_sound_adversarial ?(max_bits = 4) ?(restarts = 4) ?(steps = 120) scheme
+    instances =
+  List.iter
+    (fun inst ->
+      match Adversary.forge ~restarts ~steps scheme inst ~max_bits with
+      | Adversary.Fooled proof ->
+          Alcotest.fail
+            (Format.asprintf "%s: adversary forged a proof on n=%d!@ %a"
+               scheme.Scheme.name (Instance.n inst) Proof.pp proof)
+      | Adversary.Resisted _ -> ())
+    instances
+
+let assert_sound_exhaustive ~max_bits scheme instances =
+  List.iter
+    (fun inst ->
+      check
+        (Printf.sprintf "%s: exhaustive soundness (n=%d, b=%d)" scheme.Scheme.name
+           (Instance.n inst) max_bits)
+        true
+        (Checker.soundness_exhaustive scheme inst ~max_bits))
+    instances
+
+let proof_size scheme inst =
+  match Scheme.prove_and_check scheme inst with
+  | `Accepted proof -> Proof.size proof
+  | `No_proof -> Alcotest.fail (scheme.Scheme.name ^ ": prover refused a yes-instance")
+  | `Rejected (_, vs) ->
+      Alcotest.fail
+        (Printf.sprintf "%s: rejected own proof at [%s]" scheme.Scheme.name
+           (String.concat "," (List.map string_of_int vs)))
+
+(* Corrupting a valid proof at random; at least [frac] of single-bit
+   corruptions should be caught (cheap regression guard against
+   verifiers that ignore their proofs). *)
+let assert_tamper_sensitive ?(trials = 30) ?(min_detected = 1) scheme inst =
+  match Scheme.prove_and_check scheme inst with
+  | `Accepted proof ->
+      let results = Adversary.tamper scheme inst proof ~trials in
+      let detected = List.length (List.filter (fun (_, r) -> r <> []) results) in
+      check
+        (Printf.sprintf "%s: tampering detected (%d/%d)" scheme.Scheme.name detected
+           trials)
+        true (detected >= min_detected)
+  | _ -> Alcotest.fail (scheme.Scheme.name ^ ": prover failed")
+
+let st seed = Random.State.make [| seed |]
