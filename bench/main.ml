@@ -3,6 +3,16 @@
 
      dune exec bench/main.exe              (proof-size + attack harness)
      dune exec bench/main.exe -- --timing  (Bechamel verifier timings)
+     dune exec bench/main.exe -- --smoke   (tiny CI sweep, < 10 s)
+
+   Flags: --jobs N  fan the per-node verifier loop over N domains
+                    (0 = all recommended cores);
+          --reference  verify on the seed View.make-per-node path
+                    instead of the compiled CSR engine (for
+                    before/after speedup measurements).
+
+   Sweep runs write a machine-readable BENCH_lcp.json (per-row wall
+   time, largest parameter reached, fit, verdict) next to the table.
 
    For each upper-bound row we run the scheme's prover over a sweep of
    instance sizes, check that every proof is accepted by all nodes,
@@ -30,17 +40,37 @@ type row = {
 
 exception Measure_failure of string
 
-(* Prove and fully verify; return bits per node. *)
+(* Engine selection, set from the command line in [main]. *)
+let jobs = ref 1
+let use_reference = ref false
+
+(* Prove and fully verify; return bits per node. Verification runs on
+   the compiled CSR engine (optionally multicore) unless --reference
+   asks for the seed View.make-per-node path. *)
 let measured scheme inst =
-  match Scheme.prove_and_check scheme inst with
-  | `Accepted proof -> Proof.size proof
-  | `No_proof ->
+  match scheme.Scheme.prover inst with
+  | None ->
       raise (Measure_failure (scheme.Scheme.name ^ ": prover refused a yes-instance"))
-  | `Rejected (_, vs) ->
-      raise
-        (Measure_failure
-           (Printf.sprintf "%s: own proof rejected at [%s]" scheme.Scheme.name
-              (String.concat "," (List.map string_of_int vs))))
+  | Some proof -> (
+      let rejecting =
+        if !use_reference then
+          match Scheme.decide scheme inst proof with
+          | Scheme.Accept -> []
+          | Scheme.Reject vs -> vs
+        else
+          let verdicts, _ =
+            Simulator.run_verifier ~jobs:!jobs inst proof
+              ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+          in
+          List.filter_map (fun (v, ok) -> if ok then None else Some v) verdicts
+      in
+      match rejecting with
+      | [] -> Proof.size proof
+      | vs ->
+          raise
+            (Measure_failure
+               (Printf.sprintf "%s: own proof rejected at [%s]" scheme.Scheme.name
+                  (String.concat "," (List.map string_of_int vs)))))
 
 (* Prove only (for the O(n²) rows, where running the verifier at every
    node of every sweep point would dominate the harness). *)
@@ -436,22 +466,117 @@ let table_1b =
     };
   ]
 
-(* --- printing ------------------------------------------------------- *)
+(* --- smoke sweep (CI) ------------------------------------------------ *)
+
+(* A representative, verifier-bound subset that finishes in seconds on
+   the CSR engine: the largest rows are exactly where per-node
+   View.make extraction used to go quadratic. *)
+let smoke_table =
+  [
+    {
+      id = "S-1";
+      what = "Eulerian graph";
+      family = "connected";
+      paper = "0";
+      ok_classes = [ Complexity.Zero ];
+      param = "n";
+      series =
+        sweep Eulerian.scheme (fun n -> of_g (Builders.cycle n)) [ 128; 256; 512 ];
+    };
+    {
+      id = "S-2";
+      what = "bipartite graph";
+      family = "general";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Bipartite_scheme.scheme
+          (fun n -> of_g (Builders.cycle (even n)))
+          [ 128; 256; 512 ];
+    };
+    {
+      id = "S-3";
+      what = "odd n(G)";
+      family = "cycles";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Counting.odd_n (fun n -> of_g (Builders.cycle (odd n)))
+          [ 129; 257; 513 ];
+    };
+    {
+      id = "S-4";
+      what = "leader election";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Leader_election.strong
+          (fun n -> Leader_election.mark_leader (of_g (Builders.cycle n)) 0)
+          [ 128; 256; 512 ];
+    };
+    {
+      id = "S-5";
+      what = "spanning tree";
+      family = "connected";
+      paper = "Θ(log n)";
+      ok_classes = [ Complexity.Logarithmic ];
+      param = "n";
+      series =
+        sweep Spanning_tree_scheme.scheme
+          (fun n -> spanning_tree_inst (Random_graphs.connected_gnp (st n) n 0.1))
+          [ 32; 64; 128 ];
+    };
+    {
+      id = "S-6";
+      what = "s-t reachability";
+      family = "undirected";
+      paper = "Θ(1)";
+      ok_classes = [ Complexity.Constant ];
+      param = "n";
+      series =
+        sweep Reachability.undirected_reach
+          (fun n -> St.of_graph (Builders.cycle n) ~s:0 ~t:(n / 2))
+          [ 512; 1024; 2048; 4096 ];
+    };
+  ]
+
+(* --- printing + JSON ------------------------------------------------- *)
+
+type row_outcome =
+  | Failed of string
+  | Fitted of (int * int) list * Complexity.growth * bool (* series, fit, match *)
+
+type row_result = { row : row; outcome : row_outcome; wall_s : float }
+
+let eval_row r =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match r.series () with
+    | exception Measure_failure msg -> Failed msg
+    | series ->
+        let fit = Complexity.classify series in
+        Fitted (series, fit, List.mem fit r.ok_classes)
+  in
+  { row = r; outcome; wall_s = Unix.gettimeofday () -. t0 }
 
 let print_header title =
   Format.printf "@.=== %s ===@." title;
-  Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %s@." "id" "property/problem"
-    "family" "paper" "measured bits per node" "fit" "verdict";
-  Format.printf "%s@." (String.make 118 '-')
+  Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %-8s %s@." "id"
+    "property/problem" "family" "paper" "measured bits per node" "fit" "verdict"
+    "wall";
+  Format.printf "%s@." (String.make 126 '-')
 
-let print_row r =
-  match r.series () with
-  | exception Measure_failure msg ->
+let print_result { row = r; outcome; wall_s } =
+  match outcome with
+  | Failed msg ->
       Format.printf "%-7s %-28s %-10s %-18s MEASUREMENT FAILED: %s@." r.id r.what
         r.family r.paper msg
-  | series ->
-      let fit = Complexity.classify series in
-      let verdict = if List.mem fit r.ok_classes then "MATCH" else "DIFFERS" in
+  | Fitted (series, fit, matches) ->
+      let verdict = if matches then "MATCH" else "DIFFERS" in
       let series_str =
         String.concat " "
           (List.map (fun (n, b) -> Printf.sprintf "%s=%d:%d" r.param n b) series)
@@ -460,8 +585,60 @@ let print_row r =
         if String.length series_str <= 32 then series_str
         else String.sub series_str 0 29 ^ "..."
       in
-      Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %s@." r.id r.what r.family
-        r.paper series_str (Complexity.label fit) verdict
+      Format.printf "%-7s %-28s %-10s %-18s %-32s %-12s %-8s %.3fs@." r.id r.what
+        r.family r.paper series_str (Complexity.label fit) verdict wall_s
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_result { row = r; outcome; wall_s } =
+  let common =
+    Printf.sprintf
+      "\"id\":\"%s\",\"what\":\"%s\",\"family\":\"%s\",\"paper\":\"%s\",\"param\":\"%s\",\"wall_s\":%.6f"
+      (json_escape r.id) (json_escape r.what) (json_escape r.family)
+      (json_escape r.paper) (json_escape r.param) wall_s
+  in
+  match outcome with
+  | Failed msg -> Printf.sprintf "    {%s,\"error\":\"%s\"}" common (json_escape msg)
+  | Fitted (series, fit, matches) ->
+      let n_max = List.fold_left (fun acc (n, _) -> max acc n) 0 series in
+      let series_str =
+        String.concat ","
+          (List.map (fun (n, b) -> Printf.sprintf "[%d,%d]" n b) series)
+      in
+      Printf.sprintf
+        "    {%s,\"n_max\":%d,\"series\":[%s],\"fit\":\"%s\",\"verdict\":\"%s\"}"
+        common n_max series_str
+        (json_escape (Complexity.label fit))
+        (if matches then "MATCH" else "DIFFERS")
+
+let write_json path ~smoke ~total_wall_s results =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"lcp\",\n\
+    \  \"engine\": \"%s\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"total_wall_s\": %.6f,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    (if !use_reference then "reference" else "csr")
+    !jobs smoke total_wall_s
+    (String.concat ",\n" (List.map json_of_result results));
+  close_out oc;
+  Format.printf "@.machine-readable results written to %s@." path
 
 (* --- lower-bound attack experiments --------------------------------- *)
 
@@ -721,19 +898,78 @@ let timing () =
 
 (* --- main ------------------------------------------------------------ *)
 
+let run_table title rows =
+  print_header title;
+  List.map
+    (fun r ->
+      let result = eval_row r in
+      print_result result;
+      result)
+    rows
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--smoke] [--timing] [--reference] [--jobs N]  (N=0: all cores)";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv in
+  let rec find_jobs = function
+    | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some j when j >= 0 -> j
+        | _ ->
+            Printf.eprintf "--jobs: expected a non-negative integer, got %S\n" v;
+            usage ())
+    | [ "--jobs" ] ->
+        prerr_endline "--jobs needs an argument";
+        usage ()
+    | _ :: rest -> find_jobs rest
+    | [] -> 1
+  in
+  jobs := (match find_jobs args with 0 -> Pool.default_jobs () | j -> j);
+  (match
+     List.filter
+       (fun a ->
+         String.length a > 1 && a.[0] = '-'
+         && not (List.mem a [ "--smoke"; "--timing"; "--reference"; "--jobs" ]))
+       (List.tl args)
+   with
+  | [] -> ()
+  | bad :: _ ->
+      Printf.eprintf "unknown option %S\n" bad;
+      usage ());
+  use_reference := List.mem "--reference" args;
   if List.mem "--timing" args then timing ()
+  else if List.mem "--smoke" args then begin
+    Format.printf
+      "Locally Checkable Proofs: smoke sweep (engine=%s, jobs=%d)@."
+      (if !use_reference then "reference" else "csr")
+      !jobs;
+    let t0 = Unix.gettimeofday () in
+    let results = run_table "smoke sweep" smoke_table in
+    let total = Unix.gettimeofday () -. t0 in
+    Format.printf "@.total wall time: %.3fs@." total;
+    write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total results
+  end
   else begin
     Format.printf
-      "Locally Checkable Proofs (Göös & Suomela, PODC 2011): experiment harness@.";
-    print_header "Table 1(a): graph properties";
-    List.iter print_row table_1a;
-    print_header "Table 1(b): graph problems (solution verification)";
-    List.iter print_row table_1b;
+      "Locally Checkable Proofs (Göös & Suomela, PODC 2011): experiment harness \
+       (engine=%s, jobs=%d)@."
+      (if !use_reference then "reference" else "csr")
+      !jobs;
+    let t0 = Unix.gettimeofday () in
+    let results_a = run_table "Table 1(a): graph properties" table_1a in
+    let results_b =
+      run_table "Table 1(b): graph problems (solution verification)" table_1b
+    in
     lower_bounds ();
     ablations ();
     hierarchy ();
+    let total = Unix.gettimeofday () -. t0 in
+    write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total
+      (results_a @ results_b);
     Format.printf
-      "@.run with --timing for Bechamel verifier micro-benchmarks.@."
+      "@.run with --timing for Bechamel verifier micro-benchmarks, --smoke for \
+       the CI sweep.@."
   end

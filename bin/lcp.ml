@@ -79,6 +79,17 @@ let bits_arg default =
     & opt int default
     & info [ "b"; "bits" ] ~docv:"BITS" ~doc:"Adversary's per-node bit budget.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the verification engine: 1 runs \
+           sequentially (default), 0 uses all recommended cores.")
+
+let resolve_jobs j = if j = 0 then Pool.default_jobs () else j
+
 (* --- commands --------------------------------------------------------- *)
 
 let schemes_cmd =
@@ -98,11 +109,27 @@ let load_instance path =
   | Sys_error msg -> Error (`Msg msg)
 
 let prove_cmd =
-  let run scheme graph output =
+  let run scheme graph output jobs =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok inst -> (
-        match Scheme.prove_and_check scheme inst with
+        let prove_and_check inst =
+          match scheme.Scheme.prover inst with
+          | None -> `No_proof
+          | Some proof -> (
+              let verdicts, _ =
+                Simulator.run_verifier ~jobs:(resolve_jobs jobs) inst proof
+                  ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+              in
+              match
+                List.filter_map
+                  (fun (v, ok) -> if ok then None else Some v)
+                  verdicts
+              with
+              | [] -> `Accepted proof
+              | vs -> `Rejected (proof, vs))
+        in
+        match prove_and_check inst with
         | `No_proof ->
             Format.printf
               "no-instance: the prover found no locally checkable proof@.";
@@ -128,10 +155,10 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Run a scheme's prover on an instance")
-    Term.(const run $ scheme_arg $ graph_arg $ out_arg)
+    Term.(const run $ scheme_arg $ graph_arg $ out_arg $ jobs_arg)
 
 let verify_cmd =
-  let run scheme graph proof =
+  let run scheme graph proof jobs =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok inst -> (
@@ -142,18 +169,24 @@ let verify_cmd =
         match proof with
         | Error m -> prerr_endline m; 1
         | Ok proof -> (
-            match Scheme.decide scheme inst proof with
-            | Scheme.Accept ->
+            let verdicts, _ =
+              Simulator.run_verifier ~jobs:(resolve_jobs jobs) inst proof
+                ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+            in
+            match
+              List.filter_map (fun (v, ok) -> if ok then None else Some v) verdicts
+            with
+            | [] ->
                 Format.printf "ACCEPT: all %d nodes accept@." (Instance.n inst);
                 0
-            | Scheme.Reject vs ->
+            | vs ->
                 Format.printf "REJECT at nodes [%s]@."
                   (String.concat "; " (List.map string_of_int vs));
                 2))
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a scheme's verifier at every node")
-    Term.(const run $ scheme_arg $ graph_arg $ proof_arg)
+    Term.(const run $ scheme_arg $ graph_arg $ proof_arg $ jobs_arg)
 
 let forge_cmd =
   let run scheme graph bits =

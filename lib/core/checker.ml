@@ -57,23 +57,48 @@ let completeness scheme instances =
           })
     report instances
 
-let soundness_random ?(seed = 0xC0FFEE) scheme inst ~samples ~max_bits =
-  let st = Random.State.make [| seed |] in
+let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bits =
+  let compiled = Simulator.compile inst in
   let nodes = Graph.nodes (Instance.graph inst) in
-  let ok = ref true in
-  for _ = 1 to samples do
-    if !ok then begin
-      let proof =
-        List.fold_left
-          (fun p v ->
-            let len = Random.State.int st (max_bits + 1) in
-            Proof.set p v (Bits.random st len))
-          Proof.empty nodes
-      in
-      if Scheme.accepts scheme inst proof then ok := false
-    end
-  done;
-  !ok
+  let sample st =
+    List.fold_left
+      (fun p v ->
+        let len = Random.State.int st (max_bits + 1) in
+        Proof.set p v (Bits.random st len))
+      Proof.empty nodes
+  in
+  let forged proof =
+    Simulator.all_accept compiled proof ~radius:scheme.Scheme.radius
+      scheme.Scheme.verifier
+  in
+  if jobs <= 1 then begin
+    (* Sequential: one stream seeded as in the original implementation,
+       stopping at the first accepted forgery. *)
+    let st = Random.State.make [| seed |] in
+    let rec go remaining =
+      remaining = 0 || ((not (forged (sample st))) && go (remaining - 1))
+    in
+    go samples
+  end
+  else begin
+    (* Parallel: each sample gets its own state derived from (seed, i),
+       so the sampled proof set — and hence the verdict — is the same
+       for every jobs > 1. Workers bail out once any forgery lands. *)
+    let fooled = Atomic.make false in
+    Pool.run ~jobs (fun pool ->
+        match pool with
+        | None -> assert false
+        | Some pool ->
+            Pool.parallel_for pool ~chunks:(Pool.size pool) ~n:samples
+              (fun _c lo hi ->
+                let i = ref lo in
+                while (not (Atomic.get fooled)) && !i < hi do
+                  if forged (sample (Random.State.make [| seed; !i |])) then
+                    Atomic.set fooled true;
+                  incr i
+                done));
+    not (Atomic.get fooled)
+  end
 
 (* All bit strings of length 0..max_bits, shortest first. *)
 let all_strings max_bits =

@@ -21,8 +21,22 @@ val completeness :
     return a proof, within the size bound, accepted by all nodes. *)
 
 val soundness_random :
-  ?seed:int -> Scheme.t -> Instance.t -> samples:int -> max_bits:int -> bool
-(** True when every sampled random proof is rejected somewhere. *)
+  ?seed:int ->
+  ?jobs:int ->
+  Scheme.t ->
+  Instance.t ->
+  samples:int ->
+  max_bits:int ->
+  bool
+(** True when every sampled random proof is rejected somewhere. The
+    instance is compiled to CSR once and probed via
+    {!Simulator.all_accept}, stopping at the first accepted forgery.
+    With [jobs > 1] the sample range is fanned out over that many
+    domains; each sample then draws from its own [(seed, index)]-keyed
+    stream, so the verdict is deterministic and independent of the
+    worker count (though the sampled proofs differ from the sequential
+    [jobs <= 1] stream, which keeps the original single-stream
+    behaviour). *)
 
 val soundness_exhaustive :
   Scheme.t -> Instance.t -> max_bits:int -> bool

@@ -1,0 +1,108 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  has_work : Condition.t; (* signalled on submit and shutdown *)
+  quiescent : Condition.t; (* signalled when pending reaches 0 *)
+  tasks : (unit -> unit) Queue.t;
+  mutable pending : int; (* queued + running *)
+  mutable stopping : bool;
+  mutable error : exn option; (* first task exception, for [wait] *)
+  mutable workers : unit Domain.t list;
+}
+
+let size p = p.size
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop p =
+  Mutex.lock p.lock;
+  while Queue.is_empty p.tasks && not p.stopping do
+    Condition.wait p.has_work p.lock
+  done;
+  if Queue.is_empty p.tasks then (* stopping and drained *)
+    Mutex.unlock p.lock
+  else begin
+    let task = Queue.pop p.tasks in
+    Mutex.unlock p.lock;
+    (try task ()
+     with e ->
+       Mutex.lock p.lock;
+       if p.error = None then p.error <- Some e;
+       Mutex.unlock p.lock);
+    Mutex.lock p.lock;
+    p.pending <- p.pending - 1;
+    if p.pending = 0 then Condition.broadcast p.quiescent;
+    Mutex.unlock p.lock;
+    worker_loop p
+  end
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: need at least one worker";
+  let p =
+    {
+      size;
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      quiescent = Condition.create ();
+      tasks = Queue.create ();
+      pending = 0;
+      stopping = false;
+      error = None;
+      workers = [];
+    }
+  in
+  p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let submit p task =
+  Mutex.lock p.lock;
+  if p.stopping then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task p.tasks;
+  p.pending <- p.pending + 1;
+  Condition.signal p.has_work;
+  Mutex.unlock p.lock
+
+let wait p =
+  Mutex.lock p.lock;
+  while p.pending > 0 do
+    Condition.wait p.quiescent p.lock
+  done;
+  let err = p.error in
+  p.error <- None;
+  Mutex.unlock p.lock;
+  match err with Some e -> raise e | None -> ()
+
+let shutdown p =
+  Mutex.lock p.lock;
+  let already = p.stopping in
+  p.stopping <- true;
+  Condition.broadcast p.has_work;
+  Mutex.unlock p.lock;
+  if not already then begin
+    List.iter Domain.join p.workers;
+    p.workers <- []
+  end
+
+let run ~jobs f =
+  if jobs <= 1 then f None
+  else
+    let p = create jobs in
+    Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f (Some p))
+
+let parallel_for p ~chunks ~n body =
+  if chunks < 1 then invalid_arg "Pool.parallel_for: chunks < 1";
+  if n > 0 then begin
+    let k = min chunks n in
+    let base = n / k and rem = n mod k in
+    let lo = ref 0 in
+    for c = 0 to k - 1 do
+      let width = base + if c < rem then 1 else 0 in
+      let l = !lo in
+      let h = l + width in
+      lo := h;
+      submit p (fun () -> body c l h)
+    done;
+    wait p
+  end

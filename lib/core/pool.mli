@@ -1,0 +1,45 @@
+(** A small fixed-size domain pool (stdlib [Domain] + [Mutex] /
+    [Condition]; no external dependencies).
+
+    The verification engine is embarrassingly parallel — per-node
+    verifier runs and per-sample soundness probes share only immutable
+    data (CSR image, instance, proof) — so all this pool provides is
+    fan-out/join: submit thunks, wait for quiescence. Workers are real
+    domains; keep pools short-lived and sized at most
+    {!default_jobs} (oversubscribing domains degrades OCaml 5
+    performance). *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [jobs >= 1] worker domains that sleep on a
+    condition variable until work arrives. *)
+
+val size : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every submitted task has finished. If any task raised,
+    the first such exception is re-raised here (remaining tasks still
+    run to completion). *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, then join all worker domains. Idempotent. *)
+
+val run : jobs:int -> (t option -> 'a) -> 'a
+(** Scoped pool: [run ~jobs f] calls [f None] when [jobs <= 1]
+    (sequential — no domains are ever spawned) and otherwise
+    [f (Some pool)] with a fresh [jobs]-worker pool that is shut down
+    when [f] returns or raises. *)
+
+val parallel_for : t -> chunks:int -> n:int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for pool ~chunks ~n body] splits [0 .. n-1] into at most
+    [chunks] contiguous ranges, submits [body chunk_index lo hi] for
+    each (half-open [lo, hi)), and {!wait}s. Each chunk index is used
+    by exactly one task, so per-chunk scratch is race-free. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to
+    on the command line. *)

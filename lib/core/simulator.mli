@@ -7,7 +7,17 @@
     the global input, and its incident edges; in each round all nodes
     exchange their entire knowledge with their neighbours. After [r]
     rounds each node reconstructs its radius-[r] view, which tests
-    compare against {!View.make}'s direct extraction. *)
+    compare against {!View.make}'s direct extraction.
+
+    Two implementations coexist:
+    - {!gather} / {!run_verifier_reference} — the persistent-map
+      round-by-round exchange, kept verbatim as the semantic reference;
+    - {!run_verifier} — a fast engine that compiles the instance to a
+      {!Csr.t} once, extracts every ball with a bounded scratch BFS,
+      reproduces the reference transcript in closed form, and can fan
+      the per-node verifier loop out over a {!Pool} of domains. The
+      test suite asserts verdict- and transcript-identity between the
+      two on sampled graphs. *)
 
 type transcript = {
   rounds : int;
@@ -19,12 +29,56 @@ type transcript = {
 
 val gather : Instance.t -> Proof.t -> radius:int -> (Graph.node * View.t) list * transcript
 (** Run [radius] rounds of full-knowledge exchange and build each
-    node's view from what it has learnt. *)
+    node's view from what it has learnt. Reference implementation:
+    cost grows like [n · ball · radius] persistent-map unions. *)
+
+val run_verifier_reference :
+  Instance.t -> Proof.t -> radius:int -> (View.t -> bool) -> (Graph.node * bool) list * transcript
+(** {!gather}, then apply the verifier at every node — the seed
+    implementation of [run_verifier], kept for cross-checking. *)
+
+(** {1 Compiled fast path} *)
+
+type compiled
+(** An instance compiled for repeated verification: the CSR image of
+    its graph plus per-node message-size tables. Immutable — safe to
+    share across domains and reuse for any number of proofs. *)
+
+val compile : Instance.t -> compiled
+(** O(n + m); build once per instance, reuse across all nodes, proofs
+    and samples. *)
+
+val compiled_instance : compiled -> Instance.t
+
+val view_at : compiled -> Proof.t -> radius:int -> Graph.node -> View.t
+(** Direct radius-r view extraction via bounded CSR BFS. Structurally
+    identical to {!View.make} on the same arguments (it funnels through
+    {!View.of_ball}). *)
 
 val run_verifier :
-  Instance.t -> Proof.t -> radius:int -> (View.t -> bool) -> (Graph.node * bool) list * transcript
-(** Gather, then apply the verifier at every node. *)
+  ?jobs:int ->
+  ?compiled:compiled ->
+  Instance.t ->
+  Proof.t ->
+  radius:int ->
+  (View.t -> bool) ->
+  (Graph.node * bool) list * transcript
+(** Gather, then apply the verifier at every node. Equivalent to
+    {!run_verifier_reference} — same verdicts, same transcript — but
+    runs on the compiled fast path. [?jobs] (default 1) chunks the
+    per-node loop across that many worker domains; verdicts are
+    independent of [jobs]. Pass [?compiled] to reuse a prior
+    {!compile} of the same instance. *)
+
+val all_accept :
+  compiled -> Proof.t -> radius:int -> (View.t -> bool) -> bool
+(** True when the verifier accepts at every node; stops at the first
+    rejecting node. Agrees with {!Scheme.accepts} — the soundness
+    samplers use it to probe thousands of proofs against one compiled
+    instance. *)
 
 val agrees_with_direct : Instance.t -> Proof.t -> radius:int -> bool
 (** True when every simulated view equals the directly extracted one —
-    the executable form of the LOCAL-equivalence claim. *)
+    the executable form of the LOCAL-equivalence claim. Checks the
+    round-based views against both {!View.make} and the CSR fast
+    path's {!view_at}. *)

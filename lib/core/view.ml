@@ -6,11 +6,13 @@ type t = {
   dists : (Graph.node, int) Hashtbl.t;
 }
 
-let make inst proof ~centre ~radius =
+(* Shared assembly: [ball] must be the sorted radius-[radius] ball of
+   [centre] and [dists] its exact distance table. Both the direct
+   extraction below and the CSR fast path in [Simulator] funnel through
+   this single constructor, which is what keeps the two paths
+   behaviourally identical. *)
+let of_ball inst proof ~centre ~radius ~ball ~dists =
   let g = Instance.graph inst in
-  if not (Graph.mem_node g centre) then invalid_arg "View.make: unknown centre";
-  if radius < 0 then invalid_arg "View.make: negative radius";
-  let ball = Traversal.ball g centre radius in
   let sub_graph = Graph.induced g ball in
   let sub = Instance.of_graph sub_graph in
   let sub = Instance.with_globals sub (Instance.globals inst) in
@@ -28,11 +30,18 @@ let make inst proof ~centre ~radius =
         if Bits.length l > 0 then Instance.with_edge_label acc u v l else acc)
       sub_graph sub
   in
+  { centre; radius; sub; proof = Proof.restrict proof ball; dists }
+
+let make inst proof ~centre ~radius =
+  let g = Instance.graph inst in
+  if not (Graph.mem_node g centre) then invalid_arg "View.make: unknown centre";
+  if radius < 0 then invalid_arg "View.make: negative radius";
+  let ball = Traversal.ball g centre radius in
   let dists = Hashtbl.create 32 in
   List.iter
     (fun (u, d) -> if d <= radius then Hashtbl.replace dists u d)
     (Traversal.bfs_distances g centre);
-  { centre; radius; sub; proof = Proof.restrict proof ball; dists }
+  of_ball inst proof ~centre ~radius ~ball ~dists
 
 let centre v = v.centre
 let radius v = v.radius

@@ -11,6 +11,20 @@ val make :
   Instance.t -> Proof.t -> centre:Graph.node -> radius:int -> t
 (** Direct extraction of [(G[v,r], labels[v,r], P[v,r], v)]. *)
 
+val of_ball :
+  Instance.t ->
+  Proof.t ->
+  centre:Graph.node ->
+  radius:int ->
+  ball:Graph.node list ->
+  dists:(Graph.node, int) Hashtbl.t ->
+  t
+(** Assembly step of {!make} with the ball precomputed: [ball] must be
+    the sorted radius-[radius] ball of [centre] and [dists] the exact
+    distances within it. {!Simulator}'s CSR fast path computes both
+    with a bounded array BFS and funnels through this constructor, so
+    fast-path views are structurally identical to {!make}'s. *)
+
 val centre : t -> Graph.node
 val radius : t -> int
 

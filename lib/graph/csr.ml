@@ -1,0 +1,105 @@
+type t = {
+  n : int;
+  m : int;
+  offsets : int array; (* length n + 1 *)
+  targets : int array; (* length 2m, dense indices, increasing per row *)
+  ids : int array; (* dense index -> identifier, strictly increasing *)
+  idx : (int, int) Hashtbl.t; (* identifier -> dense index *)
+}
+
+let n t = t.n
+let m t = t.m
+let node t i = t.ids.(i)
+
+let index_opt t v = Hashtbl.find_opt t.idx v
+
+let index t v =
+  match Hashtbl.find_opt t.idx v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Csr.index: unknown node %d" v)
+
+let degree t i = t.offsets.(i + 1) - t.offsets.(i)
+
+let of_graph g =
+  let n = Graph.n g in
+  let ids = Array.make n 0 in
+  let idx = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  (* Graph.iter_nodes runs in increasing identifier order, so dense
+     indices preserve the identifier order. *)
+  Graph.iter_nodes
+    (fun v ->
+      ids.(!next) <- v;
+      Hashtbl.replace idx v !next;
+      incr next)
+    g;
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + Graph.degree g ids.(i)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let fill = Array.make n 0 in
+  for i = 0 to n - 1 do
+    (* neighbours arrive in increasing identifier order; identifier
+       order = dense order, so each row ends up sorted. *)
+    Graph.iter_neighbours
+      (fun u ->
+        targets.(offsets.(i) + fill.(i)) <- Hashtbl.find idx u;
+        fill.(i) <- fill.(i) + 1)
+      g ids.(i)
+  done;
+  { n; m = Graph.m g; offsets; targets; ids; idx }
+
+let iter_neighbours t i f =
+  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+    f t.targets.(k)
+  done
+
+let fold_neighbours t i f init =
+  let acc = ref init in
+  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+    acc := f !acc t.targets.(k)
+  done;
+  !acc
+
+type scratch = {
+  dist_ : int array; (* -1 = untouched since last reset *)
+  order : int array; (* BFS queue; first [count] entries are the ball *)
+  mutable count : int;
+}
+
+let scratch t = { dist_ = Array.make t.n (-1); order = Array.make t.n 0; count = 0 }
+
+let ball t s ~centre ~radius =
+  if centre < 0 || centre >= t.n then invalid_arg "Csr.ball: bad centre";
+  if radius < 0 then invalid_arg "Csr.ball: negative radius";
+  (* lazy reset: only un-mark what the previous call touched *)
+  for i = 0 to s.count - 1 do
+    s.dist_.(s.order.(i)) <- -1
+  done;
+  s.order.(0) <- centre;
+  s.dist_.(centre) <- 0;
+  s.count <- 1;
+  let head = ref 0 in
+  while !head < s.count do
+    let v = s.order.(!head) in
+    incr head;
+    let d = s.dist_.(v) in
+    if d < radius then
+      for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+        let u = t.targets.(k) in
+        if s.dist_.(u) < 0 then begin
+          s.dist_.(u) <- d + 1;
+          s.order.(s.count) <- u;
+          s.count <- s.count + 1
+        end
+      done
+  done;
+  s.count
+
+let visited s i = s.order.(i)
+let dist s v = s.dist_.(v)
+
+let ball_ids t s ~centre ~radius =
+  let count = ball t s ~centre:(index t centre) ~radius in
+  List.init count (fun i -> t.ids.(s.order.(i))) |> List.sort Int.compare

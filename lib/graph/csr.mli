@@ -1,0 +1,72 @@
+(** Dense compressed-sparse-row (CSR) compilation of a {!Graph.t}.
+
+    The persistent [IntSet.t IntMap.t] representation behind {!Graph.t}
+    is the right tool for the gluing and relabelling constructions, but
+    it is a poor fit for the hot loop shared by every experiment: per
+    node radius-r ball extraction over the {e same} immutable graph,
+    repeated for all [n] nodes (and, in the soundness samplers, for
+    thousands of candidate proofs). This module compiles a graph once
+    into three int arrays — row offsets, concatenated adjacency, and a
+    dense-index ↔ node-id table — so that neighbour iteration is
+    allocation-free and a radius-bounded BFS touches only the ball it
+    returns instead of the whole graph.
+
+    A compiled value is immutable and may be shared freely across
+    domains; all mutability lives in the per-worker {!scratch}. *)
+
+type t
+(** CSR image of a graph. Nodes are renumbered to dense indices
+    [0 .. n-1] in increasing identifier order; all functions below
+    speak dense indices unless they say otherwise. *)
+
+val of_graph : Graph.t -> t
+(** O(n + m). The source graph is not retained. *)
+
+val n : t -> int
+val m : t -> int
+
+val node : t -> int -> Graph.node
+(** Original identifier of a dense index. Dense indices are assigned in
+    increasing identifier order, so [node] is strictly increasing. *)
+
+val index : t -> Graph.node -> int
+(** Dense index of an identifier; raises [Invalid_argument] for nodes
+    not in the compiled graph. *)
+
+val index_opt : t -> Graph.node -> int option
+val degree : t -> int -> int
+
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+(** Allocation-free; neighbours arrive in increasing dense-index order
+    (equivalently: increasing identifier order, matching
+    {!Graph.neighbours}). *)
+
+val fold_neighbours : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** {1 Reusable-scratch bounded BFS} *)
+
+type scratch
+(** Mutable per-worker workspace (distance array + BFS queue). One
+    scratch must never be shared between domains; allocate one per
+    worker with {!scratch} and reuse it across any number of calls. *)
+
+val scratch : t -> scratch
+
+val ball : t -> scratch -> centre:int -> radius:int -> int
+(** [ball t s ~centre ~radius] runs a BFS from [centre] truncated at
+    [radius] and returns the number of nodes in the ball. Afterwards
+    [visited s i] for [i < count] lists the ball in BFS order (centre
+    first) and [dist s v] is the distance of any visited dense index.
+    Cost is proportional to the ball, not the graph; the scratch is
+    recycled lazily so back-to-back calls stay cheap. *)
+
+val visited : scratch -> int -> int
+(** [visited s i] is the [i]-th dense index reached by the last
+    {!ball} call. *)
+
+val dist : scratch -> int -> int
+(** Distance from the last centre; [-1] for unvisited indices. *)
+
+val ball_ids : t -> scratch -> centre:int -> radius:int -> Graph.node list
+(** Convenience for tests: the ball of the {e identifier}-named centre
+    as a sorted identifier list, exactly like {!Traversal.ball}. *)

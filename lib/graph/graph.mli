@@ -77,6 +77,16 @@ val fold_edges : (node -> node -> 'a -> 'a) -> t -> 'a -> 'a
 val iter_nodes : (node -> unit) -> t -> unit
 val iter_edges : (node -> node -> unit) -> t -> unit
 
+val iter_neighbours : (node -> unit) -> t -> node -> unit
+(** Like [List.iter f (neighbours g v)] — increasing identifier
+    order — but without materialising the list; the traversal and
+    simulation inner loops use this. Raises [Invalid_argument] for an
+    unknown node. *)
+
+val fold_neighbours : (node -> 'a -> 'a) -> t -> node -> 'a -> 'a
+(** Allocation-free fold over the neighbours of a node, in increasing
+    identifier order. *)
+
 val is_subgraph : t -> of_:t -> bool
 (** [is_subgraph h ~of_:g] checks node and edge containment. *)
 

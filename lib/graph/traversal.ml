@@ -10,13 +10,13 @@ let bfs_map g s =
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
     let d = Hashtbl.find dist v in
-    List.iter
+    Graph.iter_neighbours
       (fun u ->
         if not (Hashtbl.mem dist u) then begin
           Hashtbl.replace dist u (d + 1);
           Queue.push u q
         end)
-      (Graph.neighbours g v)
+      g v
   done;
   dist
 
@@ -39,14 +39,14 @@ let shortest_path g s t =
   let found = ref (s = t) in
   while (not !found) && not (Queue.is_empty q) do
     let v = Queue.pop q in
-    List.iter
+    Graph.iter_neighbours
       (fun u ->
         if not (Hashtbl.mem parent u) then begin
           Hashtbl.replace parent u v;
           if u = t then found := true;
           Queue.push u q
         end)
-      (Graph.neighbours g v)
+      g v
   done;
   if not (Hashtbl.mem parent t) then None
   else
@@ -104,7 +104,7 @@ let dfs_intervals g root =
     Hashtbl.replace seen v ();
     let disc = !time in
     incr time;
-    List.iter (fun u -> if not (Hashtbl.mem seen u) then visit u) (Graph.neighbours g v);
+    Graph.iter_neighbours (fun u -> if not (Hashtbl.mem seen u) then visit u) g v;
     res := (v, (disc, !time)) :: !res;
     incr time
   in

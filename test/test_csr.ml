@@ -1,0 +1,266 @@
+(* Equivalence suite for the CSR backend and the multicore verification
+   engine: on sampled graph families the fast path must be
+   bit-identical to the seed persistent-map path — same balls, same
+   views, same verdicts, same transcripts — including with jobs > 1. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let st seed = Random.State.make [| seed |]
+
+(* Graph families named by the issue: Erdős–Rényi, trees, cycles —
+   with n up to ~200, plus non-contiguous identifiers, which the CSR
+   id ↔ dense-index table must handle. *)
+let family =
+  [
+    ("C9", Builders.cycle 9);
+    ("C200", Builders.cycle 200);
+    ("path1", Builders.path 1);
+    ("star7", Builders.star 7);
+    ("grid4x5", Builders.grid 4 5);
+    ("tree60", Random_graphs.tree (st 1) 60);
+    ("tree200", Random_graphs.tree (st 2) 200);
+    ("gnp40", Random_graphs.gnp (st 3) 40 0.1);
+    ("gnp200", Random_graphs.connected_gnp (st 4) 200 0.02);
+    ("sparse-ids", Random_graphs.permuted_ids (st 5) ~factor:7 (Random_graphs.gnp (st 6) 50 0.08));
+    ("two-cycles", Graph.union_disjoint (Builders.cycle 5) (Canonical.shifted (Builders.cycle 6) 10));
+  ]
+
+let csr_structure () =
+  List.iter
+    (fun (name, g) ->
+      let c = Csr.of_graph g in
+      check_int (name ^ " n") (Graph.n g) (Csr.n c);
+      check_int (name ^ " m") (Graph.m g) (Csr.m c);
+      Graph.iter_nodes
+        (fun v ->
+          let i = Csr.index c v in
+          check_int (name ^ " id round-trip") v (Csr.node c i);
+          check_int (name ^ " degree") (Graph.degree g v) (Csr.degree c i);
+          let nbrs =
+            List.rev (Csr.fold_neighbours c i (fun acc j -> Csr.node c j :: acc) [])
+          in
+          check (name ^ " neighbours") true (nbrs = Graph.neighbours g v))
+        g)
+    family
+
+let csr_balls () =
+  List.iter
+    (fun (name, g) ->
+      let c = Csr.of_graph g in
+      let s = Csr.scratch c in
+      Graph.iter_nodes
+        (fun v ->
+          List.iter
+            (fun r ->
+              check
+                (Printf.sprintf "%s ball v=%d r=%d" name v r)
+                true
+                (Csr.ball_ids c s ~centre:v ~radius:r = Traversal.ball g v r))
+            [ 0; 1; 2; 3 ])
+        g)
+    family
+
+(* Decorated instance + proof, as in the seed simulator tests: node
+   labels, edge labels, globals and proof bits all in transit. *)
+let decorated g =
+  let inst = Instance.of_graph g in
+  let inst =
+    Instance.with_node_labels inst
+      (List.map (fun v -> (v, Bits.encode_int (v mod 5))) (Graph.nodes g))
+  in
+  let inst =
+    Graph.fold_edges
+      (fun u v acc ->
+        if (u + v) mod 3 = 0 then
+          Instance.with_edge_label acc u v (Bits.encode_int (u + v))
+        else acc)
+      g inst
+  in
+  let inst = Instance.with_globals inst (Bits.encode_int 42) in
+  let proof =
+    Graph.fold_nodes (fun v p -> Proof.set p v (Bits.encode_int (v * 7))) g
+      Proof.empty
+  in
+  (inst, proof)
+
+let fast_views_identical () =
+  List.iter
+    (fun (name, g) ->
+      let inst, proof = decorated g in
+      let c = Simulator.compile inst in
+      List.iter
+        (fun radius ->
+          Graph.iter_nodes
+            (fun v ->
+              check
+                (Printf.sprintf "%s view v=%d r=%d" name v radius)
+                true
+                (View.equal
+                   (Simulator.view_at c proof ~radius v)
+                   (View.make inst proof ~centre:v ~radius)))
+            g)
+        [ 0; 1; 2 ])
+    (List.filter (fun (_, g) -> Graph.n g <= 60) family)
+
+let run_verifier_matches_reference () =
+  (* A verifier exercising graph structure, labels, proof bits and
+     distances of the view. *)
+  let verifier view =
+    let c = View.centre view in
+    let h = Hashtbl.hash
+        ( Graph.edges (View.graph view),
+          View.proof_of view c,
+          View.label_of view c,
+          List.map (fun u -> View.dist_to_centre view u)
+            (Graph.nodes (View.graph view)) )
+    in
+    h mod 3 <> 0
+  in
+  List.iter
+    (fun (name, g) ->
+      let inst, proof = decorated g in
+      List.iter
+        (fun radius ->
+          let ref_verdicts, ref_tr =
+            Simulator.run_verifier_reference inst proof ~radius verifier
+          in
+          List.iter
+            (fun jobs ->
+              let verdicts, tr =
+                Simulator.run_verifier ~jobs inst proof ~radius verifier
+              in
+              let label what =
+                Printf.sprintf "%s %s r=%d jobs=%d" name what radius jobs
+              in
+              check (label "verdicts") true (verdicts = ref_verdicts);
+              check_int (label "rounds") ref_tr.Simulator.rounds
+                tr.Simulator.rounds;
+              check_int (label "messages") ref_tr.Simulator.messages_sent
+                tr.Simulator.messages_sent;
+              check_int (label "max bits") ref_tr.Simulator.max_message_bits
+                tr.Simulator.max_message_bits)
+            [ 1; 4 ])
+        [ 0; 1; 2 ])
+    (List.filter (fun (_, g) -> Graph.n g <= 60) family)
+
+let scheme_verdicts_identical () =
+  (* Real schemes, honest and garbage proofs: the fast engine must
+     reproduce Scheme.decide (the seed View.make-per-node path) and
+     all_accept must agree with Scheme.accepts. *)
+  let cases =
+    [
+      ("bipartite-C12", Bipartite_scheme.scheme, Instance.of_graph (Builders.cycle 12));
+      ("bipartite-C9", Bipartite_scheme.scheme, Instance.of_graph (Builders.cycle 9));
+      ("odd-n-C9", Counting.odd_n, Instance.of_graph (Builders.cycle 9));
+      ( "leader-C16",
+        Leader_election.strong,
+        Leader_election.mark_leader (Instance.of_graph (Builders.cycle 16)) 0 );
+      ("acyclic-T40", Acyclic.scheme, Instance.of_graph (Random_graphs.tree (st 9) 40)) ;
+    ]
+  in
+  let rstate = st 11 in
+  List.iter
+    (fun (name, scheme, inst) ->
+      let c = Simulator.compile inst in
+      let proofs =
+        (match scheme.Scheme.prover inst with Some p -> [ p ] | None -> [])
+        @ [ Proof.empty ]
+        @ List.init 8 (fun _ ->
+              Graph.fold_nodes
+                (fun v p ->
+                  Proof.set p v
+                    (Bits.random rstate (Random.State.int rstate 6)))
+                (Instance.graph inst) Proof.empty)
+      in
+      List.iteri
+        (fun k proof ->
+          let seed_verdicts =
+            Graph.fold_nodes
+              (fun v acc -> (v, Scheme.verifier_output scheme inst proof v) :: acc)
+              (Instance.graph inst) []
+            |> List.rev
+          in
+          List.iter
+            (fun jobs ->
+              let verdicts, _ =
+                Simulator.run_verifier ~jobs ~compiled:c inst proof
+                  ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+              in
+              check
+                (Printf.sprintf "%s proof#%d jobs=%d" name k jobs)
+                true (verdicts = seed_verdicts))
+            [ 1; 4 ];
+          check
+            (Printf.sprintf "%s proof#%d all_accept" name k)
+            (Scheme.accepts scheme inst proof)
+            (Simulator.all_accept c proof ~radius:scheme.Scheme.radius
+               scheme.Scheme.verifier))
+        proofs)
+    cases
+
+let agrees_on_fast_path () =
+  List.iter
+    (fun (name, g) ->
+      let inst, proof = decorated g in
+      check (name ^ " agrees") true (Simulator.agrees_with_direct inst proof ~radius:2))
+    (List.filter (fun (_, g) -> Graph.n g <= 60) family)
+
+let soundness_random_parallel () =
+  let inst = Instance.of_graph (Builders.cycle 12) in
+  (* Honest scheme: never fooled, sequential or parallel. *)
+  check "bipartite seq" true
+    (Checker.soundness_random Bipartite_scheme.scheme inst ~samples:150 ~max_bits:3);
+  check "bipartite jobs=4" true
+    (Checker.soundness_random ~jobs:4 Bipartite_scheme.scheme inst ~samples:150
+       ~max_bits:3);
+  (* jobs > 1 verdict is independent of the worker count. *)
+  let trivial =
+    Scheme.make ~name:"accept-anything" ~radius:1
+      ~size_bound:(fun _ -> 1)
+      ~prover:(fun _ -> Some Proof.empty)
+      ~verifier:(fun _ -> true)
+  in
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "trivially fooled jobs=%d" jobs)
+        false
+        (Checker.soundness_random ~jobs trivial inst ~samples:10 ~max_bits:2))
+    [ 1; 2; 4 ]
+
+let pool_basics () =
+  let p = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let n = 10_000 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for p ~chunks:16 ~n (fun _c lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  check "every index exactly once" true (Array.for_all (( = ) 1) hits);
+  (* exceptions propagate out of wait *)
+  Alcotest.check_raises "task exception" Exit (fun () ->
+      Pool.parallel_for p ~chunks:4 ~n:4 (fun _ lo _ ->
+          if lo = 0 then raise Exit));
+  (* pool is still usable afterwards *)
+  let total = Atomic.make 0 in
+  Pool.parallel_for p ~chunks:8 ~n:100 (fun _ lo hi ->
+      ignore (Atomic.fetch_and_add total (hi - lo)));
+  check_int "pool survives exceptions" 100 (Atomic.get total)
+
+let suite =
+  ( "csr-engine",
+    [
+      Alcotest.test_case "csr structure mirrors graph" `Quick csr_structure;
+      Alcotest.test_case "csr balls = Traversal.ball" `Quick csr_balls;
+      Alcotest.test_case "fast views = View.make" `Quick fast_views_identical;
+      Alcotest.test_case "run_verifier = reference (verdicts + transcript)"
+        `Quick run_verifier_matches_reference;
+      Alcotest.test_case "scheme verdicts identical (jobs 1 and 4)" `Quick
+        scheme_verdicts_identical;
+      Alcotest.test_case "gather agrees with fast direct extraction" `Quick
+        agrees_on_fast_path;
+      Alcotest.test_case "soundness_random parallel" `Quick
+        soundness_random_parallel;
+      Alcotest.test_case "pool basics" `Quick pool_basics;
+    ] )

@@ -3,6 +3,7 @@ let () =
     [
       Test_bits.suite;
       Test_graph.suite;
+      Test_csr.suite;
       Test_algorithms.suite;
       Test_symmetry.suite;
       Test_core.suite;
