@@ -9,10 +9,19 @@
                     (0 = all recommended cores);
           --reference  verify on the seed View.make-per-node path
                     instead of the compiled CSR engine (for
-                    before/after speedup measurements).
+                    before/after speedup measurements);
+          --metrics  enable the observability counters and embed a
+                    per-row metrics object (balls extracted, max ball
+                    size, verifier calls, forgeries tried) in
+                    BENCH_lcp.json;
+          --trace FILE  record structured spans and export them as
+                    Chrome trace-event JSON (chrome://tracing,
+                    Perfetto).
 
-   Sweep runs write a machine-readable BENCH_lcp.json (per-row wall
-   time, largest parameter reached, fit, verdict) next to the table.
+   All timing uses the monotonic Obs.Clock (the seed harness used
+   Unix.gettimeofday, which NTP can skew mid-run). Sweep runs write a
+   machine-readable BENCH_lcp.json (per-row wall time, largest
+   parameter reached, fit, verdict) next to the table.
 
    For each upper-bound row we run the scheme's prover over a sweep of
    instance sizes, check that every proof is accepted by all nodes,
@@ -43,6 +52,7 @@ exception Measure_failure of string
 (* Engine selection, set from the command line in [main]. *)
 let jobs = ref 1
 let use_reference = ref false
+let collect_metrics = ref false
 
 (* Prove and fully verify; return bits per node. Verification runs on
    the compiled CSR engine (optionally multicore) unless --reference
@@ -550,18 +560,50 @@ type row_outcome =
   | Failed of string
   | Fitted of (int * int) list * Complexity.growth * bool (* series, fit, match *)
 
-type row_result = { row : row; outcome : row_outcome; wall_s : float }
+type row_result = {
+  row : row;
+  outcome : row_outcome;
+  wall_s : float;
+  metrics : string option;  (* pre-rendered JSON object, with --metrics *)
+}
 
+(* One row: monotonic wall time, an optional trace span, and — with
+   --metrics — a per-row snapshot of the deterministic engine counters
+   (the metrics registry is reset at row entry, so each row sees only
+   its own work). *)
 let eval_row r =
-  let t0 = Unix.gettimeofday () in
-  let outcome =
+  if !collect_metrics then Obs.Metrics.reset ();
+  let measure () =
     match r.series () with
     | exception Measure_failure msg -> Failed msg
     | series ->
         let fit = Complexity.classify series in
         Fitted (series, fit, List.mem fit r.ok_classes)
   in
-  { row = r; outcome; wall_s = Unix.gettimeofday () -. t0 }
+  let t0 = Obs.Clock.now_ns () in
+  let outcome =
+    if !Obs.Trace.enabled then Obs.Trace.span ("bench.row:" ^ r.id) measure
+    else measure ()
+  in
+  let wall_s = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
+  let metrics =
+    if not !collect_metrics then None
+    else begin
+      let snap = Obs.Metrics.deterministic (Obs.Metrics.snapshot ()) in
+      Some
+        (Printf.sprintf
+           "{\"balls_extracted\":%d,\"max_ball_size\":%d,\"verifier_calls\":%d,\"verifier_rejects\":%d,\"forgeries_tried\":%d,\"decode_errors\":%d,\"compiles\":%d}"
+           (Obs.Metrics.count snap "simulator.balls_extracted")
+           (Obs.Metrics.max_value snap "simulator.ball_size")
+           (Obs.Metrics.count snap "simulator.verifier_calls")
+           (Obs.Metrics.count snap "simulator.verifier_rejects")
+           (Obs.Metrics.count snap "checker.samples"
+           + Obs.Metrics.count snap "adversary.attempts")
+           (Obs.Metrics.count snap "simulator.decode_errors")
+           (Obs.Metrics.count snap "simulator.compiles"))
+    end
+  in
+  { row = r; outcome; wall_s; metrics }
 
 let print_header title =
   Format.printf "@.=== %s ===@." title;
@@ -570,7 +612,7 @@ let print_header title =
     "wall";
   Format.printf "%s@." (String.make 126 '-')
 
-let print_result { row = r; outcome; wall_s } =
+let print_result { row = r; outcome; wall_s; metrics = _ } =
   match outcome with
   | Failed msg ->
       Format.printf "%-7s %-28s %-10s %-18s MEASUREMENT FAILED: %s@." r.id r.what
@@ -602,12 +644,17 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let json_of_result { row = r; outcome; wall_s } =
+let json_of_result { row = r; outcome; wall_s; metrics } =
   let common =
     Printf.sprintf
       "\"id\":\"%s\",\"what\":\"%s\",\"family\":\"%s\",\"paper\":\"%s\",\"param\":\"%s\",\"wall_s\":%.6f"
       (json_escape r.id) (json_escape r.what) (json_escape r.family)
       (json_escape r.paper) (json_escape r.param) wall_s
+  in
+  let common =
+    match metrics with
+    | Some m -> Printf.sprintf "%s,\"metrics\":%s" common m
+    | None -> common
   in
   match outcome with
   | Failed msg -> Printf.sprintf "    {%s,\"error\":\"%s\"}" common (json_escape msg)
@@ -631,11 +678,12 @@ let write_json path ~smoke ~total_wall_s results =
     \  \"engine\": \"%s\",\n\
     \  \"jobs\": %d,\n\
     \  \"smoke\": %b,\n\
+    \  \"metrics\": %b,\n\
     \  \"total_wall_s\": %.6f,\n\
     \  \"rows\": [\n%s\n  ]\n\
      }\n"
     (if !use_reference then "reference" else "csr")
-    !jobs smoke total_wall_s
+    !jobs smoke !collect_metrics total_wall_s
     (String.concat ",\n" (List.map json_of_result results));
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
@@ -909,8 +957,12 @@ let run_table title rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--timing] [--reference] [--jobs N]  (N=0: all cores)";
+    "usage: main.exe [--smoke] [--timing] [--reference] [--jobs N] [--metrics] \
+     [--trace FILE]  (N=0: all cores)";
   exit 2
+
+(* Wrap a whole bench section in a trace span when tracing is on. *)
+let section name f = if !Obs.Trace.enabled then Obs.Trace.span name f else f ()
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -927,30 +979,69 @@ let () =
     | _ :: rest -> find_jobs rest
     | [] -> 1
   in
+  let rec find_trace = function
+    | "--trace" :: v :: _ ->
+        if String.length v > 0 && v.[0] = '-' then begin
+          prerr_endline "--trace needs a file argument";
+          usage ()
+        end;
+        Some v
+    | [ "--trace" ] ->
+        prerr_endline "--trace needs a file argument";
+        usage ()
+    | _ :: rest -> find_trace rest
+    | [] -> None
+  in
   jobs := (match find_jobs args with 0 -> Pool.default_jobs () | j -> j);
+  let trace_file = find_trace args in
+  (* Drop option arguments (the values after --jobs / --trace) before
+     scanning for unknown flags. *)
+  let rec flags_only = function
+    | ("--jobs" | "--trace") :: _ :: rest -> flags_only rest
+    | a :: rest -> a :: flags_only rest
+    | [] -> []
+  in
   (match
      List.filter
        (fun a ->
          String.length a > 1 && a.[0] = '-'
-         && not (List.mem a [ "--smoke"; "--timing"; "--reference"; "--jobs" ]))
-       (List.tl args)
+         && not
+              (List.mem a
+                 [ "--smoke"; "--timing"; "--reference"; "--jobs"; "--metrics";
+                   "--trace" ]))
+       (flags_only (List.tl args))
    with
   | [] -> ()
   | bad :: _ ->
       Printf.eprintf "unknown option %S\n" bad;
       usage ());
   use_reference := List.mem "--reference" args;
+  collect_metrics := List.mem "--metrics" args;
+  if !collect_metrics || trace_file <> None then
+    Obs.enable ~metrics:!collect_metrics ~trace:(trace_file <> None) ();
+  let finish () =
+    match trace_file with
+    | Some path ->
+        Obs.Trace.export path;
+        Format.printf "trace (%d events%s) written to %s@." (Obs.Trace.recorded ())
+          (match Obs.Trace.dropped () with
+          | 0 -> ""
+          | d -> Printf.sprintf ", %d dropped" d)
+          path
+    | None -> ()
+  in
   if List.mem "--timing" args then timing ()
   else if List.mem "--smoke" args then begin
     Format.printf
       "Locally Checkable Proofs: smoke sweep (engine=%s, jobs=%d)@."
       (if !use_reference then "reference" else "csr")
       !jobs;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     let results = run_table "smoke sweep" smoke_table in
-    let total = Unix.gettimeofday () -. t0 in
+    let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
-    write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total results
+    write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total results;
+    finish ()
   end
   else begin
     Format.printf
@@ -958,17 +1049,18 @@ let () =
        (engine=%s, jobs=%d)@."
       (if !use_reference then "reference" else "csr")
       !jobs;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     let results_a = run_table "Table 1(a): graph properties" table_1a in
     let results_b =
       run_table "Table 1(b): graph problems (solution verification)" table_1b
     in
-    lower_bounds ();
-    ablations ();
-    hierarchy ();
-    let total = Unix.gettimeofday () -. t0 in
+    section "bench.lower_bounds" lower_bounds;
+    section "bench.ablations" ablations;
+    section "bench.hierarchy" hierarchy;
+    let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total
       (results_a @ results_b);
+    finish ();
     Format.printf
       "@.run with --timing for Bechamel verifier micro-benchmarks, --smoke for \
        the CI sweep.@."

@@ -4,9 +4,12 @@
      lcp prove  -s NAME -g FILE [-o OUT]  run the prover, print/save the proof
      lcp verify -s NAME -g FILE -p PROOF  run the verifier at every node
      lcp forge  -s NAME -g FILE [-b BITS] adversarial proof forging
+     lcp stats  -s NAME -g FILE           prove+verify+soundness with metrics
      lcp attack ATTACK [...]              run a lower-bound attack
      lcp info   -g FILE                   instance statistics
 
+   prove/verify/forge/stats accept [--metrics] (print engine counters on
+   exit) and [--trace FILE] (write a Chrome trace-event JSON timeline).
    Graph files are described in [Graph_file]. *)
 
 open Cmdliner
@@ -80,15 +83,65 @@ let bits_arg default =
     & info [ "b"; "bits" ] ~docv:"BITS" ~doc:"Adversary's per-node bit budget.")
 
 let jobs_arg =
+  (* Not [Arg.int]: a plain int converter would accept "--jobs -3" and
+     let it reach [Pool.create]. Same contract as the bench driver:
+     0 means "all recommended cores", anything negative is an error. *)
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 0 -> Ok j
+      | Some _ -> Error (`Msg "JOBS must be >= 0 (0 = all recommended cores)")
+      | None -> Error (`Msg (Printf.sprintf "invalid JOBS value %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Arg.(
     value
-    & opt int 1
+    & opt jobs_conv 1
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~doc:
           "Worker domains for the verification engine: 1 runs \
            sequentially (default), 0 uses all recommended cores.")
 
 let resolve_jobs j = if j = 0 then Pool.default_jobs () else j
+
+(* --- observability ---------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect engine metrics and print them when the command exits.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace and write it to $(docv) as Chrome \
+           trace-event JSON (open in chrome://tracing or Perfetto).")
+
+(* Enable the requested observability, run the command body, then export
+   the trace / print the metrics table. Exit codes pass through; the
+   extra output goes last so the command's own output stays first. *)
+let with_obs ~metrics ~trace f =
+  if metrics || trace <> None then
+    Obs.enable ~metrics ~trace:(trace <> None) ();
+  let code = f () in
+  (match trace with
+  | Some path ->
+      Obs.Trace.export path;
+      Format.printf "trace (%d events%s) written to %s@."
+        (Obs.Trace.recorded ())
+        (match Obs.Trace.dropped () with
+        | 0 -> ""
+        | d -> Printf.sprintf ", %d dropped" d)
+        path
+  | None -> ());
+  if metrics then
+    Format.printf "@.metrics:@.%a" Obs.Metrics.pp (Obs.Metrics.snapshot ());
+  code
 
 (* --- commands --------------------------------------------------------- *)
 
@@ -109,10 +162,12 @@ let load_instance path =
   | Sys_error msg -> Error (`Msg msg)
 
 let prove_cmd =
-  let run scheme graph output jobs =
+  let run scheme graph output jobs metrics trace =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
-    | Ok inst -> (
+    | Ok inst ->
+        with_obs ~metrics ~trace @@ fun () ->
+        (
         let prove_and_check inst =
           match scheme.Scheme.prover inst with
           | None -> `No_proof
@@ -155,13 +210,17 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Run a scheme's prover on an instance")
-    Term.(const run $ scheme_arg $ graph_arg $ out_arg $ jobs_arg)
+    Term.(
+      const run $ scheme_arg $ graph_arg $ out_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 let verify_cmd =
-  let run scheme graph proof jobs =
+  let run scheme graph proof jobs metrics trace =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
-    | Ok inst -> (
+    | Ok inst ->
+        with_obs ~metrics ~trace @@ fun () ->
+        (
         let proof =
           try Ok (Graph_file.load_proof proof)
           with Failure m | Sys_error m -> Error m
@@ -186,13 +245,17 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a scheme's verifier at every node")
-    Term.(const run $ scheme_arg $ graph_arg $ proof_arg $ jobs_arg)
+    Term.(
+      const run $ scheme_arg $ graph_arg $ proof_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 let forge_cmd =
-  let run scheme graph bits =
+  let run scheme graph bits metrics trace =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
-    | Ok inst -> (
+    | Ok inst ->
+        with_obs ~metrics ~trace @@ fun () ->
+        (
         match Adversary.forge scheme inst ~max_bits:bits with
         | Adversary.Fooled proof ->
             Format.printf
@@ -212,7 +275,104 @@ let forge_cmd =
   Cmd.v
     (Cmd.info "forge"
        ~doc:"Try to forge an accepted proof (soundness stress test)")
-    Term.(const run $ scheme_arg $ graph_arg $ bits_arg 4)
+    Term.(const run $ scheme_arg $ graph_arg $ bits_arg 4 $ metrics_arg $ trace_arg)
+
+let stats_cmd =
+  let samples_arg =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Random forgeries for the soundness probe.")
+  in
+  let run scheme graph jobs samples bits trace =
+    match load_instance graph with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok inst -> (
+        (* The whole point of this command is the metrics table, so
+           metrics are always on here; --trace is still opt-in. *)
+        with_obs ~metrics:true ~trace @@ fun () ->
+        let jobs = resolve_jobs jobs in
+        let g = Instance.graph inst in
+        Format.printf "scheme:    %s (radius %d)@." scheme.Scheme.name
+          scheme.Scheme.radius;
+        Format.printf "instance:  %d nodes, %d edges, max degree %d, jobs %d@."
+          (Instance.n inst) (Graph.m g) (Graph.max_degree g) jobs;
+        let probe () =
+          (* Stops at the first accepted proof; the sample counter says
+             how far it got. *)
+          let t = Obs.Clock.now_ns () in
+          let sound =
+            Checker.soundness_random ~jobs scheme inst ~samples ~max_bits:bits
+          in
+          let ms = Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns t) /. 1000. in
+          let tried =
+            Obs.Metrics.count (Obs.Metrics.snapshot ()) "checker.samples"
+          in
+          (sound, tried, ms)
+        in
+        let t0 = Obs.Clock.now_ns () in
+        match scheme.Scheme.prover inst with
+        | None ->
+            (* The prover refuses: a no-instance — the one case where an
+               accepted random proof is a genuine soundness violation. *)
+            Format.printf "prove:     no proof — no-instance@.";
+            let sound, tried, ms = probe () in
+            if sound then begin
+              Format.printf
+                "soundness: %.3f ms, %d random proofs (<= %d bits): all \
+                 rejected@."
+                ms samples bits;
+              0
+            end
+            else begin
+              Format.printf
+                "soundness: %.3f ms, FOOLED — random proof %d of %d (<= %d \
+                 bits) accepted on a no-instance@."
+                ms tried samples bits;
+              3
+            end
+        | Some proof ->
+            Format.printf "prove:     %.3f ms, proof of %d bits@."
+              (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns t0) /. 1000.)
+              (Proof.size proof);
+            let t1 = Obs.Clock.now_ns () in
+            let verdicts, _ =
+              Simulator.run_verifier ~jobs inst proof
+                ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+            in
+            let rejecting =
+              List.filter_map (fun (v, ok) -> if ok then None else Some v) verdicts
+            in
+            Format.printf "verify:    %.3f ms, %s@."
+              (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns t1) /. 1000.)
+              (if rejecting = [] then "all nodes accept"
+               else
+                 Printf.sprintf "REJECTED at [%s]"
+                   (String.concat ";" (List.map string_of_int rejecting)));
+            (* On a yes-instance valid proofs exist, so an accepted random
+               proof is legitimate — report it neutrally. *)
+            let sound, tried, ms = probe () in
+            if sound then
+              Format.printf
+                "probe:     %.3f ms, %d random proofs (<= %d bits): all \
+                 rejected@."
+                ms samples bits
+            else
+              Format.printf
+                "probe:     %.3f ms, random proof %d of %d accepted \
+                 (yes-instance: valid proofs exist)@."
+                ms tried samples;
+            if rejecting = [] then 0 else 3)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Prove, verify and soundness-probe one instance, then print the \
+          engine metrics")
+    Term.(
+      const run $ scheme_arg $ graph_arg $ jobs_arg $ samples_arg $ bits_arg 4
+      $ trace_arg)
 
 let info_cmd =
   let run graph =
@@ -427,8 +587,8 @@ let main =
   Cmd.group
     (Cmd.info "lcp" ~doc ~version:"1.0.0")
     [
-      schemes_cmd; prove_cmd; verify_cmd; forge_cmd; info_cmd; dot_cmd;
-      attack_cmd; table_cmd;
+      schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
+      dot_cmd; attack_cmd; table_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

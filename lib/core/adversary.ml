@@ -2,6 +2,10 @@ type outcome =
   | Fooled of Proof.t
   | Resisted of { best_rejections : int; attempts : int }
 
+(* Observability: one count per candidate proof scored, across both the
+   random restarts and the hill-climbing mutations. *)
+let m_attempts = Obs.Metrics.counter "adversary.attempts"
+
 let rejection_count scheme inst proof =
   match Scheme.decide scheme inst proof with
   | Scheme.Accept -> 0
@@ -40,6 +44,7 @@ let forge ?(seed = 0xBADC0DE) ?(restarts = 12) ?(steps = 400) scheme inst ~max_b
       let proof = ref (random_proof st nodes max_bits) in
       let score = ref (rejection_count scheme inst !proof) in
       incr attempts;
+      Obs.Metrics.incr m_attempts;
       if !score = 0 then raise (Win !proof);
       best := min !best !score;
       for _step = 1 to steps do
@@ -56,6 +61,7 @@ let forge ?(seed = 0xBADC0DE) ?(restarts = 12) ?(steps = 400) scheme inst ~max_b
         let candidate = mutate st max_bits !proof target in
         let s = rejection_count scheme inst candidate in
         incr attempts;
+        Obs.Metrics.incr m_attempts;
         if s <= !score then begin
           proof := candidate;
           score := s

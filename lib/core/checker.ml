@@ -57,7 +57,15 @@ let completeness scheme instances =
           })
     report instances
 
-let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bits =
+(* Observability: every random forgery attempt counts once, and lands
+   in exactly one of the rejected/accepted counters; the first accepted
+   forgery also leaves an instant on the trace timeline (the samplers
+   below stop there). *)
+let m_samples = Obs.Metrics.counter "checker.samples"
+let m_rejected = Obs.Metrics.counter "checker.forgeries_rejected"
+let m_accepted = Obs.Metrics.counter "checker.forgeries_accepted"
+
+let soundness_random_body ~seed ~jobs scheme inst ~samples ~max_bits =
   let compiled = Simulator.compile inst in
   let nodes = Graph.nodes (Instance.graph inst) in
   let sample st =
@@ -68,22 +76,32 @@ let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bi
       Proof.empty nodes
   in
   let forged proof =
-    Simulator.all_accept compiled proof ~radius:scheme.Scheme.radius
-      scheme.Scheme.verifier
+    Obs.Metrics.incr m_samples;
+    let accepted =
+      Simulator.all_accept compiled proof ~radius:scheme.Scheme.radius
+        scheme.Scheme.verifier
+    in
+    if accepted then begin
+      Obs.Metrics.incr m_accepted;
+      Obs.Trace.instant "checker.first_accept"
+    end
+    else Obs.Metrics.incr m_rejected;
+    accepted
   in
   if jobs <= 1 then begin
-    (* Sequential: one stream seeded as in the original implementation,
-       stopping at the first accepted forgery. *)
-    let st = Random.State.make [| seed |] in
-    let rec go remaining =
-      remaining = 0 || ((not (forged (sample st))) && go (remaining - 1))
+    (* Sequential: per-sample states derived from (seed, i), exactly as
+       the parallel path below, so the sampled proof set — and with it
+       the verdict and every deterministic metric — is identical for
+       any jobs value. Stops at the first accepted forgery. *)
+    let rec go i =
+      i = samples
+      || ((not (forged (sample (Random.State.make [| seed; i |])))) && go (i + 1))
     in
-    go samples
+    go 0
   end
   else begin
-    (* Parallel: each sample gets its own state derived from (seed, i),
-       so the sampled proof set — and hence the verdict — is the same
-       for every jobs > 1. Workers bail out once any forgery lands. *)
+    (* Parallel: same (seed, i) derivation; workers bail out once any
+       forgery lands. *)
     let fooled = Atomic.make false in
     Pool.run ~jobs (fun pool ->
         match pool with
@@ -99,6 +117,13 @@ let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bi
                 done));
     not (Atomic.get fooled)
   end
+
+let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bits
+    =
+  let run () = soundness_random_body ~seed ~jobs scheme inst ~samples ~max_bits in
+  if !Obs.Trace.enabled then
+    Obs.Trace.span_arg "checker.soundness_random" "samples" samples run
+  else run ()
 
 (* All bit strings of length 0..max_bits, shortest first. *)
 let all_strings max_bits =

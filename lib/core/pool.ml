@@ -1,3 +1,13 @@
+(* Observability: queue depth is a high-water gauge, busy/idle are
+   per-worker nanosecond counters (sharded per domain, so the snapshot
+   shows aggregate utilisation); every task execution is a trace span
+   on its worker's timeline. All recording is guarded by the metrics /
+   trace enabled flags — a disabled pool pays one check per site. *)
+let m_queue_depth = Obs.Metrics.gauge_max "pool.queue_depth_max"
+let m_tasks = Obs.Metrics.counter "pool.tasks_completed"
+let m_busy_ns = Obs.Metrics.counter "pool.busy_ns"
+let m_idle_ns = Obs.Metrics.counter "pool.idle_ns"
+
 type t = {
   size : int;
   lock : Mutex.t;
@@ -15,19 +25,25 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let rec worker_loop p =
   Mutex.lock p.lock;
+  let t_wait = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
   while Queue.is_empty p.tasks && not p.stopping do
     Condition.wait p.has_work p.lock
   done;
+  if t_wait <> 0 then Obs.Metrics.add m_idle_ns (Obs.Clock.now_ns () - t_wait);
   if Queue.is_empty p.tasks then (* stopping and drained *)
     Mutex.unlock p.lock
   else begin
     let task = Queue.pop p.tasks in
     Mutex.unlock p.lock;
-    (try task ()
+    let t_run = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
+    (try
+       if !Obs.Trace.enabled then Obs.Trace.span "pool.task" task else task ()
      with e ->
        Mutex.lock p.lock;
        if p.error = None then p.error <- Some e;
        Mutex.unlock p.lock);
+    if t_run <> 0 then Obs.Metrics.add m_busy_ns (Obs.Clock.now_ns () - t_run);
+    Obs.Metrics.incr m_tasks;
     Mutex.lock p.lock;
     p.pending <- p.pending - 1;
     if p.pending = 0 then Condition.broadcast p.quiescent;
@@ -51,6 +67,7 @@ let create size =
     }
   in
   p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  Obs.Trace.instant ~arg_name:"workers" ~arg:size "pool.create";
   p
 
 let submit p task =
@@ -61,6 +78,7 @@ let submit p task =
   end;
   Queue.push task p.tasks;
   p.pending <- p.pending + 1;
+  Obs.Metrics.observe_max m_queue_depth (Queue.length p.tasks);
   Condition.signal p.has_work;
   Mutex.unlock p.lock
 
@@ -82,7 +100,8 @@ let shutdown p =
   Mutex.unlock p.lock;
   if not already then begin
     List.iter Domain.join p.workers;
-    p.workers <- []
+    p.workers <- [];
+    Obs.Trace.instant ~arg_name:"workers" ~arg:p.size "pool.shutdown"
   end
 
 let run ~jobs f =

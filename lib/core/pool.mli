@@ -7,7 +7,14 @@
     fan-out/join: submit thunks, wait for quiescence. Workers are real
     domains; keep pools short-lived and sized at most
     {!default_jobs} (oversubscribing domains degrades OCaml 5
-    performance). *)
+    performance).
+
+    When observability is enabled the pool records the queue-depth
+    high-water mark ([pool.queue_depth_max]), per-worker busy/idle
+    nanoseconds ([pool.busy_ns] / [pool.idle_ns], sharded per domain)
+    and one trace span per executed task on the worker's timeline.
+    These are scheduling-dependent, so {!Obs.Metrics.deterministic}
+    excludes them from worker-count-invariant snapshots. *)
 
 type t
 

@@ -149,6 +149,21 @@ let run_verifier_reference inst proof ~radius verifier =
 
 (* --- fast path: compiled CSR + bounded scratch BFS ------------------- *)
 
+(* Observability. Counters and histograms shard per domain, so
+   recording under [Pool.parallel_for] is race- and allocation-free;
+   the [_ns] counters accumulate per-phase time (ball extraction vs
+   verifier eval), which costs two monotonic clock reads per node and
+   is therefore also guarded at the call site, not just inside
+   [Metrics]. Per-node trace spans only fire when tracing is on. *)
+let m_compiles = Obs.Metrics.counter "simulator.compiles"
+let m_balls = Obs.Metrics.counter "simulator.balls_extracted"
+let m_ball_size = Obs.Metrics.histogram "simulator.ball_size"
+let m_ball_ns = Obs.Metrics.counter "simulator.ball_ns"
+let m_calls = Obs.Metrics.counter "simulator.verifier_calls"
+let m_rejects = Obs.Metrics.counter "simulator.verifier_rejects"
+let m_decode_errors = Obs.Metrics.counter "simulator.decode_errors"
+let m_eval_ns = Obs.Metrics.counter "simulator.eval_ns"
+
 type compiled = {
   inst : Instance.t;
   csr : Csr.t;
@@ -158,21 +173,26 @@ type compiled = {
 }
 
 let compile inst =
-  let g = Instance.graph inst in
-  let csr = Csr.of_graph g in
-  let static_bits =
-    Array.init (Csr.n csr) (fun i ->
-        let v = Csr.node csr i in
-        let edge =
-          Graph.fold_neighbours
-            (fun u acc -> acc + Bits.length (Instance.edge_label inst v u) + 64)
-            g v 64
-        in
-        Bits.length (Instance.node_label inst v)
-        + edge
-        + (64 * (1 + Csr.degree csr i)))
+  let build () =
+    let g = Instance.graph inst in
+    let csr = Csr.of_graph g in
+    let static_bits =
+      Array.init (Csr.n csr) (fun i ->
+          let v = Csr.node csr i in
+          let edge =
+            Graph.fold_neighbours
+              (fun u acc -> acc + Bits.length (Instance.edge_label inst v u) + 64)
+              g v 64
+          in
+          Bits.length (Instance.node_label inst v)
+          + edge
+          + (64 * (1 + Csr.degree csr i)))
+    in
+    { inst; csr; static_bits }
   in
-  { inst; csr; static_bits }
+  Obs.Metrics.incr m_compiles;
+  if !Obs.Trace.enabled then Obs.Trace.span "simulator.compile" build
+  else build ()
 
 let compiled_instance c = c.inst
 
@@ -186,6 +206,7 @@ let record_sizes c proof =
    gather round — the sum of record sizes over its radius-(r-1) ball —
    which is what reproduces the reference transcript exactly. *)
 let view_of_scratch c proof scratch ?payload ?sizes ~centre_idx ~radius () =
+  let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
   let count = Csr.ball c.csr scratch ~centre:centre_idx ~radius in
   let ids = Array.make count 0 in
   let dists = Hashtbl.create 32 in
@@ -208,8 +229,16 @@ let view_of_scratch c proof scratch ?payload ?sizes ~centre_idx ~radius () =
       done);
   Array.sort Int.compare ids;
   let ball = Array.to_list ids in
-  View.of_ball c.inst proof ~centre:(Csr.node c.csr centre_idx) ~radius ~ball
-    ~dists
+  let view =
+    View.of_ball c.inst proof ~centre:(Csr.node c.csr centre_idx) ~radius ~ball
+      ~dists
+  in
+  if t0 <> 0 then begin
+    Obs.Metrics.incr m_balls;
+    Obs.Metrics.observe m_ball_size count;
+    Obs.Metrics.add m_ball_ns (Obs.Clock.now_ns () - t0)
+  end;
+  view
 
 let view_at c proof ~radius v =
   if radius < 0 then invalid_arg "Simulator.view_at: negative radius";
@@ -223,28 +252,62 @@ let run_verifier ?(jobs = 1) ?compiled inst proof ~radius verifier =
   let sizes = record_sizes c proof in
   let verdicts = Array.make n false in
   let payloads = Array.make n 0 in
+  let eval view =
+    try verifier view
+    with Bits.Reader.Decode_error _ ->
+      Obs.Metrics.incr m_decode_errors;
+      false
+  in
   let process scratch i =
     let payload = ref 0 in
+    let tracing = !Obs.Trace.enabled in
     let view =
-      view_of_scratch c proof scratch ~payload ~sizes ~centre_idx:i ~radius ()
+      if tracing then
+        Obs.Trace.span_arg "simulator.ball" "node" (Csr.node c.csr i)
+          (fun () ->
+            view_of_scratch c proof scratch ~payload ~sizes ~centre_idx:i
+              ~radius ())
+      else
+        view_of_scratch c proof scratch ~payload ~sizes ~centre_idx:i ~radius ()
     in
     payloads.(i) <- !payload;
-    verdicts.(i) <-
-      (try verifier view with Bits.Reader.Decode_error _ -> false)
+    let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
+    let ok =
+      if tracing then
+        Obs.Trace.span_arg "simulator.eval" "node" (Csr.node c.csr i)
+          (fun () -> eval view)
+      else eval view
+    in
+    if t0 <> 0 then Obs.Metrics.add m_eval_ns (Obs.Clock.now_ns () - t0);
+    Obs.Metrics.incr m_calls;
+    if not ok then Obs.Metrics.incr m_rejects;
+    verdicts.(i) <- ok
   in
-  Pool.run ~jobs (fun pool ->
-      match pool with
-      | None ->
-          let scratch = Csr.scratch c.csr in
-          for i = 0 to n - 1 do
-            process scratch i
-          done
-      | Some pool ->
-          Pool.parallel_for pool ~chunks:(Pool.size pool) ~n (fun _c lo hi ->
-              let scratch = Csr.scratch c.csr in
-              for i = lo to hi - 1 do
-                process scratch i
-              done));
+  let sweep () =
+    Pool.run ~jobs (fun pool ->
+        match pool with
+        | None ->
+            let scratch = Csr.scratch c.csr in
+            for i = 0 to n - 1 do
+              process scratch i
+            done
+        | Some pool ->
+            Pool.parallel_for pool ~chunks:(Pool.size pool) ~n (fun _c lo hi ->
+                let scratch = Csr.scratch c.csr in
+                if !Obs.Trace.enabled then
+                  Obs.Trace.span_arg "simulator.chunk" "nodes" (hi - lo)
+                    (fun () ->
+                      for i = lo to hi - 1 do
+                        process scratch i
+                      done)
+                else
+                  for i = lo to hi - 1 do
+                    process scratch i
+                  done))
+  in
+  if !Obs.Trace.enabled then
+    Obs.Trace.span_arg "simulator.run_verifier" "nodes" n sweep
+  else sweep ();
   (* Transcript of the synchronous exchange, computed in closed form:
      every node sends its whole knowledge to every neighbour each
      round, so messages = radius * Σ deg(v), and the largest message is
@@ -269,7 +332,15 @@ let all_accept c proof ~radius verifier =
     i = n
     ||
     let view = view_of_scratch c proof scratch ~centre_idx:i ~radius () in
-    (try verifier view with Bits.Reader.Decode_error _ -> false) && go (i + 1)
+    Obs.Metrics.incr m_calls;
+    let ok =
+      try verifier view
+      with Bits.Reader.Decode_error _ ->
+        Obs.Metrics.incr m_decode_errors;
+        false
+    in
+    if not ok then Obs.Metrics.incr m_rejects;
+    ok && go (i + 1)
   in
   go 0
 

@@ -1,0 +1,204 @@
+let enabled = ref false
+
+type kind = Counter | Gauge_max | Histogram
+type counter = int
+type gauge = int
+type histogram = int
+
+(* Histogram slab layout: [buckets] log₂ buckets, then count, sum, max. *)
+let buckets = 64
+let hist_count = buckets
+let hist_sum = buckets + 1
+let hist_max = buckets + 2
+let width = function Counter | Gauge_max -> 1 | Histogram -> buckets + 3
+
+(* --- registry -------------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let defs : (string * (kind * int)) list ref = ref []
+let next_slot = ref 0
+
+let register name kind =
+  Mutex.lock lock;
+  let result =
+    match List.assoc_opt name !defs with
+    | Some (k, slot) -> if k = kind then Ok slot else Error name
+    | None ->
+        let slot = !next_slot in
+        next_slot := slot + width kind;
+        defs := (name, (kind, slot)) :: !defs;
+        Ok slot
+  in
+  Mutex.unlock lock;
+  match result with
+  | Ok slot -> slot
+  | Error name ->
+      invalid_arg ("Metrics.register: " ^ name ^ " already has a different kind")
+
+let counter name = register name Counter
+let gauge_max name = register name Gauge_max
+let histogram name = register name Histogram
+
+(* --- per-domain shards ----------------------------------------------- *)
+
+(* One flat int-array slab per domain, reached through DLS: recording
+   never contends and never allocates (after the shard's first use in a
+   domain). Slabs are kept on a global list so [snapshot] and [reset]
+   can reach them; a domain that dies leaves its (already merged-able)
+   slab behind, which is fine — slabs are a few hundred ints. *)
+
+type shard = { mutable slab : int array }
+
+let shards : shard list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock lock;
+      let s = { slab = Array.make (max 64 !next_slot) 0 } in
+      shards := s :: !shards;
+      Mutex.unlock lock;
+      s)
+
+(* Rare slow path: a metric registered after this shard was created. *)
+let grow s slot =
+  let a = s.slab in
+  let b = Array.make (max (slot + 1) (2 * Array.length a)) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  s.slab <- b
+
+let rec bump s slot v =
+  let a = s.slab in
+  if slot < Array.length a then Array.unsafe_set a slot (Array.unsafe_get a slot + v)
+  else begin
+    grow s slot;
+    bump s slot v
+  end
+
+let rec raise_to s slot v =
+  let a = s.slab in
+  if slot < Array.length a then begin
+    if v > Array.unsafe_get a slot then Array.unsafe_set a slot v
+  end
+  else begin
+    grow s slot;
+    raise_to s slot v
+  end
+
+let add c v = if !enabled then bump (Domain.DLS.get key) c v
+let incr c = if !enabled then bump (Domain.DLS.get key) c 1
+let observe_max g v = if !enabled then raise_to (Domain.DLS.get key) g v
+
+(* Bucket of v: 0 for v ≤ 0, else the number of bits of v, so bucket b
+   covers [2^(b-1), 2^b). *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x <> 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    !b
+  end
+[@@inline]
+
+let observe h v =
+  if !enabled then begin
+    let s = Domain.DLS.get key in
+    bump s (h + bucket_of v) 1;
+    bump s (h + hist_count) 1;
+    bump s (h + hist_sum) v;
+    raise_to s (h + hist_max) v
+  end
+
+let reset () =
+  Mutex.lock lock;
+  List.iter (fun s -> Array.fill s.slab 0 (Array.length s.slab) 0) !shards;
+  Mutex.unlock lock
+
+(* --- snapshots -------------------------------------------------------- *)
+
+type hist = { count : int; sum : int; max : int; buckets : (int * int) list }
+type value = Count of int | Max of int | Hist of hist
+type snapshot = (string * value) list
+
+let snapshot () =
+  Mutex.lock lock;
+  let defs = !defs and slabs = List.map (fun s -> s.slab) !shards in
+  Mutex.unlock lock;
+  let read slot = List.fold_left (fun acc a -> if slot < Array.length a then acc + a.(slot) else acc) 0 slabs in
+  let read_max slot =
+    List.fold_left (fun acc a -> if slot < Array.length a then max acc a.(slot) else acc) 0 slabs
+  in
+  defs
+  |> List.map (fun (name, (kind, slot)) ->
+         let v =
+           match kind with
+           | Counter -> Count (read slot)
+           | Gauge_max -> Max (read_max slot)
+           | Histogram ->
+               let bs = ref [] in
+               for b = buckets - 1 downto 0 do
+                 let n = read (slot + b) in
+                 if n > 0 then bs := (b, n) :: !bs
+               done;
+               Hist
+                 {
+                   count = read (slot + hist_count);
+                   sum = read (slot + hist_sum);
+                   max = read_max (slot + hist_max);
+                   buckets = !bs;
+                 }
+         in
+         (name, v))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let filter p = List.filter (fun (name, _) -> p name)
+
+let deterministic snap =
+  filter
+    (fun name ->
+      not
+        (String.length name > 3
+         && String.sub name (String.length name - 3) 3 = "_ns")
+      && not (String.length name > 5 && String.sub name 0 5 = "pool."))
+    snap
+
+let count snap name =
+  match List.assoc_opt name snap with
+  | Some (Count n) -> n
+  | Some (Max n) -> n
+  | Some (Hist h) -> h.count
+  | None -> 0
+
+let max_value snap name =
+  match List.assoc_opt name snap with
+  | Some (Max n) -> n
+  | Some (Hist h) -> h.max
+  | Some (Count n) -> n
+  | None -> 0
+
+let pp ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count n -> Format.fprintf ppf "  counter    %-34s %12d@." name n
+      | Max n -> Format.fprintf ppf "  gauge-max  %-34s %12d@." name n
+      | Hist { count; sum; max; buckets } ->
+          Format.fprintf ppf
+            "  histogram  %-34s count=%d sum=%d max=%d buckets=[%s]@." name count
+            sum max
+            (String.concat " "
+               (List.map (fun (b, n) -> Printf.sprintf "%d:%d" b n) buckets)))
+    snap
+
+let to_json snap =
+  let field (name, v) =
+    match v with
+    | Count n | Max n -> Printf.sprintf "\"%s\":%d" name n
+    | Hist { count; sum; max; buckets } ->
+        Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":[%s]}"
+          name count sum max
+          (String.concat "," (List.map (fun (b, n) -> Printf.sprintf "[%d,%d]" b n) buckets))
+  in
+  "{" ^ String.concat "," (List.map field snap) ^ "}"

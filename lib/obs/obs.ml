@@ -1,0 +1,25 @@
+(* Observability facade: [Obs.Clock] (monotonic timing), [Obs.Metrics]
+   (domain-sharded counters / gauges / histograms) and [Obs.Trace]
+   (ring-buffer spans exported as Chrome trace-event JSON).
+
+   The whole layer is off by default and must cost a single mutable
+   check per record site when disabled — instrumented code guards any
+   non-trivial argument computation (clock reads, closures) behind
+   [!Metrics.enabled] / [!Trace.enabled]. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+
+let enable ?(metrics = true) ?(trace = false) () =
+  if metrics then Metrics.enabled := true;
+  if trace then begin
+    Trace.clear ();
+    Trace.enabled := true
+  end
+
+let disable () =
+  Metrics.enabled := false;
+  Trace.enabled := false
+
+let enabled () = !Metrics.enabled || !Trace.enabled

@@ -1,0 +1,21 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC is immune to NTP slew and settimeofday jumps, which
+   is what makes it safe for benchmark rows and span durations (the
+   seed harness timed rows with Unix.gettimeofday, i.e. wall clock).
+
+   The result is returned as a tagged OCaml int: 63 bits of
+   nanoseconds wrap after ~146 years of uptime, so no boxing and no
+   allocation — the OCaml external is [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value lcp_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return Val_long(0);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,133 @@
+let enabled = ref false
+
+type buf = {
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  name : string array;
+  ph : Bytes.t;
+  ts : int array;  (* ns relative to [epoch] *)
+  dur : int array;
+  tid : int array;
+  arg_name : string array;
+  arg : int array;
+  cursor : int Atomic.t;  (* total events ever emitted *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let mk capacity =
+  let cap = pow2 (max 16 capacity) 16 in
+  {
+    mask = cap - 1;
+    name = Array.make cap "";
+    ph = Bytes.make cap 'X';
+    ts = Array.make cap 0;
+    dur = Array.make cap 0;
+    tid = Array.make cap 0;
+    arg_name = Array.make cap "";
+    arg = Array.make cap 0;
+    cursor = Atomic.make 0;
+  }
+
+let buf = ref (mk 65536)
+let epoch = ref (Clock.now_ns ())
+
+let clear () =
+  buf := mk (!buf.mask + 1);
+  epoch := Clock.now_ns ()
+
+let set_capacity n =
+  buf := mk n;
+  epoch := Clock.now_ns ()
+
+(* Each event claims a distinct slot via fetch-and-add; two domains
+   only touch the same slot when the ring has lapped, in which case the
+   older event was already forfeit. *)
+let emit ph name arg_name arg ts dur =
+  let b = !buf in
+  let i = Atomic.fetch_and_add b.cursor 1 land b.mask in
+  Array.unsafe_set b.name i name;
+  Bytes.unsafe_set b.ph i ph;
+  Array.unsafe_set b.ts i (ts - !epoch);
+  Array.unsafe_set b.dur i dur;
+  Array.unsafe_set b.tid i (Domain.self () :> int);
+  Array.unsafe_set b.arg_name i arg_name;
+  Array.unsafe_set b.arg i arg
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | r ->
+        emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
+        r
+    | exception e ->
+        emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
+        raise e
+  end
+
+let span_arg name arg_name arg f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | r ->
+        emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
+        r
+    | exception e ->
+        emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
+        raise e
+  end
+
+let instant ?(arg_name = "") ?(arg = 0) name =
+  if !enabled then emit 'i' name arg_name arg (Clock.now_ns ()) 0
+
+let counter_event name v =
+  if !enabled then emit 'C' name "value" v (Clock.now_ns ()) 0
+
+let recorded () =
+  let b = !buf in
+  min (Atomic.get b.cursor) (b.mask + 1)
+
+let dropped () =
+  let b = !buf in
+  max 0 (Atomic.get b.cursor - (b.mask + 1))
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let export_channel oc =
+  let b = !buf in
+  let n = min (Atomic.get b.cursor) (b.mask + 1) in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare b.ts.(i) b.ts.(j)) order;
+  output_string oc "{\"traceEvents\":[";
+  Array.iteri
+    (fun k i ->
+      if k > 0 then output_string oc ",";
+      let ph = Bytes.get b.ph i in
+      Printf.fprintf oc
+        "\n {\"name\":\"%s\",\"cat\":\"lcp\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"ts\":%.3f"
+        (json_escape b.name.(i)) ph b.tid.(i)
+        (Clock.ns_to_us b.ts.(i));
+      if ph = 'X' then Printf.fprintf oc ",\"dur\":%.3f" (Clock.ns_to_us b.dur.(i));
+      if b.arg_name.(i) <> "" then
+        Printf.fprintf oc ",\"args\":{\"%s\":%d}" (json_escape b.arg_name.(i)) b.arg.(i);
+      output_string oc "}")
+    order;
+  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let export path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export_channel oc)

@@ -1,0 +1,55 @@
+(** Structured tracing into a preallocated ring buffer, exported as
+    Chrome trace-event JSON ([chrome://tracing] / Perfetto).
+
+    Events are recorded into parallel arrays indexed by an atomic
+    cursor: recording is lock-free, allocation-free (event names must
+    be preexisting strings) and safe from any domain — each event
+    claims a distinct slot, and once the ring wraps the oldest events
+    are overwritten (check {!dropped}). Timestamps come from
+    {!Clock.now_ns} and are exported in microseconds relative to the
+    moment tracing was enabled.
+
+    When [enabled] is false every entry point is a single
+    load-and-branch; [span f] degenerates to [f ()]. Hot loops that
+    would have to build a closure should guard on [!enabled] at the
+    call site — see [Simulator.run_verifier]. *)
+
+val enabled : bool ref
+(** Master switch, off by default; prefer {!Obs.enable}. *)
+
+val set_capacity : int -> unit
+(** Resize (and clear) the ring; rounded up to a power of two.
+    Default 65536 events. *)
+
+val clear : unit -> unit
+(** Drop all events and re-zero the time origin. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Run the thunk and record a complete ("ph":"X") event with its
+    duration. The event is recorded (and the exception re-raised) even
+    if the thunk raises. *)
+
+val span_arg : string -> string -> int -> (unit -> 'a) -> 'a
+(** [span_arg name key v f] — like {!span} with one integer argument
+    attached (e.g. ["node", 17]). *)
+
+val instant : ?arg_name:string -> ?arg:int -> string -> unit
+(** A point event ("ph":"i") — e.g. "first accepted forgery". *)
+
+val counter_event : string -> int -> unit
+(** A "ph":"C" counter sample; renders as a stacked chart in the
+    trace viewer. *)
+
+val recorded : unit -> int
+(** Events currently held in the ring. *)
+
+val dropped : unit -> int
+(** Events lost to ring wrap-around since the last {!clear}. *)
+
+val export_channel : out_channel -> unit
+(** Write {["{"traceEvents":[...]}"]} JSON: events sorted by
+    timestamp, each with [name], [ph], [ts], [dur], [pid], [tid] and
+    optional [args]. *)
+
+val export : string -> unit
+(** {!export_channel} to a fresh file. *)

@@ -4,6 +4,8 @@ let () =
       Test_bits.suite;
       Test_graph.suite;
       Test_csr.suite;
+      Test_obs.suite;
+      Test_pool.suite;
       Test_algorithms.suite;
       Test_symmetry.suite;
       Test_core.suite;

@@ -1,0 +1,394 @@
+(* Observability layer: monotonic clock, sharded metrics semantics
+   (counter / gauge / histogram, enable gating, reset, multi-domain
+   merge) and the trace ring buffer with its Chrome trace-event JSON
+   export.
+
+   Obs state is global, so every test that flips [enabled] or records
+   events runs under [with_obs_reset], which restores the disabled
+   default even on failure — the rest of the alcotest binary must keep
+   seeing the zero-cost path. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_obs_reset f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.Metrics.reset ();
+      Obs.Trace.set_capacity 65536)
+    f
+
+(* --- clock ------------------------------------------------------------ *)
+
+let clock_monotonic () =
+  let a = Obs.Clock.now_ns () in
+  check "clock is up" true (a > 0);
+  (* Busy-wait a little: CLOCK_MONOTONIC must never step backwards. *)
+  let prev = ref a in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_ns () in
+    check "non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  check "elapsed >= 0" true (Obs.Clock.elapsed_ns a >= 0);
+  check "ns_to_s" true (Obs.Clock.ns_to_s 1_500_000_000 = 1.5);
+  check "ns_to_us" true (Obs.Clock.ns_to_us 1_500 = 1.5);
+  let (), dt = Obs.Clock.time (fun () -> ignore (Sys.opaque_identity 0)) in
+  check "time >= 0" true (dt >= 0.)
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let m_c = Obs.Metrics.counter "test.counter"
+let m_g = Obs.Metrics.gauge_max "test.gauge"
+let m_h = Obs.Metrics.histogram "test.hist"
+
+let metrics_semantics () =
+  with_obs_reset @@ fun () ->
+  Obs.enable ();
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr m_c;
+  Obs.Metrics.add m_c 9;
+  Obs.Metrics.observe_max m_g 7;
+  Obs.Metrics.observe_max m_g 3;
+  (* log₂ buckets: 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2
+     ([2,4)); 8 → bucket 4 ([8,16)). *)
+  List.iter (Obs.Metrics.observe m_h) [ 0; 1; 2; 3; 8 ];
+  let snap = Obs.Metrics.snapshot () in
+  check_int "counter sums" 10 (Obs.Metrics.count snap "test.counter");
+  check_int "gauge keeps max" 7 (Obs.Metrics.max_value snap "test.gauge");
+  (match List.assoc_opt "test.hist" snap with
+  | Some (Obs.Metrics.Hist h) ->
+      check_int "hist count" 5 h.Obs.Metrics.count;
+      check_int "hist sum" 14 h.Obs.Metrics.sum;
+      check_int "hist max" 8 h.Obs.Metrics.max;
+      check "hist buckets" true
+        (h.Obs.Metrics.buckets = [ (0, 1); (1, 1); (2, 2); (4, 1) ])
+  | _ -> Alcotest.fail "test.hist missing from snapshot");
+  (* count/max also read through to histograms *)
+  check_int "hist via count" 5 (Obs.Metrics.count snap "test.hist");
+  check_int "hist via max_value" 8 (Obs.Metrics.max_value snap "test.hist");
+  check_int "absent metric counts 0" 0 (Obs.Metrics.count snap "test.nope");
+  (* reset really zeroes *)
+  Obs.Metrics.reset ();
+  let snap = Obs.Metrics.snapshot () in
+  check_int "reset counter" 0 (Obs.Metrics.count snap "test.counter");
+  check_int "reset gauge" 0 (Obs.Metrics.max_value snap "test.gauge");
+  check_int "reset hist" 0 (Obs.Metrics.count snap "test.hist")
+
+let metrics_disabled_is_inert () =
+  with_obs_reset @@ fun () ->
+  Obs.Metrics.reset ();
+  check "disabled by default" false (Obs.enabled ());
+  Obs.Metrics.incr m_c;
+  Obs.Metrics.add m_c 5;
+  Obs.Metrics.observe_max m_g 9;
+  Obs.Metrics.observe m_h 4;
+  let snap = Obs.Metrics.snapshot () in
+  check_int "no counter recorded" 0 (Obs.Metrics.count snap "test.counter");
+  check_int "no gauge recorded" 0 (Obs.Metrics.max_value snap "test.gauge");
+  check_int "no hist recorded" 0 (Obs.Metrics.count snap "test.hist")
+
+let metrics_registration () =
+  (* Same name, same kind: same slot (recording through either handle
+     hits one metric). Same name, different kind: refused. *)
+  with_obs_reset @@ fun () ->
+  Obs.enable ();
+  Obs.Metrics.reset ();
+  let again = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr m_c;
+  Obs.Metrics.incr again;
+  check_int "idempotent registration shares the slot" 2
+    (Obs.Metrics.count (Obs.Metrics.snapshot ()) "test.counter");
+  check "kind conflict refused" true
+    (match Obs.Metrics.histogram "test.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let metrics_multidomain_merge () =
+  (* Four domains hammer the same metrics through their own DLS shards;
+     the snapshot must see the commutative merge of all of them. *)
+  with_obs_reset @@ fun () ->
+  Obs.enable ();
+  Obs.Metrics.reset ();
+  let per_domain = 10_000 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Metrics.incr m_c;
+              Obs.Metrics.observe m_h (i land 7)
+            done;
+            Obs.Metrics.observe_max m_g (100 + d)))
+  in
+  List.iter Domain.join doms;
+  let snap = Obs.Metrics.snapshot () in
+  check_int "counters sum across shards" (4 * per_domain)
+    (Obs.Metrics.count snap "test.counter");
+  check_int "gauge maxes across shards" 103
+    (Obs.Metrics.max_value snap "test.gauge");
+  check_int "histogram counts sum" (4 * per_domain)
+    (Obs.Metrics.count snap "test.hist")
+
+let deterministic_filter () =
+  with_obs_reset @@ fun () ->
+  Obs.enable ();
+  Obs.Metrics.reset ();
+  let ns = Obs.Metrics.counter "test.elapsed_ns" in
+  let pl = Obs.Metrics.counter "pool.test_tasks" in
+  Obs.Metrics.add ns 123;
+  Obs.Metrics.incr pl;
+  Obs.Metrics.incr m_c;
+  let det = Obs.Metrics.deterministic (Obs.Metrics.snapshot ()) in
+  check "keeps plain counters" true (List.mem_assoc "test.counter" det);
+  check "drops _ns timings" false (List.mem_assoc "test.elapsed_ns" det);
+  check "drops pool.* scheduling" false (List.mem_assoc "pool.test_tasks" det)
+
+(* --- a minimal JSON reader, enough to validate the exports ------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.fail (Printf.sprintf "JSON %s at %d" msg !pos) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let next () = let c = peek () in incr pos; c in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> incr pos; skip_ws () | _ -> ()
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          match next () with
+          | ('"' | '\\' | '/') as c -> Buffer.add_char b c; go ()
+          | 'n' -> Buffer.add_char b '\n'; go ()
+          | 't' -> Buffer.add_char b '\t'; go ()
+          | 'u' ->
+              pos := !pos + 4;
+              Buffer.add_char b '?';
+              go ()
+          | _ -> fail "bad escape")
+      | '\000' -> fail "unterminated string"
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = '}' then (incr pos; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = ']' then (incr pos; Arr [])
+        else begin
+          let rec elems acc =
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elems (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+        end
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | 'n' -> pos := !pos + 4; Null
+    | _ ->
+        let start = !pos in
+        let is_num c =
+          (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+          || c = 'E'
+        in
+        while is_num (peek ()) do incr pos done;
+        if !pos = start then fail "unexpected character"
+        else Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- trace ------------------------------------------------------------ *)
+
+let assoc name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let trace_export_is_chrome_json () =
+  with_obs_reset @@ fun () ->
+  Obs.enable ~metrics:false ~trace:true ();
+  let r = Obs.Trace.span "test.outer" (fun () ->
+      Obs.Trace.span_arg "test.inner" "node" 17 (fun () -> 41 + 1))
+  in
+  check_int "span returns the thunk's value" 42 r;
+  Obs.Trace.instant ~arg_name:"hits" ~arg:3 "test.instant";
+  Obs.Trace.counter_event "test.depth" 5;
+  check_int "four events recorded" 4 (Obs.Trace.recorded ());
+  check_int "none dropped" 0 (Obs.Trace.dropped ());
+  (* A span must survive (and re-raise) an exception in its thunk. *)
+  check "span re-raises" true
+    (match Obs.Trace.span "test.raises" (fun () -> raise Exit) with
+    | exception Exit -> true
+    | _ -> false);
+  let path = Filename.temp_file "lcp_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.export path;
+  let events =
+    match assoc "traceEvents" (parse_json (read_file path)) with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check_int "all events exported" 5 (List.length events);
+  List.iter
+    (fun e ->
+      check "has name" true
+        (match assoc "name" e with Some (Str _) -> true | _ -> false);
+      check "has ts" true
+        (match assoc "ts" e with Some (Num t) -> t >= 0. | _ -> false);
+      match assoc "ph" e with
+      | Some (Str "X") ->
+          check "X has dur" true
+            (match assoc "dur" e with Some (Num d) -> d >= 0. | _ -> false)
+      | Some (Str ("i" | "C")) -> ()
+      | _ -> Alcotest.fail "unexpected ph")
+    events;
+  (* sorted by timestamp *)
+  let ts =
+    List.map
+      (fun e -> match assoc "ts" e with Some (Num t) -> t | _ -> 0.)
+      events
+  in
+  check "sorted by ts" true (List.sort compare ts = ts);
+  (* the inner span nests within the outer one *)
+  let find name =
+    List.find
+      (fun e -> assoc "name" e = Some (Str name))
+      events
+  in
+  let span_bounds e =
+    match (assoc "ts" e, assoc "dur" e) with
+    | Some (Num t), Some (Num d) -> (t, t +. d)
+    | _ -> Alcotest.fail "span without ts/dur"
+  in
+  let o0, o1 = span_bounds (find "test.outer") in
+  let i0, i1 = span_bounds (find "test.inner") in
+  check "inner nested in outer" true (o0 <= i0 && i1 <= o1);
+  (match assoc "args" (find "test.inner") with
+  | Some (Obj [ ("node", Num 17.) ]) -> ()
+  | _ -> Alcotest.fail "span_arg argument lost")
+
+let trace_ring_wraps () =
+  with_obs_reset @@ fun () ->
+  Obs.Trace.set_capacity 16;
+  Obs.enable ~metrics:false ~trace:true ();
+  for i = 1 to 100 do
+    Obs.Trace.instant ~arg_name:"i" ~arg:i "test.tick"
+  done;
+  check_int "ring holds capacity" 16 (Obs.Trace.recorded ());
+  check_int "rest counted as dropped" 84 (Obs.Trace.dropped ());
+  let path = Filename.temp_file "lcp_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.export path;
+  (match assoc "traceEvents" (parse_json (read_file path)) with
+  | Some (Arr evs) ->
+      check_int "export holds the survivors" 16 (List.length evs);
+      (* the survivors are the newest events: args 85..100 *)
+      let args =
+        List.filter_map
+          (fun e ->
+            match assoc "args" e with
+            | Some (Obj [ ("i", Num v) ]) -> Some (int_of_float v)
+            | _ -> None)
+          evs
+      in
+      check "oldest overwritten" true
+        (List.sort compare args = List.init 16 (fun i -> 85 + i))
+  | _ -> Alcotest.fail "no traceEvents array");
+  Obs.Trace.clear ();
+  check_int "clear empties the ring" 0 (Obs.Trace.recorded ());
+  check_int "clear resets dropped" 0 (Obs.Trace.dropped ())
+
+let trace_disabled_is_passthrough () =
+  with_obs_reset @@ fun () ->
+  check_int "span runs the thunk" 7 (Obs.Trace.span "test.off" (fun () -> 7));
+  Obs.Trace.instant "test.off";
+  check_int "nothing recorded" 0 (Obs.Trace.recorded ())
+
+let metrics_json_parses () =
+  with_obs_reset @@ fun () ->
+  Obs.enable ();
+  Obs.Metrics.reset ();
+  Obs.Metrics.add m_c 3;
+  Obs.Metrics.observe m_h 5;
+  match parse_json (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) with
+  | Obj kvs ->
+      check "counter is a number" true
+        (match List.assoc_opt "test.counter" kvs with
+        | Some (Num 3.) -> true
+        | _ -> false);
+      check "histogram is an object with buckets" true
+        (match List.assoc_opt "test.hist" kvs with
+        | Some (Obj h) -> (
+            match List.assoc_opt "buckets" h with Some (Arr _) -> true | _ -> false)
+        | _ -> false)
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "clock is monotonic" `Quick clock_monotonic;
+      Alcotest.test_case "metrics semantics" `Quick metrics_semantics;
+      Alcotest.test_case "disabled metrics record nothing" `Quick
+        metrics_disabled_is_inert;
+      Alcotest.test_case "registration idempotent, kind-checked" `Quick
+        metrics_registration;
+      Alcotest.test_case "multi-domain shard merge" `Quick
+        metrics_multidomain_merge;
+      Alcotest.test_case "deterministic filter" `Quick deterministic_filter;
+      Alcotest.test_case "trace export is chrome JSON" `Quick
+        trace_export_is_chrome_json;
+      Alcotest.test_case "trace ring wraps, newest survive" `Quick
+        trace_ring_wraps;
+      Alcotest.test_case "disabled trace is pass-through" `Quick
+        trace_disabled_is_passthrough;
+      Alcotest.test_case "metrics to_json parses" `Quick metrics_json_parses;
+    ] )
