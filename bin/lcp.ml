@@ -7,52 +7,23 @@
      lcp stats  -s NAME -g FILE           prove+verify+soundness with metrics
      lcp attack ATTACK [...]              run a lower-bound attack
      lcp info   -g FILE                   instance statistics
+     lcp serve   [--port ...]             run the TCP verification daemon
+     lcp loadgen [--port ...]             drive a daemon with a request mix
 
    prove/verify/forge/stats accept [--metrics] (print engine counters on
    exit) and [--trace FILE] (write a Chrome trace-event JSON timeline).
-   Graph files are described in [Graph_file]. *)
+   Graph files are described in [Graph_file]; the by-name scheme
+   registry lives in [Registry], shared with the daemon. *)
 
 open Cmdliner
-
-(* --- scheme registry ------------------------------------------------- *)
-
-let registry : (string * (string * Scheme.t)) list =
-  [
-    ("eulerian", ("Eulerian graph, LCP(0)", Eulerian.scheme));
-    ("line-graph", ("line graph, LCP(0)", Line_graph_scheme.scheme));
-    ("bipartite", ("bipartite graph, LCP(1)", Bipartite_scheme.scheme));
-    ("st-reach", ("s-t reachability (undirected; needs s/t), LCP(1)", Reachability.undirected_reach));
-    ("st-unreach", ("s-t unreachability (undirected)", Reachability.undirected_unreach));
-    ("st-unreach-dir", ("s-t unreachability (directed; use arc)", Reachability.directed_unreach));
-    ("st-reach-dir", ("directed s-t reachability, O(log Δ) pointers", Reachability.directed_reach_pointer));
-    ("connectivity", ("s-t connectivity = k (needs s/t and k)", Connectivity.general));
-    ("connectivity-planar", ("planar s-t connectivity = k, O(1)", Connectivity.planar));
-    ("chromatic", ("chromatic number <= k (needs k)", Chromatic.scheme));
-    ("even-cycle", ("even cycle, LCP(1)", Counting.even_cycle));
-    ("odd-n", ("odd number of nodes, LogLCP", Counting.odd_n));
-    ("even-n", ("even number of nodes, LogLCP", Counting.even_n));
-    ("non-bipartite", ("chromatic number > 2, LogLCP", Non_bipartite.scheme));
-    ("leader", ("leader election (needs leader mark)", Leader_election.strong));
-    ("leader-weak", ("leader election, weak flavour", Leader_election.weak));
-    ("spanning-tree", ("spanning tree (flag the tree edges)", Spanning_tree_scheme.scheme));
-    ("acyclic", ("acyclicity, LogLCP", Acyclic.scheme));
-    ("hamiltonian", ("Hamiltonian cycle (flag the cycle edges)", Hamiltonian_scheme.scheme));
-    ("maximal-matching", ("maximal matching (flag edges), LCP(0)", Matching_schemes.maximal));
-    ("max-matching", ("maximum matching, bipartite (flag edges)", Matching_schemes.maximum_bipartite));
-    ("maxw-matching", ("max-weight matching (weight + flag edges)", Matching_schemes.maximum_weight_bipartite));
-    ("cycle-matching", ("maximum matching on cycles (flag edges)", Matching_schemes.maximum_on_cycle));
-    ("symmetric", ("symmetric graph, Θ(n²)", Universal.symmetric));
-    ("non-3-colourable", ("chromatic number > 3, O(n²)", Universal.non_3_colourable));
-    ("tree-ffsym", ("fixpoint-free tree symmetry, Θ(n)", Tree_universal.fixpoint_free_symmetry));
-    ("non-eulerian", ("coLCP(0): non-Eulerian, LogLCP", Colcp0.non_eulerian));
-    ("sigma11-2col", ("Σ¹₁: 2-colourable", Sigma11.scheme Sentences.two_colourable));
-    ("sigma11-triangle", ("Σ¹₁: has a triangle", Sigma11.scheme Sentences.has_triangle));
-  ]
 
 (* --- arguments -------------------------------------------------------- *)
 
 let scheme_arg =
-  let scheme_conv = Arg.enum (List.map (fun (name, (_, s)) -> (name, s)) registry) in
+  let scheme_conv =
+    Arg.enum
+      (List.map (fun e -> (e.Registry.name, e.Registry.scheme)) Registry.all)
+  in
   Arg.(
     required
     & opt (some scheme_conv) None
@@ -148,9 +119,10 @@ let with_obs ~metrics ~trace f =
 let schemes_cmd =
   let run () =
     List.iter
-      (fun (name, (doc, scheme)) ->
-        Format.printf "%-20s r=%d  %s@." name scheme.Scheme.radius doc)
-      registry;
+      (fun e ->
+        Format.printf "%-20s r=%d  %s@." e.Registry.name
+          e.Registry.scheme.Scheme.radius e.Registry.doc)
+      Registry.all;
     0
   in
   Cmd.v (Cmd.info "schemes" ~doc:"List the available proof labelling schemes")
@@ -582,13 +554,181 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Measured proof sizes for every Table 1 row")
     Term.(const run $ const ())
 
+(* --- network service --------------------------------------------------- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to listen on / connect to.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int 7411
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port (server: 0 picks an ephemeral one).")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Compiled-verifier cache capacity (0 disables caching).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline, measured from arrival (queue wait \
+             counts); 0 disables.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Pending-task bound: beyond it requests are shed with an \
+             Overloaded response.")
+  in
+  let run host port jobs cache_size deadline_ms max_queue metrics trace =
+    with_obs ~metrics ~trace @@ fun () ->
+    let config =
+      {
+        Server.host;
+        port;
+        jobs = max 1 (resolve_jobs jobs);
+        cache_size;
+        deadline_ms;
+        max_queue;
+      }
+    in
+    match Server.create config with
+    | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot listen on %s:%d: %s@." host port
+          (Unix.error_message e);
+        1
+    | exception Invalid_argument m -> prerr_endline m; 1
+    | server ->
+        let stop _ = Server.stop server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Format.printf
+          "lcp: serving %d schemes on %s:%d (jobs %d, cache %d, deadline %s, \
+           queue bound %d) — ctrl-c stops@."
+          (List.length Registry.all) host (Server.port server) config.Server.jobs
+          config.Server.cache_size
+          (if deadline_ms <= 0 then "off" else Printf.sprintf "%d ms" deadline_ms)
+          max_queue;
+        Server.run server;
+        let st = Server.stats server in
+        Format.printf
+          "served %d request(s) on %d connection(s): cache %d hit(s) / %d \
+           miss(es), %d shed, %d past deadline, %d bad frame(s)@."
+          st.Server.requests st.Server.connections st.Server.cache_hits
+          st.Server.cache_misses st.Server.overloaded
+          st.Server.deadline_exceeded st.Server.bad_frames;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the TCP verification daemon (amortises graph parsing and \
+          verifier compilation across requests)")
+    Term.(
+      const run $ host_arg $ port_arg $ jobs_arg $ cache_arg $ deadline_arg
+      $ queue_arg $ metrics_arg $ trace_arg)
+
+let loadgen_cmd =
+  let connections_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per connection.")
+  in
+  let mix_arg =
+    (* "P:V" — e.g. the default 1:4 sends one prove per four verifies *)
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ p; v ] -> (
+          match (int_of_string_opt p, int_of_string_opt v) with
+          | Some p, Some v when p >= 0 && v >= 0 && p + v > 0 -> Ok (p, v)
+          | _ -> Error (`Msg "MIX needs non-negative weights, e.g. 1:4"))
+      | _ -> Error (`Msg (Printf.sprintf "invalid MIX %S (want P:V)" s))
+    in
+    let print ppf (p, v) = Format.fprintf ppf "%d:%d" p v in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (1, 4)
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"prove:verify weights of the request mix, e.g. 1:4.")
+  in
+  let scheme_name_arg =
+    Arg.(
+      value
+      & opt string "eulerian"
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Scheme to exercise (see 'lcp schemes').")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 64; 96; 128; 160 ]
+      & info [ "sizes" ] ~docv:"N,N,..."
+          ~doc:
+            "Cycle-graph sizes to replay; repeats of the same size hit the \
+             server's compiled-verifier cache.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the summary as JSON to $(docv).")
+  in
+  let run host port connections requests mix scheme sizes out =
+    match
+      Client.loadgen ~host ~port ~connections ~requests ~mix ~scheme ~sizes ()
+    with
+    | Error m -> prerr_endline m; 1
+    | Ok report ->
+        Format.printf "%a" Client.pp_report report;
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Client.report_json report);
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "summary written to %s@." path);
+        if report.Client.errors = 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with a prove/verify mix and report \
+          throughput and latency percentiles")
+    Term.(
+      const run $ host_arg $ port_arg $ connections_arg $ requests_arg
+      $ mix_arg $ scheme_name_arg $ sizes_arg $ out_arg)
+
 let main =
   let doc = "locally checkable proofs (Göös & Suomela, PODC 2011)" in
   Cmd.group
     (Cmd.info "lcp" ~doc ~version:"1.0.0")
     [
       schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
-      dot_cmd; attack_cmd; table_cmd;
+      dot_cmd; attack_cmd; table_cmd; serve_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

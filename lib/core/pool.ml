@@ -70,17 +70,23 @@ let create size =
   Obs.Trace.instant ~arg_name:"workers" ~arg:size "pool.create";
   p
 
-let submit p task =
+let submit_opt ?max_pending p task =
   Mutex.lock p.lock;
-  if p.stopping then begin
-    Mutex.unlock p.lock;
-    invalid_arg "Pool.submit: pool is shut down"
+  let accepted =
+    (not p.stopping)
+    && (match max_pending with None -> true | Some b -> p.pending < b)
+  in
+  if accepted then begin
+    Queue.push task p.tasks;
+    p.pending <- p.pending + 1;
+    Obs.Metrics.observe_max m_queue_depth (Queue.length p.tasks);
+    Condition.signal p.has_work
   end;
-  Queue.push task p.tasks;
-  p.pending <- p.pending + 1;
-  Obs.Metrics.observe_max m_queue_depth (Queue.length p.tasks);
-  Condition.signal p.has_work;
-  Mutex.unlock p.lock
+  Mutex.unlock p.lock;
+  accepted
+
+let submit p task =
+  if not (submit_opt p task) then invalid_arg "Pool.submit: pool is shut down"
 
 let wait p =
   Mutex.lock p.lock;

@@ -27,6 +27,15 @@ val size : t -> int
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
 
+val submit_opt : ?max_pending:int -> t -> (unit -> unit) -> bool
+(** Non-raising, optionally bounded {!submit}: returns [false] —
+    instead of raising or blocking — when the pool has been shut down,
+    or when [max_pending] is given and [pending] (queued + running)
+    tasks are already in flight. This is the server's load-shedding
+    primitive: a [false] turns into an explicit [Overloaded] response
+    rather than an unbounded queue. [max_pending = 0] rejects every
+    task. *)
+
 val wait : t -> unit
 (** Block until every submitted task has finished. If any task raised,
     the first such exception is re-raised here (remaining tasks still

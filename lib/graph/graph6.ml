@@ -1,60 +1,136 @@
-(* graph6: byte 0 is n + 63 (n <= 62); then the upper-triangle
-   adjacency bits x(0,1), x(0,2), x(1,2), x(0,3), … (column by column),
-   packed big-endian into 6-bit groups, each offset by 63. *)
+(* graph6 (McKay's nauty suite): a size header, then the
+   upper-triangle adjacency bits x(0,1), x(0,2), x(1,2), x(0,3), …
+   (column by column), packed big-endian into 6-bit groups, each
+   offset by 63 so every byte is printable ASCII.
+
+   Size header, exactly as nauty specifies it:
+     n <= 62            one byte, n + 63
+     63 <= n <= 258047  '~' then three bytes holding n in 18 bits
+     n  > 258047        '~~' then six bytes holding n in 36 bits
+   (each 6-bit group again offset by 63, most significant first).
+
+   Encoding works directly on a [Bytes.t] — one bit-set per edge, no
+   intermediate bit list — so wire-sized graphs (bench uses n up to
+   4096, ~1.4 MB of data bytes) encode without allocating millions of
+   list cells.  The n <= 62 output is byte-identical to the original
+   single-byte implementation: same header, same packing. *)
+
+(* Frames cross a trust boundary, so decoding also has to be cheap to
+   reject: n is capped well below anything whose O(n^2) bit loop or
+   data-byte allocation could be weaponised by a 9-byte header. *)
+let max_nodes = 1 lsl 20
 
 let check_contiguous g =
   let n = Graph.n g in
-  if n > 62 then invalid_arg "Graph6.encode: supports n <= 62";
+  if n > max_nodes then
+    invalid_arg (Printf.sprintf "Graph6.encode: supports n <= %d" max_nodes);
   if Graph.nodes g <> List.init n Fun.id then
     invalid_arg "Graph6.encode: nodes must be exactly 0..n-1";
   n
 
+let size_header n =
+  if n <= 62 then String.make 1 (Char.chr (n + 63))
+  else if n <= 258047 then
+    String.init 4 (fun k ->
+        if k = 0 then '~'
+        else Char.chr (((n lsr (6 * (3 - k))) land 0x3f) + 63))
+  else
+    String.init 8 (fun k ->
+        if k < 2 then '~'
+        else Char.chr (((n lsr (6 * (7 - k))) land 0x3f) + 63))
+
+(* Bit index of edge (i, j), i < j, in column-by-column order:
+   columns 1..j-1 hold j(j-1)/2 bits, then row i inside column j. *)
+let edge_bit_index i j = (j * (j - 1) / 2) + i
+
 let encode g =
   let n = check_contiguous g in
-  let bits = ref [] in
-  for j = 1 to n - 1 do
-    for i = 0 to j - 1 do
-      bits := Graph.mem_edge g i j :: !bits
-    done
-  done;
-  let bits = List.rev !bits in
-  let buf = Buffer.create 16 in
-  Buffer.add_char buf (Char.chr (n + 63));
-  let rec pack = function
-    | [] -> ()
-    | l ->
-        let rec take6 acc k = function
-          | rest when k = 6 -> (acc, rest)
-          | [] -> take6 (acc * 2) (k + 1) []
-          | b :: rest -> take6 ((acc * 2) + if b then 1 else 0) (k + 1) rest
-        in
-        let group, rest = take6 0 0 l in
-        Buffer.add_char buf (Char.chr (group + 63));
-        pack rest
-  in
-  pack bits;
-  Buffer.contents buf
+  let need = ((n * (n - 1) / 2) + 5) / 6 in
+  (* accumulate the raw 6-bit groups, then apply the +63 printable
+     offset in one pass at the end *)
+  let data = Bytes.make need '\000' in
+  Graph.iter_edges
+    (fun u v ->
+      let idx = edge_bit_index (min u v) (max u v) in
+      let byte = idx / 6 and bit = 5 - (idx mod 6) in
+      Bytes.set data byte
+        (Char.chr (Char.code (Bytes.get data byte) lor (1 lsl bit))))
+    g;
+  size_header n
+  ^ String.init need (fun k -> Char.chr (Char.code (Bytes.get data k) + 63))
+
+(* Decoding is total: network bytes go through [decode_res], which
+   never raises — every byte is range-checked and the length must
+   match the header's n exactly. *)
+
+let ( let* ) = Result.bind
+
+let group s k =
+  let c = Char.code s.[k] - 63 in
+  if c < 0 || c > 63 then
+    Error (Printf.sprintf "Graph6: byte %d is not a graph6 character" k)
+  else Ok c
+
+(* The size header, returned with the offset of the first data byte. *)
+let decode_size s =
+  let len = String.length s in
+  if len = 0 then Error "Graph6: empty string"
+  else if s.[0] <> '~' then
+    let* n = group s 0 in
+    Ok (n, 1)
+  else if len >= 2 && s.[1] <> '~' then
+    if len < 4 then Error "Graph6: truncated 3-byte size header"
+    else
+      let* b1 = group s 1 in
+      let* b2 = group s 2 in
+      let* b3 = group s 3 in
+      let n = (b1 lsl 12) lor (b2 lsl 6) lor b3 in
+      if n < 63 then Error "Graph6: non-minimal 3-byte size header"
+      else Ok (n, 4)
+  else if len < 8 then Error "Graph6: truncated 6-byte size header"
+  else
+    let rec go k acc =
+      if k = 8 then Ok acc
+      else
+        let* b = group s k in
+        go (k + 1) ((acc lsl 6) lor b)
+    in
+    let* n = go 2 0 in
+    if n < 258048 then Error "Graph6: non-minimal 6-byte size header"
+    else Ok (n, 8)
+
+let decode_res s =
+  let* n, off = decode_size s in
+  if n > max_nodes then
+    Error (Printf.sprintf "Graph6: n = %d exceeds the %d-node cap" n max_nodes)
+  else
+    let need = ((n * (n - 1) / 2) + 5) / 6 in
+    if String.length s <> off + need then
+      Error
+        (Printf.sprintf "Graph6: expected %d data bytes, got %d" need
+           (String.length s - off))
+    else
+      let rec check k =
+        if k = String.length s then Ok ()
+        else
+          let* _ = group s k in
+          check (k + 1)
+      in
+      let* () = check off in
+      let bit idx =
+        (Char.code s.[off + (idx / 6)] - 63) lsr (5 - (idx mod 6)) land 1 = 1
+      in
+      let edges = ref [] in
+      let idx = ref 0 in
+      for j = 1 to n - 1 do
+        for i = 0 to j - 1 do
+          if bit !idx then edges := (i, j) :: !edges;
+          incr idx
+        done
+      done;
+      Ok (Graph.create ~nodes:(List.init n Fun.id) ~edges:!edges)
+
+let decode_opt s = Result.to_option (decode_res s)
 
 let decode s =
-  if String.length s < 1 then invalid_arg "Graph6.decode: empty";
-  let n = Char.code s.[0] - 63 in
-  if n < 0 || n > 62 then invalid_arg "Graph6.decode: bad size byte";
-  let need = (n * (n - 1) / 2 + 5) / 6 in
-  if String.length s <> 1 + need then
-    invalid_arg
-      (Printf.sprintf "Graph6.decode: expected %d data bytes, got %d" need
-         (String.length s - 1));
-  let bit idx =
-    let byte = Char.code s.[1 + (idx / 6)] - 63 in
-    if byte < 0 || byte > 63 then invalid_arg "Graph6.decode: bad data byte";
-    byte lsr (5 - (idx mod 6)) land 1 = 1
-  in
-  let g = ref (List.fold_left Graph.add_node Graph.empty (List.init n Fun.id)) in
-  let idx = ref 0 in
-  for j = 1 to n - 1 do
-    for i = 0 to j - 1 do
-      if bit !idx then g := Graph.add_edge !g i j;
-      incr idx
-    done
-  done;
-  !g
+  match decode_res s with Ok g -> g | Error msg -> invalid_arg msg

@@ -1,10 +1,28 @@
-(** The graph6 interchange format (McKay's nauty suite), for graphs on
-    up to 62 nodes — handy for importing standard test graphs and
-    exporting counterexamples to other tools. Nodes are [0..n-1]. *)
+(** The graph6 interchange format (McKay's nauty suite) — handy for
+    importing standard test graphs, exporting counterexamples to other
+    tools, and as the graph payload of the wire protocol. Nodes are
+    [0..n-1]. Graphs with n <= 62 use the classic single-byte size
+    header; larger graphs (up to {!max_nodes}) use nauty's standard
+    ['~'] / ["~~"] multi-byte headers, so bench-sized instances
+    (n = 4096) round-trip over the wire. *)
+
+val max_nodes : int
+(** Hard cap on n (2^20), bounding the work and memory a decoder can
+    be made to spend by a small hostile header. *)
 
 val encode : Graph.t -> string
-(** Raises [Invalid_argument] when n > 62 or the node ids are not
-    exactly [0..n-1] (relabel first). *)
+(** Raises [Invalid_argument] when n > {!max_nodes} or the node ids are
+    not exactly [0..n-1] (relabel first). For n <= 62 the output is
+    byte-identical to the historic single-byte format. *)
 
 val decode : string -> Graph.t
 (** Raises [Invalid_argument] on malformed input. *)
+
+val decode_res : string -> (Graph.t, string) result
+(** Total: malformed input — wrong length, bytes outside the graph6
+    alphabet, truncated or non-minimal size headers, n over the cap —
+    is an [Error], never an exception. This is the entry point for
+    untrusted network bytes. *)
+
+val decode_opt : string -> Graph.t option
+(** {!decode_res} with the reason discarded. *)

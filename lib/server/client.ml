@@ -1,0 +1,316 @@
+(* Blocking client for the verification service, plus the load
+   generator behind `lcp loadgen`.
+
+   The load generator replays a deterministic prove/verify mix over a
+   small set of cycle graphs: a setup pass proves each graph once
+   (which also warms the server's compiled-verifier cache), then
+   [connections] threads each issue [requests] requests round-robin
+   over the graphs, recording per-request latency with {!Obs.Clock}.
+   The summary reports throughput and p50/p95/p99 both overall and per
+   request type, and closes with the server's own stats (so a run
+   shows its cache hit rate). *)
+
+type t = { fd : Unix.file_descr }
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> Ok addr
+      | _ -> Error (Printf.sprintf "cannot resolve host %S" host)
+      | exception _ -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () -> Ok { fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  match Net_io.write_all t.fd (Wire.encode_request req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+let recv t =
+  match Net_io.read_exact t.fd Wire.header_bytes with
+  | None -> Error "connection closed by server"
+  | Some raw -> (
+      match Wire.decode_header raw with
+      | Error m -> Error ("bad response header: " ^ m)
+      | Ok { Wire.tag; length } -> (
+          match Net_io.read_exact t.fd length with
+          | None -> Error "connection closed mid-response"
+          | Some payload -> Wire.decode_response_payload ~tag payload))
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("recv: " ^ Unix.error_message e)
+
+let call t req = match send t req with Ok () -> recv t | Error _ as e -> e
+
+(* --- load generator --------------------------------------------------- *)
+
+type percentiles = {
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+type lat_summary = { count : int; latency : percentiles option }
+
+type report = {
+  connections : int;
+  requests_per_connection : int;
+  prove_weight : int;
+  verify_weight : int;
+  scheme : string;
+  sizes : int list;
+  total_s : float;
+  throughput_rps : float;
+  ok : int;
+  errors : int;
+  overall : lat_summary;
+  prove : lat_summary;
+  verify : lat_summary;
+  server : Wire.server_stats option;
+}
+
+let summarise ns_list =
+  let a = Array.of_list ns_list in
+  Array.sort compare a;
+  let count = Array.length a in
+  if count = 0 then { count; latency = None }
+  else begin
+    let us i = float_of_int a.(i) /. 1_000. in
+    let pct p = us ((count - 1) * p / 100) in
+    let sum = Array.fold_left ( + ) 0 a in
+    {
+      count;
+      latency =
+        Some
+          {
+            p50_us = pct 50;
+            p95_us = pct 95;
+            p99_us = pct 99;
+            mean_us = float_of_int sum /. float_of_int count /. 1_000.;
+            max_us = us (count - 1);
+          };
+    }
+  end
+
+(* One worker thread: its own connection, its own latency log. *)
+type worker_result = {
+  mutable w_ok : int;
+  mutable w_errors : int;
+  mutable w_prove_ns : int list;
+  mutable w_verify_ns : int list;
+}
+
+let run_worker ~host ~port ~requests ~mix:(p, v) ~targets ~conn_id res =
+  match connect ~host ~port () with
+  | Error _ -> res.w_errors <- requests
+  | Ok client ->
+      Fun.protect ~finally:(fun () -> close client) @@ fun () ->
+      let ngraphs = Array.length targets in
+      for i = 0 to requests - 1 do
+        let g6, (scheme, proof) = targets.((conn_id + i) mod ngraphs) in
+        let is_prove = i mod (p + v) < p in
+        let req =
+          if is_prove then Wire.Prove { scheme; graph6 = g6 }
+          else Wire.Verify { scheme; graph6 = g6; proof }
+        in
+        let t0 = Obs.Clock.now_ns () in
+        let outcome = call client req in
+        let dt = Obs.Clock.now_ns () - t0 in
+        match outcome with
+        | Ok (Wire.Proved (Some _)) when is_prove ->
+            res.w_ok <- res.w_ok + 1;
+            res.w_prove_ns <- dt :: res.w_prove_ns
+        | Ok (Wire.Verified { accepted = true; _ }) when not is_prove ->
+            res.w_ok <- res.w_ok + 1;
+            res.w_verify_ns <- dt :: res.w_verify_ns
+        | Ok _ | Error _ -> res.w_errors <- res.w_errors + 1
+      done
+
+let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
+    ~scheme ~sizes () =
+  if connections < 1 then Error "loadgen: connections must be >= 1"
+  else if requests < 1 then Error "loadgen: requests must be >= 1"
+  else if p < 0 || v < 0 || p + v = 0 then
+    Error "loadgen: the mix needs non-negative weights summing to >= 1"
+  else if sizes = [] then Error "loadgen: need at least one graph size"
+  else if List.exists (fun s -> s < 3) sizes then
+    Error "loadgen: cycle sizes must be >= 3"
+  else
+    (* Setup pass on its own connection: prove every graph once to get
+       the proofs the verify mix replays (and to warm the cache). *)
+    let targets_res =
+      match connect ~host ~port () with
+      | Error _ as e -> e
+      | Ok client ->
+          Fun.protect ~finally:(fun () -> close client) @@ fun () ->
+          let rec build acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | size :: rest -> (
+                let g6 = Graph6.encode (Builders.cycle size) in
+                match call client (Wire.Prove { scheme; graph6 = g6 }) with
+                | Ok (Wire.Proved (Some proof)) ->
+                    build ((g6, (scheme, proof)) :: acc) rest
+                | Ok (Wire.Proved None) ->
+                    Error
+                      (Printf.sprintf
+                         "loadgen: scheme %S rejects the %d-cycle as a \
+                          no-instance; pick a scheme/size mix of yes-instances"
+                         scheme size)
+                | Ok (Wire.Error_reply { code; message }) ->
+                    Error
+                      (Printf.sprintf "loadgen setup: server said %s: %s"
+                         (Wire.error_code_to_string code)
+                         message)
+                | Ok _ -> Error "loadgen setup: unexpected response type"
+                | Error m -> Error ("loadgen setup: " ^ m))
+          in
+          build [] sizes
+    in
+    match targets_res with
+    | Error _ as e -> e
+    | Ok targets ->
+        let results =
+          Array.init connections (fun _ ->
+              { w_ok = 0; w_errors = 0; w_prove_ns = []; w_verify_ns = [] })
+        in
+        let t0 = Obs.Clock.now_ns () in
+        let threads =
+          List.init connections (fun conn_id ->
+              Thread.create
+                (fun () ->
+                  run_worker ~host ~port ~requests ~mix:(p, v) ~targets
+                    ~conn_id results.(conn_id))
+                ())
+        in
+        List.iter Thread.join threads;
+        let total_s = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0) in
+        let server_stats =
+          match connect ~host ~port () with
+          | Error _ -> None
+          | Ok client ->
+              Fun.protect ~finally:(fun () -> close client) @@ fun () ->
+              (match call client Wire.Stats with
+              | Ok (Wire.Stats_reply st) -> Some st
+              | _ -> None)
+        in
+        let ok = Array.fold_left (fun a r -> a + r.w_ok) 0 results in
+        let errors = Array.fold_left (fun a r -> a + r.w_errors) 0 results in
+        let prove_ns =
+          Array.fold_left (fun a r -> List.rev_append r.w_prove_ns a) [] results
+        in
+        let verify_ns =
+          Array.fold_left (fun a r -> List.rev_append r.w_verify_ns a) [] results
+        in
+        Ok
+          {
+            connections;
+            requests_per_connection = requests;
+            prove_weight = p;
+            verify_weight = v;
+            scheme;
+            sizes;
+            total_s;
+            throughput_rps =
+              (if total_s > 0. then float_of_int (ok + errors) /. total_s
+               else 0.);
+            ok;
+            errors;
+            overall = summarise (List.rev_append prove_ns verify_ns);
+            prove = summarise prove_ns;
+            verify = summarise verify_ns;
+            server = server_stats;
+          }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let summary_json { count; latency } =
+  match latency with
+  | None -> Printf.sprintf {|{"count":%d}|} count
+  | Some l ->
+      Printf.sprintf
+        {|{"count":%d,"p50_us":%.1f,"p95_us":%.1f,"p99_us":%.1f,"mean_us":%.1f,"max_us":%.1f}|}
+        count l.p50_us l.p95_us l.p99_us l.mean_us l.max_us
+
+let report_json r =
+  let server =
+    match r.server with
+    | None -> "null"
+    | Some st ->
+        Printf.sprintf
+          {|{"requests":%d,"cache_hits":%d,"cache_misses":%d,"cache_entries":%d,"overloaded":%d,"deadline_exceeded":%d,"uptime_ms":%d,"metrics":%s}|}
+          st.Wire.requests st.Wire.cache_hits st.Wire.cache_misses
+          st.Wire.cache_entries st.Wire.overloaded st.Wire.deadline_exceeded
+          st.Wire.uptime_ms
+          (if st.Wire.metrics_json = "" then "{}" else st.Wire.metrics_json)
+  in
+  Printf.sprintf
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"overall":%s,"prove":%s,"verify":%s,"server":%s}|}
+    (json_escape r.scheme)
+    (String.concat "," (List.map string_of_int r.sizes))
+    r.connections r.requests_per_connection r.prove_weight r.verify_weight
+    r.total_s r.throughput_rps r.ok r.errors (summary_json r.overall)
+    (summary_json r.prove) (summary_json r.verify) server
+
+let pp_summary ppf name { count; latency } =
+  match latency with
+  | None -> Format.fprintf ppf "%-8s 0 requests@." name
+  | Some l ->
+      Format.fprintf ppf
+        "%-8s %5d requests  p50 %8.1f us  p95 %8.1f us  p99 %8.1f us  max \
+         %8.1f us@."
+        name count l.p50_us l.p95_us l.p99_us l.max_us
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "loadgen: %d connection(s) x %d request(s), mix prove:verify = %d:%d, \
+     scheme %s, cycle sizes [%s]@."
+    r.connections r.requests_per_connection r.prove_weight r.verify_weight
+    r.scheme
+    (String.concat "; " (List.map string_of_int r.sizes));
+  Format.fprintf ppf "total:   %.3f s, %.1f req/s, %d ok, %d error(s)@."
+    r.total_s r.throughput_rps r.ok r.errors;
+  pp_summary ppf "overall" r.overall;
+  pp_summary ppf "prove" r.prove;
+  pp_summary ppf "verify" r.verify;
+  match r.server with
+  | None -> ()
+  | Some st ->
+      Format.fprintf ppf
+        "server:  %d requests, cache %d hit(s) / %d miss(es) (%d cached), %d \
+         shed, %d past deadline@."
+        st.Wire.requests st.Wire.cache_hits st.Wire.cache_misses
+        st.Wire.cache_entries st.Wire.overloaded st.Wire.deadline_exceeded

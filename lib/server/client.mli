@@ -1,0 +1,80 @@
+(** Blocking client for the verification daemon, and the load
+    generator behind [lcp loadgen].
+
+    The client half is deliberately small: connect, send a
+    {!Wire.request}, read back a {!Wire.response}. Like the server it
+    never lets malformed peer bytes out as exceptions — every call
+    returns a [result]. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** Default host 127.0.0.1; names are resolved via [getaddrinfo]. *)
+
+val close : t -> unit
+
+val call : t -> Wire.request -> (Wire.response, string) result
+(** One request/response round trip. A server-side problem arrives as
+    [Ok (Error_reply _)]; [Error] means the transport or framing
+    itself failed. *)
+
+val send : t -> Wire.request -> (unit, string) result
+(** Fire without waiting — paired with {!recv}, lets a caller keep a
+    slow request in flight while talking on other connections (the
+    deadline tests drive the server into saturation this way). *)
+
+val recv : t -> (Wire.response, string) result
+
+(** {1 Load generation} *)
+
+type percentiles = {
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+type lat_summary = { count : int; latency : percentiles option }
+
+type report = {
+  connections : int;
+  requests_per_connection : int;
+  prove_weight : int;
+  verify_weight : int;
+  scheme : string;
+  sizes : int list;
+  total_s : float;
+  throughput_rps : float;
+  ok : int;
+  errors : int;
+  overall : lat_summary;
+  prove : lat_summary;
+  verify : lat_summary;
+  server : Wire.server_stats option;
+      (** The server's own stats, fetched after the run — shows the
+          cache hit rate the workload achieved. *)
+}
+
+val loadgen :
+  ?host:string ->
+  port:int ->
+  connections:int ->
+  requests:int ->
+  mix:int * int ->
+  scheme:string ->
+  sizes:int list ->
+  unit ->
+  (report, string) result
+(** Replay a deterministic prove/verify mix. A setup pass proves one
+    cycle graph per listed size (warming the server cache), then
+    [connections] threads each send [requests] requests round-robin
+    over the graphs; [mix = (p, v)] interleaves [p] proves then [v]
+    verifies per [p + v] requests. A request only counts as [ok] if
+    the semantically right response came back (a proof, or an
+    all-nodes-accept verdict). *)
+
+val report_json : report -> string
+(** The latency summary as one JSON object (the CI artifact). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,30 @@
+(* Blocking socket IO shared by the daemon and the client: exact-size
+   reads (frames are length-prefixed, so every read knows its size)
+   and full writes, both restarted on EINTR. *)
+
+let rec retry f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry f
+
+(* [None] on EOF — whether the peer closed cleanly between frames or
+   vanished mid-frame, the caller's only move is to drop the
+   connection. *)
+let read_exact fd len =
+  if len = 0 then Some ""
+  else begin
+    let buf = Bytes.create len in
+    let rec go off =
+      if off = len then Some (Bytes.unsafe_to_string buf)
+      else
+        let k = retry (fun () -> Unix.read fd buf off (len - off)) in
+        if k = 0 then None else go (off + k)
+    in
+    go 0
+  end
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then
+      go (off + retry (fun () -> Unix.write fd buf off (len - off)))
+  in
+  go 0

@@ -1,0 +1,59 @@
+(* The by-name scheme registry, shared by the CLI and the network
+   service (it used to live in bin/lcp.ml; the daemon needs it too, so
+   it moved behind a library interface). Names are the stable public
+   identifiers: they appear in `lcp schemes`, in `-s` arguments, in
+   wire requests and in cache keys. *)
+
+type entry = { name : string; doc : string; scheme : Scheme.t }
+
+let mk name doc scheme = { name; doc; scheme }
+
+let all =
+  [
+    mk "eulerian" "Eulerian graph, LCP(0)" Eulerian.scheme;
+    mk "line-graph" "line graph, LCP(0)" Line_graph_scheme.scheme;
+    mk "bipartite" "bipartite graph, LCP(1)" Bipartite_scheme.scheme;
+    mk "st-reach" "s-t reachability (undirected; needs s/t), LCP(1)"
+      Reachability.undirected_reach;
+    mk "st-unreach" "s-t unreachability (undirected)"
+      Reachability.undirected_unreach;
+    mk "st-unreach-dir" "s-t unreachability (directed; use arc)"
+      Reachability.directed_unreach;
+    mk "st-reach-dir" "directed s-t reachability, O(log Δ) pointers"
+      Reachability.directed_reach_pointer;
+    mk "connectivity" "s-t connectivity = k (needs s/t and k)"
+      Connectivity.general;
+    mk "connectivity-planar" "planar s-t connectivity = k, O(1)"
+      Connectivity.planar;
+    mk "chromatic" "chromatic number <= k (needs k)" Chromatic.scheme;
+    mk "even-cycle" "even cycle, LCP(1)" Counting.even_cycle;
+    mk "odd-n" "odd number of nodes, LogLCP" Counting.odd_n;
+    mk "even-n" "even number of nodes, LogLCP" Counting.even_n;
+    mk "non-bipartite" "chromatic number > 2, LogLCP" Non_bipartite.scheme;
+    mk "leader" "leader election (needs leader mark)" Leader_election.strong;
+    mk "leader-weak" "leader election, weak flavour" Leader_election.weak;
+    mk "spanning-tree" "spanning tree (flag the tree edges)"
+      Spanning_tree_scheme.scheme;
+    mk "acyclic" "acyclicity, LogLCP" Acyclic.scheme;
+    mk "hamiltonian" "Hamiltonian cycle (flag the cycle edges)"
+      Hamiltonian_scheme.scheme;
+    mk "maximal-matching" "maximal matching (flag edges), LCP(0)"
+      Matching_schemes.maximal;
+    mk "max-matching" "maximum matching, bipartite (flag edges)"
+      Matching_schemes.maximum_bipartite;
+    mk "maxw-matching" "max-weight matching (weight + flag edges)"
+      Matching_schemes.maximum_weight_bipartite;
+    mk "cycle-matching" "maximum matching on cycles (flag edges)"
+      Matching_schemes.maximum_on_cycle;
+    mk "symmetric" "symmetric graph, Θ(n²)" Universal.symmetric;
+    mk "non-3-colourable" "chromatic number > 3, O(n²)"
+      Universal.non_3_colourable;
+    mk "tree-ffsym" "fixpoint-free tree symmetry, Θ(n)"
+      Tree_universal.fixpoint_free_symmetry;
+    mk "non-eulerian" "coLCP(0): non-Eulerian, LogLCP" Colcp0.non_eulerian;
+    mk "sigma11-2col" "Σ¹₁: 2-colourable" (Sigma11.scheme Sentences.two_colourable);
+    mk "sigma11-triangle" "Σ¹₁: has a triangle"
+      (Sigma11.scheme Sentences.has_triangle);
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

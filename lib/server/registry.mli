@@ -1,0 +1,11 @@
+(** The by-name registry of every scheme the tooling can address: the
+    CLI's [-s] argument, the daemon's wire requests and the cache keys
+    all resolve through these names. *)
+
+type entry = { name : string; doc : string; scheme : Scheme.t }
+
+val all : entry list
+(** In display order (the order [lcp schemes] lists). Names are
+    unique. *)
+
+val find : string -> entry option

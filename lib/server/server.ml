@@ -1,0 +1,415 @@
+(* The verification daemon.
+
+   Thread/domain layout: the accept loop and one system thread per
+   connection do only IO and framing; every prove/verify/forge lands
+   on the shared {!Pool} of worker domains, so CPU concurrency is
+   bounded by [jobs] no matter how many clients connect. A connection
+   thread parks on a one-shot cell (mutex + condition) until its
+   worker delivers the response.
+
+   Load shedding: the pool submit is {!Pool.submit_opt} with the
+   configured [max_queue] bound — when the backlog is full the request
+   is answered [Overloaded] immediately instead of growing an
+   unbounded queue. Deadlines are checked at the points where the
+   request's fate is decided (dequeue and completion); a request that
+   missed its deadline gets a typed [Deadline_exceeded] error, never a
+   silently late answer or a hung connection.
+
+   The compiled-verifier cache maps (scheme name, MD5 of the graph6
+   payload) to the {!Simulator.compiled} CSR image. The graph6 string
+   of a decoded graph is unique per labelled graph, so the digest is a
+   canonical hash of exactly what verification consumes; a hit skips
+   both the O(n^2) graph6 decode and the compile. Two workers missing
+   on the same key may compile twice — harmless, the second insert
+   wins — and the cache is serialised by one mutex held only around
+   table operations, never around a compile. *)
+
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_req_prove = Obs.Metrics.counter "server.req_prove"
+let m_req_verify = Obs.Metrics.counter "server.req_verify"
+let m_req_forge = Obs.Metrics.counter "server.req_forge"
+let m_req_stats = Obs.Metrics.counter "server.req_stats"
+let m_req_catalog = Obs.Metrics.counter "server.req_catalog"
+let m_cache_hits = Obs.Metrics.counter "server.cache_hits"
+let m_cache_misses = Obs.Metrics.counter "server.cache_misses"
+let m_overloaded = Obs.Metrics.counter "server.overloaded"
+let m_deadline = Obs.Metrics.counter "server.deadline_exceeded"
+let m_bad_frames = Obs.Metrics.counter "server.bad_frames"
+let m_connections = Obs.Metrics.counter "server.connections"
+let m_request_us = Obs.Metrics.histogram "server.request_us"
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port}. *)
+  jobs : int;
+  cache_size : int;
+  deadline_ms : int;  (** <= 0 disables deadlines. *)
+  max_queue : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7411;
+    jobs = 1;
+    cache_size = 128;
+    deadline_ms = 0;
+    max_queue = 256;
+  }
+
+type t = {
+  config : config;
+  sock : Unix.file_descr;
+  actual_port : int;
+  pool : Pool.t;
+  cache : Simulator.compiled Lru.t;
+  cache_lock : Mutex.t;
+  started_ns : int;
+  stopping : bool Atomic.t;
+  c_requests : int Atomic.t;
+  c_overloaded : int Atomic.t;
+  c_deadline : int Atomic.t;
+  c_bad_frames : int Atomic.t;
+  c_connections : int Atomic.t;
+}
+
+type stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  bad_frames : int;
+  connections : int;
+}
+
+let create config =
+  if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
+  if config.max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen sock 64
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  {
+    config;
+    sock;
+    actual_port;
+    pool = Pool.create config.jobs;
+    cache = Lru.create ~capacity:(max 0 config.cache_size);
+    cache_lock = Mutex.create ();
+    started_ns = Obs.Clock.now_ns ();
+    stopping = Atomic.make false;
+    c_requests = Atomic.make 0;
+    c_overloaded = Atomic.make 0;
+    c_deadline = Atomic.make 0;
+    c_bad_frames = Atomic.make 0;
+    c_connections = Atomic.make 0;
+  }
+
+let port t = t.actual_port
+
+let stats t =
+  Mutex.lock t.cache_lock;
+  let cache_hits = Lru.hits t.cache in
+  let cache_misses = Lru.misses t.cache in
+  let cache_entries = Lru.length t.cache in
+  Mutex.unlock t.cache_lock;
+  {
+    requests = Atomic.get t.c_requests;
+    cache_hits;
+    cache_misses;
+    cache_entries;
+    overloaded = Atomic.get t.c_overloaded;
+    deadline_exceeded = Atomic.get t.c_deadline;
+    bad_frames = Atomic.get t.c_bad_frames;
+    connections = Atomic.get t.c_connections;
+  }
+
+(* --- one-shot response cells ------------------------------------------ *)
+
+type cell = {
+  cm : Mutex.t;
+  cv : Condition.t;
+  mutable value : Wire.response option;
+}
+
+let cell () = { cm = Mutex.create (); cv = Condition.create (); value = None }
+
+let cell_put c v =
+  Mutex.lock c.cm;
+  c.value <- Some v;
+  Condition.signal c.cv;
+  Mutex.unlock c.cm
+
+let cell_take c =
+  Mutex.lock c.cm;
+  while c.value = None do
+    Condition.wait c.cv c.cm
+  done;
+  let v = Option.get c.value in
+  Mutex.unlock c.cm;
+  v
+
+(* --- request handling ------------------------------------------------- *)
+
+let err code fmt =
+  Printf.ksprintf (fun message -> Wire.Error_reply { code; message }) fmt
+
+let cache_key scheme graph6 =
+  scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
+
+(* Resolve the scheme, then the compiled image — from cache or by
+   decoding + compiling — and hand both to [f]. *)
+let with_compiled t ~scheme ~graph6 f =
+  match Registry.find scheme with
+  | None -> err Wire.Unknown_scheme "unknown scheme %S" scheme
+  | Some entry -> (
+      let key = cache_key scheme graph6 in
+      Mutex.lock t.cache_lock;
+      let cached = Lru.find t.cache key in
+      Mutex.unlock t.cache_lock;
+      match cached with
+      | Some compiled ->
+          Obs.Metrics.incr m_cache_hits;
+          f entry compiled
+      | None -> (
+          Obs.Metrics.incr m_cache_misses;
+          match Graph6.decode_res graph6 with
+          | Error m -> err Wire.Bad_graph "%s" m
+          | Ok g ->
+              let compiled =
+                if !Obs.Trace.enabled then
+                  Obs.Trace.span "server.compile" (fun () ->
+                      Simulator.compile (Instance.of_graph g))
+                else Simulator.compile (Instance.of_graph g)
+              in
+              Mutex.lock t.cache_lock;
+              Lru.put t.cache key compiled;
+              Mutex.unlock t.cache_lock;
+              f entry compiled))
+
+let deadline_error t stage =
+  Atomic.incr t.c_deadline;
+  Obs.Metrics.incr m_deadline;
+  err Wire.Deadline_exceeded "%s after the %d ms deadline" stage
+    t.config.deadline_ms
+
+(* Runs on a worker domain. [enqueue_ns] is when the connection thread
+   accepted the request; the deadline is measured from there, so queue
+   wait counts against it. *)
+let compute t req ~enqueue_ns =
+  let deadline =
+    if t.config.deadline_ms <= 0 then max_int
+    else enqueue_ns + (t.config.deadline_ms * 1_000_000)
+  in
+  if Obs.Clock.now_ns () > deadline then deadline_error t "dequeued"
+  else
+    let resp =
+      match req with
+      | Wire.Prove { scheme; graph6 } ->
+          with_compiled t ~scheme ~graph6 (fun entry compiled ->
+              Wire.Proved
+                (entry.Registry.scheme.Scheme.prover
+                   (Simulator.compiled_instance compiled)))
+      | Wire.Verify { scheme; graph6; proof } ->
+          with_compiled t ~scheme ~graph6 (fun entry compiled ->
+              let scheme = entry.Registry.scheme in
+              (* a malformed proof string means "reject here", exactly
+                 as in [Scheme.decide] — it must not escape as an
+                 exception *)
+              let verifier view =
+                try scheme.Scheme.verifier view
+                with Bits.Reader.Decode_error _ -> false
+              in
+              let verdicts, _ =
+                Simulator.run_verifier ~compiled
+                  (Simulator.compiled_instance compiled)
+                  proof ~radius:scheme.Scheme.radius verifier
+              in
+              let rejecting =
+                List.filter_map
+                  (fun (v, ok) -> if ok then None else Some v)
+                  verdicts
+              in
+              Wire.Verified { accepted = rejecting = []; rejecting })
+      | Wire.Forge { scheme; graph6; max_bits } ->
+          if max_bits < 0 || max_bits > 64 then
+            err Wire.Bad_request "max_bits %d outside [0, 64]" max_bits
+          else
+            with_compiled t ~scheme ~graph6 (fun entry compiled ->
+                match
+                  Adversary.forge entry.Registry.scheme
+                    (Simulator.compiled_instance compiled)
+                    ~max_bits
+                with
+                | Adversary.Fooled proof ->
+                    Wire.Forged
+                      { fooled = Some proof; attempts = 0; best_rejections = 0 }
+                | Adversary.Resisted { best_rejections; attempts } ->
+                    Wire.Forged { fooled = None; attempts; best_rejections })
+      | Wire.Stats | Wire.Catalog ->
+          (* handled inline on the connection thread *)
+          err Wire.Internal "request dispatched to a worker by mistake"
+    in
+    if Obs.Clock.now_ns () > deadline then deadline_error t "completed"
+    else resp
+
+let dispatch t req =
+  let enqueue_ns = Obs.Clock.now_ns () in
+  let c = cell () in
+  let task () =
+    let resp =
+      try compute t req ~enqueue_ns
+      with e -> err Wire.Internal "%s" (Printexc.to_string e)
+    in
+    cell_put c resp
+  in
+  if Pool.submit_opt ~max_pending:t.config.max_queue t.pool task then
+    cell_take c
+  else begin
+    Atomic.incr t.c_overloaded;
+    Obs.Metrics.incr m_overloaded;
+    err Wire.Overloaded "backlog full (%d tasks pending)" t.config.max_queue
+  end
+
+let stats_reply t =
+  let s = stats t in
+  Wire.Stats_reply
+    {
+      Wire.requests = s.requests;
+      cache_hits = s.cache_hits;
+      cache_misses = s.cache_misses;
+      cache_entries = s.cache_entries;
+      overloaded = s.overloaded;
+      deadline_exceeded = s.deadline_exceeded;
+      uptime_ms = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000;
+      metrics_json =
+        (if !Obs.Metrics.enabled then
+           Obs.Metrics.to_json (Obs.Metrics.snapshot ())
+         else "{}");
+    }
+
+let catalog_reply () =
+  Wire.Catalog_reply
+    (List.map
+       (fun e ->
+         {
+           Wire.name = e.Registry.name;
+           radius = e.Registry.scheme.Scheme.radius;
+           doc = e.Registry.doc;
+         })
+       Registry.all)
+
+let handle_request t req =
+  Atomic.incr t.c_requests;
+  Obs.Metrics.incr m_requests;
+  Obs.Metrics.incr
+    (match req with
+    | Wire.Prove _ -> m_req_prove
+    | Wire.Verify _ -> m_req_verify
+    | Wire.Forge _ -> m_req_forge
+    | Wire.Stats -> m_req_stats
+    | Wire.Catalog -> m_req_catalog);
+  let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
+  let body () =
+    match req with
+    | Wire.Stats -> stats_reply t
+    | Wire.Catalog -> catalog_reply ()
+    | _ -> dispatch t req
+  in
+  let resp =
+    if !Obs.Trace.enabled then Obs.Trace.span "server.request" body
+    else body ()
+  in
+  if t0 <> 0 then
+    Obs.Metrics.observe m_request_us ((Obs.Clock.now_ns () - t0) / 1_000);
+  resp
+
+(* --- connections ------------------------------------------------------ *)
+
+let bad_frame t raw message =
+  Atomic.incr t.c_bad_frames;
+  Obs.Metrics.incr m_bad_frames;
+  let code =
+    (* a correct magic with a different version byte deserves the
+       typed answer; anything else is noise on the port *)
+    if
+      String.length raw >= 3
+      && raw.[0] = 'L'
+      && raw.[1] = 'C'
+      && Char.code raw.[2] <> Wire.protocol_version
+    then Wire.Unsupported_version
+    else Wire.Bad_frame
+  in
+  Wire.Error_reply { code; message }
+
+let handle_conn t fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  try
+    let rec loop () =
+      if not (Atomic.get t.stopping) then
+        match Net_io.read_exact fd Wire.header_bytes with
+        | None -> ()
+        | Some raw -> (
+            match Wire.decode_header raw with
+            | Error m ->
+                (* framing lost: answer once, then drop the link *)
+                Net_io.write_all fd (Wire.encode_response (bad_frame t raw m))
+            | Ok { Wire.tag; length } -> (
+                match Net_io.read_exact fd length with
+                | None -> ()
+                | Some payload ->
+                    let resp =
+                      match Wire.decode_request_payload ~tag payload with
+                      | Error m ->
+                          Atomic.incr t.c_bad_frames;
+                          Obs.Metrics.incr m_bad_frames;
+                          err Wire.Bad_request "%s" m
+                      | Ok req -> handle_request t req
+                    in
+                    Net_io.write_all fd (Wire.encode_response resp);
+                    loop ()))
+    in
+    loop ()
+  with Unix.Unix_error _ -> () (* peer vanished mid-frame *)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end
+
+let run t =
+  (* a peer that disappears between our read and write must surface as
+     EPIPE on the write, not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept t.sock with
+      | fd, _ ->
+          Atomic.incr t.c_connections;
+          Obs.Metrics.incr m_connections;
+          ignore (Thread.create (fun () -> handle_conn t fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stopping ->
+          (* {!stop} closed the listener under us *)
+          ()
+  in
+  loop ();
+  Pool.shutdown t.pool
+
+let start t = Thread.create run t

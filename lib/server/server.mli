@@ -1,0 +1,78 @@
+(** The lcp verification daemon: a TCP service speaking {!Wire} frames
+    that amortises CLI-startup, graph-parsing and verifier-compilation
+    cost across requests.
+
+    Concurrency layout: the accept loop and one lightweight system
+    thread per connection do IO and framing only; all verification
+    work is dispatched onto a shared {!Pool} of [jobs] worker domains,
+    so CPU concurrency is bounded regardless of connection count.
+
+    Production behaviours, all surfaced as {e typed} wire errors
+    rather than hangs or dropped connections:
+    - {b backpressure} — when [max_queue] tasks are already pending
+      the request is answered [Overloaded] immediately
+      ({!Pool.submit_opt});
+    - {b deadlines} — a request that exceeds [deadline_ms] (measured
+      from arrival, so queue wait counts) is answered
+      [Deadline_exceeded] at the next checkpoint;
+    - {b compiled-verifier cache} — an {!Lru} of {!Simulator.compiled}
+      CSR images keyed by (scheme name, digest of the graph6 bytes);
+      a hit skips both graph decoding and compilation. Hit/miss
+      counters are visible in the [stats] endpoint and, when
+      observability is on, as [server.cache_hits] / [server.cache_misses].
+
+    Every request is instrumented through {!Obs.Metrics} (request
+    counts by type, cache traffic, sheds, latency histogram
+    [server.request_us]) and {!Obs.Trace} ([server.request] /
+    [server.compile] spans) — all off by default as usual. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port}. *)
+  jobs : int;  (** Worker domains (>= 1). *)
+  cache_size : int;  (** Compiled-verifier cache capacity; 0 disables. *)
+  deadline_ms : int;  (** Per-request deadline; <= 0 disables. *)
+  max_queue : int;  (** Pending-task bound before shedding. *)
+}
+
+val default_config : config
+(** 127.0.0.1:7411, 1 job, cache 128, no deadline, queue bound 256. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (raises [Unix.Unix_error] if the port is taken)
+    and spawn the worker pool. No connection is accepted until
+    {!run}. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one the kernel picked when
+    [config.port] was 0. *)
+
+val run : t -> unit
+(** Accept loop; blocks until {!stop}, then shuts the worker pool
+    down before returning. Ignores [SIGPIPE] process-wide (a vanished
+    peer must surface as a write error, not kill the daemon). *)
+
+val start : t -> Thread.t
+(** {!run} on a fresh thread — join it after {!stop} to be sure the
+    pool is down (the test suite and embedded uses). *)
+
+val stop : t -> unit
+(** Signal shutdown and close the listening socket; idempotent, safe
+    from signal handlers and other threads. In-flight requests still
+    complete; the pool is shut down by {!run} as it exits. *)
+
+type stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  bad_frames : int;
+  connections : int;
+}
+
+val stats : t -> stats
+(** Live counters (independent of {!Obs} being enabled). *)

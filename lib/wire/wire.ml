@@ -1,0 +1,432 @@
+(* Codecs for the verification-service protocol. Two halves:
+
+   - writers append fixed-width big-endian fields to a [Buffer] — the
+     encoder can assume well-typed OCaml values and never fails;
+   - readers walk a cursor over the received payload. Internally they
+     raise a private [Fail] exception for brevity, but every public
+     decoder catches it at the boundary and returns [Error reason]:
+     no exception escapes towards the accept loop, whatever the bytes.
+
+   Counts are validated against the number of bytes actually present
+   before anything is allocated, so a tiny hostile frame cannot demand
+   a gigabyte list. *)
+
+let protocol_version = 1
+let header_bytes = 8
+let max_payload = 16 * 1024 * 1024
+let magic0 = 'L'
+let magic1 = 'C'
+
+type header = { tag : int; length : int }
+
+type request =
+  | Prove of { scheme : string; graph6 : string }
+  | Verify of { scheme : string; graph6 : string; proof : Proof.t }
+  | Forge of { scheme : string; graph6 : string; max_bits : int }
+  | Stats
+  | Catalog
+
+type error_code =
+  | Bad_frame
+  | Unsupported_version
+  | Unknown_scheme
+  | Bad_graph
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | Internal
+
+type catalog_entry = { name : string; radius : int; doc : string }
+
+type server_stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  uptime_ms : int;
+  metrics_json : string;
+}
+
+type response =
+  | Proved of Proof.t option
+  | Verified of { accepted : bool; rejecting : int list }
+  | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Stats_reply of server_stats
+  | Catalog_reply of catalog_entry list
+  | Error_reply of { code : error_code; message : string }
+
+let error_code_to_int = function
+  | Bad_frame -> 1
+  | Unsupported_version -> 2
+  | Unknown_scheme -> 3
+  | Bad_graph -> 4
+  | Bad_request -> 5
+  | Overloaded -> 6
+  | Deadline_exceeded -> 7
+  | Internal -> 8
+
+let error_code_of_int = function
+  | 1 -> Some Bad_frame
+  | 2 -> Some Unsupported_version
+  | 3 -> Some Unknown_scheme
+  | 4 -> Some Bad_graph
+  | 5 -> Some Bad_request
+  | 6 -> Some Overloaded
+  | 7 -> Some Deadline_exceeded
+  | 8 -> Some Internal
+  | _ -> None
+
+let error_code_to_string = function
+  | Bad_frame -> "bad-frame"
+  | Unsupported_version -> "unsupported-version"
+  | Unknown_scheme -> "unknown-scheme"
+  | Bad_graph -> "bad-graph"
+  | Bad_request -> "bad-request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Internal -> "internal"
+
+let request_tag = function
+  | Prove _ -> 0x01
+  | Verify _ -> 0x02
+  | Forge _ -> 0x03
+  | Stats -> 0x04
+  | Catalog -> 0x05
+
+let response_tag = function
+  | Proved _ -> 0x81
+  | Verified _ -> 0x82
+  | Forged _ -> 0x83
+  | Stats_reply _ -> 0x84
+  | Catalog_reply _ -> 0x85
+  | Error_reply _ -> 0xE0
+
+(* --- writers ---------------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u16 b v =
+  w_u8 b (v lsr 8);
+  w_u8 b v
+
+let w_u32 b v =
+  w_u8 b (v lsr 24);
+  w_u8 b (v lsr 16);
+  w_u8 b (v lsr 8);
+  w_u8 b v
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_bits b bits =
+  let len = Bits.length bits in
+  w_u32 b len;
+  let byte = ref 0 in
+  for i = 0 to len - 1 do
+    if Bits.get bits i then byte := !byte lor (0x80 lsr (i mod 8));
+    if i mod 8 = 7 then begin
+      w_u8 b !byte;
+      byte := 0
+    end
+  done;
+  if len mod 8 <> 0 then w_u8 b !byte
+
+let w_proof b proof =
+  let entries = Proof.bindings proof in
+  w_u32 b (List.length entries);
+  List.iter
+    (fun (v, bits) ->
+      w_u32 b v;
+      w_bits b bits)
+    entries
+
+let w_int_list b l =
+  w_u32 b (List.length l);
+  List.iter (w_u32 b) l
+
+(* --- readers ---------------------------------------------------------- *)
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let remaining c = String.length c.s - c.pos
+
+let r_u8 c =
+  if remaining c < 1 then fail "truncated payload (wanted 1 byte)";
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u16 c =
+  let hi = r_u8 c in
+  (hi lsl 8) lor r_u8 c
+
+let r_u32 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v lsl 8) lor r_u8 c
+  done;
+  !v
+
+let r_bool c =
+  match r_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "invalid boolean byte %d" v
+
+let r_string c =
+  let len = r_u32 c in
+  if len > remaining c then
+    fail "string length %d exceeds the %d bytes present" len (remaining c);
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let r_bits c =
+  let len = r_u32 c in
+  let bytes = (len + 7) / 8 in
+  if bytes > remaining c then
+    fail "bit-string length %d exceeds the %d bytes present" len (remaining c);
+  let base = c.pos in
+  c.pos <- c.pos + bytes;
+  Bits.of_bools
+    (List.init len (fun i ->
+         Char.code c.s.[base + (i / 8)] land (0x80 lsr (i mod 8)) <> 0))
+
+(* [r_list c ~min_entry_bytes f]: a u32 count whose minimum encoded
+   size is checked against the bytes actually left, then that many
+   elements. *)
+let r_list c ~min_entry_bytes f =
+  let count = r_u32 c in
+  if count * min_entry_bytes > remaining c then
+    fail "list count %d exceeds the %d bytes present" count (remaining c);
+  List.init count (fun _ -> f c)
+
+let r_proof c =
+  Proof.of_list
+    (r_list c ~min_entry_bytes:8 (fun c ->
+         let v = r_u32 c in
+         (v, r_bits c)))
+
+let expect_end c =
+  if remaining c > 0 then fail "%d trailing bytes after the payload" (remaining c)
+
+let decoding payload f =
+  let c = { s = payload; pos = 0 } in
+  match
+    let v = f c in
+    expect_end c;
+    v
+  with
+  | v -> Ok v
+  | exception Fail m -> Error m
+
+(* --- frames ----------------------------------------------------------- *)
+
+let frame tag payload =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  w_u8 b protocol_version;
+  w_u8 b tag;
+  w_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_header s =
+  if String.length s < header_bytes then
+    Error
+      (Printf.sprintf "frame header needs %d bytes, got %d" header_bytes
+         (String.length s))
+  else if s.[0] <> magic0 || s.[1] <> magic1 then Error "bad magic bytes"
+  else if Char.code s.[2] <> protocol_version then
+    Error (Printf.sprintf "unsupported protocol version %d" (Char.code s.[2]))
+  else
+    let length =
+      (Char.code s.[4] lsl 24)
+      lor (Char.code s.[5] lsl 16)
+      lor (Char.code s.[6] lsl 8)
+      lor Char.code s.[7]
+    in
+    if length > max_payload then
+      Error (Printf.sprintf "payload length %d exceeds the %d cap" length max_payload)
+    else Ok { tag = Char.code s.[3]; length }
+
+(* --- requests --------------------------------------------------------- *)
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  (match req with
+  | Prove { scheme; graph6 } ->
+      w_string b scheme;
+      w_string b graph6
+  | Verify { scheme; graph6; proof } ->
+      w_string b scheme;
+      w_string b graph6;
+      w_proof b proof
+  | Forge { scheme; graph6; max_bits } ->
+      w_string b scheme;
+      w_string b graph6;
+      w_u16 b max_bits
+  | Stats | Catalog -> ());
+  frame (request_tag req) (Buffer.contents b)
+
+let decode_request_payload ~tag payload =
+  decoding payload @@ fun c ->
+  match tag with
+  | 0x01 ->
+      let scheme = r_string c in
+      Prove { scheme; graph6 = r_string c }
+  | 0x02 ->
+      let scheme = r_string c in
+      let graph6 = r_string c in
+      Verify { scheme; graph6; proof = r_proof c }
+  | 0x03 ->
+      let scheme = r_string c in
+      let graph6 = r_string c in
+      Forge { scheme; graph6; max_bits = r_u16 c }
+  | 0x04 -> Stats
+  | 0x05 -> Catalog
+  | t -> fail "unknown request tag 0x%02x" t
+
+(* --- responses -------------------------------------------------------- *)
+
+let encode_response resp =
+  let b = Buffer.create 64 in
+  (match resp with
+  | Proved None -> w_u8 b 0
+  | Proved (Some proof) ->
+      w_u8 b 1;
+      w_proof b proof
+  | Verified { accepted; rejecting } ->
+      w_u8 b (if accepted then 1 else 0);
+      w_int_list b rejecting
+  | Forged { fooled; attempts; best_rejections } ->
+      (match fooled with
+      | None -> w_u8 b 0
+      | Some proof ->
+          w_u8 b 1;
+          w_proof b proof);
+      w_u32 b attempts;
+      w_u32 b best_rejections
+  | Stats_reply st ->
+      w_u32 b st.requests;
+      w_u32 b st.cache_hits;
+      w_u32 b st.cache_misses;
+      w_u32 b st.cache_entries;
+      w_u32 b st.overloaded;
+      w_u32 b st.deadline_exceeded;
+      w_u32 b st.uptime_ms;
+      w_string b st.metrics_json
+  | Catalog_reply entries ->
+      w_u32 b (List.length entries);
+      List.iter
+        (fun e ->
+          w_string b e.name;
+          w_u16 b e.radius;
+          w_string b e.doc)
+        entries
+  | Error_reply { code; message } ->
+      w_u8 b (error_code_to_int code);
+      w_string b message);
+  frame (response_tag resp) (Buffer.contents b)
+
+let decode_response_payload ~tag payload =
+  decoding payload @@ fun c ->
+  match tag with
+  | 0x81 -> Proved (if r_bool c then Some (r_proof c) else None)
+  | 0x82 ->
+      let accepted = r_bool c in
+      Verified { accepted; rejecting = r_list c ~min_entry_bytes:4 r_u32 }
+  | 0x83 ->
+      let fooled = if r_bool c then Some (r_proof c) else None in
+      let attempts = r_u32 c in
+      Forged { fooled; attempts; best_rejections = r_u32 c }
+  | 0x84 ->
+      let requests = r_u32 c in
+      let cache_hits = r_u32 c in
+      let cache_misses = r_u32 c in
+      let cache_entries = r_u32 c in
+      let overloaded = r_u32 c in
+      let deadline_exceeded = r_u32 c in
+      let uptime_ms = r_u32 c in
+      Stats_reply
+        {
+          requests;
+          cache_hits;
+          cache_misses;
+          cache_entries;
+          overloaded;
+          deadline_exceeded;
+          uptime_ms;
+          metrics_json = r_string c;
+        }
+  | 0x85 ->
+      Catalog_reply
+        (r_list c ~min_entry_bytes:10 (fun c ->
+             let name = r_string c in
+             let radius = r_u16 c in
+             { name; radius; doc = r_string c }))
+  | 0xE0 ->
+      let code_byte = r_u8 c in
+      let code =
+        match error_code_of_int code_byte with
+        | Some code -> code
+        | None -> fail "unknown error code %d" code_byte
+      in
+      Error_reply { code; message = r_string c }
+  | t -> fail "unknown response tag 0x%02x" t
+
+(* --- whole-frame convenience ------------------------------------------ *)
+
+let split_frame decode_payload s =
+  match decode_header s with
+  | Error _ as e -> e
+  | Ok { tag; length } ->
+      if String.length s <> header_bytes + length then
+        Error
+          (Printf.sprintf "frame announces %d payload bytes but carries %d"
+             length
+             (String.length s - header_bytes))
+      else decode_payload ~tag (String.sub s header_bytes length)
+
+let decode_request s = split_frame decode_request_payload s
+let decode_response s = split_frame decode_response_payload s
+
+(* --- equality (round-trip tests) -------------------------------------- *)
+
+let equal_request a b =
+  match (a, b) with
+  | Prove a, Prove b -> a.scheme = b.scheme && a.graph6 = b.graph6
+  | Verify a, Verify b ->
+      a.scheme = b.scheme && a.graph6 = b.graph6 && Proof.equal a.proof b.proof
+  | Forge a, Forge b ->
+      a.scheme = b.scheme && a.graph6 = b.graph6 && a.max_bits = b.max_bits
+  | Stats, Stats | Catalog, Catalog -> true
+  | _ -> false
+
+let equal_proof_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Proof.equal a b
+  | _ -> false
+
+let equal_response a b =
+  match (a, b) with
+  | Proved a, Proved b -> equal_proof_opt a b
+  | Verified a, Verified b ->
+      a.accepted = b.accepted && a.rejecting = b.rejecting
+  | Forged a, Forged b ->
+      equal_proof_opt a.fooled b.fooled
+      && a.attempts = b.attempts
+      && a.best_rejections = b.best_rejections
+  | Stats_reply a, Stats_reply b -> a = b
+  | Catalog_reply a, Catalog_reply b -> a = b
+  | Error_reply a, Error_reply b -> a.code = b.code && a.message = b.message
+  | _ -> false

@@ -1,0 +1,112 @@
+(** The lcp verification-service wire protocol, version 1.
+
+    Length-prefixed binary frames over a byte stream:
+
+    {v
+      +-------+---------+---------+--------------------+---------....
+      | 'L'   | 'C'     | version | tag                | length (u32,
+      | magic byte 0    | (= 1)   | message type       |  big-endian)
+      +-------+---------+---------+--------------------+---------....
+      then exactly [length] payload bytes.
+    v}
+
+    The 8-byte header is fixed for every version, so a reader can
+    always frame a message before interpreting it. Payload fields are
+    fixed-width big-endian integers and length-prefixed byte strings;
+    graphs travel as graph6 text ({!Graph6}), proofs as per-node bit
+    strings packed 8 bits per byte.
+
+    Everything that parses bytes from the peer is {e total}: malformed
+    input — bad magic, unknown version or tag, oversized length,
+    truncated or trailing bytes, counts that do not fit the payload —
+    yields an [Error] carrying a human-readable reason, never an
+    exception. This module is the trust boundary; {!Server} and
+    {!Client} only ever feed it untrusted bytes. *)
+
+val protocol_version : int
+val header_bytes : int
+(** Size of the fixed frame header: 8. *)
+
+val max_payload : int
+(** Upper bound on a frame payload (16 MiB); a header announcing more
+    is rejected before any payload is read. *)
+
+type header = { tag : int; length : int }
+
+val decode_header : string -> (header, string) result
+(** Parse the first {!header_bytes} bytes of a frame. Checks magic,
+    version and the {!max_payload} bound; the tag is {e not} checked
+    here (the payload decoders own that), so a framing layer can skip
+    messages it does not understand. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Prove of { scheme : string; graph6 : string }
+  | Verify of { scheme : string; graph6 : string; proof : Proof.t }
+  | Forge of { scheme : string; graph6 : string; max_bits : int }
+  | Stats
+  | Catalog
+
+type error_code =
+  | Bad_frame  (** Unparseable frame: the connection is out of sync. *)
+  | Unsupported_version
+  | Unknown_scheme
+  | Bad_graph  (** graph6 payload rejected by {!Graph6.decode_res}. *)
+  | Bad_request  (** Frame ok, payload malformed for its tag. *)
+  | Overloaded  (** Shed by backpressure; retry later. *)
+  | Deadline_exceeded
+  | Internal
+
+type catalog_entry = { name : string; radius : int; doc : string }
+
+type server_stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  uptime_ms : int;
+  metrics_json : string;
+      (** {!Obs.Metrics.to_json} when the server runs with metrics on,
+          ["{}"] otherwise. *)
+}
+
+type response =
+  | Proved of Proof.t option
+      (** [None]: the prover recognised a no-instance. *)
+  | Verified of { accepted : bool; rejecting : int list }
+  | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Stats_reply of server_stats
+  | Catalog_reply of catalog_entry list
+  | Error_reply of { code : error_code; message : string }
+
+val error_code_to_string : error_code -> string
+
+(** {1 Codecs} *)
+
+val encode_request : request -> string
+(** A complete frame: header plus payload. *)
+
+val encode_response : response -> string
+
+val request_tag : request -> int
+val response_tag : response -> int
+
+val decode_request_payload : tag:int -> string -> (request, string) result
+(** Decode the payload of a frame whose header carried [tag]. Total;
+    rejects unknown tags, truncated fields and trailing bytes. *)
+
+val decode_response_payload : tag:int -> string -> (response, string) result
+
+val decode_request : string -> (request, string) result
+(** Decode one complete frame (header and payload, nothing after). *)
+
+val decode_response : string -> (response, string) result
+
+val equal_request : request -> request -> bool
+(** Structural equality (proofs via [Proof.equal]); the round-trip
+    property tests pin [decode (encode m) = m] with these. *)
+
+val equal_response : response -> response -> bool

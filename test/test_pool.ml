@@ -67,7 +67,38 @@ let submit_after_shutdown () =
   check "submit after shutdown raises" true
     (match Pool.submit p (fun () -> ()) with
     | exception Invalid_argument _ -> true
-    | _ -> false)
+    | _ -> false);
+  check "submit_opt after shutdown declines" false
+    (Pool.submit_opt p (fun () -> ()))
+
+(* submit_opt with ~max_pending is the server's backpressure valve:
+   while [max_pending] tasks are submitted-but-unfinished it must
+   decline, and a declined task must never run. *)
+let submit_opt_bound () =
+  let p = Pool.create 1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  check "first task accepted" true
+    (Pool.submit_opt ~max_pending:1 p (fun () ->
+         while not (Atomic.get gate) do
+           Domain.cpu_relax ()
+         done;
+         Atomic.incr ran));
+  (* pending = 1 from the moment of submission (queued or running),
+     so the bound is already saturated *)
+  check "bound saturated: declined" false
+    (Pool.submit_opt ~max_pending:1 p (fun () -> Atomic.incr ran));
+  (* without a bound the same pool still accepts *)
+  check "unbounded submit accepted" true
+    (Pool.submit_opt p (fun () -> Atomic.incr ran));
+  Atomic.set gate true;
+  Pool.wait p;
+  check_int "declined task never ran" 2 (Atomic.get ran);
+  check "bound clears once pending drains" true
+    (Pool.submit_opt ~max_pending:1 p (fun () -> Atomic.incr ran));
+  Pool.wait p;
+  check_int "accepted task ran" 3 (Atomic.get ran)
 
 (* The same verification workload, metrics on, at jobs=1 and jobs=4:
    after Obs.Metrics.deterministic (which drops timing and scheduling
@@ -111,6 +142,8 @@ let suite =
       Alcotest.test_case "exception completes remaining tasks" `Quick
         exception_does_not_lose_tasks;
       Alcotest.test_case "submit after shutdown" `Quick submit_after_shutdown;
+      Alcotest.test_case "submit_opt backpressure bound" `Quick
+        submit_opt_bound;
       Alcotest.test_case "metrics snapshots jobs-invariant" `Quick
         snapshots_jobs_invariant;
     ] )

@@ -1,0 +1,331 @@
+(* End-to-end tests for the verification daemon, all over a loopback
+   socket on an ephemeral port: the compiled-verifier cache (warm
+   requests must hit it and be measurably faster than cold ones),
+   backpressure shedding, per-request deadlines, and the rule that a
+   peer speaking garbage gets a typed error — never a hang, never a
+   crash. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_server config f =
+  let t = Server.create { config with Server.port = 0 } in
+  let th = Server.start t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Thread.join th)
+    (fun () -> f t (Server.port t))
+
+let with_client port f =
+  match Client.connect ~port () with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let call c req =
+  match Client.call c req with
+  | Ok resp -> resp
+  | Error m -> Alcotest.failf "call: transport error %s" m
+
+let expect_error code what = function
+  | Wire.Error_reply e when e.code = code -> ()
+  | resp ->
+      Alcotest.failf "%s: expected %s error, got %s" what
+        (Wire.error_code_to_string code)
+        (match resp with
+        | Wire.Error_reply e -> Wire.error_code_to_string e.code
+        | Wire.Proved _ -> "Proved"
+        | Wire.Verified _ -> "Verified"
+        | Wire.Forged _ -> "Forged"
+        | Wire.Stats_reply _ -> "Stats_reply"
+        | Wire.Catalog_reply _ -> "Catalog_reply")
+
+(* ------------------------------------------------------------------ *)
+(* In-process units: the LRU and the scheme registry. *)
+
+let lru_unit () =
+  let l = Lru.create ~capacity:2 in
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  check "a present" true (Lru.find l "a" = Some 1);
+  (* b is now least recently used; inserting c must evict it *)
+  Lru.put l "c" 3;
+  check "b evicted" true (Lru.find l "b" = None);
+  check "a survives" true (Lru.find l "a" = Some 1);
+  check "c present" true (Lru.find l "c" = Some 3);
+  check_int "length" 2 (Lru.length l);
+  check_int "hits" 3 (Lru.hits l);
+  check_int "misses" 1 (Lru.misses l);
+  check_int "evictions" 1 (Lru.evictions l);
+  (* capacity 0 is the cache-disabled mode the server maps
+     --cache-size=0 to: put is a no-op, every find is a miss *)
+  let z = Lru.create ~capacity:0 in
+  Lru.put z "x" 1;
+  check "capacity 0 never stores" true (Lru.find z "x" = None);
+  check_int "capacity 0 stays empty" 0 (Lru.length z);
+  check "negative capacity rejected" true
+    (match Lru.create ~capacity:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let registry_unit () =
+  check "eulerian registered" true
+    (match Registry.find "eulerian" with
+    | Some e -> e.Registry.name = "eulerian"
+    | None -> false);
+  check "unknown scheme absent" true (Registry.find "no-such-scheme" = None);
+  let names = List.map (fun e -> e.Registry.name) Registry.all in
+  check "names unique" true
+    (List.length names = List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: catalog, prove/verify, the compiled-verifier cache. *)
+
+let loopback_cache () =
+  with_server { Server.default_config with jobs = 2; cache_size = 8 }
+  @@ fun t port ->
+  with_client port @@ fun c ->
+  (* catalog mirrors the registry *)
+  (match call c Wire.Catalog with
+  | Wire.Catalog_reply entries ->
+      check_int "catalog size" (List.length Registry.all) (List.length entries);
+      check "catalog has eulerian" true
+        (List.exists (fun e -> e.Wire.name = "eulerian") entries)
+  | r -> expect_error Wire.Internal "catalog" r);
+  (* typed errors for bad scheme / bad graph *)
+  expect_error Wire.Unknown_scheme "unknown scheme"
+    (call c (Wire.Prove { scheme = "no-such-scheme"; graph6 = "A_" }));
+  expect_error Wire.Bad_graph "bad graph"
+    (call c (Wire.Prove { scheme = "eulerian"; graph6 = "~?" }));
+  (* prove a yes-instance, then feed the proof back through verify;
+     bipartite's proof is a 2-colouring, so corrupting it is visible
+     (eulerian would accept any proof — its verifier reads no bits) *)
+  let g6 = Graph6.encode (Builders.cycle 64) in
+  let proof =
+    match call c (Wire.Prove { scheme = "bipartite"; graph6 = g6 }) with
+    | Wire.Proved (Some p) -> p
+    | Wire.Proved None -> Alcotest.fail "prover called C64 a no-instance"
+    | r ->
+        expect_error Wire.Internal "prove" r;
+        assert false
+  in
+  (match call c (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof }) with
+  | Wire.Verified { accepted; rejecting } ->
+      check "honest proof accepted" true accepted;
+      check "no rejecting nodes" true (rejecting = [])
+  | r -> expect_error Wire.Internal "verify" r);
+  (* flip one node's colour: it and its neighbours must reject *)
+  let bad = Proof.set proof 0 (Bits.flip (Proof.get proof 0) 0) in
+  (match
+     call c (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof = bad })
+   with
+  | Wire.Verified { accepted; rejecting } ->
+      check "corrupt proof rejected" false accepted;
+      check "some node rejects" true (rejecting <> [])
+  | r -> expect_error Wire.Internal "verify corrupt" r);
+  (* every request after the first prove reused the compiled image;
+     the misses are the first C64 prove and the bad-graph request
+     (its cache lookup happens before the graph6 bytes are parsed) *)
+  let s = Server.stats t in
+  check "cache hits counted" true (s.Server.cache_hits >= 2);
+  check_int "two cache misses" 2 s.Server.cache_misses;
+  check_int "one cached entry" 1 s.Server.cache_entries
+
+(* Warm requests skip the graph6 decode and the compile; on a graph
+   this size that is the bulk of the request, so the speedup must be
+   visible even on a noisy CI box. *)
+let warm_faster_than_cold () =
+  with_server { Server.default_config with jobs = 1; cache_size = 8 }
+  @@ fun t port ->
+  with_client port @@ fun c ->
+  let g6 = Graph6.encode (Builders.cycle 2048) in
+  let verify () =
+    let t0 = Unix.gettimeofday () in
+    (match
+       call c
+         (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof = Proof.empty })
+     with
+    | Wire.Verified { accepted; _ } ->
+        (* the empty proof is rejected — only the timing matters here *)
+        check "empty proof rejected" false accepted
+    | r -> expect_error Wire.Internal "verify" r);
+    Unix.gettimeofday () -. t0
+  in
+  let cold = verify () in
+  let warm = List.fold_left min infinity (List.init 3 (fun _ -> verify ())) in
+  let s = Server.stats t in
+  check_int "cold run compiled once" 1 s.Server.cache_misses;
+  check_int "warm runs all hit" 3 s.Server.cache_hits;
+  check
+    (Printf.sprintf "warm (%.1f ms) at least 2x faster than cold (%.1f ms)"
+       (warm *. 1e3) (cold *. 1e3))
+    true
+    (warm *. 2. < cold)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure and deadlines: production failure modes must surface
+   as typed errors, immediately, on a live connection. *)
+
+let overload_sheds () =
+  with_server { Server.default_config with jobs = 1; max_queue = 0 }
+  @@ fun t port ->
+  with_client port @@ fun c ->
+  let g6 = Graph6.encode (Builders.cycle 16) in
+  expect_error Wire.Overloaded "queue bound 0 sheds every prove"
+    (call c (Wire.Prove { scheme = "eulerian"; graph6 = g6 }));
+  (* stats is served inline on the connection thread, so it still
+     answers while the compute path sheds *)
+  (match call c Wire.Stats with
+  | Wire.Stats_reply s -> check "shed counted in stats" true (s.overloaded >= 1)
+  | r -> expect_error Wire.Internal "stats" r);
+  check "server counter agrees" true ((Server.stats t).Server.overloaded >= 1)
+
+let deadline_exceeded () =
+  (* 1 ms is far below the cold decode+compile time of a 2048-node
+     graph, so each request deterministically trips the completion
+     checkpoint; distinct sizes keep the second request from riding
+     the first one's cache entry *)
+  with_server { Server.default_config with jobs = 1; deadline_ms = 1 }
+  @@ fun t port ->
+  with_client port @@ fun c ->
+  List.iter
+    (fun n ->
+      expect_error Wire.Deadline_exceeded
+        (Printf.sprintf "cold prove of C%d under a 1 ms deadline" n)
+        (call c
+           (Wire.Prove
+              { scheme = "eulerian"; graph6 = Graph6.encode (Builders.cycle n) })))
+    [ 2048; 2049 ];
+  (* the connection survives and undeadlined endpoints still work *)
+  (match call c Wire.Stats with
+  | Wire.Stats_reply s ->
+      check "deadline misses counted" true (s.deadline_exceeded >= 2)
+  | r -> expect_error Wire.Internal "stats" r);
+  check "server counter agrees" true
+    ((Server.stats t).Server.deadline_exceeded >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Raw-socket abuse: garbage frames, wrong version, garbage payload. *)
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Some (Bytes.to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_response fd =
+  match read_exact fd Wire.header_bytes with
+  | None -> Alcotest.fail "connection closed before a response"
+  | Some raw -> (
+      match Wire.decode_header raw with
+      | Error m -> Alcotest.failf "bad response header: %s" m
+      | Ok { Wire.tag; length } -> (
+          match read_exact fd length with
+          | None -> Alcotest.fail "truncated response"
+          | Some payload -> (
+              match Wire.decode_response_payload ~tag payload with
+              | Ok r -> r
+              | Error m -> Alcotest.failf "bad response payload: %s" m)))
+
+let with_raw_socket port f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  f fd
+
+let raw_frame ~version ~tag payload =
+  let len = String.length payload in
+  let b = Buffer.create (8 + len) in
+  Buffer.add_string b "LC";
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr tag);
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let garbage_frames () =
+  with_server Server.default_config @@ fun t port ->
+  (* pure noise: one Bad_frame reply, then the server drops the link *)
+  with_raw_socket port (fun fd ->
+      ignore (Unix.write_substring fd "GARBAGE!" 0 8);
+      (match read_response fd with
+      | Wire.Error_reply { code = Wire.Bad_frame; _ } -> ()
+      | r -> expect_error Wire.Bad_frame "garbage" r);
+      check "connection closed after garbage" true
+        (read_exact fd 1 = None));
+  (* right magic, future version: the typed answer, then drop *)
+  with_raw_socket port (fun fd ->
+      let frame = raw_frame ~version:(Wire.protocol_version + 1) ~tag:5 "" in
+      ignore (Unix.write_substring fd frame 0 (String.length frame));
+      (match read_response fd with
+      | Wire.Error_reply { code = Wire.Unsupported_version; _ } -> ()
+      | r -> expect_error Wire.Unsupported_version "version" r);
+      check "connection closed after version mismatch" true
+        (read_exact fd 1 = None));
+  (* well-framed but undecodable payload: Bad_request, and the
+     connection keeps working afterwards *)
+  with_raw_socket port (fun fd ->
+      let frame = raw_frame ~version:Wire.protocol_version ~tag:1 "abc" in
+      ignore (Unix.write_substring fd frame 0 (String.length frame));
+      (match read_response fd with
+      | Wire.Error_reply { code = Wire.Bad_request; _ } -> ()
+      | r -> expect_error Wire.Bad_request "payload" r);
+      let stats = Wire.encode_request Wire.Stats in
+      ignore (Unix.write_substring fd stats 0 (String.length stats));
+      match read_response fd with
+      | Wire.Stats_reply _ -> ()
+      | r -> expect_error Wire.Internal "stats after bad payload" r);
+  check "bad frames counted" true ((Server.stats t).Server.bad_frames >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* The load generator against a live server: every response must be
+   semantically ok and repeated graphs must hit the cache. *)
+
+let loadgen_loopback () =
+  with_server { Server.default_config with jobs = 2 } @@ fun _t port ->
+  match
+    Client.loadgen ~port ~connections:2 ~requests:10 ~mix:(1, 4)
+      ~scheme:"eulerian" ~sizes:[ 24; 32 ] ()
+  with
+  | Error m -> Alcotest.failf "loadgen: %s" m
+  | Ok r ->
+      check_int "all requests ok" 20 r.Client.ok;
+      check_int "no errors" 0 r.Client.errors;
+      check "throughput positive" true (r.Client.throughput_rps > 0.);
+      (match r.Client.server with
+      | None -> Alcotest.fail "loadgen fetched no server stats"
+      | Some s ->
+          check "repeated graphs hit the cache" true (s.Wire.cache_hits > 0);
+          check_int "one compile per size" 2 s.Wire.cache_misses);
+      (* the CI artifact must be one well-formed JSON object; a cheap
+         structural sanity check keeps this test dependency-free *)
+      let json = Client.report_json r in
+      check "json nonempty object" true
+        (String.length json > 2 && json.[0] = '{'
+        && json.[String.length json - 1] = '}')
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "lru cache" `Quick lru_unit;
+      Alcotest.test_case "scheme registry" `Quick registry_unit;
+      Alcotest.test_case "loopback prove/verify + cache" `Quick loopback_cache;
+      Alcotest.test_case "warm verify faster than cold" `Quick
+        warm_faster_than_cold;
+      Alcotest.test_case "backpressure sheds with typed error" `Quick
+        overload_sheds;
+      Alcotest.test_case "deadline returns typed error" `Quick deadline_exceeded;
+      Alcotest.test_case "garbage frames get typed errors" `Quick garbage_frames;
+      Alcotest.test_case "loadgen loopback mix" `Quick loadgen_loopback;
+    ] )

@@ -1,0 +1,294 @@
+(* The wire layer is the service's trust boundary, so the tests come
+   in two flavours: round-trip properties (decode (encode m) = m over
+   random messages, and graph6 across the multi-byte size-header
+   boundary) and adversarial totality (truncated, oversized and
+   garbage bytes must come back as [Error _], never as an
+   exception). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: unexpected Error %S" what msg
+
+(* ------------------------------------------------------------------ *)
+(* graph6: the multi-byte size header (satellite: bench graphs have
+   n up to 4096, far past the 62-node single-byte form). *)
+
+let graph6_known_vectors () =
+  (* the n <= 62 fast path must stay byte-identical to the original
+     single-byte implementation *)
+  let k2 = Graph.create ~nodes:[ 0; 1 ] ~edges:[ (0, 1) ] in
+  check_str "K2" "A_" (Graph6.encode k2);
+  let k3 = Graph.create ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (0, 2); (1, 2) ] in
+  check_str "K3" "Bw" (Graph6.encode k3);
+  (* first multi-byte n: header is '~' + 18 bits of n *)
+  let g63 = Graph.create ~nodes:(List.init 63 Fun.id) ~edges:[] in
+  let s = Graph6.encode g63 in
+  check_str "n=63 header" "~??~" (String.sub s 0 4);
+  check_int "n=63 length" (4 + (((63 * 62 / 2) + 5) / 6)) (String.length s)
+
+let graph6_roundtrip_sizes () =
+  (* straddle the single-byte / 3-byte header boundary, then go well
+     past it with a wire-sized graph *)
+  List.iter
+    (fun n ->
+      let g = Builders.cycle n in
+      let g' = ok_or_fail "decode" (Graph6.decode_res (Graph6.encode g)) in
+      check (Printf.sprintf "cycle %d roundtrips" n) true (Graph.equal g g'))
+    [ 3; 61; 62; 63; 64; 100; 1024 ]
+
+let graph6_roundtrip_prop =
+  QCheck.Test.make ~name:"graph6 roundtrip across header boundary" ~count:60
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 1 80 in
+          let* edges =
+            list_size (int_bound 120)
+              (let* i = int_bound (n - 1) in
+               let* j = int_bound (n - 1) in
+               return (i, j))
+          in
+          return (n, List.filter (fun (i, j) -> i <> j) edges)))
+    (fun (n, edges) ->
+      let g = Graph.create ~nodes:(List.init n Fun.id) ~edges in
+      match Graph6.decode_res (Graph6.encode g) with
+      | Ok g' -> Graph.equal g g'
+      | Error _ -> false)
+
+let graph6_rejects () =
+  let reject what s =
+    match Graph6.decode_res s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected rejection of %S" what s
+  in
+  reject "empty" "";
+  reject "truncated 3-byte header" "~?";
+  reject "truncated data" "D";
+  reject "trailing data" "A_?";
+  reject "byte below alphabet" "B\x01\x02";
+  reject "non-minimal 3-byte header" "~??A";
+  (* a 9-byte header announcing a graph too large to allocate must be
+     rejected before any O(n^2) work *)
+  reject "n over cap" "~~??~?????";
+  check "decode_opt mirrors decode_res" true (Graph6.decode_opt "~?" = None)
+
+let graph6_total_prop =
+  QCheck.Test.make ~name:"graph6 decode_res never raises" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 40))
+    (fun s ->
+      match Graph6.decode_res s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "decode_res raised %s on %S"
+            (Printexc.to_string e) s)
+
+(* ------------------------------------------------------------------ *)
+(* Frame round-trips over random messages. *)
+
+let gen_bits =
+  QCheck.Gen.(
+    let* bools = list_size (int_bound 24) bool in
+    return (Bits.of_bools bools))
+
+let gen_proof =
+  QCheck.Gen.(
+    let* bindings =
+      list_size (int_bound 8)
+        (let* v = int_bound 1000 in
+         let* b = gen_bits in
+         return (v, b))
+    in
+    return (Proof.of_list bindings))
+
+let gen_name = QCheck.Gen.(string_size ~gen:printable (int_bound 16))
+
+(* payload strings are raw bytes on the wire — use the full char
+   range, not just printables *)
+let gen_blob = QCheck.Gen.(string_size ~gen:char (int_bound 32))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* scheme = gen_name in
+         let* graph6 = gen_blob in
+         return (Wire.Prove { scheme; graph6 }));
+        (let* scheme = gen_name in
+         let* graph6 = gen_blob in
+         let* proof = gen_proof in
+         return (Wire.Verify { scheme; graph6; proof }));
+        (let* scheme = gen_name in
+         let* graph6 = gen_blob in
+         let* max_bits = int_bound 0xffff in
+         return (Wire.Forge { scheme; graph6; max_bits }));
+        return Wire.Stats;
+        return Wire.Catalog;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* p = opt gen_proof in
+         return (Wire.Proved p));
+        (let* accepted = bool in
+         let* rejecting = list_size (int_bound 10) (int_bound 5000) in
+         return (Wire.Verified { accepted; rejecting }));
+        (let* fooled = opt gen_proof in
+         let* attempts = int_bound 100000 in
+         let* best_rejections = int_bound 5000 in
+         return (Wire.Forged { fooled; attempts; best_rejections }));
+        (let* requests = int_bound 1_000_000 in
+         let* cache_hits = int_bound 1_000_000 in
+         let* cache_misses = int_bound 1_000_000 in
+         let* cache_entries = int_bound 4096 in
+         let* overloaded = int_bound 1_000_000 in
+         let* deadline_exceeded = int_bound 1_000_000 in
+         let* uptime_ms = int_bound 1_000_000 in
+         let* metrics_json = gen_blob in
+         return
+           (Wire.Stats_reply
+              {
+                Wire.requests;
+                cache_hits;
+                cache_misses;
+                cache_entries;
+                overloaded;
+                deadline_exceeded;
+                uptime_ms;
+                metrics_json;
+              }));
+        (let* entries =
+           list_size (int_bound 6)
+             (let* name = gen_name in
+              let* radius = int_bound 0xffff in
+              let* doc = gen_blob in
+              return { Wire.name; radius; doc })
+         in
+         return (Wire.Catalog_reply entries));
+        (let* code =
+           oneofl
+             [
+               Wire.Bad_frame;
+               Wire.Unsupported_version;
+               Wire.Unknown_scheme;
+               Wire.Bad_graph;
+               Wire.Bad_request;
+               Wire.Overloaded;
+               Wire.Deadline_exceeded;
+               Wire.Internal;
+             ]
+         in
+         let* message = gen_blob in
+         return (Wire.Error_reply { code; message }));
+      ])
+
+let request_roundtrip_prop =
+  QCheck.Test.make ~name:"request roundtrip" ~count:300
+    (QCheck.make gen_request) (fun r ->
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' -> Wire.equal_request r r'
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let response_roundtrip_prop =
+  QCheck.Test.make ~name:"response roundtrip" ~count:300
+    (QCheck.make gen_response) (fun r ->
+      match Wire.decode_response (Wire.encode_response r) with
+      | Ok r' -> Wire.equal_response r r'
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial frames. *)
+
+let header_rejects () =
+  let reject what s =
+    match Wire.decode_header s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: header accepted" what
+  in
+  let frame = Wire.encode_request Wire.Stats in
+  check "sanity: real frame parses" true
+    (Result.is_ok (Wire.decode_header frame));
+  reject "short" (String.sub frame 0 (Wire.header_bytes - 1));
+  reject "bad magic" ("XC" ^ String.sub frame 2 (Wire.header_bytes - 2));
+  let bad_version = Bytes.of_string (String.sub frame 0 Wire.header_bytes) in
+  Bytes.set bad_version 2 '\x63';
+  reject "unsupported version" (Bytes.to_string bad_version);
+  (* length field claiming more than max_payload: must die at the
+     header, before anyone allocates the payload *)
+  let huge = Bytes.of_string (String.sub frame 0 Wire.header_bytes) in
+  Bytes.set huge 4 '\xff';
+  Bytes.set huge 5 '\xff';
+  Bytes.set huge 6 '\xff';
+  Bytes.set huge 7 '\xff';
+  reject "oversized length" (Bytes.to_string huge)
+
+let truncated_frames () =
+  let frame =
+    Wire.encode_request
+      (Wire.Verify
+         {
+           scheme = "eulerian";
+           graph6 = Graph6.encode (Builders.cycle 8);
+           proof = Proof.of_list [ (0, Bits.of_bools [ true; false ]) ];
+         })
+  in
+  for i = 0 to String.length frame - 1 do
+    match Wire.decode_request (String.sub frame 0 i) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d bytes accepted" i
+  done;
+  (* trailing garbage after a complete frame must also be rejected *)
+  check "trailing byte rejected" true
+    (Result.is_error (Wire.decode_request (frame ^ "\x00")))
+
+let payload_garbage_total_prop =
+  QCheck.Test.make ~name:"payload decoders never raise" ~count:300
+    QCheck.(
+      pair (int_range 0 255) (string_of_size (Gen.int_bound 64)))
+    (fun (tag, payload) ->
+      let no_raise what f =
+        match f () with
+        | (_ : (_, string) result) -> true
+        | exception e ->
+            QCheck.Test.fail_reportf "%s raised %s on tag %d payload %S" what
+              (Printexc.to_string e) tag payload
+      in
+      no_raise "request" (fun () -> Wire.decode_request_payload ~tag payload)
+      && no_raise "response" (fun () -> Wire.decode_response_payload ~tag payload))
+
+let count_mismatch () =
+  (* a Verify payload whose binding count claims more entries than the
+     payload can hold must be rejected by the count guard, not by
+     attempting a giant allocation *)
+  let frame =
+    Wire.encode_request
+      (Wire.Verify
+         { scheme = "x"; graph6 = "A_"; proof = Proof.of_list [] })
+  in
+  let b = Bytes.of_string frame in
+  (* the binding count is the last u32 of this payload; inflate it *)
+  Bytes.set b (Bytes.length b - 4) '\xff';
+  Bytes.set b (Bytes.length b - 3) '\xff';
+  check "inflated count rejected" true
+    (Result.is_error (Wire.decode_request (Bytes.to_string b)))
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "graph6 known vectors" `Quick graph6_known_vectors;
+      Alcotest.test_case "graph6 roundtrip sizes" `Quick graph6_roundtrip_sizes;
+      QCheck_alcotest.to_alcotest graph6_roundtrip_prop;
+      Alcotest.test_case "graph6 rejects malformed" `Quick graph6_rejects;
+      QCheck_alcotest.to_alcotest graph6_total_prop;
+      QCheck_alcotest.to_alcotest request_roundtrip_prop;
+      QCheck_alcotest.to_alcotest response_roundtrip_prop;
+      Alcotest.test_case "header rejects malformed" `Quick header_rejects;
+      Alcotest.test_case "truncated frames rejected" `Quick truncated_frames;
+      QCheck_alcotest.to_alcotest payload_garbage_total_prop;
+      Alcotest.test_case "inflated count rejected" `Quick count_mismatch;
+    ] )
