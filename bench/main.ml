@@ -16,7 +16,12 @@
                     BENCH_lcp.json;
           --trace FILE  record structured spans and export them as
                     Chrome trace-event JSON (chrome://tracing,
-                    Perfetto).
+                    Perfetto);
+          --prom FILE  write the run's telemetry as a Prometheus text
+                    exposition (per-row wall-time gauges plus, with
+                    --metrics, the full cumulative registry) — lets a
+                    CI job push bench health into the same dashboards
+                    that scrape `lcp serve`.
 
    All timing uses the monotonic Obs.Clock (the seed harness used
    Unix.gettimeofday, which NTP can skew mid-run). Sweep runs write a
@@ -688,6 +693,37 @@ let write_json path ~smoke ~total_wall_s results =
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
 
+(* Prometheus text exposition of the same run — through the exact
+   renderer the server's /metrics endpoint uses, so CI can validate
+   both with one scraper. Per-row wall time and verdicts become
+   labelled gauges; with --metrics the cumulative registry (including
+   trace.dropped) rides along. *)
+let write_prom path ~total_wall_s results =
+  let e = Obs.Export.create () in
+  Obs.Export.gauge e ~help:"total bench wall time" "bench.wall_seconds"
+    total_wall_s;
+  Obs.Export.counter e ~help:"rows attempted" "bench.rows"
+    (List.length results);
+  List.iter
+    (fun { row = r; outcome; wall_s; metrics = _ } ->
+      let labels = [ ("id", r.id) ] in
+      Obs.Export.gauge e ~help:"per-row wall time" ~labels
+        "bench.row_wall_seconds" wall_s;
+      let verdict =
+        match outcome with
+        | Failed _ -> 0.0
+        | Fitted (_, _, matches) -> if matches then 1.0 else 0.0
+      in
+      Obs.Export.gauge e ~help:"1 = fit matches the paper's bound" ~labels
+        "bench.row_verdict" verdict)
+    results;
+  if !collect_metrics then
+    Obs.Export.metrics_snapshot e (Obs.Metrics.snapshot ());
+  let oc = open_out path in
+  output_string oc (Obs.Export.contents e);
+  close_out oc;
+  Format.printf "prometheus exposition written to %s@." path
+
 (* --- lower-bound attack experiments --------------------------------- *)
 
 let gluing_outcome name scheme family =
@@ -958,7 +994,7 @@ let run_table title rows =
 let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--timing] [--reference] [--jobs N] [--metrics] \
-     [--trace FILE]  (N=0: all cores)";
+     [--trace FILE] [--prom FILE]  (N=0: all cores)";
   exit 2
 
 (* Wrap a whole bench section in a trace span when tracing is on. *)
@@ -979,25 +1015,28 @@ let () =
     | _ :: rest -> find_jobs rest
     | [] -> 1
   in
-  let rec find_trace = function
-    | "--trace" :: v :: _ ->
+  let rec find_file flag = function
+    | f :: v :: _ when f = flag ->
         if String.length v > 0 && v.[0] = '-' then begin
-          prerr_endline "--trace needs a file argument";
+          prerr_endline (flag ^ " needs a file argument");
           usage ()
         end;
         Some v
-    | [ "--trace" ] ->
-        prerr_endline "--trace needs a file argument";
+    | [ f ] when f = flag ->
+        prerr_endline (flag ^ " needs a file argument");
         usage ()
-    | _ :: rest -> find_trace rest
+    | _ :: rest -> find_file flag rest
     | [] -> None
   in
+  let find_trace = find_file "--trace" in
+  let find_prom = find_file "--prom" in
   jobs := (match find_jobs args with 0 -> Pool.default_jobs () | j -> j);
   let trace_file = find_trace args in
-  (* Drop option arguments (the values after --jobs / --trace) before
-     scanning for unknown flags. *)
+  let prom_file = find_prom args in
+  (* Drop option arguments (the values after --jobs / --trace / --prom)
+     before scanning for unknown flags. *)
   let rec flags_only = function
-    | ("--jobs" | "--trace") :: _ :: rest -> flags_only rest
+    | ("--jobs" | "--trace" | "--prom") :: _ :: rest -> flags_only rest
     | a :: rest -> a :: flags_only rest
     | [] -> []
   in
@@ -1008,7 +1047,7 @@ let () =
          && not
               (List.mem a
                  [ "--smoke"; "--timing"; "--reference"; "--jobs"; "--metrics";
-                   "--trace" ]))
+                   "--trace"; "--prom" ]))
        (flags_only (List.tl args))
    with
   | [] -> ()
@@ -1041,6 +1080,7 @@ let () =
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
     write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total results;
+    Option.iter (fun p -> write_prom p ~total_wall_s:total results) prom_file;
     finish ()
   end
   else begin
@@ -1060,6 +1100,9 @@ let () =
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total
       (results_a @ results_b);
+    Option.iter
+      (fun p -> write_prom p ~total_wall_s:total (results_a @ results_b))
+      prom_file;
     finish ();
     Format.printf
       "@.run with --timing for Bechamel verifier micro-benchmarks, --smoke for \

@@ -9,6 +9,7 @@
      lcp info   -g FILE                   instance statistics
      lcp serve   [--port ...]             run the TCP verification daemon
      lcp loadgen [--port ...]             drive a daemon with a request mix
+     lcp top     [--port ...]             live telemetry dashboard for a daemon
 
    prove/verify/forge/stats accept [--metrics] (print engine counters on
    exit) and [--trace FILE] (write a Chrome trace-event JSON timeline).
@@ -595,8 +596,59 @@ let serve_cmd =
             "Pending-task bound: beyond it requests are shed with an \
              Overloaded response.")
   in
-  let run host port jobs cache_size deadline_ms max_queue metrics trace =
+  let http_port_arg =
+    Arg.(
+      value
+      & opt int (-1)
+      & info [ "http-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve plain-HTTP telemetry on $(docv): /metrics (Prometheus \
+             text), /metrics.json, /healthz and /readyz. 0 picks an ephemeral \
+             port; negative (the default) disables the sidecar.")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write one structured JSON log line per request to $(docv) \
+             ('-' means stderr).")
+  in
+  let log_sample_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "log-sample" ] ~docv:"N"
+          ~doc:
+            "At most $(docv) log lines per second (excess lines are dropped \
+             and counted); 0 logs every request.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Flag requests slower than $(docv) ms; with --trace, each dumps \
+             its trace-ring slice to --slow-dir/slow-<id>.json. 0 disables.")
+  in
+  let slow_dir_arg =
+    Arg.(
+      value
+      & opt string "."
+      & info [ "slow-dir" ] ~docv:"DIR"
+          ~doc:"Directory for slow-request trace slices.")
+  in
+  let run host port jobs cache_size deadline_ms max_queue http_port log_path
+      log_sample slow_ms slow_dir metrics trace =
     with_obs ~metrics ~trace @@ fun () ->
+    let log =
+      match log_path with
+      | None -> None
+      | Some "-" -> Some (Obs.Log.to_stderr ~max_per_sec:log_sample ())
+      | Some path -> Some (Obs.Log.to_file ~max_per_sec:log_sample path)
+    in
     let config =
       {
         Server.host;
@@ -605,33 +657,46 @@ let serve_cmd =
         cache_size;
         deadline_ms;
         max_queue;
+        http_port;
+        slow_ms;
+        slow_dir;
+        log;
       }
     in
     match Server.create config with
     | exception Unix.Unix_error (e, _, _) ->
         Format.eprintf "cannot listen on %s:%d: %s@." host port
           (Unix.error_message e);
+        Option.iter Obs.Log.close log;
         1
-    | exception Invalid_argument m -> prerr_endline m; 1
+    | exception Invalid_argument m ->
+        prerr_endline m;
+        Option.iter Obs.Log.close log;
+        1
     | server ->
         let stop _ = Server.stop server in
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
         Format.printf
           "lcp: serving %d schemes on %s:%d (jobs %d, cache %d, deadline %s, \
-           queue bound %d) — ctrl-c stops@."
+           queue bound %d%s) — ctrl-c stops@."
           (List.length Registry.all) host (Server.port server) config.Server.jobs
           config.Server.cache_size
           (if deadline_ms <= 0 then "off" else Printf.sprintf "%d ms" deadline_ms)
-          max_queue;
+          max_queue
+          (if Server.http_port server < 0 then ""
+           else Printf.sprintf ", telemetry on http://%s:%d/metrics" host
+               (Server.http_port server));
         Server.run server;
+        Option.iter Obs.Log.close log;
         let st = Server.stats server in
         Format.printf
           "served %d request(s) on %d connection(s): cache %d hit(s) / %d \
-           miss(es), %d shed, %d past deadline, %d bad frame(s)@."
+           miss(es), %d shed, %d past deadline, %d bad frame(s), %d slow@."
           st.Server.requests st.Server.connections st.Server.cache_hits
           st.Server.cache_misses st.Server.overloaded
-          st.Server.deadline_exceeded st.Server.bad_frames;
+          st.Server.deadline_exceeded st.Server.bad_frames
+          st.Server.slow_requests;
         0
   in
   Cmd.v
@@ -641,7 +706,8 @@ let serve_cmd =
           verifier compilation across requests)")
     Term.(
       const run $ host_arg $ port_arg $ jobs_arg $ cache_arg $ deadline_arg
-      $ queue_arg $ metrics_arg $ trace_arg)
+      $ queue_arg $ http_port_arg $ log_arg $ log_sample_arg $ slow_ms_arg
+      $ slow_dir_arg $ metrics_arg $ trace_arg)
 
 let loadgen_cmd =
   let connections_arg =
@@ -722,13 +788,93 @@ let loadgen_cmd =
       const run $ host_arg $ port_arg $ connections_arg $ requests_arg
       $ mix_arg $ scheme_name_arg $ sizes_arg $ out_arg)
 
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between samples.")
+  in
+  let iterations_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) samples; 0 runs until interrupted.")
+  in
+  (* vmstat-style dashboard: one row per sample, scraped over the wire
+     protocol's Metrics_text request and read back through the same
+     parser `lcp top`'s tests use — the exposition is the contract. *)
+  let header () =
+    Format.printf "%9s %9s %9s %9s %9s %6s %6s %6s %s@." "rate/s" "reqs"
+      "p50_us" "p95_us" "p99_us" "hit%" "queue" "shed" "ready"
+  in
+  let sample text =
+    let f ?(labels = []) name =
+      Option.value ~default:0.0 (Obs.Export.find_sample text ~name ~labels)
+    in
+    let w10 = [ ("window", "10s") ] in
+    let q v = ("quantile", v) :: w10 in
+    Format.printf "%9.1f %9.0f %9.0f %9.0f %9.0f %6.1f %6.0f %6.0f %s@."
+      (f ~labels:w10 "lcp_server_request_rate")
+      (f "lcp_server_requests_total")
+      (f ~labels:(q "0.5") "lcp_server_request_us")
+      (f ~labels:(q "0.95") "lcp_server_request_us")
+      (f ~labels:(q "0.99") "lcp_server_request_us")
+      (100.0 *. f ~labels:w10 "lcp_server_cache_hit_ratio")
+      (f "lcp_server_pool_pending")
+      (f "lcp_server_overloaded_total")
+      (if f "lcp_server_ready" > 0.5 then "yes" else "NO")
+  in
+  let run host port interval iterations =
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let failures = ref 0 in
+    let rec loop i =
+      if !stop || (iterations > 0 && i >= iterations) then ()
+      else begin
+        (match Client.connect ~host ~port () with
+        | Error m ->
+            incr failures;
+            Format.printf "top: %s@." m
+        | Ok c -> (
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            match Client.call c Wire.Metrics_text with
+            | Ok (Wire.Metrics_text_reply text) ->
+                if i mod 20 = 0 then header ();
+                sample text
+            | Ok (Wire.Error_reply { message; _ }) ->
+                incr failures;
+                Format.printf "top: server said: %s@." message
+            | Ok _ ->
+                incr failures;
+                Format.printf "top: unexpected response type@."
+            | Error m ->
+                incr failures;
+                Format.printf "top: %s@." m));
+        if (not !stop) && (iterations = 0 || i + 1 < iterations) then
+          Unix.sleepf (max 0.05 interval);
+        loop (i + 1)
+      end
+    in
+    loop 0;
+    if !failures > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live telemetry dashboard for a running daemon: request rate, \
+          rolling latency quantiles, cache hit ratio, queue depth")
+    Term.(const run $ host_arg $ port_arg $ interval_arg $ iterations_arg)
+
 let main =
   let doc = "locally checkable proofs (Göös & Suomela, PODC 2011)" in
   Cmd.group
     (Cmd.info "lcp" ~doc ~version:"1.0.0")
     [
       schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
-      dot_cmd; attack_cmd; table_cmd; serve_cmd; loadgen_cmd;
+      dot_cmd; attack_cmd; table_cmd; serve_cmd; loadgen_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (v0.0.4) file.
+
+Every non-comment line must parse as `name[{labels}] value`; HELP/TYPE
+preambles must name a metric that actually appears, and TYPE must be
+one of the spec's kinds. Optionally assert a counter's value:
+
+    check_prometheus.py FILE [--counter-at-least NAME MIN]
+
+Used by CI against both the bench --prom export and a live scrape of
+`lcp serve --http-port`.
+"""
+
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+VALUE = r"(?:[-+]?(?:\d+(?:\.\d+)?|\.\d+)(?:[eE][-+]?\d+)?|[-+]?Inf|NaN)"
+SAMPLE = re.compile(rf"^({NAME})(?:\{{{LABEL}(?:,{LABEL})*\}})? {VALUE}$")
+HELP = re.compile(rf"^# HELP ({NAME}) .*$")
+TYPE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary|untyped)$")
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        sys.exit(__doc__)
+    path = args[0]
+    want_counter = None
+    if len(args) >= 4 and args[1] == "--counter-at-least":
+        want_counter = (args[2], float(args[3]))
+
+    declared, seen, samples = set(), set(), {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = HELP.match(line) or TYPE.match(line)
+                if not m:
+                    sys.exit(f"{path}:{lineno}: malformed comment: {line!r}")
+                declared.add(m.group(1))
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                sys.exit(f"{path}:{lineno}: malformed sample: {line!r}")
+            name = m.group(1)
+            seen.add(name)
+            if name not in samples:
+                samples[name] = float(line.split()[-1])
+
+    if not seen:
+        sys.exit(f"{path}: no samples at all")
+    # every HELP/TYPE must be followed by at least one sample of that
+    # metric (histogram/summary samples carry _bucket/_sum/... suffixes)
+    for name in declared:
+        if not any(s == name or s.startswith(name + "_") for s in seen):
+            sys.exit(f"{path}: declared but never sampled: {name}")
+
+    if want_counter is not None:
+        name, least = want_counter
+        if name not in samples:
+            sys.exit(f"{path}: counter {name} missing")
+        if samples[name] < least:
+            sys.exit(f"{path}: {name} = {samples[name]}, expected >= {least}")
+
+    print(f"{path}: {len(seen)} metrics, all lines valid")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,12 @@ type t = {
 let size p = p.size
 let default_jobs () = Domain.recommended_domain_count ()
 
+let pending p =
+  Mutex.lock p.lock;
+  let n = p.pending in
+  Mutex.unlock p.lock;
+  n
+
 let rec worker_loop p =
   Mutex.lock p.lock;
   let t_wait = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in

@@ -24,6 +24,11 @@ val create : int -> t
 
 val size : t -> int
 
+val pending : t -> int
+(** Tasks queued or running right now — the saturation signal behind
+    the server's readiness probe ([pending < max_queue] means a new
+    request would still be accepted). *)
+
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
 

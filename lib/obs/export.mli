@@ -1,0 +1,55 @@
+(** Prometheus text exposition, format version 0.0.4.
+
+    An append-only buffer: each [counter] / [gauge] / [histogram] /
+    [window_summary] call emits the "# HELP" and "# TYPE" preamble the
+    first time a metric name appears, then one or more samples. Names
+    are sanitised to the Prometheus charset ([[a-zA-Z0-9_:]]) and
+    prefixed ["lcp_"]; counters gain the conventional ["_total"]
+    suffix. The module reads no global state — the caller hands it the
+    values (server counters, {!Window.stats}, a {!Metrics.snapshot}),
+    so the wire endpoint, the HTTP sidecar and the bench export all
+    share one renderer. *)
+
+type t
+
+val create : unit -> t
+val contents : t -> string
+
+val sanitize : string -> string
+(** Replace characters outside [[a-zA-Z0-9_:]] with ['_'] (and guard a
+    leading digit); [full_name] below also prefixes ["lcp_"]. *)
+
+val full_name : string -> string
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> int -> unit
+(** Monotonic counter; the rendered name ends in ["_total"]. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+val histogram : t -> ?help:string -> string -> Metrics.hist -> unit
+(** A log₂ registry histogram as a native Prometheus histogram:
+    cumulative [le] buckets at the [2^b - 1] bucket edges, then
+    [le="+Inf"], [_sum] and [_count]. *)
+
+val window_summary : t -> ?help:string -> string -> Window.stats -> unit
+(** A rolling window as a summary: [quantile]-labelled samples for
+    p50/p95/p99 plus [_sum] / [_count], all carrying a
+    [window="<seconds>s"] label so several horizons of the same metric
+    coexist. *)
+
+val metrics_snapshot : t -> Metrics.snapshot -> unit
+(** Render a full cumulative registry snapshot (counters, max-gauges,
+    histograms). *)
+
+(** {1 Reading it back} *)
+
+val parse_sample : string -> (string * (string * string) list * float) option
+(** Parse one exposition line into (name, labels, value); [None] for
+    comments, blanks and anything malformed. Used by [lcp top] to
+    scrape the server and by the tests to validate output
+    line-by-line. *)
+
+val find_sample :
+  string -> name:string -> labels:(string * string) list -> float option
+(** First sample in a whole exposition text whose name matches and
+    whose labels include all of [labels]. *)

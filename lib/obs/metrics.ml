@@ -111,9 +111,43 @@ let observe h v =
     raise_to s (h + hist_max) v
   end
 
+(* Reset guard: zeroing shards while worker domains are still
+   recording would race (and silently corrupt sums), so long-lived
+   pool owners — the server — take the guard for their lifetime and
+   [reset] refuses while any guard is held. *)
+let guards = ref ([] : string list)
+
+let guard_reset reason =
+  Mutex.lock lock;
+  guards := reason :: !guards;
+  Mutex.unlock lock
+
+let unguard_reset () =
+  Mutex.lock lock;
+  (match !guards with [] -> () | _ :: rest -> guards := rest);
+  Mutex.unlock lock
+
 let reset () =
   Mutex.lock lock;
-  List.iter (fun s -> Array.fill s.slab 0 (Array.length s.slab) 0) !shards;
+  let blocked = match !guards with [] -> None | r :: _ -> Some r in
+  (match blocked with
+  | None -> List.iter (fun s -> Array.fill s.slab 0 (Array.length s.slab) 0) !shards
+  | Some _ -> ());
+  Mutex.unlock lock;
+  match blocked with
+  | None -> ()
+  | Some reason ->
+      invalid_arg ("Metrics.reset: blocked while " ^ reason)
+
+(* External read-only counters: values owned by another module (the
+   trace ring's drop count) that should still appear in snapshots.
+   Sampled at snapshot time; [reset] does not touch them. *)
+let externals : (string * (unit -> int)) list ref = ref []
+
+let external_counter name f =
+  Mutex.lock lock;
+  if not (List.mem_assoc name !externals) then
+    externals := (name, f) :: !externals;
   Mutex.unlock lock
 
 (* --- snapshots -------------------------------------------------------- *)
@@ -124,7 +158,9 @@ type snapshot = (string * value) list
 
 let snapshot () =
   Mutex.lock lock;
-  let defs = !defs and slabs = List.map (fun s -> s.slab) !shards in
+  let defs = !defs
+  and slabs = List.map (fun s -> s.slab) !shards
+  and externals = !externals in
   Mutex.unlock lock;
   let read slot = List.fold_left (fun acc a -> if slot < Array.length a then acc + a.(slot) else acc) 0 slabs in
   let read_max slot =
@@ -151,6 +187,7 @@ let snapshot () =
                  }
          in
          (name, v))
+  |> List.append (List.map (fun (name, f) -> (name, Count (f ()))) externals)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let filter p = List.filter (fun (name, _) -> p name)

@@ -54,8 +54,28 @@ val observe_max : gauge -> int -> unit
 val observe : histogram -> int -> unit
 
 val reset : unit -> unit
-(** Zero every shard. Call only at quiescent points (no pool running),
-    e.g. between bench rows. *)
+(** Zero every shard.
+
+    {b Quiescence contract}: call only when no domain can be recording
+    — between bench rows, between tests — never while a worker pool is
+    live. A concurrent recorder would race the zeroing and leave sums
+    silently corrupted. Long-lived pool owners enforce this with
+    {!guard_reset}: the server takes the guard when it spawns its pool
+    and releases it only after the pool has been joined, so a [reset]
+    during service raises [Invalid_argument] instead of corrupting the
+    registry. ([lcp serve] itself never calls [reset] after
+    startup.) *)
+
+val guard_reset : string -> unit
+(** Block {!reset} (it raises [Invalid_argument] carrying [reason])
+    until the matching {!unguard_reset}. Guards nest. *)
+
+val unguard_reset : unit -> unit
+
+val external_counter : string -> (unit -> int) -> unit
+(** Register a read-only counter whose value is owned elsewhere and
+    sampled at {!snapshot} time (e.g. [trace.dropped] from the trace
+    ring). Unaffected by {!reset}; idempotent per name. *)
 
 (** {1 Snapshots} *)
 

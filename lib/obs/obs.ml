@@ -1,15 +1,29 @@
 (* Observability facade: [Obs.Clock] (monotonic timing), [Obs.Metrics]
-   (domain-sharded counters / gauges / histograms) and [Obs.Trace]
-   (ring-buffer spans exported as Chrome trace-event JSON).
+   (domain-sharded counters / gauges / histograms), [Obs.Trace]
+   (ring-buffer spans exported as Chrome trace-event JSON),
+   [Obs.Window] (rolling 1 s-bucketed telemetry), [Obs.Export]
+   (Prometheus text exposition) and [Obs.Log] (sampled structured
+   JSON logs).
 
-   The whole layer is off by default and must cost a single mutable
-   check per record site when disabled — instrumented code guards any
-   non-trivial argument computation (clock reads, closures) behind
-   [!Metrics.enabled] / [!Trace.enabled]. *)
+   The globally-gated layer (Metrics, Trace) is off by default and
+   must cost a single mutable check per record site when disabled —
+   instrumented code guards any non-trivial argument computation
+   (clock reads, closures) behind [!Metrics.enabled] /
+   [!Trace.enabled]. Windows, exports and logs are explicit values:
+   they cost nothing unless someone creates one and records into
+   it. *)
 
 module Clock = Clock
 module Metrics = Metrics
 module Trace = Trace
+module Window = Window
+module Export = Export
+module Log = Log
+
+(* Ring-wrap losses were silent; surfacing them as an external counter
+   puts them in every snapshot (and thus the Prometheus exposition)
+   next to the metrics they may have cost events. *)
+let () = Metrics.external_counter "trace.dropped" Trace.dropped
 
 let enable ?(metrics = true) ?(trace = false) () =
   if metrics then Metrics.enabled := true;

@@ -79,6 +79,9 @@ let span_arg name arg_name arg f =
         raise e
   end
 
+let complete ?(arg_name = "") ?(arg = 0) name ~t0_ns ~dur_ns =
+  if !enabled then emit 'X' name arg_name arg t0_ns (max 0 dur_ns)
+
 let instant ?(arg_name = "") ?(arg = 0) name =
   if !enabled then emit 'i' name arg_name arg (Clock.now_ns ()) 0
 
@@ -107,10 +110,16 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let export_channel oc =
+(* [keep] filters on the event's relative start timestamp; the
+   "dropped" footer counts ring-wrap losses, so readers of the JSON
+   can tell a quiet trace from a lapped one. *)
+let export_filtered oc keep =
   let b = !buf in
   let n = min (Atomic.get b.cursor) (b.mask + 1) in
-  let order = Array.init n Fun.id in
+  let order =
+    Array.of_seq
+      (Seq.filter (fun i -> keep b.ts.(i)) (Seq.init n Fun.id))
+  in
   Array.sort (fun i j -> compare b.ts.(i) b.ts.(j)) order;
   output_string oc "{\"traceEvents\":[";
   Array.iteri
@@ -126,8 +135,20 @@ let export_channel oc =
         Printf.fprintf oc ",\"args\":{\"%s\":%d}" (json_escape b.arg_name.(i)) b.arg.(i);
       output_string oc "}")
     order;
-  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
+  Printf.fprintf oc "\n],\"dropped\":%d,\"displayTimeUnit\":\"ms\"}\n" (dropped ())
+
+let export_channel oc = export_filtered oc (fun _ -> true)
 
 let export path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export_channel oc)
+
+let export_slice path ~since_ns ~until_ns =
+  (* absolute -> ring-relative bounds; events are kept by their start
+     timestamp, so a span straddling [since_ns] is kept iff it began
+     inside the slice *)
+  let lo = since_ns - !epoch and hi = until_ns - !epoch in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> export_filtered oc (fun ts -> ts >= lo && ts <= hi))

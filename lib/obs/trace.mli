@@ -33,6 +33,12 @@ val span_arg : string -> string -> int -> (unit -> 'a) -> 'a
 (** [span_arg name key v f] — like {!span} with one integer argument
     attached (e.g. ["node", 17]). *)
 
+val complete : ?arg_name:string -> ?arg:int -> string -> t0_ns:int -> dur_ns:int -> unit
+(** Record a complete ("ph":"X") event with an explicit start and
+    duration — for spans whose endpoints were observed on different
+    threads (e.g. the server's queue-wait span, stamped at dequeue
+    with the enqueue timestamp). *)
+
 val instant : ?arg_name:string -> ?arg:int -> string -> unit
 (** A point event ("ph":"i") — e.g. "first accepted forgery". *)
 
@@ -49,7 +55,14 @@ val dropped : unit -> int
 val export_channel : out_channel -> unit
 (** Write {["{"traceEvents":[...]}"]} JSON: events sorted by
     timestamp, each with [name], [ph], [ts], [dur], [pid], [tid] and
-    optional [args]. *)
+    optional [args]. The top-level object also carries a ["dropped"]
+    footer — the {!dropped} count at export time — so a reader can
+    tell a quiet trace from one the ring lapped. *)
 
 val export : string -> unit
 (** {!export_channel} to a fresh file. *)
+
+val export_slice : string -> since_ns:int -> until_ns:int -> unit
+(** {!export} restricted to events whose start timestamp (absolute
+    {!Clock.now_ns} terms) falls within [since_ns, until_ns] — the
+    slow-request flight recorder's dump format. *)

@@ -6,11 +6,14 @@
    (which also warms the server's compiled-verifier cache), then
    [connections] threads each issue [requests] requests round-robin
    over the graphs, recording per-request latency with {!Obs.Clock}.
-   The summary reports throughput and p50/p95/p99 both overall and per
-   request type, and closes with the server's own stats (so a run
+   Every request carries a distinct correlation id and the reply's
+   echo is checked — a mismatch is counted, not ignored, since it
+   means request/response framing slipped. The summary reports
+   throughput, p50/p95/p99 overall and per request type, a per-code
+   error breakdown, and closes with the server's own stats (so a run
    shows its cache hit rate). *)
 
-type t = { fd : Unix.file_descr }
+type t = { fd : Unix.file_descr; version : int }
 
 let resolve host =
   match Unix.inet_addr_of_string host with
@@ -24,41 +27,54 @@ let resolve host =
       | _ -> Error (Printf.sprintf "cannot resolve host %S" host)
       | exception _ -> Error (Printf.sprintf "cannot resolve host %S" host))
 
-let connect ?(host = "127.0.0.1") ~port () =
-  match resolve host with
-  | Error _ as e -> e
-  | Ok addr -> (
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
-      | () -> Ok { fd }
-      | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close fd with _ -> ());
-          Error
-            (Printf.sprintf "cannot connect to %s:%d: %s" host port
-               (Unix.error_message e)))
+let connect ?(host = "127.0.0.1") ?(version = Wire.protocol_version) ~port () =
+  if version < Wire.min_protocol_version || version > Wire.protocol_version
+  then
+    Error
+      (Printf.sprintf "unsupported protocol version %d (supported: %d..%d)"
+         version Wire.min_protocol_version Wire.protocol_version)
+  else
+    match resolve host with
+    | Error _ as e -> e
+    | Ok addr -> (
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+        | () -> Ok { fd; version }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with _ -> ());
+            Error
+              (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                 (Unix.error_message e)))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let send t req =
-  match Net_io.write_all t.fd (Wire.encode_request req) with
+let send ?(id = 0) t req =
+  match
+    Net_io.write_all t.fd (Wire.encode_request ~version:t.version ~id req)
+  with
   | () -> Ok ()
   | exception Unix.Unix_error (e, _, _) ->
       Error ("send: " ^ Unix.error_message e)
 
-let recv t =
+let recv_id t =
   match Net_io.read_exact t.fd Wire.header_bytes with
   | None -> Error "connection closed by server"
   | Some raw -> (
       match Wire.decode_header raw with
       | Error m -> Error ("bad response header: " ^ m)
-      | Ok { Wire.tag; length } -> (
+      | Ok { Wire.version; tag; length } -> (
           match Net_io.read_exact t.fd length with
           | None -> Error "connection closed mid-response"
-          | Some payload -> Wire.decode_response_payload ~tag payload))
+          | Some payload -> Wire.decode_response_payload ~version ~tag payload))
   | exception Unix.Unix_error (e, _, _) ->
       Error ("recv: " ^ Unix.error_message e)
 
-let call t req = match send t req with Ok () -> recv t | Error _ as e -> e
+let recv t = Result.map snd (recv_id t)
+
+let call_id t ~id req =
+  match send ~id t req with Ok () -> recv_id t | Error _ as e -> e
+
+let call t req = Result.map snd (call_id t ~id:0 req)
 
 (* --- load generator --------------------------------------------------- *)
 
@@ -72,6 +88,37 @@ type percentiles = {
 
 type lat_summary = { count : int; latency : percentiles option }
 
+(* Error classification: one slot per wire error code, plus transport
+   failures and well-formed-but-wrong responses. *)
+let error_codes =
+  [
+    Wire.Bad_frame;
+    Wire.Unsupported_version;
+    Wire.Unknown_scheme;
+    Wire.Bad_graph;
+    Wire.Bad_request;
+    Wire.Overloaded;
+    Wire.Deadline_exceeded;
+    Wire.Internal;
+  ]
+
+let n_codes = List.length error_codes
+let slot_transport = n_codes
+let slot_unexpected = n_codes + 1
+let n_slots = n_codes + 2
+
+let slot_of_code code =
+  let rec idx i = function
+    | [] -> slot_unexpected
+    | c :: rest -> if c = code then i else idx (i + 1) rest
+  in
+  idx 0 error_codes
+
+let slot_name i =
+  if i = slot_transport then "transport"
+  else if i = slot_unexpected then "unexpected"
+  else Wire.error_code_to_string (List.nth error_codes i)
+
 type report = {
   connections : int;
   requests_per_connection : int;
@@ -83,6 +130,8 @@ type report = {
   throughput_rps : float;
   ok : int;
   errors : int;
+  errors_by_code : (string * int) list;
+  id_mismatches : int;
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
@@ -116,13 +165,17 @@ let summarise ns_list =
 type worker_result = {
   mutable w_ok : int;
   mutable w_errors : int;
+  w_by_slot : int array;  (* n_slots entries *)
+  mutable w_id_mismatches : int;
   mutable w_prove_ns : int list;
   mutable w_verify_ns : int list;
 }
 
 let run_worker ~host ~port ~requests ~mix:(p, v) ~targets ~conn_id res =
   match connect ~host ~port () with
-  | Error _ -> res.w_errors <- requests
+  | Error _ ->
+      res.w_errors <- requests;
+      res.w_by_slot.(slot_transport) <- res.w_by_slot.(slot_transport) + requests
   | Ok client ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
       let ngraphs = Array.length targets in
@@ -133,17 +186,34 @@ let run_worker ~host ~port ~requests ~mix:(p, v) ~targets ~conn_id res =
           if is_prove then Wire.Prove { scheme; graph6 = g6 }
           else Wire.Verify { scheme; graph6 = g6; proof }
         in
+        (* distinct per request across all workers, never 0 *)
+        let id = (conn_id * requests) + i + 1 in
         let t0 = Obs.Clock.now_ns () in
-        let outcome = call client req in
+        let outcome = call_id client ~id req in
         let dt = Obs.Clock.now_ns () - t0 in
+        (match outcome with
+        | Ok (rid, _) when rid <> id ->
+            res.w_id_mismatches <- res.w_id_mismatches + 1
+        | _ -> ());
         match outcome with
-        | Ok (Wire.Proved (Some _)) when is_prove ->
+        | Ok (_, Wire.Proved (Some _)) when is_prove ->
             res.w_ok <- res.w_ok + 1;
             res.w_prove_ns <- dt :: res.w_prove_ns
-        | Ok (Wire.Verified { accepted = true; _ }) when not is_prove ->
+        | Ok (_, Wire.Verified { accepted = true; _ }) when not is_prove ->
             res.w_ok <- res.w_ok + 1;
             res.w_verify_ns <- dt :: res.w_verify_ns
-        | Ok _ | Error _ -> res.w_errors <- res.w_errors + 1
+        | Ok (_, Wire.Error_reply { code; _ }) ->
+            res.w_errors <- res.w_errors + 1;
+            let s = slot_of_code code in
+            res.w_by_slot.(s) <- res.w_by_slot.(s) + 1
+        | Ok _ ->
+            res.w_errors <- res.w_errors + 1;
+            res.w_by_slot.(slot_unexpected) <-
+              res.w_by_slot.(slot_unexpected) + 1
+        | Error _ ->
+            res.w_errors <- res.w_errors + 1;
+            res.w_by_slot.(slot_transport) <-
+              res.w_by_slot.(slot_transport) + 1
       done
 
 let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
@@ -191,7 +261,14 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
     | Ok targets ->
         let results =
           Array.init connections (fun _ ->
-              { w_ok = 0; w_errors = 0; w_prove_ns = []; w_verify_ns = [] })
+              {
+                w_ok = 0;
+                w_errors = 0;
+                w_by_slot = Array.make n_slots 0;
+                w_id_mismatches = 0;
+                w_prove_ns = [];
+                w_verify_ns = [];
+              })
         in
         let t0 = Obs.Clock.now_ns () in
         let threads =
@@ -215,6 +292,18 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
         in
         let ok = Array.fold_left (fun a r -> a + r.w_ok) 0 results in
         let errors = Array.fold_left (fun a r -> a + r.w_errors) 0 results in
+        let id_mismatches =
+          Array.fold_left (fun a r -> a + r.w_id_mismatches) 0 results
+        in
+        let errors_by_code =
+          List.filter_map
+            (fun slot ->
+              let n =
+                Array.fold_left (fun a r -> a + r.w_by_slot.(slot)) 0 results
+              in
+              if n = 0 then None else Some (slot_name slot, n))
+            (List.init n_slots Fun.id)
+        in
         let prove_ns =
           Array.fold_left (fun a r -> List.rev_append r.w_prove_ns a) [] results
         in
@@ -235,6 +324,8 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
                else 0.);
             ok;
             errors;
+            errors_by_code;
+            id_mismatches;
             overall = summarise (List.rev_append prove_ns verify_ns);
             prove = summarise prove_ns;
             verify = summarise verify_ns;
@@ -277,13 +368,20 @@ let report_json r =
           st.Wire.uptime_ms
           (if st.Wire.metrics_json = "" then "{}" else st.Wire.metrics_json)
   in
+  let by_code =
+    String.concat ","
+      (List.map
+         (fun (name, n) -> Printf.sprintf {|"%s":%d|} (json_escape name) n)
+         r.errors_by_code)
+  in
   Printf.sprintf
-    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"overall":%s,"prove":%s,"verify":%s,"server":%s}|}
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"server":%s}|}
     (json_escape r.scheme)
     (String.concat "," (List.map string_of_int r.sizes))
     r.connections r.requests_per_connection r.prove_weight r.verify_weight
-    r.total_s r.throughput_rps r.ok r.errors (summary_json r.overall)
-    (summary_json r.prove) (summary_json r.verify) server
+    r.total_s r.throughput_rps r.ok r.errors by_code r.id_mismatches
+    (summary_json r.overall) (summary_json r.prove) (summary_json r.verify)
+    server
 
 let pp_summary ppf name { count; latency } =
   match latency with
@@ -303,6 +401,14 @@ let pp_report ppf r =
     (String.concat "; " (List.map string_of_int r.sizes));
   Format.fprintf ppf "total:   %.3f s, %.1f req/s, %d ok, %d error(s)@."
     r.total_s r.throughput_rps r.ok r.errors;
+  if r.errors_by_code <> [] then
+    Format.fprintf ppf "errors:  %s@."
+      (String.concat ", "
+         (List.map
+            (fun (name, n) -> Printf.sprintf "%s %d" name n)
+            r.errors_by_code));
+  if r.id_mismatches > 0 then
+    Format.fprintf ppf "warning: %d response id mismatch(es)@." r.id_mismatches;
   pp_summary ppf "overall" r.overall;
   pp_summary ppf "prove" r.prove;
   pp_summary ppf "verify" r.verify;

@@ -4,26 +4,40 @@
     The client half is deliberately small: connect, send a
     {!Wire.request}, read back a {!Wire.response}. Like the server it
     never lets malformed peer bytes out as exceptions — every call
-    returns a [result]. *)
+    returns a [result]. A connection speaks one protocol version
+    (default {!Wire.protocol_version}); on v2 every call may carry a
+    correlation id, and {!call_id} hands back the id the server
+    echoed (or assigned, when 0 was sent). *)
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> (t, string) result
-(** Default host 127.0.0.1; names are resolved via [getaddrinfo]. *)
+val connect :
+  ?host:string -> ?version:int -> port:int -> unit -> (t, string) result
+(** Default host 127.0.0.1, default version {!Wire.protocol_version};
+    names are resolved via [getaddrinfo]. An out-of-range [version] is
+    an [Error], not an exception. *)
 
 val close : t -> unit
 
 val call : t -> Wire.request -> (Wire.response, string) result
-(** One request/response round trip. A server-side problem arrives as
-    [Ok (Error_reply _)]; [Error] means the transport or framing
-    itself failed. *)
+(** One request/response round trip (correlation id elided). A
+    server-side problem arrives as [Ok (Error_reply _)]; [Error] means
+    the transport or framing itself failed. *)
 
-val send : t -> Wire.request -> (unit, string) result
+val call_id :
+  t -> id:int -> Wire.request -> (int * Wire.response, string) result
+(** {!call} carrying correlation id [id] (0 = let the server assign
+    one); returns the id from the response alongside it. On a v1
+    connection ids never touch the wire and the response id is 0. *)
+
+val send : ?id:int -> t -> Wire.request -> (unit, string) result
 (** Fire without waiting — paired with {!recv}, lets a caller keep a
     slow request in flight while talking on other connections (the
     deadline tests drive the server into saturation this way). *)
 
 val recv : t -> (Wire.response, string) result
+
+val recv_id : t -> (int * Wire.response, string) result
 
 (** {1 Load generation} *)
 
@@ -48,6 +62,15 @@ type report = {
   throughput_rps : float;
   ok : int;
   errors : int;
+  errors_by_code : (string * int) list;
+      (** Non-zero error tallies by wire error code, plus the
+          pseudo-codes ["transport"] (connection/framing failures) and
+          ["unexpected"] (well-formed but semantically wrong
+          responses). Empty on a clean run. *)
+  id_mismatches : int;
+      (** Responses whose echoed correlation id differed from the
+          request's — always 0 unless request/response framing
+          slipped. *)
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
@@ -72,7 +95,8 @@ val loadgen :
     over the graphs; [mix = (p, v)] interleaves [p] proves then [v]
     verifies per [p + v] requests. A request only counts as [ok] if
     the semantically right response came back (a proof, or an
-    all-nodes-accept verdict). *)
+    all-nodes-accept verdict). Each request carries a distinct
+    correlation id and the echo is verified. *)
 
 val report_json : report -> string
 (** The latency summary as one JSON object (the CI artifact). *)

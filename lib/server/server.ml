@@ -22,7 +22,17 @@
    both the O(n^2) graph6 decode and the compile. Two workers missing
    on the same key may compile twice — harmless, the second insert
    wins — and the cache is serialised by one mutex held only around
-   table operations, never around a compile. *)
+   table operations, never around a compile.
+
+   Telemetry: every request carries a correlation id — the client's
+   own (protocol v2) or one the server allocates — stamped on the
+   [server.request] / [server.queue_wait] / [server.compute] trace
+   spans, the structured log line and the client's response, so one
+   request can be followed across the connection thread and the
+   worker domain. Rolling windows (always on, like the atomics — the
+   per-request mutex is noise next to a verification round trip) feed
+   the Prometheus exposition served both as a {!Wire.Metrics_text}
+   reply and over the plain-HTTP sidecar. *)
 
 let m_requests = Obs.Metrics.counter "server.requests"
 let m_req_prove = Obs.Metrics.counter "server.req_prove"
@@ -30,6 +40,7 @@ let m_req_verify = Obs.Metrics.counter "server.req_verify"
 let m_req_forge = Obs.Metrics.counter "server.req_forge"
 let m_req_stats = Obs.Metrics.counter "server.req_stats"
 let m_req_catalog = Obs.Metrics.counter "server.req_catalog"
+let m_req_telemetry = Obs.Metrics.counter "server.req_telemetry"
 let m_cache_hits = Obs.Metrics.counter "server.cache_hits"
 let m_cache_misses = Obs.Metrics.counter "server.cache_misses"
 let m_overloaded = Obs.Metrics.counter "server.overloaded"
@@ -37,6 +48,8 @@ let m_deadline = Obs.Metrics.counter "server.deadline_exceeded"
 let m_bad_frames = Obs.Metrics.counter "server.bad_frames"
 let m_connections = Obs.Metrics.counter "server.connections"
 let m_request_us = Obs.Metrics.histogram "server.request_us"
+let m_queue_wait_us = Obs.Metrics.histogram "server.queue_wait_us"
+let m_slow = Obs.Metrics.counter "server.slow_requests"
 
 type config = {
   host : string;
@@ -45,6 +58,10 @@ type config = {
   cache_size : int;
   deadline_ms : int;  (** <= 0 disables deadlines. *)
   max_queue : int;
+  http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
+  slow_ms : int;  (** <= 0 disables the slow-request recorder. *)
+  slow_dir : string;  (** Where [slow-<id>.json] trace slices land. *)
+  log : Obs.Log.t option;  (** Structured per-request log sink. *)
 }
 
 let default_config =
@@ -55,22 +72,39 @@ let default_config =
     cache_size = 128;
     deadline_ms = 0;
     max_queue = 256;
+    http_port = -1;
+    slow_ms = 0;
+    slow_dir = ".";
+    log = None;
   }
+
+(* Auxiliary counter slots in the rolling latency window. *)
+let w_requests = 0
+
+let w_errors = 1
+let w_hits = 2
+let w_misses = 3
+let w_counters = 4
 
 type t = {
   config : config;
   sock : Unix.file_descr;
   actual_port : int;
+  http_sock : Unix.file_descr option;
+  actual_http_port : int;
   pool : Pool.t;
   cache : Simulator.compiled Lru.t;
   cache_lock : Mutex.t;
   started_ns : int;
   stopping : bool Atomic.t;
+  rid : int Atomic.t;  (* next server-assigned correlation id *)
+  window : Obs.Window.t;  (* latency µs + the w_* counters above *)
   c_requests : int Atomic.t;
   c_overloaded : int Atomic.t;
   c_deadline : int Atomic.t;
   c_bad_frames : int Atomic.t;
   c_connections : int Atomic.t;
+  c_slow : int Atomic.t;
 }
 
 type stats = {
@@ -82,42 +116,64 @@ type stats = {
   deadline_exceeded : int;
   bad_frames : int;
   connections : int;
+  slow_requests : int;
 }
 
-let create config =
-  if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
-  if config.max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+let listen_on host port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-     Unix.bind sock
-       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
      Unix.listen sock 64
    with e ->
      (try Unix.close sock with _ -> ());
      raise e);
-  let actual_port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> config.port
+  let actual =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
+  (sock, actual)
+
+let create config =
+  if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
+  if config.max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+  let sock, actual_port = listen_on config.host config.port in
+  let http_sock, actual_http_port =
+    if config.http_port < 0 then (None, -1)
+    else
+      match listen_on config.host config.http_port with
+      | s, p -> (Some s, p)
+      | exception e ->
+          (try Unix.close sock with _ -> ());
+          raise e
+  in
+  let pool = Pool.create config.jobs in
+  (* the pool's workers may be recording from now until {!run}
+     returns, so a [Metrics.reset] in between would corrupt shards —
+     make it a typed error instead (released after the pool join) *)
+  Obs.Metrics.guard_reset "the server's worker pool is live";
   {
     config;
     sock;
     actual_port;
-    pool = Pool.create config.jobs;
+    http_sock;
+    actual_http_port;
+    pool;
     cache = Lru.create ~capacity:(max 0 config.cache_size);
     cache_lock = Mutex.create ();
     started_ns = Obs.Clock.now_ns ();
     stopping = Atomic.make false;
+    rid = Atomic.make 1;
+    window = Obs.Window.create ~horizon:60 ~counters:w_counters ();
     c_requests = Atomic.make 0;
     c_overloaded = Atomic.make 0;
     c_deadline = Atomic.make 0;
     c_bad_frames = Atomic.make 0;
     c_connections = Atomic.make 0;
+    c_slow = Atomic.make 0;
   }
 
 let port t = t.actual_port
+let http_port t = t.actual_http_port
 
 let stats t =
   Mutex.lock t.cache_lock;
@@ -134,6 +190,51 @@ let stats t =
     deadline_exceeded = Atomic.get t.c_deadline;
     bad_frames = Atomic.get t.c_bad_frames;
     connections = Atomic.get t.c_connections;
+    slow_requests = Atomic.get t.c_slow;
+  }
+
+let uptime_ms t = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000
+
+let health t =
+  let pending = Pool.pending t.pool in
+  {
+    Wire.ready = (not (Atomic.get t.stopping)) && pending < t.config.max_queue;
+    pending;
+    max_queue = t.config.max_queue;
+    uptime_ms = uptime_ms t;
+  }
+
+(* --- request context --------------------------------------------------- *)
+
+(* One per request, threaded down to the worker so the log line, the
+   windows and the trace spans all describe the same request. *)
+type ctx = {
+  id : int;  (* correlation id, client-chosen or server-assigned *)
+  arrival_ns : int;
+  mutable cache : string;  (* "hit" | "miss" | "-" *)
+  mutable queue_wait_ns : int;
+  mutable compute_ns : int;
+  mutable n_nodes : int;  (* -1 when the request never decoded a graph *)
+}
+
+let make_ctx t ~id =
+  let id =
+    if id <> 0 then id
+    else
+      (* skip 0, the "unassigned" sentinel, on wrap-around *)
+      let rec fresh () =
+        let v = Atomic.fetch_and_add t.rid 1 land max_int in
+        if v = 0 then fresh () else v
+      in
+      fresh ()
+  in
+  {
+    id;
+    arrival_ns = Obs.Clock.now_ns ();
+    cache = "-";
+    queue_wait_ns = 0;
+    compute_ns = 0;
+    n_nodes = -1;
   }
 
 (* --- one-shot response cells ------------------------------------------ *)
@@ -171,7 +272,7 @@ let cache_key scheme graph6 =
 
 (* Resolve the scheme, then the compiled image — from cache or by
    decoding + compiling — and hand both to [f]. *)
-let with_compiled t ~scheme ~graph6 f =
+let with_compiled t ctx ~scheme ~graph6 f =
   match Registry.find scheme with
   | None -> err Wire.Unknown_scheme "unknown scheme %S" scheme
   | Some entry -> (
@@ -181,19 +282,23 @@ let with_compiled t ~scheme ~graph6 f =
       Mutex.unlock t.cache_lock;
       match cached with
       | Some compiled ->
+          ctx.cache <- "hit";
+          ctx.n_nodes <- Instance.n (Simulator.compiled_instance compiled);
           Obs.Metrics.incr m_cache_hits;
           f entry compiled
       | None -> (
+          ctx.cache <- "miss";
           Obs.Metrics.incr m_cache_misses;
           match Graph6.decode_res graph6 with
           | Error m -> err Wire.Bad_graph "%s" m
           | Ok g ->
               let compiled =
                 if !Obs.Trace.enabled then
-                  Obs.Trace.span "server.compile" (fun () ->
+                  Obs.Trace.span_arg "server.compile" "rid" ctx.id (fun () ->
                       Simulator.compile (Instance.of_graph g))
                 else Simulator.compile (Instance.of_graph g)
               in
+              ctx.n_nodes <- Instance.n (Simulator.compiled_instance compiled);
               Mutex.lock t.cache_lock;
               Lru.put t.cache key compiled;
               Mutex.unlock t.cache_lock;
@@ -205,25 +310,32 @@ let deadline_error t stage =
   err Wire.Deadline_exceeded "%s after the %d ms deadline" stage
     t.config.deadline_ms
 
-(* Runs on a worker domain. [enqueue_ns] is when the connection thread
-   accepted the request; the deadline is measured from there, so queue
-   wait counts against it. *)
-let compute t req ~enqueue_ns =
+(* Runs on a worker domain. The deadline is measured from the
+   request's arrival on the connection thread, so queue wait counts
+   against it. *)
+let compute t ctx req =
+  let dequeue_ns = Obs.Clock.now_ns () in
+  ctx.queue_wait_ns <- dequeue_ns - ctx.arrival_ns;
+  if !Obs.Trace.enabled then
+    Obs.Trace.complete ~arg_name:"rid" ~arg:ctx.id "server.queue_wait"
+      ~t0_ns:ctx.arrival_ns ~dur_ns:ctx.queue_wait_ns;
+  if !Obs.Metrics.enabled then
+    Obs.Metrics.observe m_queue_wait_us (ctx.queue_wait_ns / 1_000);
   let deadline =
     if t.config.deadline_ms <= 0 then max_int
-    else enqueue_ns + (t.config.deadline_ms * 1_000_000)
+    else ctx.arrival_ns + (t.config.deadline_ms * 1_000_000)
   in
-  if Obs.Clock.now_ns () > deadline then deadline_error t "dequeued"
-  else
-    let resp =
+  if dequeue_ns > deadline then deadline_error t "dequeued"
+  else begin
+    let body () =
       match req with
       | Wire.Prove { scheme; graph6 } ->
-          with_compiled t ~scheme ~graph6 (fun entry compiled ->
+          with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
               Wire.Proved
                 (entry.Registry.scheme.Scheme.prover
                    (Simulator.compiled_instance compiled)))
       | Wire.Verify { scheme; graph6; proof } ->
-          with_compiled t ~scheme ~graph6 (fun entry compiled ->
+          with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
               let scheme = entry.Registry.scheme in
               (* a malformed proof string means "reject here", exactly
                  as in [Scheme.decide] — it must not escape as an
@@ -247,7 +359,7 @@ let compute t req ~enqueue_ns =
           if max_bits < 0 || max_bits > 64 then
             err Wire.Bad_request "max_bits %d outside [0, 64]" max_bits
           else
-            with_compiled t ~scheme ~graph6 (fun entry compiled ->
+            with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
                 match
                   Adversary.forge entry.Registry.scheme
                     (Simulator.compiled_instance compiled)
@@ -258,19 +370,25 @@ let compute t req ~enqueue_ns =
                       { fooled = Some proof; attempts = 0; best_rejections = 0 }
                 | Adversary.Resisted { best_rejections; attempts } ->
                     Wire.Forged { fooled = None; attempts; best_rejections })
-      | Wire.Stats | Wire.Catalog ->
+      | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health ->
           (* handled inline on the connection thread *)
           err Wire.Internal "request dispatched to a worker by mistake"
     in
+    let resp =
+      if !Obs.Trace.enabled then
+        Obs.Trace.span_arg "server.compute" "rid" ctx.id body
+      else body ()
+    in
+    ctx.compute_ns <- Obs.Clock.now_ns () - dequeue_ns;
     if Obs.Clock.now_ns () > deadline then deadline_error t "completed"
     else resp
+  end
 
-let dispatch t req =
-  let enqueue_ns = Obs.Clock.now_ns () in
+let dispatch t ctx req =
   let c = cell () in
   let task () =
     let resp =
-      try compute t req ~enqueue_ns
+      try compute t ctx req
       with e -> err Wire.Internal "%s" (Printexc.to_string e)
     in
     cell_put c resp
@@ -293,7 +411,7 @@ let stats_reply t =
       cache_entries = s.cache_entries;
       overloaded = s.overloaded;
       deadline_exceeded = s.deadline_exceeded;
-      uptime_ms = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000;
+      uptime_ms = uptime_ms t;
       metrics_json =
         (if !Obs.Metrics.enabled then
            Obs.Metrics.to_json (Obs.Metrics.snapshot ())
@@ -311,7 +429,180 @@ let catalog_reply () =
          })
        Registry.all)
 
-let handle_request t req =
+(* --- exposition -------------------------------------------------------- *)
+
+let hit_ratio hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+(* The always-on service view (cumulative counters, rolling windows,
+   readiness) plus — when the registry is enabled — the full engine
+   metrics snapshot. One renderer feeds both the [Metrics_text] wire
+   reply and the HTTP sidecar's [/metrics]. *)
+let metrics_text t =
+  let e = Obs.Export.create () in
+  let s = stats t in
+  Obs.Export.counter e ~help:"Requests received" "server.requests" s.requests;
+  Obs.Export.counter e ~help:"Requests shed by backpressure"
+    "server.overloaded" s.overloaded;
+  Obs.Export.counter e ~help:"Requests past their deadline"
+    "server.deadline_exceeded" s.deadline_exceeded;
+  Obs.Export.counter e ~help:"Unparseable frames" "server.bad_frames"
+    s.bad_frames;
+  Obs.Export.counter e ~help:"Connections accepted" "server.connections"
+    s.connections;
+  Obs.Export.counter e ~help:"Requests over the slow threshold"
+    "server.slow_requests" s.slow_requests;
+  Obs.Export.counter e ~help:"Compiled-verifier cache hits"
+    "server.cache_hits" s.cache_hits;
+  Obs.Export.counter e ~help:"Compiled-verifier cache misses"
+    "server.cache_misses" s.cache_misses;
+  Obs.Export.gauge e ~help:"Compiled verifiers resident"
+    "server.cache_entries"
+    (float_of_int s.cache_entries);
+  Obs.Export.gauge e ~help:"Seconds since the server started"
+    "server.uptime_seconds"
+    (float_of_int (uptime_ms t) /. 1000.0);
+  let h = health t in
+  Obs.Export.gauge e ~help:"Pool tasks queued or running"
+    "server.pool_pending"
+    (float_of_int h.Wire.pending);
+  Obs.Export.gauge e ~help:"Queue bound before shedding" "server.max_queue"
+    (float_of_int h.Wire.max_queue);
+  Obs.Export.gauge e ~help:"1 when the next request would be accepted"
+    "server.ready"
+    (if h.Wire.ready then 1.0 else 0.0);
+  List.iter
+    (fun seconds ->
+      let w = Obs.Window.stats ~seconds t.window in
+      let labels = [ ("window", string_of_int w.Obs.Window.seconds ^ "s") ] in
+      Obs.Export.window_summary e
+        ~help:"Request latency in microseconds, rolling window"
+        "server.request_us" w;
+      Obs.Export.gauge e ~labels ~help:"Requests per second, rolling window"
+        "server.request_rate" w.Obs.Window.rate;
+      Obs.Export.gauge e ~labels ~help:"Error responses per second"
+        "server.error_rate"
+        (float_of_int w.Obs.Window.counters.(w_errors)
+        /. float_of_int w.Obs.Window.seconds);
+      Obs.Export.gauge e ~labels
+        ~help:"Compiled-verifier cache hit ratio, rolling window"
+        "server.cache_hit_ratio"
+        (hit_ratio
+           w.Obs.Window.counters.(w_hits)
+           w.Obs.Window.counters.(w_misses)))
+    [ 1; 10; 60 ];
+  if !Obs.Metrics.enabled then
+    Obs.Export.metrics_snapshot e (Obs.Metrics.snapshot ());
+  Obs.Export.contents e
+
+let metrics_json t =
+  let s = stats t in
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  Printf.bprintf b
+    "\"server\":{\"requests\":%d,\"overloaded\":%d,\"deadline_exceeded\":%d,\
+     \"bad_frames\":%d,\"connections\":%d,\"slow_requests\":%d,\
+     \"cache_hits\":%d,\"cache_misses\":%d,\"cache_entries\":%d,\
+     \"uptime_ms\":%d}"
+    s.requests s.overloaded s.deadline_exceeded s.bad_frames s.connections
+    s.slow_requests s.cache_hits s.cache_misses s.cache_entries (uptime_ms t);
+  let h = health t in
+  Printf.bprintf b
+    ",\"health\":{\"ready\":%b,\"pending\":%d,\"max_queue\":%d}"
+    h.Wire.ready h.Wire.pending h.Wire.max_queue;
+  Buffer.add_string b ",\"windows\":{";
+  List.iteri
+    (fun i seconds ->
+      if i > 0 then Buffer.add_char b ',';
+      let w = Obs.Window.stats ~seconds t.window in
+      Printf.bprintf b
+        "\"%ds\":{\"count\":%d,\"rate\":%g,\"p50_us\":%d,\"p95_us\":%d,\
+         \"p99_us\":%d,\"max_us\":%d,\"errors\":%d,\"cache_hits\":%d,\
+         \"cache_misses\":%d}"
+        w.Obs.Window.seconds w.Obs.Window.count w.Obs.Window.rate
+        w.Obs.Window.p50 w.Obs.Window.p95 w.Obs.Window.p99 w.Obs.Window.max
+        w.Obs.Window.counters.(w_errors)
+        w.Obs.Window.counters.(w_hits)
+        w.Obs.Window.counters.(w_misses))
+    [ 1; 10; 60 ];
+  Buffer.add_char b '}';
+  Printf.bprintf b ",\"metrics\":%s"
+    (if !Obs.Metrics.enabled then Obs.Metrics.to_json (Obs.Metrics.snapshot ())
+     else "{}");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- per-request telemetry -------------------------------------------- *)
+
+let request_kind = function
+  | Wire.Prove _ -> "prove"
+  | Wire.Verify _ -> "verify"
+  | Wire.Forge _ -> "forge"
+  | Wire.Stats -> "stats"
+  | Wire.Catalog -> "catalog"
+  | Wire.Metrics_text -> "metrics"
+  | Wire.Health -> "health"
+
+let request_scheme = function
+  | Wire.Prove { scheme; _ }
+  | Wire.Verify { scheme; _ }
+  | Wire.Forge { scheme; _ } ->
+      scheme
+  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health -> "-"
+
+let outcome_of = function
+  | Wire.Error_reply { code; _ } -> Wire.error_code_to_string code
+  | _ -> "ok"
+
+(* Everything that happens after the response is known: windows,
+   latency histogram, the structured log line and the slow-request
+   flight recorder. Runs on the connection thread. *)
+let finish_request t ctx req resp =
+  let done_ns = Obs.Clock.now_ns () in
+  let latency_ns = done_ns - ctx.arrival_ns in
+  let latency_us = latency_ns / 1_000 in
+  let outcome = outcome_of resp in
+  Obs.Window.observe t.window latency_us;
+  Obs.Window.incr t.window w_requests;
+  if outcome <> "ok" then Obs.Window.incr t.window w_errors;
+  (match ctx.cache with
+  | "hit" -> Obs.Window.incr t.window w_hits
+  | "miss" -> Obs.Window.incr t.window w_misses
+  | _ -> ());
+  if !Obs.Metrics.enabled then Obs.Metrics.observe m_request_us latency_us;
+  (match t.config.log with
+  | None -> ()
+  | Some log ->
+      ignore
+        (Obs.Log.write log
+           [
+             ("rid", Obs.Log.Int ctx.id);
+             ("req", Obs.Log.Str (request_kind req));
+             ("scheme", Obs.Log.Str (request_scheme req));
+             ("n", Obs.Log.Int ctx.n_nodes);
+             ("cache", Obs.Log.Str ctx.cache);
+             ("queue_wait_ns", Obs.Log.Int ctx.queue_wait_ns);
+             ("compute_ns", Obs.Log.Int ctx.compute_ns);
+             ("latency_us", Obs.Log.Int latency_us);
+             ("outcome", Obs.Log.Str outcome);
+           ]));
+  if t.config.slow_ms > 0 && latency_ns >= t.config.slow_ms * 1_000_000 then begin
+    Atomic.incr t.c_slow;
+    Obs.Metrics.incr m_slow;
+    Obs.Trace.instant ~arg_name:"rid" ~arg:ctx.id "server.slow_request";
+    if !Obs.Trace.enabled then begin
+      let path =
+        Filename.concat t.config.slow_dir
+          (Printf.sprintf "slow-%d.json" ctx.id)
+      in
+      try
+        Obs.Trace.export_slice path ~since_ns:ctx.arrival_ns ~until_ns:done_ns
+      with Sys_error _ -> () (* a bad slow_dir must not kill the request *)
+    end
+  end
+
+let handle_request t ctx req =
   Atomic.incr t.c_requests;
   Obs.Metrics.incr m_requests;
   Obs.Metrics.incr
@@ -320,20 +611,22 @@ let handle_request t req =
     | Wire.Verify _ -> m_req_verify
     | Wire.Forge _ -> m_req_forge
     | Wire.Stats -> m_req_stats
-    | Wire.Catalog -> m_req_catalog);
-  let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
+    | Wire.Catalog -> m_req_catalog
+    | Wire.Metrics_text | Wire.Health -> m_req_telemetry);
   let body () =
     match req with
     | Wire.Stats -> stats_reply t
     | Wire.Catalog -> catalog_reply ()
-    | _ -> dispatch t req
+    | Wire.Metrics_text -> Wire.Metrics_text_reply (metrics_text t)
+    | Wire.Health -> Wire.Health_reply (health t)
+    | _ -> dispatch t ctx req
   in
   let resp =
-    if !Obs.Trace.enabled then Obs.Trace.span "server.request" body
+    if !Obs.Trace.enabled then
+      Obs.Trace.span_arg "server.request" "rid" ctx.id body
     else body ()
   in
-  if t0 <> 0 then
-    Obs.Metrics.observe m_request_us ((Obs.Clock.now_ns () - t0) / 1_000);
+  finish_request t ctx req resp;
   resp
 
 (* --- connections ------------------------------------------------------ *)
@@ -342,13 +635,14 @@ let bad_frame t raw message =
   Atomic.incr t.c_bad_frames;
   Obs.Metrics.incr m_bad_frames;
   let code =
-    (* a correct magic with a different version byte deserves the
+    (* a correct magic with a version outside our range deserves the
        typed answer; anything else is noise on the port *)
     if
       String.length raw >= 3
       && raw.[0] = 'L'
       && raw.[1] = 'C'
-      && Char.code raw.[2] <> Wire.protocol_version
+      && (Char.code raw.[2] < Wire.min_protocol_version
+         || Char.code raw.[2] > Wire.protocol_version)
     then Wire.Unsupported_version
     else Wire.Bad_frame
   in
@@ -367,28 +661,131 @@ let handle_conn t fd =
             | Error m ->
                 (* framing lost: answer once, then drop the link *)
                 Net_io.write_all fd (Wire.encode_response (bad_frame t raw m))
-            | Ok { Wire.tag; length } -> (
+            | Ok { Wire.version; tag; length } -> (
                 match Net_io.read_exact fd length with
                 | None -> ()
                 | Some payload ->
-                    let resp =
-                      match Wire.decode_request_payload ~tag payload with
+                    (* the reply speaks the request's version and
+                       echoes its id (v1: no id on the wire) *)
+                    let id, resp =
+                      match
+                        Wire.decode_request_payload ~version ~tag payload
+                      with
                       | Error m ->
                           Atomic.incr t.c_bad_frames;
                           Obs.Metrics.incr m_bad_frames;
-                          err Wire.Bad_request "%s" m
-                      | Ok req -> handle_request t req
+                          (0, err Wire.Bad_request "%s" m)
+                      | Ok (id, req) ->
+                          let ctx = make_ctx t ~id in
+                          (ctx.id, handle_request t ctx req)
                     in
-                    Net_io.write_all fd (Wire.encode_response resp);
+                    Net_io.write_all fd
+                      (Wire.encode_response ~version ~id resp);
                     loop ()))
     in
     loop ()
   with Unix.Unix_error _ -> () (* peer vanished mid-frame *)
 
+(* --- HTTP sidecar ----------------------------------------------------- *)
+
+(* A deliberately minimal HTTP/1.0 responder — enough for a Prometheus
+   scraper or `curl`, one request per connection, no keep-alive, no
+   external dependency. *)
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let http_reply t path =
+  match path with
+  | "/metrics" ->
+      http_response ~status:"200 OK" ~content_type:prometheus_content_type
+        (metrics_text t)
+  | "/metrics.json" ->
+      http_response ~status:"200 OK" ~content_type:"application/json"
+        (metrics_json t)
+  | "/healthz" ->
+      http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+  | "/readyz" ->
+      let h = health t in
+      if h.Wire.ready then
+        http_response ~status:"200 OK" ~content_type:"text/plain" "ready\n"
+      else
+        http_response ~status:"503 Service Unavailable"
+          ~content_type:"text/plain"
+          (Printf.sprintf "saturated: %d/%d tasks pending\n" h.Wire.pending
+             h.Wire.max_queue)
+  | _ ->
+      http_response ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found\n"
+
+let handle_http_conn t fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  try
+    (* read up to the end of the request line; headers are ignored *)
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 256 in
+    let rec fill () =
+      if (not (String.contains (Buffer.contents buf) '\n'))
+         && Buffer.length buf < 8192
+      then begin
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          fill ()
+        end
+      end
+    in
+    fill ();
+    let line =
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some i -> String.sub (Buffer.contents buf) 0 i
+      | None -> Buffer.contents buf
+    in
+    let reply =
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "GET"; target; _version ] ->
+          (* strip any query string: /metrics?x=1 -> /metrics *)
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          http_reply t path
+      | _ ->
+          http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+            "only GET is served here\n"
+    in
+    Net_io.write_all fd reply
+  with Unix.Unix_error _ -> ()
+
+let http_loop t sock =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept sock with
+      | fd, _ ->
+          ignore (Thread.create (fun () -> handle_http_conn t fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+  in
+  loop ()
+
+(* --- lifecycle -------------------------------------------------------- *)
+
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    try Unix.close t.sock with Unix.Unix_error _ -> ()
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    match t.http_sock with
+    | None -> ()
+    | Some s ->
+        (try Unix.shutdown s Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        (try Unix.close s with Unix.Unix_error _ -> ())
   end
 
 let run t =
@@ -396,6 +793,9 @@ let run t =
      EPIPE on the write, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  let http_thread =
+    Option.map (fun s -> Thread.create (fun () -> http_loop t s) ()) t.http_sock
+  in
   let rec loop () =
     if not (Atomic.get t.stopping) then
       match Unix.accept t.sock with
@@ -410,6 +810,9 @@ let run t =
           ()
   in
   loop ();
-  Pool.shutdown t.pool
+  Option.iter Thread.join http_thread;
+  Pool.shutdown t.pool;
+  (* the pool is joined: recording has ceased, resets are safe again *)
+  Obs.Metrics.unguard_reset ()
 
 let start t = Thread.create run t

@@ -21,10 +21,26 @@
       counters are visible in the [stats] endpoint and, when
       observability is on, as [server.cache_hits] / [server.cache_misses].
 
-    Every request is instrumented through {!Obs.Metrics} (request
-    counts by type, cache traffic, sheds, latency histogram
-    [server.request_us]) and {!Obs.Trace} ([server.request] /
-    [server.compile] spans) — all off by default as usual. *)
+    {2 Telemetry}
+
+    Every request carries a correlation id — echoed from a protocol-v2
+    client or allocated by the server — stamped on the
+    [server.request] / [server.queue_wait] / [server.compute] trace
+    spans, the structured log line ([config.log]) and the response, so
+    one request's journey across the connection thread and the worker
+    domain reads as a unit. Rolling 1s/10s/60s windows (latency
+    quantiles, request and error rate, cache hit ratio — always on,
+    like the [stats] atomics) feed the Prometheus exposition served as
+    a {!Wire.Metrics_text} reply and, when [http_port >= 0], over a
+    plain-HTTP sidecar: [/metrics] (text format 0.0.4),
+    [/metrics.json], [/healthz] (liveness) and [/readyz] (readiness —
+    503 once the pool backlog reaches [max_queue]). Requests slower
+    than [slow_ms] bump [server.slow_requests] and, with tracing on,
+    dump their trace-ring slice to [slow_dir/slow-<id>.json].
+
+    The server takes {!Obs.Metrics.guard_reset} for the lifetime of
+    its worker pool (released when {!run} returns), so a concurrent
+    [Metrics.reset] raises instead of corrupting live shards. *)
 
 type config = {
   host : string;
@@ -33,10 +49,17 @@ type config = {
   cache_size : int;  (** Compiled-verifier cache capacity; 0 disables. *)
   deadline_ms : int;  (** Per-request deadline; <= 0 disables. *)
   max_queue : int;  (** Pending-task bound before shedding. *)
+  http_port : int;
+      (** Telemetry sidecar port; < 0 (default) disables it, 0 picks
+          an ephemeral port — read it back with {!http_port}. *)
+  slow_ms : int;  (** Slow-request threshold; <= 0 disables. *)
+  slow_dir : string;  (** Directory for slow-request trace slices. *)
+  log : Obs.Log.t option;  (** Structured per-request log sink. *)
 }
 
 val default_config : config
-(** 127.0.0.1:7411, 1 job, cache 128, no deadline, queue bound 256. *)
+(** 127.0.0.1:7411, 1 job, cache 128, no deadline, queue bound 256, no
+    sidecar, no slow threshold, no log. *)
 
 type t
 
@@ -49,6 +72,9 @@ val port : t -> int
 (** The bound port — the ephemeral one the kernel picked when
     [config.port] was 0. *)
 
+val http_port : t -> int
+(** The sidecar's bound port; -1 when [config.http_port < 0]. *)
+
 val run : t -> unit
 (** Accept loop; blocks until {!stop}, then shuts the worker pool
     down before returning. Ignores [SIGPIPE] process-wide (a vanished
@@ -59,7 +85,7 @@ val start : t -> Thread.t
     pool is down (the test suite and embedded uses). *)
 
 val stop : t -> unit
-(** Signal shutdown and close the listening socket; idempotent, safe
+(** Signal shutdown and close the listening sockets; idempotent, safe
     from signal handlers and other threads. In-flight requests still
     complete; the pool is shut down by {!run} as it exits. *)
 
@@ -72,7 +98,21 @@ type stats = {
   deadline_exceeded : int;
   bad_frames : int;
   connections : int;
+  slow_requests : int;
 }
 
 val stats : t -> stats
 (** Live counters (independent of {!Obs} being enabled). *)
+
+val health : t -> Wire.health
+(** The readiness probe: [ready] iff not stopping and the pool backlog
+    is below [max_queue]. *)
+
+val metrics_text : t -> string
+(** The Prometheus text exposition (format 0.0.4): server counters,
+    readiness gauges, rolling-window summaries, and — when the
+    registry is enabled — the full {!Obs.Metrics.snapshot}. Exactly
+    what [/metrics] and the {!Wire.Metrics_text} reply serve. *)
+
+val metrics_json : t -> string
+(** The same view as one JSON object ([/metrics.json]). *)

@@ -9,15 +9,23 @@
 
    Counts are validated against the number of bytes actually present
    before anything is allocated, so a tiny hostile frame cannot demand
-   a gigabyte list. *)
+   a gigabyte list.
 
-let protocol_version = 1
+   Version 2 prefixes every payload with a u64 correlation id (0 =
+   unassigned; the server allocates one) echoed verbatim on the
+   response; version 1 frames — no id, same body layout — are still
+   accepted and answered in version 1, so old clients keep working
+   against a v2 server. *)
+
+let protocol_version = 2
+let min_protocol_version = 1
 let header_bytes = 8
+let id_bytes = 8
 let max_payload = 16 * 1024 * 1024
 let magic0 = 'L'
 let magic1 = 'C'
 
-type header = { tag : int; length : int }
+type header = { version : int; tag : int; length : int }
 
 type request =
   | Prove of { scheme : string; graph6 : string }
@@ -25,6 +33,8 @@ type request =
   | Forge of { scheme : string; graph6 : string; max_bits : int }
   | Stats
   | Catalog
+  | Metrics_text
+  | Health
 
 type error_code =
   | Bad_frame
@@ -49,12 +59,16 @@ type server_stats = {
   metrics_json : string;
 }
 
+type health = { ready : bool; pending : int; max_queue : int; uptime_ms : int }
+
 type response =
   | Proved of Proof.t option
   | Verified of { accepted : bool; rejecting : int list }
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list
+  | Metrics_text_reply of string
+  | Health_reply of health
   | Error_reply of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -94,6 +108,8 @@ let request_tag = function
   | Forge _ -> 0x03
   | Stats -> 0x04
   | Catalog -> 0x05
+  | Metrics_text -> 0x06
+  | Health -> 0x07
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -101,6 +117,8 @@ let response_tag = function
   | Forged _ -> 0x83
   | Stats_reply _ -> 0x84
   | Catalog_reply _ -> 0x85
+  | Metrics_text_reply _ -> 0x86
+  | Health_reply _ -> 0x87
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -120,6 +138,12 @@ let w_u32 b v =
 let w_string b s =
   w_u32 b (String.length s);
   Buffer.add_string b s
+
+(* Correlation ids are 63-bit non-negative ints carried as a u64; the
+   encoder owns the range check so hostile values cannot be ours. *)
+let w_id b id =
+  w_u32 b (id lsr 32);
+  w_u32 b id
 
 let w_bits b bits =
   let len = Bits.length bits in
@@ -180,6 +204,14 @@ let r_bool c =
   | 1 -> true
   | v -> fail "invalid boolean byte %d" v
 
+let r_id c =
+  if remaining c < id_bytes then
+    fail "truncated request id (wanted %d bytes, got %d)" id_bytes (remaining c);
+  let hi = r_u32 c in
+  let lo = r_u32 c in
+  if hi land 0x8000_0000 <> 0 then fail "request id out of the 63-bit range";
+  (hi lsl 32) lor lo
+
 let r_string c =
   let len = r_u32 c in
   if len > remaining c then
@@ -229,15 +261,35 @@ let decoding payload f =
 
 (* --- frames ----------------------------------------------------------- *)
 
-let frame tag payload =
+let frame ~version tag payload =
   let b = Buffer.create (header_bytes + String.length payload) in
   Buffer.add_char b magic0;
   Buffer.add_char b magic1;
-  w_u8 b protocol_version;
+  w_u8 b version;
   w_u8 b tag;
   w_u32 b (String.length payload);
   Buffer.add_string b payload;
   Buffer.contents b
+
+let check_version version =
+  if version < min_protocol_version || version > protocol_version then
+    invalid_arg (Printf.sprintf "Wire: cannot encode protocol version %d" version)
+
+let check_id id =
+  if id < 0 then invalid_arg "Wire: request ids are non-negative"
+
+(* A v2 payload is the u64 correlation id followed by the v1 body; a
+   v1 payload is the bare body. *)
+let frame_with_id ~version ~id tag body =
+  check_version version;
+  check_id id;
+  if version = 1 then frame ~version tag body
+  else begin
+    let b = Buffer.create (id_bytes + String.length body) in
+    w_id b id;
+    Buffer.add_string b body;
+    frame ~version tag (Buffer.contents b)
+  end
 
 let decode_header s =
   if String.length s < header_bytes then
@@ -245,8 +297,10 @@ let decode_header s =
       (Printf.sprintf "frame header needs %d bytes, got %d" header_bytes
          (String.length s))
   else if s.[0] <> magic0 || s.[1] <> magic1 then Error "bad magic bytes"
-  else if Char.code s.[2] <> protocol_version then
-    Error (Printf.sprintf "unsupported protocol version %d" (Char.code s.[2]))
+  else if
+    Char.code s.[2] < min_protocol_version
+    || Char.code s.[2] > protocol_version
+  then Error (Printf.sprintf "unsupported protocol version %d" (Char.code s.[2]))
   else
     let length =
       (Char.code s.[4] lsl 24)
@@ -256,11 +310,11 @@ let decode_header s =
     in
     if length > max_payload then
       Error (Printf.sprintf "payload length %d exceeds the %d cap" length max_payload)
-    else Ok { tag = Char.code s.[3]; length }
+    else Ok { version = Char.code s.[2]; tag = Char.code s.[3]; length }
 
 (* --- requests --------------------------------------------------------- *)
 
-let encode_request req =
+let request_body req =
   let b = Buffer.create 64 in
   (match req with
   | Prove { scheme; graph6 } ->
@@ -274,30 +328,39 @@ let encode_request req =
       w_string b scheme;
       w_string b graph6;
       w_u16 b max_bits
-  | Stats | Catalog -> ());
-  frame (request_tag req) (Buffer.contents b)
+  | Stats | Catalog | Metrics_text | Health -> ());
+  Buffer.contents b
 
-let decode_request_payload ~tag payload =
+let encode_request ?(version = protocol_version) ?(id = 0) req =
+  frame_with_id ~version ~id (request_tag req) (request_body req)
+
+let decode_request_payload ?(version = protocol_version) ~tag payload =
   decoding payload @@ fun c ->
-  match tag with
-  | 0x01 ->
-      let scheme = r_string c in
-      Prove { scheme; graph6 = r_string c }
-  | 0x02 ->
-      let scheme = r_string c in
-      let graph6 = r_string c in
-      Verify { scheme; graph6; proof = r_proof c }
-  | 0x03 ->
-      let scheme = r_string c in
-      let graph6 = r_string c in
-      Forge { scheme; graph6; max_bits = r_u16 c }
-  | 0x04 -> Stats
-  | 0x05 -> Catalog
-  | t -> fail "unknown request tag 0x%02x" t
+  let id = if version >= 2 then r_id c else 0 in
+  let req =
+    match tag with
+    | 0x01 ->
+        let scheme = r_string c in
+        Prove { scheme; graph6 = r_string c }
+    | 0x02 ->
+        let scheme = r_string c in
+        let graph6 = r_string c in
+        Verify { scheme; graph6; proof = r_proof c }
+    | 0x03 ->
+        let scheme = r_string c in
+        let graph6 = r_string c in
+        Forge { scheme; graph6; max_bits = r_u16 c }
+    | 0x04 -> Stats
+    | 0x05 -> Catalog
+    | 0x06 -> Metrics_text
+    | 0x07 -> Health
+    | t -> fail "unknown request tag 0x%02x" t
+  in
+  (id, req)
 
 (* --- responses -------------------------------------------------------- *)
 
-let encode_response resp =
+let response_body resp =
   let b = Buffer.create 64 in
   (match resp with
   | Proved None -> w_u8 b 0
@@ -332,72 +395,94 @@ let encode_response resp =
           w_u16 b e.radius;
           w_string b e.doc)
         entries
+  | Metrics_text_reply text -> w_string b text
+  | Health_reply { ready; pending; max_queue; uptime_ms } ->
+      w_u8 b (if ready then 1 else 0);
+      w_u32 b pending;
+      w_u32 b max_queue;
+      w_u32 b uptime_ms
   | Error_reply { code; message } ->
       w_u8 b (error_code_to_int code);
       w_string b message);
-  frame (response_tag resp) (Buffer.contents b)
+  Buffer.contents b
 
-let decode_response_payload ~tag payload =
+let encode_response ?(version = protocol_version) ?(id = 0) resp =
+  frame_with_id ~version ~id (response_tag resp) (response_body resp)
+
+let decode_response_payload ?(version = protocol_version) ~tag payload =
   decoding payload @@ fun c ->
-  match tag with
-  | 0x81 -> Proved (if r_bool c then Some (r_proof c) else None)
-  | 0x82 ->
-      let accepted = r_bool c in
-      Verified { accepted; rejecting = r_list c ~min_entry_bytes:4 r_u32 }
-  | 0x83 ->
-      let fooled = if r_bool c then Some (r_proof c) else None in
-      let attempts = r_u32 c in
-      Forged { fooled; attempts; best_rejections = r_u32 c }
-  | 0x84 ->
-      let requests = r_u32 c in
-      let cache_hits = r_u32 c in
-      let cache_misses = r_u32 c in
-      let cache_entries = r_u32 c in
-      let overloaded = r_u32 c in
-      let deadline_exceeded = r_u32 c in
-      let uptime_ms = r_u32 c in
-      Stats_reply
-        {
-          requests;
-          cache_hits;
-          cache_misses;
-          cache_entries;
-          overloaded;
-          deadline_exceeded;
-          uptime_ms;
-          metrics_json = r_string c;
-        }
-  | 0x85 ->
-      Catalog_reply
-        (r_list c ~min_entry_bytes:10 (fun c ->
-             let name = r_string c in
-             let radius = r_u16 c in
-             { name; radius; doc = r_string c }))
-  | 0xE0 ->
-      let code_byte = r_u8 c in
-      let code =
-        match error_code_of_int code_byte with
-        | Some code -> code
-        | None -> fail "unknown error code %d" code_byte
-      in
-      Error_reply { code; message = r_string c }
-  | t -> fail "unknown response tag 0x%02x" t
+  let id = if version >= 2 then r_id c else 0 in
+  let resp =
+    match tag with
+    | 0x81 -> Proved (if r_bool c then Some (r_proof c) else None)
+    | 0x82 ->
+        let accepted = r_bool c in
+        Verified { accepted; rejecting = r_list c ~min_entry_bytes:4 r_u32 }
+    | 0x83 ->
+        let fooled = if r_bool c then Some (r_proof c) else None in
+        let attempts = r_u32 c in
+        Forged { fooled; attempts; best_rejections = r_u32 c }
+    | 0x84 ->
+        let requests = r_u32 c in
+        let cache_hits = r_u32 c in
+        let cache_misses = r_u32 c in
+        let cache_entries = r_u32 c in
+        let overloaded = r_u32 c in
+        let deadline_exceeded = r_u32 c in
+        let uptime_ms = r_u32 c in
+        Stats_reply
+          {
+            requests;
+            cache_hits;
+            cache_misses;
+            cache_entries;
+            overloaded;
+            deadline_exceeded;
+            uptime_ms;
+            metrics_json = r_string c;
+          }
+    | 0x85 ->
+        Catalog_reply
+          (r_list c ~min_entry_bytes:10 (fun c ->
+               let name = r_string c in
+               let radius = r_u16 c in
+               { name; radius; doc = r_string c }))
+    | 0x86 -> Metrics_text_reply (r_string c)
+    | 0x87 ->
+        let ready = r_bool c in
+        let pending = r_u32 c in
+        let max_queue = r_u32 c in
+        Health_reply { ready; pending; max_queue; uptime_ms = r_u32 c }
+    | 0xE0 ->
+        let code_byte = r_u8 c in
+        let code =
+          match error_code_of_int code_byte with
+          | Some code -> code
+          | None -> fail "unknown error code %d" code_byte
+        in
+        Error_reply { code; message = r_string c }
+    | t -> fail "unknown response tag 0x%02x" t
+  in
+  (id, resp)
 
 (* --- whole-frame convenience ------------------------------------------ *)
 
 let split_frame decode_payload s =
   match decode_header s with
   | Error _ as e -> e
-  | Ok { tag; length } ->
+  | Ok { version; tag; length } ->
       if String.length s <> header_bytes + length then
         Error
           (Printf.sprintf "frame announces %d payload bytes but carries %d"
              length
              (String.length s - header_bytes))
-      else decode_payload ~tag (String.sub s header_bytes length)
+      else decode_payload ~version ~tag (String.sub s header_bytes length)
 
-let decode_request s = split_frame decode_request_payload s
-let decode_response s = split_frame decode_response_payload s
+let decode_request s =
+  split_frame (fun ~version ~tag p -> decode_request_payload ~version ~tag p) s
+
+let decode_response s =
+  split_frame (fun ~version ~tag p -> decode_response_payload ~version ~tag p) s
 
 (* --- equality (round-trip tests) -------------------------------------- *)
 
@@ -409,6 +494,7 @@ let equal_request a b =
   | Forge a, Forge b ->
       a.scheme = b.scheme && a.graph6 = b.graph6 && a.max_bits = b.max_bits
   | Stats, Stats | Catalog, Catalog -> true
+  | Metrics_text, Metrics_text | Health, Health -> true
   | _ -> false
 
 let equal_proof_opt a b =
@@ -428,5 +514,7 @@ let equal_response a b =
       && a.best_rejections = b.best_rejections
   | Stats_reply a, Stats_reply b -> a = b
   | Catalog_reply a, Catalog_reply b -> a = b
+  | Metrics_text_reply a, Metrics_text_reply b -> a = b
+  | Health_reply a, Health_reply b -> a = b
   | Error_reply a, Error_reply b -> a.code = b.code && a.message = b.message
   | _ -> false

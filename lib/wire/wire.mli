@@ -1,11 +1,11 @@
-(** The lcp verification-service wire protocol, version 1.
+(** The lcp verification-service wire protocol, versions 1 and 2.
 
     Length-prefixed binary frames over a byte stream:
 
     {v
       +-------+---------+---------+--------------------+---------....
       | 'L'   | 'C'     | version | tag                | length (u32,
-      | magic byte 0    | (= 1)   | message type       |  big-endian)
+      | magic byte 0    | (1 or 2)| message type       |  big-endian)
       +-------+---------+---------+--------------------+---------....
       then exactly [length] payload bytes.
     v}
@@ -16,28 +16,47 @@
     graphs travel as graph6 text ({!Graph6}), proofs as per-node bit
     strings packed 8 bits per byte.
 
+    {b Version 2} (the current default) prefixes every payload with a
+    u64 {e correlation id}: a client may pick its own (any 63-bit
+    non-negative value; 0 means "unassigned" and the server allocates
+    one), and the server echoes the request's id on its response, so
+    one request can be followed across the connection thread, the pool
+    domain, the structured log and the trace. Version 1 frames — the
+    same body layout, no id — are still accepted and answered in
+    version 1.
+
     Everything that parses bytes from the peer is {e total}: malformed
     input — bad magic, unknown version or tag, oversized length,
-    truncated or trailing bytes, counts that do not fit the payload —
+    truncated or trailing bytes (including a truncated or
+    out-of-range request id), counts that do not fit the payload —
     yields an [Error] carrying a human-readable reason, never an
     exception. This module is the trust boundary; {!Server} and
     {!Client} only ever feed it untrusted bytes. *)
 
 val protocol_version : int
+(** The newest (and default) version: 2. *)
+
+val min_protocol_version : int
+(** The oldest version still accepted: 1. *)
+
 val header_bytes : int
 (** Size of the fixed frame header: 8. *)
+
+val id_bytes : int
+(** Size of the v2 correlation-id payload prefix: 8. *)
 
 val max_payload : int
 (** Upper bound on a frame payload (16 MiB); a header announcing more
     is rejected before any payload is read. *)
 
-type header = { tag : int; length : int }
+type header = { version : int; tag : int; length : int }
 
 val decode_header : string -> (header, string) result
 (** Parse the first {!header_bytes} bytes of a frame. Checks magic,
-    version and the {!max_payload} bound; the tag is {e not} checked
-    here (the payload decoders own that), so a framing layer can skip
-    messages it does not understand. *)
+    version (within [min_protocol_version ..  protocol_version]) and
+    the {!max_payload} bound; the tag is {e not} checked here (the
+    payload decoders own that), so a framing layer can skip messages
+    it does not understand. *)
 
 (** {1 Messages} *)
 
@@ -47,6 +66,10 @@ type request =
   | Forge of { scheme : string; graph6 : string; max_bits : int }
   | Stats
   | Catalog
+  | Metrics_text
+      (** The telemetry exposition in Prometheus text format v0.0.4 —
+          same bytes the HTTP sidecar serves on [/metrics]. *)
+  | Health  (** Readiness probe: pool saturation, uptime. *)
 
 type error_code =
   | Bad_frame  (** Unparseable frame: the connection is out of sync. *)
@@ -73,6 +96,11 @@ type server_stats = {
           ["{}"] otherwise. *)
 }
 
+type health = { ready : bool; pending : int; max_queue : int; uptime_ms : int }
+(** [ready] is false when the pool backlog has reached [max_queue]
+    (the next compute request would be shed) or the server is
+    stopping; [pending] is the live queued + running task count. *)
+
 type response =
   | Proved of Proof.t option
       (** [None]: the prover recognised a no-instance. *)
@@ -80,30 +108,43 @@ type response =
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list
+  | Metrics_text_reply of string
+  | Health_reply of health
   | Error_reply of { code : error_code; message : string }
 
 val error_code_to_string : error_code -> string
 
-(** {1 Codecs} *)
+(** {1 Codecs}
 
-val encode_request : request -> string
+    Encoders take the protocol [version] to emit (default
+    {!protocol_version}) and, for v2, the correlation [id] (default 0
+    = unassigned). Encoding raises [Invalid_argument] on a version
+    outside the supported range or a negative id — those are caller
+    bugs, not wire input. Decoders return the id alongside the
+    message; v1 frames always decode with id 0. *)
+
+val encode_request : ?version:int -> ?id:int -> request -> string
 (** A complete frame: header plus payload. *)
 
-val encode_response : response -> string
+val encode_response : ?version:int -> ?id:int -> response -> string
 
 val request_tag : request -> int
 val response_tag : response -> int
 
-val decode_request_payload : tag:int -> string -> (request, string) result
-(** Decode the payload of a frame whose header carried [tag]. Total;
-    rejects unknown tags, truncated fields and trailing bytes. *)
+val decode_request_payload :
+  ?version:int -> tag:int -> string -> (int * request, string) result
+(** Decode the payload of a frame whose header carried [tag] and
+    [version]. Total; rejects unknown tags, truncated fields
+    (including a short or out-of-range v2 request id) and trailing
+    bytes. *)
 
-val decode_response_payload : tag:int -> string -> (response, string) result
+val decode_response_payload :
+  ?version:int -> tag:int -> string -> (int * response, string) result
 
-val decode_request : string -> (request, string) result
+val decode_request : string -> (int * request, string) result
 (** Decode one complete frame (header and payload, nothing after). *)
 
-val decode_response : string -> (response, string) result
+val decode_response : string -> (int * response, string) result
 
 val equal_request : request -> request -> bool
 (** Structural equality (proofs via [Proof.equal]); the round-trip

@@ -127,6 +127,8 @@ let gen_request =
          return (Wire.Forge { scheme; graph6; max_bits }));
         return Wire.Stats;
         return Wire.Catalog;
+        return Wire.Metrics_text;
+        return Wire.Health;
       ])
 
 let gen_response =
@@ -170,6 +172,13 @@ let gen_response =
               return { Wire.name; radius; doc })
          in
          return (Wire.Catalog_reply entries));
+        (let* text = gen_blob in
+         return (Wire.Metrics_text_reply text));
+        (let* ready = bool in
+         let* pending = int_bound 10_000 in
+         let* max_queue = int_bound 10_000 in
+         let* uptime_ms = int_bound 1_000_000 in
+         return (Wire.Health_reply { Wire.ready; pending; max_queue; uptime_ms }));
         (let* code =
            oneofl
              [
@@ -187,18 +196,30 @@ let gen_response =
          return (Wire.Error_reply { code; message }));
       ])
 
+(* every message round-trips in both protocol versions; the
+   correlation id survives on v2 and is elided (decoding as 0) on v1 *)
+let gen_version_id =
+  QCheck.Gen.(
+    let* version = oneofl [ 1; 2 ] in
+    let* id = if version = 1 then return 0 else int_bound 0x3FFF_FFFF in
+    return (version, id))
+
 let request_roundtrip_prop =
-  QCheck.Test.make ~name:"request roundtrip" ~count:300
-    (QCheck.make gen_request) (fun r ->
-      match Wire.decode_request (Wire.encode_request r) with
-      | Ok r' -> Wire.equal_request r r'
+  QCheck.Test.make ~name:"request roundtrip (v1 and v2)" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_version_id gen_request))
+    (fun ((version, id), r) ->
+      match Wire.decode_request (Wire.encode_request ~version ~id r) with
+      | Ok (id', r') ->
+          id' = (if version = 1 then 0 else id) && Wire.equal_request r r'
       | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
 
 let response_roundtrip_prop =
-  QCheck.Test.make ~name:"response roundtrip" ~count:300
-    (QCheck.make gen_response) (fun r ->
-      match Wire.decode_response (Wire.encode_response r) with
-      | Ok r' -> Wire.equal_response r r'
+  QCheck.Test.make ~name:"response roundtrip (v1 and v2)" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_version_id gen_response))
+    (fun ((version, id), r) ->
+      match Wire.decode_response (Wire.encode_response ~version ~id r) with
+      | Ok (id', r') ->
+          id' = (if version = 1 then 0 else id) && Wire.equal_response r r'
       | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
 
 (* ------------------------------------------------------------------ *)
@@ -249,17 +270,110 @@ let truncated_frames () =
 let payload_garbage_total_prop =
   QCheck.Test.make ~name:"payload decoders never raise" ~count:300
     QCheck.(
-      pair (int_range 0 255) (string_of_size (Gen.int_bound 64)))
-    (fun (tag, payload) ->
+      triple (int_range 1 2) (int_range 0 255)
+        (string_of_size (Gen.int_bound 64)))
+    (fun (version, tag, payload) ->
       let no_raise what f =
         match f () with
         | (_ : (_, string) result) -> true
         | exception e ->
-            QCheck.Test.fail_reportf "%s raised %s on tag %d payload %S" what
-              (Printexc.to_string e) tag payload
+            QCheck.Test.fail_reportf "%s raised %s on v%d tag %d payload %S"
+              what
+              (Printexc.to_string e) version tag payload
       in
-      no_raise "request" (fun () -> Wire.decode_request_payload ~tag payload)
-      && no_raise "response" (fun () -> Wire.decode_response_payload ~tag payload))
+      no_raise "request" (fun () ->
+          Wire.decode_request_payload ~version ~tag payload)
+      && no_raise "response" (fun () ->
+             Wire.decode_response_payload ~version ~tag payload))
+
+(* hand-rolled frame: 'L' 'C' version tag u32-length payload *)
+let raw_frame ~version ~tag payload =
+  let b = Buffer.create (Wire.header_bytes + String.length payload) in
+  Buffer.add_char b 'L';
+  Buffer.add_char b 'C';
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr tag);
+  let len = String.length payload in
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let cross_version_matrix () =
+  (* a v2 endpoint accepts v1 frames: every request kind encodes and
+     decodes in both versions, the id surviving only on v2 *)
+  let requests =
+    [
+      Wire.Stats;
+      Wire.Catalog;
+      Wire.Metrics_text;
+      Wire.Health;
+      Wire.Prove { scheme = "eulerian"; graph6 = "A_" };
+      Wire.Verify
+        {
+          scheme = "eulerian";
+          graph6 = "A_";
+          proof = Proof.of_list [ (0, Bits.of_bools [ true ]) ];
+        };
+      Wire.Forge { scheme = "eulerian"; graph6 = "A_"; max_bits = 4 };
+    ]
+  in
+  List.iter
+    (fun req ->
+      List.iter
+        (fun version ->
+          let id = if version = 1 then 0 else 0x1234_5678_9abc in
+          let frame = Wire.encode_request ~version ~id req in
+          check_int "version byte on the wire" version (Char.code frame.[2]);
+          match Wire.decode_request frame with
+          | Error m -> Alcotest.failf "v%d decode failed: %s" version m
+          | Ok (id', req') ->
+              check_int "echoed id" (if version = 1 then 0 else id) id';
+              check "request survives" true (Wire.equal_request req req'))
+        [ 1; 2 ])
+    requests;
+  (* a v1 frame is byte-identical to what a v2 encoder emits minus the
+     id prefix: same body, 8 fewer payload bytes *)
+  let v1 = Wire.encode_request ~version:1 Wire.Stats in
+  let v2 = Wire.encode_request ~version:2 ~id:5 Wire.Stats in
+  check_int "v2 payload = v1 payload + id" (String.length v1 + Wire.id_bytes)
+    (String.length v2)
+
+let id_codec_edges () =
+  let tag = Wire.request_tag Wire.Stats in
+  let expect_error what frame =
+    match Wire.decode_request frame with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | exception e ->
+        Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+  in
+  (* a v2 payload shorter than the 8-byte id is a typed error *)
+  expect_error "truncated request id" (raw_frame ~version:2 ~tag "\x00\x00\x01");
+  (* the sign bit is not representable in a 63-bit OCaml int: reject *)
+  expect_error "id out of the 63-bit range"
+    (raw_frame ~version:2 ~tag "\xff\xff\xff\xff\xff\xff\xff\xff");
+  (* unknown tags stay typed errors in both versions *)
+  expect_error "unknown tag v1" (raw_frame ~version:1 ~tag:0x55 "");
+  expect_error "unknown tag v2"
+    (raw_frame ~version:2 ~tag:0x55 "\x00\x00\x00\x00\x00\x00\x00\x01");
+  (* encoding guards are caller bugs, not wire input: they raise *)
+  check "negative id raises" true
+    (match Wire.encode_request ~version:2 ~id:(-1) Wire.Stats with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "unknown version raises" true
+    (match Wire.encode_request ~version:3 Wire.Stats with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* the largest representable id survives a v2 round trip *)
+  let big = max_int in
+  match Wire.decode_request (Wire.encode_request ~version:2 ~id:big Wire.Stats) with
+  | Ok (id, Wire.Stats) -> check_int "max_int id" big id
+  | Ok _ -> Alcotest.fail "wrong request back"
+  | Error m -> Alcotest.failf "max_int id rejected: %s" m
 
 let count_mismatch () =
   (* a Verify payload whose binding count claims more entries than the
@@ -290,5 +404,7 @@ let suite =
       Alcotest.test_case "header rejects malformed" `Quick header_rejects;
       Alcotest.test_case "truncated frames rejected" `Quick truncated_frames;
       QCheck_alcotest.to_alcotest payload_garbage_total_prop;
+      Alcotest.test_case "cross-version matrix" `Quick cross_version_matrix;
+      Alcotest.test_case "correlation id edge cases" `Quick id_codec_edges;
       Alcotest.test_case "inflated count rejected" `Quick count_mismatch;
     ] )
