@@ -8,7 +8,8 @@
      lcp attack ATTACK [...]              run a lower-bound attack
      lcp info   -g FILE                   instance statistics
      lcp serve   [--port ...]             run the TCP verification daemon
-     lcp loadgen [--port ...]             drive a daemon with a request mix
+     lcp route   [--backend ...]          run the cluster routing frontend
+     lcp loadgen [--port|--connect ...]   drive daemon(s) with a request mix
      lcp top     [--port ...]             live telemetry dashboard for a daemon
 
    prove/verify/forge/stats accept [--metrics] (print engine counters on
@@ -563,6 +564,23 @@ let host_arg =
     & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"HOST" ~doc:"Address to listen on / connect to.")
 
+let hostport_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "invalid target %S (want HOST:PORT)" s))
+    in
+    match String.rindex_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> fail ())
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
 let port_arg =
   Arg.(
     value
@@ -709,6 +727,188 @@ let serve_cmd =
       $ queue_arg $ http_port_arg $ log_arg $ log_sample_arg $ slow_ms_arg
       $ slow_dir_arg $ metrics_arg $ trace_arg)
 
+let route_cmd =
+  let backend_arg =
+    Arg.(
+      value
+      & opt_all hostport_conv []
+      & info [ "backend" ] ~docv:"HOST:PORT"
+          ~doc:"Backend daemon to route to (repeatable; at least one).")
+  in
+  let route_port_arg =
+    Arg.(
+      value
+      & opt int 7412
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral one).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra forwarding attempts after the first, each on a backend \
+             that has not failed the request yet, separated by jittered \
+             exponential backoff.")
+  in
+  let hedge_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "Hedge delay: if the first backend is silent for $(docv) ms, \
+             race the request on a second backend and take the first reply. \
+             0 (the default) disables hedging.")
+  in
+  let probe_arg =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:"Health-probe period; 0 disables active probing.")
+  in
+  let load_factor_arg =
+    Arg.(
+      value
+      & opt float 1.25
+      & info [ "load-factor" ] ~docv:"F"
+          ~doc:
+            "Bounded-load spill threshold: a backend may run at most $(docv) \
+             times the mean in-flight load before its keys spill to the next \
+             ring node.")
+  in
+  let vnodes_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Consistent-hash ring points per backend.")
+  in
+  let fail_threshold_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "fail-threshold" ] ~docv:"N"
+          ~doc:"Consecutive failures before a backend is ejected.")
+  in
+  let cooldown_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "cooldown-ms" ] ~docv:"MS"
+          ~doc:"How long an ejected backend stays out before a successful \
+                probe may reinstate it.")
+  in
+  let http_port_arg =
+    Arg.(
+      value
+      & opt int (-1)
+      & info [ "http-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve router telemetry over plain HTTP on $(docv): /metrics \
+             (Prometheus text), /healthz and /readyz. 0 picks an ephemeral \
+             port; negative (the default) disables the sidecar.")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write one structured JSON log line per routed request to \
+             $(docv) ('-' means stderr).")
+  in
+  let run host port backends retries hedge_ms probe_interval_ms load_factor
+      vnodes fail_threshold cooldown_ms http_port log_path =
+    if backends = [] then begin
+      prerr_endline "lcp route: need at least one --backend HOST:PORT";
+      1
+    end
+    else begin
+      let log =
+        match log_path with
+        | None -> None
+        | Some "-" -> Some (Obs.Log.to_stderr ())
+        | Some path -> Some (Obs.Log.to_file path)
+      in
+      let config =
+        {
+          Router.default_config with
+          Router.host;
+          port;
+          backends;
+          vnodes;
+          load_factor;
+          retries;
+          hedge_ms;
+          probe_interval_ms;
+          fail_threshold;
+          cooldown_ms;
+          http_port;
+          log;
+        }
+      in
+      match Router.create config with
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "cannot listen on %s:%d: %s@." host port
+            (Unix.error_message e);
+          Option.iter Obs.Log.close log;
+          1
+      | exception Invalid_argument m ->
+          prerr_endline m;
+          Option.iter Obs.Log.close log;
+          1
+      | router ->
+          let stop _ = Router.stop router in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Format.printf
+            "lcp: routing %s:%d over %d backend(s) [%s] (retries %d, hedge \
+             %s, probe every %d ms%s) — ctrl-c stops@."
+            host (Router.port router) (List.length backends)
+            (String.concat "; "
+               (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) backends))
+            retries
+            (if hedge_ms <= 0 then "off" else Printf.sprintf "%d ms" hedge_ms)
+            probe_interval_ms
+            (if Router.http_port router < 0 then ""
+             else
+               Printf.sprintf ", telemetry on http://%s:%d/metrics" host
+                 (Router.http_port router));
+          Router.run router;
+          Option.iter Obs.Log.close log;
+          let st = Router.stats router in
+          Format.printf
+            "routed %d request(s) on %d connection(s): %d retried, %d \
+             hedged (%d hedge wins), %d with no backend@."
+            st.Router.requests st.Router.connections st.Router.retries
+            st.Router.hedges st.Router.hedge_wins st.Router.no_backend;
+          List.iter
+            (fun b ->
+              Format.printf
+                "backend %s: %d attempt(s), %d error(s), %d retr%s caused, \
+                 last state %s@."
+                b.Router.name b.Router.requests b.Router.errors
+                b.Router.retries
+                (if b.Router.retries = 1 then "y" else "ies")
+                (Health.state_to_string b.Router.state))
+            st.Router.per_backend;
+          0
+    end
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster routing frontend: one wire-protocol endpoint over \
+          several daemons, with consistent-hash cache affinity, health \
+          checks, retries and hedged requests")
+    Term.(
+      const run $ host_arg $ route_port_arg $ backend_arg $ retries_arg
+      $ hedge_arg $ probe_arg $ load_factor_arg $ vnodes_arg
+      $ fail_threshold_arg $ cooldown_arg $ http_port_arg $ log_arg)
+
 let loadgen_cmd =
   let connections_arg =
     Arg.(
@@ -762,9 +962,21 @@ let loadgen_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Also write the summary as JSON to $(docv).")
   in
-  let run host port connections requests mix scheme sizes out =
+  let connect_arg =
+    Arg.(
+      value
+      & opt_all hostport_conv []
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Target endpoint — a daemon or a router (repeatable: worker \
+             connections round-robin over the targets and the summary gains \
+             a per-target breakdown). Overrides --host/--port.")
+  in
+  let run host port targets connections requests mix scheme sizes out =
+    let targets = match targets with [] -> None | l -> Some l in
     match
-      Client.loadgen ~host ~port ~connections ~requests ~mix ~scheme ~sizes ()
+      Client.loadgen ~host ?targets ~port ~connections ~requests ~mix ~scheme
+        ~sizes ()
     with
     | Error m -> prerr_endline m; 1
     | Ok report ->
@@ -782,11 +994,11 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Drive a running daemon with a prove/verify mix and report \
-          throughput and latency percentiles")
+         "Drive a running daemon (or several, or a router) with a \
+          prove/verify mix and report throughput and latency percentiles")
     Term.(
-      const run $ host_arg $ port_arg $ connections_arg $ requests_arg
-      $ mix_arg $ scheme_name_arg $ sizes_arg $ out_arg)
+      const run $ host_arg $ port_arg $ connect_arg $ connections_arg
+      $ requests_arg $ mix_arg $ scheme_name_arg $ sizes_arg $ out_arg)
 
 let top_cmd =
   let interval_arg =
@@ -815,51 +1027,89 @@ let top_cmd =
     in
     let w10 = [ ("window", "10s") ] in
     let q v = ("quantile", v) :: w10 in
-    Format.printf "%9.1f %9.0f %9.0f %9.0f %9.0f %6.1f %6.0f %6.0f %s@."
-      (f ~labels:w10 "lcp_server_request_rate")
-      (f "lcp_server_requests_total")
-      (f ~labels:(q "0.5") "lcp_server_request_us")
-      (f ~labels:(q "0.95") "lcp_server_request_us")
-      (f ~labels:(q "0.99") "lcp_server_request_us")
-      (100.0 *. f ~labels:w10 "lcp_server_cache_hit_ratio")
-      (f "lcp_server_pool_pending")
-      (f "lcp_server_overloaded_total")
-      (if f "lcp_server_ready" > 0.5 then "yes" else "NO")
+    (* the same dashboard reads a daemon or a router — the router has
+       no compile cache (hit% renders as "-"), and its queue / shed
+       columns are in-flight forwards / unroutable requests *)
+    let router =
+      Obs.Export.find_sample text ~name:"lcp_router_ready" ~labels:[] <> None
+    in
+    let p name = (if router then "lcp_router_" else "lcp_server_") ^ name in
+    Format.printf "%9.1f %9.0f %9.0f %9.0f %9.0f %6s %6.0f %6.0f %s@."
+      (f ~labels:w10 (p "request_rate"))
+      (f (p "requests_total"))
+      (f ~labels:(q "0.5") (p "request_us"))
+      (f ~labels:(q "0.95") (p "request_us"))
+      (f ~labels:(q "0.99") (p "request_us"))
+      (if router then "-"
+       else
+         Printf.sprintf "%.1f"
+           (100.0 *. f ~labels:w10 "lcp_server_cache_hit_ratio"))
+      (f (if router then "lcp_router_inflight" else "lcp_server_pool_pending"))
+      (f
+         (if router then "lcp_router_no_backend_total"
+          else "lcp_server_overloaded_total"))
+      (if f (p "ready") > 0.5 then "yes" else "NO")
+  in
+  (* A lost daemon renders as a status row and `top` keeps sampling:
+     the next connect (itself retried with backoff) picks the daemon
+     back up when it returns. The exit code only says whether any
+     sample ever succeeded. *)
+  let disconnected_row reason =
+    Format.printf "%9s %9s %9s %9s %9s %6s %6s %6s disconnected (%s)@." "-"
+      "-" "-" "-" "-" "-" "-" "-" reason
   in
   let run host port interval iterations =
     let stop = ref false in
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
      with Invalid_argument _ | Sys_error _ -> ());
-    let failures = ref 0 in
+    let successes = ref 0 and rows = ref 0 in
+    let conn = ref None in
+    let drop_conn () =
+      Option.iter Client.close !conn;
+      conn := None
+    in
+    let get_conn () =
+      match !conn with
+      | Some c -> Ok c
+      | None -> (
+          match Client.connect ~host ~port ~retries:2 () with
+          | Ok c ->
+              conn := Some c;
+              Ok c
+          | Error _ as e -> e)
+    in
+    let row line =
+      if !rows mod 20 = 0 then header ();
+      incr rows;
+      line ()
+    in
     let rec loop i =
       if !stop || (iterations > 0 && i >= iterations) then ()
       else begin
-        (match Client.connect ~host ~port () with
-        | Error m ->
-            incr failures;
-            Format.printf "top: %s@." m
+        (match get_conn () with
+        | Error m -> row (fun () -> disconnected_row m)
         | Ok c -> (
-            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
             match Client.call c Wire.Metrics_text with
             | Ok (Wire.Metrics_text_reply text) ->
-                if i mod 20 = 0 then header ();
-                sample text
+                incr successes;
+                row (fun () -> sample text)
             | Ok (Wire.Error_reply { message; _ }) ->
-                incr failures;
-                Format.printf "top: server said: %s@." message
+                drop_conn ();
+                row (fun () -> disconnected_row ("server said: " ^ message))
             | Ok _ ->
-                incr failures;
-                Format.printf "top: unexpected response type@."
+                drop_conn ();
+                row (fun () -> disconnected_row "unexpected response type")
             | Error m ->
-                incr failures;
-                Format.printf "top: %s@." m));
+                drop_conn ();
+                row (fun () -> disconnected_row m)));
         if (not !stop) && (iterations = 0 || i + 1 < iterations) then
           Unix.sleepf (max 0.05 interval);
         loop (i + 1)
       end
     in
     loop 0;
-    if !failures > 0 then 1 else 0
+    drop_conn ();
+    if !successes > 0 then 0 else 1
   in
   Cmd.v
     (Cmd.info "top"
@@ -874,7 +1124,8 @@ let main =
     (Cmd.info "lcp" ~doc ~version:"1.0.0")
     [
       schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
-      dot_cmd; attack_cmd; table_cmd; serve_cmd; loadgen_cmd; top_cmd;
+      dot_cmd; attack_cmd; table_cmd; serve_cmd; route_cmd; loadgen_cmd;
+      top_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

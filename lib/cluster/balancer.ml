@@ -1,0 +1,108 @@
+(* Bounded-load backend selection over a {!Ring} and a {!Health} view.
+
+   The pick for a key walks the ring order and takes the first backend
+   that is (a) not Dead, (b) not in the caller's avoid list, and
+   (c) under the bounded-load cap
+
+     cap = max 1 (ceil (load_factor * (total_inflight + 1) / alive))
+
+   — the "consistent hashing with bounded loads" rule: affinity wins
+   while the owner is within [load_factor] of the mean load, and a hot
+   key spills to the next ring node instead of stacking up. Ready
+   backends are preferred over Saturated ones (a Saturated backend is
+   shedding or draining; it only gets new work when no Ready backend
+   can take the key), and a Dead backend is never picked, cap or no
+   cap — if everything usable is over cap, the least-loaded usable
+   backend takes the request rather than failing it.
+
+   In-flight accounting is the balancer's own ([acquire] / [release]),
+   guarded by one mutex; health transitions stay in {!Health}. *)
+
+type t = {
+  ring : Ring.t;
+  health : Health.t;
+  load_factor : float;
+  inflight : int array;
+  mutable total : int;
+  mu : Mutex.t;
+}
+
+let create ?(load_factor = 1.25) ring health =
+  if Ring.backends ring <> Health.n health then
+    invalid_arg "Balancer.create: ring and health sizes differ";
+  if load_factor < 1.0 then invalid_arg "Balancer.create: load_factor < 1";
+  {
+    ring;
+    health;
+    load_factor;
+    inflight = Array.make (Ring.backends ring) 0;
+    total = 0;
+    mu = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let cap t ~alive =
+  max 1
+    (int_of_float
+       (Float.ceil
+          (t.load_factor *. float_of_int (t.total + 1) /. float_of_int alive)))
+
+let acquire t ~key ~avoid =
+  (* read health outside our lock: Health has its own *)
+  let states =
+    Array.init (Ring.backends t.ring) (fun i -> Health.state t.health i)
+  in
+  let usable b = states.(b) <> Health.Dead && not (List.mem b avoid) in
+  let order = Ring.order t.ring key in
+  locked t @@ fun () ->
+  let alive =
+    Array.fold_left
+      (fun a s -> if s <> Health.Dead then a + 1 else a)
+      0 states
+  in
+  if alive = 0 then None
+  else begin
+    let cap = cap t ~alive in
+    let first_with want =
+      List.find_opt
+        (fun b -> usable b && states.(b) = want && t.inflight.(b) < cap)
+        order
+    in
+    let least_loaded () =
+      List.fold_left
+        (fun best b ->
+          if not (usable b) then best
+          else
+            match best with
+            | Some b' when t.inflight.(b') <= t.inflight.(b) -> best
+            | _ -> Some b)
+        None order
+    in
+    let pick =
+      match first_with Health.Ready with
+      | Some _ as p -> p
+      | None -> (
+          match first_with Health.Saturated with
+          | Some _ as p -> p
+          | None -> least_loaded ())
+    in
+    match pick with
+    | None -> None
+    | Some b ->
+        t.inflight.(b) <- t.inflight.(b) + 1;
+        t.total <- t.total + 1;
+        Some b
+  end
+
+let release t b =
+  locked t @@ fun () ->
+  if t.inflight.(b) > 0 then begin
+    t.inflight.(b) <- t.inflight.(b) - 1;
+    t.total <- t.total - 1
+  end
+
+let inflight t b = locked t @@ fun () -> t.inflight.(b)
+let total_inflight t = locked t @@ fun () -> t.total

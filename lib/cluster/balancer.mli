@@ -1,0 +1,32 @@
+(** Bounded-load backend selection: {!Ring} affinity moderated by
+    live in-flight counts and the {!Health} view.
+
+    [acquire] walks the key's ring order and picks the first backend
+    that is not [Dead], not in [avoid], and under the bounded-load cap
+
+    {[ cap = max 1 (ceil (load_factor * (total_inflight + 1) / alive)) ]}
+
+    preferring [Ready] backends over [Saturated] ones. When every
+    usable backend is over the cap the least-loaded usable one is
+    picked anyway — the cap shapes load, it never fails a request. A
+    [Dead] backend is {e never} picked. [acquire] increments the
+    winner's in-flight count; the caller must {!release} it exactly
+    once, success or failure. Thread-safe. *)
+
+type t
+
+val create : ?load_factor:float -> Ring.t -> Health.t -> t
+(** Default [load_factor] 1.25 — a backend may run at most 25% above
+    the mean in-flight load before its keys spill. Raises
+    [Invalid_argument] if the ring and health track different backend
+    counts, or [load_factor < 1]. *)
+
+val acquire : t -> key:string -> avoid:int list -> int option
+(** The backend to forward this key to, with its in-flight count
+    already incremented — or [None] when every backend is [Dead] or in
+    [avoid]. [avoid] carries the backends that already failed this
+    request, so a retry never re-picks them. *)
+
+val release : t -> int -> unit
+val inflight : t -> int -> int
+val total_inflight : t -> int

@@ -1,0 +1,89 @@
+(* Per-backend health state machine.
+
+   Inputs arrive from two places — the router's periodic Health probes
+   and passive observations from forwarding (a connect failure or a
+   mid-call transport error is as informative as a failed probe) — and
+   both funnel into the same two transitions:
+
+     observe_ok ~ready     reset the failure streak; Ready or
+                           Saturated per the probe's [ready] flag
+     observe_failure       extend the streak; at [fail_threshold]
+                           consecutive failures the backend is ejected
+                           (Dead, stamped with the ejection time)
+
+   A Dead backend stays dead for [cooldown_ms] even if an early probe
+   succeeds — flap suppression: one lucky connect to a crash-looping
+   process must not pull live traffic back onto it. A failure while
+   dead restarts the cooldown. After the cooldown, the next ok
+   reinstates it.
+
+   Time is a parameter ([?now_ns], like {!Obs.Window}), so the
+   eject/cooldown/reinstate cycle is testable without sleeping. *)
+
+type state = Ready | Saturated | Dead
+
+let state_to_string = function
+  | Ready -> "ready"
+  | Saturated -> "saturated"
+  | Dead -> "dead"
+
+type entry = {
+  mutable st : state;
+  mutable streak : int;  (* consecutive failures *)
+  mutable ejected_at_ns : int;
+}
+
+type t = {
+  entries : entry array;
+  fail_threshold : int;
+  cooldown_ns : int;
+  mu : Mutex.t;
+}
+
+let create ?(fail_threshold = 3) ?(cooldown_ms = 1_000) n =
+  if n < 1 then invalid_arg "Health.create: need at least one backend";
+  {
+    entries =
+      Array.init n (fun _ -> { st = Ready; streak = 0; ejected_at_ns = 0 });
+    fail_threshold = max 1 fail_threshold;
+    cooldown_ns = max 0 cooldown_ms * 1_000_000;
+    mu = Mutex.create ();
+  }
+
+let n t = Array.length t.entries
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let now_or now_ns = match now_ns with Some n -> n | None -> Obs.Clock.now_ns ()
+
+let observe_ok ?now_ns t i ~ready =
+  let now = now_or now_ns in
+  locked t @@ fun () ->
+  let e = t.entries.(i) in
+  match e.st with
+  | Dead when now - e.ejected_at_ns < t.cooldown_ns ->
+      () (* cooldown: one good probe is not yet evidence of recovery *)
+  | _ ->
+      e.streak <- 0;
+      e.st <- (if ready then Ready else Saturated)
+
+let observe_failure ?now_ns t i =
+  let now = now_or now_ns in
+  locked t @@ fun () ->
+  let e = t.entries.(i) in
+  if e.st = Dead then e.ejected_at_ns <- now (* still failing: restart cooldown *)
+  else begin
+    e.streak <- e.streak + 1;
+    if e.streak >= t.fail_threshold then begin
+      e.st <- Dead;
+      e.ejected_at_ns <- now
+    end
+  end
+
+let state t i = locked t @@ fun () -> t.entries.(i).st
+
+let alive t =
+  locked t @@ fun () ->
+  Array.fold_left (fun a e -> if e.st <> Dead then a + 1 else a) 0 t.entries

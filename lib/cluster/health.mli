@@ -1,0 +1,35 @@
+(** Per-backend health state, fed by active probes and passive
+    forwarding failures alike.
+
+    State machine per backend:
+    - [Ready] / [Saturated] — reachable; [Saturated] means its last
+      probe answered [ready = false] (pool backlog full, or draining),
+      so the balancer only uses it when no [Ready] backend can take
+      the key.
+    - [Dead] — ejected after [fail_threshold] {e consecutive}
+      failures. Stays dead for [cooldown_ms] even if a probe succeeds
+      (flap suppression; a failure during the cooldown restarts it);
+      the first ok after the cooldown reinstates.
+
+    All transitions take the observation time as [?now_ns] (defaulting
+    to {!Obs.Clock.now_ns}), so tests drive the whole
+    eject/cooldown/reinstate cycle on a virtual clock. Thread-safe. *)
+
+type state = Ready | Saturated | Dead
+
+val state_to_string : state -> string
+
+type t
+
+val create : ?fail_threshold:int -> ?cooldown_ms:int -> int -> t
+(** [create n] tracks backends [0 .. n-1], all initially [Ready].
+    Defaults: [fail_threshold = 3] (clamped to >= 1),
+    [cooldown_ms = 1000]. Raises [Invalid_argument] when [n < 1]. *)
+
+val n : t -> int
+val observe_ok : ?now_ns:int -> t -> int -> ready:bool -> unit
+val observe_failure : ?now_ns:int -> t -> int -> unit
+val state : t -> int -> state
+
+val alive : t -> int
+(** Backends currently not [Dead]. *)

@@ -1,0 +1,791 @@
+(* The cluster routing frontend: one TCP endpoint speaking the same
+   wire protocol as the daemons, fanning out to N backends.
+
+   Placement is {!Ring} + {!Balancer}: the key is exactly the backend's
+   compiled-verifier cache key (scheme name + MD5 of the graph6
+   payload), so identical instances keep landing on the same daemon
+   and hit its LRU — the whole point of routing by content rather than
+   round-robin. {!Health} is fed both actively (the probe loop sends
+   {!Wire.Health} to every backend) and passively (a connect failure
+   or transport error during forwarding counts too).
+
+   A compute request gets a per-request budget: up to [1 + retries]
+   attempts, each on a backend that has not failed this request yet
+   (the avoid list), separated by deterministic jittered exponential
+   backoff ({!Client.Backoff}, seeded by the correlation id). Only
+   transport failures and typed [Overloaded] sheds are retried — any
+   other reply, error or not, is the backend's answer and is relayed
+   as-is. With [hedge_ms > 0] the first attempt races: if the primary
+   backend has not replied within the delay, a second leg is issued to
+   a different backend and the first reply wins ({!Hedge}); the loser
+   is discarded by correlation id and only ever cost a duplicated
+   idempotent verification.
+
+   Connections to backends are pooled per backend (plain LIFO stacks;
+   a connection that saw a transport error is closed, not returned).
+   The router is thread-per-client-connection like the daemon, with no
+   compute of its own — its only state is routing state. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port}. *)
+  backends : (string * int) list;
+  vnodes : int;
+  load_factor : float;
+  retries : int;  (** extra forwarding attempts after the first *)
+  backoff : Client.Backoff.t;
+  hedge_ms : int;  (** <= 0 disables hedging *)
+  probe_interval_ms : int;  (** <= 0 disables the probe thread *)
+  fail_threshold : int;
+  cooldown_ms : int;
+  http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
+  log : Obs.Log.t option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7412;
+    backends = [];
+    vnodes = 64;
+    load_factor = 1.25;
+    retries = 2;
+    backoff = { Client.Backoff.default with base_ms = 5.0; max_ms = 200.0 };
+    hedge_ms = 0;
+    probe_interval_ms = 200;
+    fail_threshold = 3;
+    cooldown_ms = 1_000;
+    http_port = -1;
+    log = None;
+  }
+
+(* cap on waiting for an in-flight leg once we are committed to it *)
+let leg_wait_cap_ms = 60_000
+
+(* Auxiliary counter slots in the rolling window. *)
+let w_requests = 0
+
+let w_errors = 1
+let w_retries = 2
+let w_hedges = 3
+let w_counters = 4
+
+type backend = {
+  b_host : string;
+  b_port : int;
+  b_name : string;  (* "host:port", the Prometheus label *)
+  b_mu : Mutex.t;
+  mutable b_idle : Client.t list;
+  b_requests : int Atomic.t;  (* forwarding attempts *)
+  b_errors : int Atomic.t;  (* attempts that failed (transport / shed) *)
+  b_retries : int Atomic.t;  (* retries this backend's failures caused *)
+  b_hedges : int Atomic.t;  (* hedge legs issued to this backend *)
+}
+
+type t = {
+  config : config;
+  sock : Unix.file_descr;
+  actual_port : int;
+  http_sock : Unix.file_descr option;
+  actual_http_port : int;
+  backends : backend array;
+  ring : Ring.t;
+  health : Health.t;
+  balancer : Balancer.t;
+  started_ns : int;
+  stopping : bool Atomic.t;
+  rid : int Atomic.t;
+  window : Obs.Window.t;
+  c_requests : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_hedges : int Atomic.t;
+  c_hedge_wins : int Atomic.t;
+  c_no_backend : int Atomic.t;
+  c_bad_frames : int Atomic.t;
+  c_connections : int Atomic.t;
+}
+
+let listen_on host port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 64
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let actual =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (sock, actual)
+
+let create (config : config) =
+  let n = List.length config.backends in
+  if n < 1 then invalid_arg "Router.create: need at least one backend";
+  if config.retries < 0 then invalid_arg "Router.create: retries < 0";
+  let sock, actual_port = listen_on config.host config.port in
+  let http_sock, actual_http_port =
+    if config.http_port < 0 then (None, -1)
+    else
+      match listen_on config.host config.http_port with
+      | s, p -> (Some s, p)
+      | exception e ->
+          (try Unix.close sock with _ -> ());
+          raise e
+  in
+  let ring = Ring.create ~vnodes:config.vnodes n in
+  let health =
+    Health.create ~fail_threshold:config.fail_threshold
+      ~cooldown_ms:config.cooldown_ms n
+  in
+  {
+    config;
+    sock;
+    actual_port;
+    http_sock;
+    actual_http_port;
+    backends =
+      Array.of_list
+        (List.map
+           (fun (b_host, b_port) ->
+             {
+               b_host;
+               b_port;
+               b_name = Printf.sprintf "%s:%d" b_host b_port;
+               b_mu = Mutex.create ();
+               b_idle = [];
+               b_requests = Atomic.make 0;
+               b_errors = Atomic.make 0;
+               b_retries = Atomic.make 0;
+               b_hedges = Atomic.make 0;
+             })
+           config.backends);
+    ring;
+    health;
+    balancer = Balancer.create ~load_factor:config.load_factor ring health;
+    started_ns = Obs.Clock.now_ns ();
+    stopping = Atomic.make false;
+    rid = Atomic.make 1;
+    window = Obs.Window.create ~horizon:60 ~counters:w_counters ();
+    c_requests = Atomic.make 0;
+    c_retries = Atomic.make 0;
+    c_hedges = Atomic.make 0;
+    c_hedge_wins = Atomic.make 0;
+    c_no_backend = Atomic.make 0;
+    c_bad_frames = Atomic.make 0;
+    c_connections = Atomic.make 0;
+  }
+
+let port t = t.actual_port
+let http_port t = t.actual_http_port
+let uptime_ms t = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000
+
+let err code fmt =
+  Printf.ksprintf (fun message -> Wire.Error_reply { code; message }) fmt
+
+(* The routing key doubles as the backend's compiled-verifier cache
+   key (see Server.cache_key) — content-addressed placement is what
+   gives the cluster cache affinity. *)
+let request_key = function
+  | Wire.Prove { scheme; graph6 }
+  | Wire.Verify { scheme; graph6; _ }
+  | Wire.Forge { scheme; graph6; _ } ->
+      scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
+  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
+  | Wire.Drain _ ->
+      ""
+
+(* --- backend connections ---------------------------------------------- *)
+
+let max_idle_per_backend = 16
+
+let borrow t bi =
+  let b = t.backends.(bi) in
+  Mutex.lock b.b_mu;
+  let pooled =
+    match b.b_idle with
+    | [] -> None
+    | c :: rest ->
+        b.b_idle <- rest;
+        Some c
+  in
+  Mutex.unlock b.b_mu;
+  match pooled with
+  | Some c -> Ok c
+  | None -> Client.connect ~host:b.b_host ~port:b.b_port ()
+
+let give_back t bi c =
+  let b = t.backends.(bi) in
+  if Atomic.get t.stopping then Client.close c
+  else begin
+    Mutex.lock b.b_mu;
+    let keep = List.length b.b_idle < max_idle_per_backend in
+    if keep then b.b_idle <- c :: b.b_idle;
+    Mutex.unlock b.b_mu;
+    if not keep then Client.close c
+  end
+
+let drop_idle t =
+  Array.iter
+    (fun b ->
+      Mutex.lock b.b_mu;
+      let idle = b.b_idle in
+      b.b_idle <- [];
+      Mutex.unlock b.b_mu;
+      List.iter Client.close idle)
+    t.backends
+
+(* Borrow a connection, run [f], return it on success and close it on
+   transport failure — a connection that saw an error is out of
+   sync. *)
+let with_conn t bi f =
+  match borrow t bi with
+  | Error m -> Error m
+  | Ok c -> (
+      match f c with
+      | Ok _ as r ->
+          give_back t bi c;
+          r
+      | Error _ as r ->
+          Client.close c;
+          r)
+
+(* --- health probing ---------------------------------------------------- *)
+
+let probe_once ?now_ns t =
+  Array.iteri
+    (fun i _ ->
+      match
+        with_conn t i (fun c ->
+            match Client.call c Wire.Health with
+            | Ok (Wire.Health_reply h) -> Ok h
+            | Ok _ -> Error "unexpected health response"
+            | Error _ as e -> e)
+      with
+      | Ok h -> Health.observe_ok ?now_ns t.health i ~ready:h.Wire.ready
+      | Error _ -> Health.observe_failure ?now_ns t.health i)
+    t.backends
+
+let probe_loop t =
+  let interval_s = float_of_int t.config.probe_interval_ms /. 1000.0 in
+  while not (Atomic.get t.stopping) do
+    probe_once t;
+    if not (Atomic.get t.stopping) then Thread.delay interval_s
+  done
+
+(* --- forwarding -------------------------------------------------------- *)
+
+type leg_failure = [ `Overloaded of Wire.response | `Transport of string ]
+
+(* One attempt on one backend. Feeds passive health; classifies the
+   two retryable outcomes. Everything else — including backend error
+   replies like Unknown_scheme — is the request's answer. *)
+let attempt_on t ~rid req bi : (Wire.response, leg_failure) result =
+  let b = t.backends.(bi) in
+  Atomic.incr b.b_requests;
+  match borrow t bi with
+  | Error m ->
+      Atomic.incr b.b_errors;
+      Health.observe_failure t.health bi;
+      Error (`Transport m)
+  | Ok c -> (
+      match Client.call_id c ~id:rid req with
+      | Ok (rid', resp) -> (
+          match resp with
+          | Wire.Error_reply { code = Wire.Overloaded; _ } ->
+              give_back t bi c;
+              Atomic.incr b.b_errors;
+              (* the backend is up but shedding: saturated, not dead *)
+              Health.observe_ok t.health bi ~ready:false;
+              Error (`Overloaded resp)
+          | _ when rid' <> rid ->
+              (* echoed id mismatch: the connection slipped a frame *)
+              Client.close c;
+              Atomic.incr b.b_errors;
+              Health.observe_failure t.health bi;
+              Error
+                (`Transport
+                  (Printf.sprintf "backend %s echoed id %d for request %d"
+                     b.b_name rid' rid))
+          | _ ->
+              give_back t bi c;
+              Ok resp)
+      | Error m ->
+          Client.close c;
+          Atomic.incr b.b_errors;
+          Health.observe_failure t.health bi;
+          Error (`Transport m))
+
+(* A leg of a (possibly hedged) attempt: run it, release the balancer
+   slot, then race into the cell. A reply that loses the race is
+   simply dropped — [Hedge.offer] returning false is the single point
+   that guarantees no double-counting. *)
+let spawn_leg t ~rid req bi ~origin cell last_failure =
+  ignore
+    (Thread.create
+       (fun () ->
+         let r = attempt_on t ~rid req bi in
+         Balancer.release t.balancer bi;
+         match r with
+         | Ok resp -> ignore (Hedge.offer cell ~rid (origin, resp))
+         | Error e ->
+             Atomic.set last_failure (Some e);
+             Hedge.fail cell)
+       ())
+
+(* First attempt with hedging: race a second backend if the primary
+   is silent for [hedge_ms]. Returns the used backends for the avoid
+   list of a subsequent retry. *)
+let hedged_attempt t ~key ~rid req bi ~avoid =
+  let cell = Hedge.create ~rid ~legs:1 in
+  let last_failure = Atomic.make None in
+  spawn_leg t ~rid req bi ~origin:`Primary cell last_failure;
+  let finish used outcome =
+    Hedge.dispose cell;
+    match outcome with
+    | Hedge.Winner (origin, resp) ->
+        if origin = `Hedge then Atomic.incr t.c_hedge_wins;
+        (used, Ok resp)
+    | Hedge.All_failed | Hedge.Timeout -> (used, Error (Atomic.get last_failure))
+  in
+  match Hedge.await cell ~timeout_ms:t.config.hedge_ms with
+  | (Hedge.Winner _ | Hedge.All_failed) as o -> finish [ bi ] o
+  | Hedge.Timeout -> (
+      match Balancer.acquire t.balancer ~key ~avoid:(bi :: avoid) with
+      | None ->
+          (* nowhere to hedge: commit to the primary *)
+          finish [ bi ] (Hedge.await cell ~timeout_ms:leg_wait_cap_ms)
+      | Some b2 ->
+          Atomic.incr t.c_hedges;
+          Atomic.incr t.backends.(b2).b_hedges;
+          Obs.Window.incr t.window w_hedges;
+          Hedge.add_leg cell;
+          spawn_leg t ~rid req b2 ~origin:`Hedge cell last_failure;
+          finish [ bi; b2 ] (Hedge.await cell ~timeout_ms:leg_wait_cap_ms))
+
+let plain_attempt t ~rid req bi =
+  let r = attempt_on t ~rid req bi in
+  Balancer.release t.balancer bi;
+  match r with
+  | Ok resp -> ([ bi ], Ok resp)
+  | Error e -> ([ bi ], Error (Some e))
+
+let exhausted ~attempts last =
+  match last with
+  | Some (`Overloaded resp) -> resp (* relay the typed shed *)
+  | Some (`Transport m) ->
+      err Wire.Internal "forwarding failed after %d attempt(s): %s" attempts m
+  | None -> err Wire.Internal "forwarding failed after %d attempt(s)" attempts
+
+let forward_compute t ~rid req =
+  let key = request_key req in
+  let max_attempts = 1 + t.config.retries in
+  let rec go attempt avoid last =
+    let acquired =
+      match Balancer.acquire t.balancer ~key ~avoid with
+      | None when avoid <> [] ->
+          (* everything usable already failed this request; a retry
+             may still land if a backend recovered, so widen *)
+          Balancer.acquire t.balancer ~key ~avoid:[]
+      | r -> r
+    in
+    match acquired with
+    | None ->
+        Atomic.incr t.c_no_backend;
+        err Wire.Overloaded "no backend available (%d configured, %d alive)"
+          (Array.length t.backends) (Health.alive t.health)
+    | Some bi -> (
+        let used, outcome =
+          if t.config.hedge_ms > 0 && attempt = 1 then
+            hedged_attempt t ~key ~rid req bi ~avoid
+          else plain_attempt t ~rid req bi
+        in
+        match outcome with
+        | Ok resp -> resp
+        | Error last' ->
+            let last = if last' <> None then last' else last in
+            if attempt >= max_attempts then exhausted ~attempts:attempt last
+            else begin
+              Atomic.incr t.c_retries;
+              Obs.Window.incr t.window w_retries;
+              List.iter
+                (fun b -> Atomic.incr t.backends.(b).b_retries)
+                used;
+              let delay =
+                Client.Backoff.delay_ms t.config.backoff ~seed:rid ~attempt
+              in
+              if delay > 0.0 then Thread.delay (delay /. 1000.0);
+              go (attempt + 1) (used @ avoid) last
+            end)
+  in
+  go 1 [] None
+
+(* --- non-compute requests --------------------------------------------- *)
+
+let health t =
+  {
+    Wire.ready = (not (Atomic.get t.stopping)) && Health.alive t.health > 0;
+    pending = Balancer.total_inflight t.balancer;
+    max_queue = 0;
+    uptime_ms = uptime_ms t;
+  }
+
+(* Cluster-wide stats: every live backend's counters summed, so `lcp
+   top` and loadgen pointed at the router see the whole fleet. *)
+let stats_reply t =
+  let acc = ref None in
+  Array.iteri
+    (fun i _ ->
+      if Health.state t.health i <> Health.Dead then
+        match
+          with_conn t i (fun c ->
+              match Client.call c Wire.Stats with
+              | Ok (Wire.Stats_reply s) -> Ok s
+              | Ok _ -> Error "unexpected stats response"
+              | Error _ as e -> e)
+        with
+        | Error _ -> ()
+        | Ok s ->
+            acc :=
+              Some
+                (match !acc with
+                | None -> s
+                | Some a ->
+                    {
+                      Wire.requests = a.Wire.requests + s.Wire.requests;
+                      cache_hits = a.Wire.cache_hits + s.Wire.cache_hits;
+                      cache_misses = a.Wire.cache_misses + s.Wire.cache_misses;
+                      cache_entries = a.Wire.cache_entries + s.Wire.cache_entries;
+                      overloaded = a.Wire.overloaded + s.Wire.overloaded;
+                      deadline_exceeded =
+                        a.Wire.deadline_exceeded + s.Wire.deadline_exceeded;
+                      uptime_ms = max a.Wire.uptime_ms s.Wire.uptime_ms;
+                      metrics_json = "{}";
+                    }))
+    t.backends;
+  match !acc with
+  | Some s -> Wire.Stats_reply { s with Wire.uptime_ms = uptime_ms t }
+  | None -> err Wire.Internal "no backend answered stats"
+
+let catalog_reply t =
+  let rec go i =
+    if i >= Array.length t.backends then
+      err Wire.Internal "no backend answered the catalog"
+    else if Health.state t.health i = Health.Dead then go (i + 1)
+    else
+      match
+        with_conn t i (fun c ->
+            match Client.call c Wire.Catalog with
+            | Ok (Wire.Catalog_reply _ as r) -> Ok r
+            | Ok _ -> Error "unexpected catalog response"
+            | Error _ as e -> e)
+      with
+      | Ok r -> r
+      | Error _ -> go (i + 1)
+  in
+  go 0
+
+(* --- exposition -------------------------------------------------------- *)
+
+let metrics_text t =
+  let e = Obs.Export.create () in
+  Obs.Export.counter e ~help:"Requests received by the router"
+    "router.requests" (Atomic.get t.c_requests);
+  Obs.Export.counter e ~help:"Forwarding retries" "router.retries"
+    (Atomic.get t.c_retries);
+  Obs.Export.counter e ~help:"Hedge legs issued" "router.hedges"
+    (Atomic.get t.c_hedges);
+  Obs.Export.counter e ~help:"Requests won by the hedge leg"
+    "router.hedge_wins"
+    (Atomic.get t.c_hedge_wins);
+  Obs.Export.counter e ~help:"Requests with no usable backend"
+    "router.no_backend"
+    (Atomic.get t.c_no_backend);
+  Obs.Export.counter e ~help:"Unparseable frames" "router.bad_frames"
+    (Atomic.get t.c_bad_frames);
+  Obs.Export.counter e ~help:"Client connections accepted"
+    "router.connections"
+    (Atomic.get t.c_connections);
+  Obs.Export.gauge e ~help:"Configured backends" "router.backends"
+    (float_of_int (Array.length t.backends));
+  Obs.Export.gauge e ~help:"Backends not ejected" "router.alive_backends"
+    (float_of_int (Health.alive t.health));
+  Obs.Export.gauge e ~help:"Requests in flight to backends"
+    "router.inflight"
+    (float_of_int (Balancer.total_inflight t.balancer));
+  Obs.Export.gauge e ~help:"Seconds since the router started"
+    "router.uptime_seconds"
+    (float_of_int (uptime_ms t) /. 1000.0);
+  Obs.Export.gauge e ~help:"1 when at least one backend is usable"
+    "router.ready"
+    (if (health t).Wire.ready then 1.0 else 0.0);
+  Array.iteri
+    (fun i b ->
+      let labels = [ ("backend", b.b_name) ] in
+      Obs.Export.counter e ~labels ~help:"Forwarding attempts per backend"
+        "router.backend_requests"
+        (Atomic.get b.b_requests);
+      Obs.Export.counter e ~labels ~help:"Failed attempts per backend"
+        "router.backend_errors" (Atomic.get b.b_errors);
+      Obs.Export.counter e ~labels ~help:"Retries caused per backend"
+        "router.backend_retries"
+        (Atomic.get b.b_retries);
+      Obs.Export.counter e ~labels ~help:"Hedge legs issued per backend"
+        "router.backend_hedges" (Atomic.get b.b_hedges);
+      Obs.Export.gauge e ~labels ~help:"In-flight requests per backend"
+        "router.backend_inflight"
+        (float_of_int (Balancer.inflight t.balancer i));
+      let st = Health.state t.health i in
+      Obs.Export.gauge e ~labels ~help:"1 unless the backend is ejected"
+        "router.backend_up"
+        (if st <> Health.Dead then 1.0 else 0.0);
+      Obs.Export.gauge e ~labels
+        ~help:"Backend state: 0 ready, 1 saturated, 2 dead"
+        "router.backend_state"
+        (match st with
+        | Health.Ready -> 0.0
+        | Health.Saturated -> 1.0
+        | Health.Dead -> 2.0))
+    t.backends;
+  List.iter
+    (fun seconds ->
+      let w = Obs.Window.stats ~seconds t.window in
+      let labels = [ ("window", string_of_int w.Obs.Window.seconds ^ "s") ] in
+      Obs.Export.window_summary e
+        ~help:"Routed request latency in microseconds, rolling window"
+        "router.request_us" w;
+      Obs.Export.gauge e ~labels ~help:"Routed requests per second"
+        "router.request_rate" w.Obs.Window.rate;
+      Obs.Export.gauge e ~labels ~help:"Error responses per second"
+        "router.error_rate"
+        (float_of_int w.Obs.Window.counters.(w_errors)
+        /. float_of_int w.Obs.Window.seconds))
+    [ 1; 10; 60 ];
+  Obs.Export.contents e
+
+(* --- stats ------------------------------------------------------------- *)
+
+type backend_stats = {
+  name : string;
+  state : Health.state;
+  requests : int;
+  errors : int;
+  retries : int;
+  hedges : int;
+  inflight : int;
+}
+
+type stats = {
+  requests : int;
+  retries : int;
+  hedges : int;
+  hedge_wins : int;
+  no_backend : int;
+  bad_frames : int;
+  connections : int;
+  per_backend : backend_stats list;
+}
+
+let stats t =
+  {
+    requests = Atomic.get t.c_requests;
+    retries = Atomic.get t.c_retries;
+    hedges = Atomic.get t.c_hedges;
+    hedge_wins = Atomic.get t.c_hedge_wins;
+    no_backend = Atomic.get t.c_no_backend;
+    bad_frames = Atomic.get t.c_bad_frames;
+    connections = Atomic.get t.c_connections;
+    per_backend =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             {
+               name = b.b_name;
+               state = Health.state t.health i;
+               requests = Atomic.get b.b_requests;
+               errors = Atomic.get b.b_errors;
+               retries = Atomic.get b.b_retries;
+               hedges = Atomic.get b.b_hedges;
+               inflight = Balancer.inflight t.balancer i;
+             })
+           t.backends);
+  }
+
+(* --- request dispatch -------------------------------------------------- *)
+
+let fresh_rid t =
+  let rec fresh () =
+    let v = Atomic.fetch_and_add t.rid 1 land max_int in
+    if v = 0 then fresh () else v
+  in
+  fresh ()
+
+let outcome_of = function
+  | Wire.Error_reply { code; _ } -> Wire.error_code_to_string code
+  | _ -> "ok"
+
+let request_kind = function
+  | Wire.Prove _ -> "prove"
+  | Wire.Verify _ -> "verify"
+  | Wire.Forge _ -> "forge"
+  | Wire.Stats -> "stats"
+  | Wire.Catalog -> "catalog"
+  | Wire.Metrics_text -> "metrics"
+  | Wire.Health -> "health"
+  | Wire.Drain _ -> "drain"
+
+let handle_request t ~rid req =
+  Atomic.incr t.c_requests;
+  let t0 = Obs.Clock.now_ns () in
+  let resp =
+    match req with
+    | Wire.Health -> Wire.Health_reply (health t)
+    | Wire.Metrics_text -> Wire.Metrics_text_reply (metrics_text t)
+    | Wire.Stats -> stats_reply t
+    | Wire.Catalog -> catalog_reply t
+    | Wire.Drain _ ->
+        err Wire.Bad_request
+          "drain is a backend-local operation: send it to a daemon, not the \
+           router"
+    | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ ->
+        forward_compute t ~rid req
+  in
+  let latency_us = (Obs.Clock.now_ns () - t0) / 1_000 in
+  Obs.Window.observe t.window latency_us;
+  Obs.Window.incr t.window w_requests;
+  let outcome = outcome_of resp in
+  if outcome <> "ok" then Obs.Window.incr t.window w_errors;
+  (match t.config.log with
+  | None -> ()
+  | Some log ->
+      ignore
+        (Obs.Log.write log
+           [
+             ("rid", Obs.Log.Int rid);
+             ("req", Obs.Log.Str (request_kind req));
+             ("latency_us", Obs.Log.Int latency_us);
+             ("outcome", Obs.Log.Str outcome);
+           ]));
+  resp
+
+(* --- connections ------------------------------------------------------- *)
+
+let bad_frame t raw message =
+  Atomic.incr t.c_bad_frames;
+  let code =
+    if
+      String.length raw >= 3
+      && raw.[0] = 'L'
+      && raw.[1] = 'C'
+      && (Char.code raw.[2] < Wire.min_protocol_version
+         || Char.code raw.[2] > Wire.protocol_version)
+    then Wire.Unsupported_version
+    else Wire.Bad_frame
+  in
+  Wire.Error_reply { code; message }
+
+let handle_conn t fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  try
+    let rec loop () =
+      if not (Atomic.get t.stopping) then
+        match Net_io.read_exact fd Wire.header_bytes with
+        | None -> ()
+        | Some raw -> (
+            match Wire.decode_header raw with
+            | Error m ->
+                Net_io.write_all fd (Wire.encode_response (bad_frame t raw m))
+            | Ok { Wire.version; tag; length } -> (
+                match Net_io.read_exact fd length with
+                | None -> ()
+                | Some payload ->
+                    let id, resp =
+                      match
+                        Wire.decode_request_payload ~version ~tag payload
+                      with
+                      | Error m ->
+                          Atomic.incr t.c_bad_frames;
+                          (0, err Wire.Bad_request "%s" m)
+                      | Ok (id, req) ->
+                          (* the router always talks v2 to backends, so
+                             a v1 client's requests still get a rid for
+                             hedging and logs; the reply speaks the
+                             client's version, which elides it *)
+                          let rid = if id <> 0 then id else fresh_rid t in
+                          (rid, handle_request t ~rid req)
+                    in
+                    Net_io.write_all fd (Wire.encode_response ~version ~id resp);
+                    loop ()))
+    in
+    loop ()
+  with Unix.Unix_error _ -> ()
+
+(* --- HTTP sidecar ------------------------------------------------------ *)
+
+let http_reply t path =
+  match path with
+  | "/metrics" ->
+      Http_sidecar.response ~status:"200 OK"
+        ~content_type:Http_sidecar.prometheus_content_type (metrics_text t)
+  | "/healthz" ->
+      Http_sidecar.response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+  | "/readyz" ->
+      let alive = Health.alive t.health in
+      if alive > 0 && not (Atomic.get t.stopping) then
+        Http_sidecar.response ~status:"200 OK" ~content_type:"text/plain"
+          (Printf.sprintf "ready: %d/%d backends alive\n" alive
+             (Array.length t.backends))
+      else
+        Http_sidecar.response ~status:"503 Service Unavailable"
+          ~content_type:"text/plain" "no usable backend\n"
+  | _ -> Http_sidecar.not_found
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    match t.http_sock with
+    | None -> ()
+    | Some s ->
+        (try Unix.shutdown s Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        (try Unix.close s with Unix.Unix_error _ -> ())
+  end
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let http_thread =
+    Option.map
+      (fun s ->
+        Thread.create
+          (fun () ->
+            Http_sidecar.serve
+              ~stopping:(fun () -> Atomic.get t.stopping)
+              ~handler:(http_reply t) s)
+          ())
+      t.http_sock
+  in
+  let probe_thread =
+    if t.config.probe_interval_ms > 0 then
+      Some (Thread.create probe_loop t)
+    else None
+  in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept t.sock with
+      | fd, _ ->
+          Atomic.incr t.c_connections;
+          ignore (Thread.create (fun () -> handle_conn t fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+  in
+  loop ();
+  Option.iter Thread.join probe_thread;
+  Option.iter Thread.join http_thread;
+  drop_idle t
+
+let start t = Thread.create run t

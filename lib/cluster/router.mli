@@ -1,0 +1,120 @@
+(** The cluster routing frontend behind [lcp route]: one TCP endpoint
+    speaking the daemon wire protocol (v1 and v2), forwarding to N
+    backend daemons.
+
+    {2 Placement}
+
+    Compute requests (prove / verify / forge) route by content: the
+    key is the backend's own compiled-verifier cache key — scheme name
+    plus MD5 of the graph6 payload ({!request_key}) — walked over a
+    {!Ring} with bounded-load spill ({!Balancer}). Identical instances
+    keep hitting the same daemon's LRU, so a cluster run's total cache
+    misses match a single warmed daemon's.
+
+    {2 Resilience}
+
+    Backend health ({!Health}) is driven by a probe loop sending
+    {!Wire.Health} every [probe_interval_ms] and by passive forwarding
+    failures; a backend is ejected after [fail_threshold] consecutive
+    failures and reinstated after [cooldown_ms]. Each compute request
+    has a budget of [1 + retries] attempts with jittered exponential
+    backoff ({!Client.Backoff}, seeded by the correlation id), never
+    re-trying a backend that already failed the request. Only
+    transport failures and typed [Overloaded] sheds retry. With
+    [hedge_ms > 0] the first attempt races a second backend after the
+    delay; the first reply wins and the loser is discarded by
+    correlation id ({!Hedge}).
+
+    {2 Endpoints}
+
+    [Health] / [Metrics_text] are answered locally (router readiness =
+    at least one backend alive; router Prometheus exposition);
+    [Stats] aggregates every live backend; [Catalog] is forwarded;
+    [Drain] is refused with [Bad_request] — it is a backend-local
+    admin operation. The optional HTTP sidecar serves [/metrics],
+    [/healthz] and [/readyz] (503 when no backend is usable). *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port}. *)
+  backends : (string * int) list;
+  vnodes : int;  (** ring points per backend *)
+  load_factor : float;  (** bounded-load spill threshold (>= 1) *)
+  retries : int;  (** extra forwarding attempts after the first *)
+  backoff : Client.Backoff.t;
+  hedge_ms : int;  (** <= 0 disables hedging *)
+  probe_interval_ms : int;  (** <= 0 disables the probe thread *)
+  fail_threshold : int;
+  cooldown_ms : int;
+  http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
+  log : Obs.Log.t option;
+}
+
+val default_config : config
+(** 127.0.0.1:7412, no backends (callers must fill them in), 64
+    vnodes, load factor 1.25, 2 retries with a 5ms-base/200ms-cap
+    backoff, hedging off, 200ms probes, eject after 3 failures with a
+    1s cooldown, no sidecar, no log. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen; raises [Invalid_argument] on an empty backend
+    list or negative retries, [Unix.Unix_error] if a port is taken.
+    Nothing is accepted (and no probe runs) until {!run}. *)
+
+val port : t -> int
+val http_port : t -> int
+
+val run : t -> unit
+(** Accept loop; blocks until {!stop}. Starts the probe thread and
+    the HTTP sidecar, joins both before returning. *)
+
+val start : t -> Thread.t
+val stop : t -> unit
+
+val probe_once : ?now_ns:int -> t -> unit
+(** One synchronous health sweep over every backend — what the probe
+    thread does each tick, exposed so tests drive the
+    eject/cooldown/reinstate cycle deterministically on a virtual
+    clock ([?now_ns] threads through to {!Health}). *)
+
+val request_key : Wire.request -> string
+(** The routing key of a compute request — identical to the daemon's
+    compiled-verifier cache key, which is what yields cluster-wide
+    cache affinity. [""] for non-compute requests. *)
+
+val health : t -> Wire.health
+(** Router readiness: [ready] iff not stopping and at least one
+    backend is not ejected; [pending] is the in-flight forward count
+    ([max_queue] is 0 — the router does not queue). *)
+
+val metrics_text : t -> string
+(** The router's Prometheus exposition ([lcp_router_*]): request /
+    retry / hedge / no-backend counters, per-backend labelled
+    attempt/error/retry/hedge counters with liveness and in-flight
+    gauges, and rolling latency windows. Served as the
+    {!Wire.Metrics_text} reply and on the sidecar's [/metrics]. *)
+
+type backend_stats = {
+  name : string;  (** "host:port" *)
+  state : Health.state;
+  requests : int;  (** forwarding attempts *)
+  errors : int;
+  retries : int;
+  hedges : int;
+  inflight : int;
+}
+
+type stats = {
+  requests : int;
+  retries : int;
+  hedges : int;
+  hedge_wins : int;
+  no_backend : int;
+  bad_frames : int;
+  connections : int;
+  per_backend : backend_stats list;
+}
+
+val stats : t -> stats

@@ -15,6 +15,46 @@
 
 type t = { fd : Unix.file_descr; version : int }
 
+(* Deterministic jittered exponential backoff, shared by the client's
+   connect retries, the cluster router's forwarding retries and `lcp
+   top`'s reconnect loop. The jitter is a pure function of (seed,
+   attempt) — a splitmix-style integer hash — so tests can pin exact
+   delays and a retry storm still decorrelates across callers (each
+   uses a distinct seed, e.g. the correlation id). *)
+module Backoff = struct
+  type t = {
+    base_ms : float;  (** first delay, before jitter *)
+    max_ms : float;  (** growth cap, before jitter *)
+    multiplier : float;
+    jitter : float;  (** delays land in [(1-j) .. (1+j)) x nominal *)
+  }
+
+  let default =
+    { base_ms = 10.0; max_ms = 2_000.0; multiplier = 2.0; jitter = 0.5 }
+
+  let mix seed attempt =
+    let h = ref (((seed + 1) * 0x9E3779B1) lxor ((attempt + 1) * 0x85EBCA6B)) in
+    h := !h lxor (!h lsr 16);
+    h := !h * 0xC2B2AE35 land max_int;
+    h := !h lxor (!h lsr 13);
+    !h land 0xFFFFFF
+
+  (* uniform in [0, 1), deterministic in (seed, attempt) *)
+  let unit_float ~seed ~attempt =
+    float_of_int (mix seed attempt) /. 16_777_216.0
+
+  let delay_ms p ~seed ~attempt =
+    let attempt = max 1 attempt in
+    let nominal =
+      Float.min p.max_ms
+        (p.base_ms *. (p.multiplier ** float_of_int (attempt - 1)))
+    in
+    let u = unit_float ~seed ~attempt in
+    nominal *. (1.0 -. p.jitter +. (2.0 *. p.jitter *. u))
+end
+
+let default_sleep_ms ms = if ms > 0.0 then Thread.delay (ms /. 1000.0)
+
 let resolve host =
   match Unix.inet_addr_of_string host with
   | addr -> Ok addr
@@ -27,24 +67,37 @@ let resolve host =
       | _ -> Error (Printf.sprintf "cannot resolve host %S" host)
       | exception _ -> Error (Printf.sprintf "cannot resolve host %S" host))
 
-let connect ?(host = "127.0.0.1") ?(version = Wire.protocol_version) ~port () =
+let connect_once ~host ~version ~port =
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () -> Ok { fd; version }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let connect ?(host = "127.0.0.1") ?(version = Wire.protocol_version)
+    ?(retries = 0) ?(backoff = Backoff.default) ?(backoff_seed = 0)
+    ?(sleep_ms = default_sleep_ms) ~port () =
   if version < Wire.min_protocol_version || version > Wire.protocol_version
   then
     Error
       (Printf.sprintf "unsupported protocol version %d (supported: %d..%d)"
          version Wire.min_protocol_version Wire.protocol_version)
   else
-    match resolve host with
-    | Error _ as e -> e
-    | Ok addr -> (
-        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
-        | () -> Ok { fd; version }
-        | exception Unix.Unix_error (e, _, _) ->
-            (try Unix.close fd with _ -> ());
-            Error
-              (Printf.sprintf "cannot connect to %s:%d: %s" host port
-                 (Unix.error_message e)))
+    let rec go attempt =
+      match connect_once ~host ~version ~port with
+      | Ok _ as ok -> ok
+      | Error _ as e when attempt > retries -> e
+      | Error _ ->
+          sleep_ms (Backoff.delay_ms backoff ~seed:backoff_seed ~attempt);
+          go (attempt + 1)
+    in
+    go 1
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -119,6 +172,14 @@ let slot_name i =
   else if i = slot_unexpected then "unexpected"
   else Wire.error_code_to_string (List.nth error_codes i)
 
+type target_stat = {
+  t_host : string;
+  t_port : int;
+  t_connections : int;
+  t_ok : int;
+  t_errors : int;
+}
+
 type report = {
   connections : int;
   requests_per_connection : int;
@@ -135,6 +196,7 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  targets : target_stat list;
   server : Wire.server_stats option;
 }
 
@@ -171,16 +233,16 @@ type worker_result = {
   mutable w_verify_ns : int list;
 }
 
-let run_worker ~host ~port ~requests ~mix:(p, v) ~targets ~conn_id res =
-  match connect ~host ~port () with
+let run_worker ~host ~port ~requests ~mix:(p, v) ~graphs ~conn_id res =
+  match connect ~host ~port ~retries:2 ~backoff_seed:conn_id () with
   | Error _ ->
       res.w_errors <- requests;
       res.w_by_slot.(slot_transport) <- res.w_by_slot.(slot_transport) + requests
   | Ok client ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
-      let ngraphs = Array.length targets in
+      let ngraphs = Array.length graphs in
       for i = 0 to requests - 1 do
-        let g6, (scheme, proof) = targets.((conn_id + i) mod ngraphs) in
+        let g6, (scheme, proof) = graphs.((conn_id + i) mod ngraphs) in
         let is_prove = i mod (p + v) < p in
         let req =
           if is_prove then Wire.Prove { scheme; graph6 = g6 }
@@ -216,8 +278,15 @@ let run_worker ~host ~port ~requests ~mix:(p, v) ~targets ~conn_id res =
               res.w_by_slot.(slot_transport) + 1
       done
 
-let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
-    ~scheme ~sizes () =
+let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
+    ~mix:(p, v) ~scheme ~sizes () =
+  (* The endpoint list: explicit [targets] (router / multi-daemon runs)
+     or the single [host]:[port]. Workers round-robin over it. *)
+  let endpoints =
+    match targets with Some ((_ :: _) as l) -> l | _ -> [ (host, port) ]
+  in
+  let n_ep = List.length endpoints in
+  let endpoint conn_id = List.nth endpoints (conn_id mod n_ep) in
   if connections < 1 then Error "loadgen: connections must be >= 1"
   else if requests < 1 then Error "loadgen: requests must be >= 1"
   else if p < 0 || v < 0 || p + v = 0 then
@@ -226,9 +295,11 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
   else if List.exists (fun s -> s < 3) sizes then
     Error "loadgen: cycle sizes must be >= 3"
   else
-    (* Setup pass on its own connection: prove every graph once to get
-       the proofs the verify mix replays (and to warm the cache). *)
-    let targets_res =
+    (* Setup pass, one connection per endpoint: prove every graph once
+       on each (warming every cache); the proofs the verify mix
+       replays come from the first endpoint — proving is
+       deterministic, so they all agree. *)
+    let setup_on (host, port) =
       match connect ~host ~port () with
       | Error _ as e -> e
       | Ok client ->
@@ -256,9 +327,20 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
           in
           build [] sizes
     in
-    match targets_res with
+    let graphs_res =
+      let rec warm first = function
+        | [] -> ( match first with Some g -> Ok g | None -> Error "loadgen: no endpoints")
+        | ep :: rest -> (
+            match setup_on ep with
+            | Error _ as e -> e
+            | Ok g ->
+                warm (match first with None -> Some g | Some _ -> first) rest)
+      in
+      warm None endpoints
+    in
+    match graphs_res with
     | Error _ as e -> e
-    | Ok targets ->
+    | Ok graphs ->
         let results =
           Array.init connections (fun _ ->
               {
@@ -273,15 +355,33 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
         let t0 = Obs.Clock.now_ns () in
         let threads =
           List.init connections (fun conn_id ->
+              let host, port = endpoint conn_id in
               Thread.create
                 (fun () ->
-                  run_worker ~host ~port ~requests ~mix:(p, v) ~targets
+                  run_worker ~host ~port ~requests ~mix:(p, v) ~graphs
                     ~conn_id results.(conn_id))
                 ())
         in
         List.iter Thread.join threads;
         let total_s = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0) in
+        let per_target =
+          List.mapi
+            (fun i (t_host, t_port) ->
+              let own = ref [] in
+              Array.iteri
+                (fun conn_id r -> if conn_id mod n_ep = i then own := r :: !own)
+                results;
+              {
+                t_host;
+                t_port;
+                t_connections = List.length !own;
+                t_ok = List.fold_left (fun a r -> a + r.w_ok) 0 !own;
+                t_errors = List.fold_left (fun a r -> a + r.w_errors) 0 !own;
+              })
+            endpoints
+        in
         let server_stats =
+          let host, port = List.hd endpoints in
           match connect ~host ~port () with
           | Error _ -> None
           | Ok client ->
@@ -329,6 +429,7 @@ let loadgen ?(host = "127.0.0.1") ~port ~connections ~requests ~mix:(p, v)
             overall = summarise (List.rev_append prove_ns verify_ns);
             prove = summarise prove_ns;
             verify = summarise verify_ns;
+            targets = per_target;
             server = server_stats;
           }
 
@@ -374,14 +475,23 @@ let report_json r =
          (fun (name, n) -> Printf.sprintf {|"%s":%d|} (json_escape name) n)
          r.errors_by_code)
   in
+  let targets_json =
+    String.concat ","
+      (List.map
+         (fun t ->
+           Printf.sprintf
+             {|{"host":"%s","port":%d,"connections":%d,"ok":%d,"errors":%d}|}
+             (json_escape t.t_host) t.t_port t.t_connections t.t_ok t.t_errors)
+         r.targets)
+  in
   Printf.sprintf
-    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"server":%s}|}
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"targets":[%s],"server":%s}|}
     (json_escape r.scheme)
     (String.concat "," (List.map string_of_int r.sizes))
     r.connections r.requests_per_connection r.prove_weight r.verify_weight
     r.total_s r.throughput_rps r.ok r.errors by_code r.id_mismatches
     (summary_json r.overall) (summary_json r.prove) (summary_json r.verify)
-    server
+    targets_json server
 
 let pp_summary ppf name { count; latency } =
   match latency with
@@ -412,6 +522,13 @@ let pp_report ppf r =
   pp_summary ppf "overall" r.overall;
   pp_summary ppf "prove" r.prove;
   pp_summary ppf "verify" r.verify;
+  if List.length r.targets > 1 then
+    List.iter
+      (fun t ->
+        Format.fprintf ppf
+          "target:  %s:%d  %d connection(s), %d ok, %d error(s)@." t.t_host
+          t.t_port t.t_connections t.t_ok t.t_errors)
+      r.targets;
   match r.server with
   | None -> ()
   | Some st ->

@@ -11,11 +11,53 @@
 
 type t
 
+(** Deterministic jittered exponential backoff — the retry schedule
+    shared by {!connect}, the cluster router's forwarding loop and
+    [lcp top]'s reconnects. The delay for [(seed, attempt)] is a pure
+    function (an integer-hash jitter over an exponential ramp), so
+    tests can pin exact values while concurrent retriers with distinct
+    seeds still decorrelate. *)
+module Backoff : sig
+  type t = {
+    base_ms : float;  (** nominal first delay *)
+    max_ms : float;  (** cap on the nominal (pre-jitter) delay *)
+    multiplier : float;  (** per-attempt growth factor *)
+    jitter : float;
+        (** delays land uniformly in [(1-j) .. (1+j)) x nominal *)
+  }
+
+  val default : t
+  (** 10ms base, x2 growth, 2s cap, 50% jitter. *)
+
+  val delay_ms : t -> seed:int -> attempt:int -> float
+  (** The delay before retry number [attempt] (1-based; values < 1 are
+      clamped to 1). Deterministic in [(seed, attempt)]. *)
+
+  val unit_float : seed:int -> attempt:int -> float
+  (** The underlying uniform draw in [0, 1) — exposed for callers that
+      need a deterministic coin with the same decorrelation
+      properties. *)
+end
+
 val connect :
-  ?host:string -> ?version:int -> port:int -> unit -> (t, string) result
+  ?host:string ->
+  ?version:int ->
+  ?retries:int ->
+  ?backoff:Backoff.t ->
+  ?backoff_seed:int ->
+  ?sleep_ms:(float -> unit) ->
+  port:int ->
+  unit ->
+  (t, string) result
 (** Default host 127.0.0.1, default version {!Wire.protocol_version};
     names are resolved via [getaddrinfo]. An out-of-range [version] is
-    an [Error], not an exception. *)
+    an [Error], not an exception.
+
+    [retries] (default 0) extra attempts follow a failed connect, each
+    preceded by a {!Backoff.delay_ms} sleep for attempts [1..retries]
+    with [backoff] (default {!Backoff.default}) and [backoff_seed].
+    [sleep_ms] is the virtual-clock hook: tests inject a recorder
+    instead of the default [Thread.delay] so no wall time passes. *)
 
 val close : t -> unit
 
@@ -51,6 +93,15 @@ type percentiles = {
 
 type lat_summary = { count : int; latency : percentiles option }
 
+type target_stat = {
+  t_host : string;
+  t_port : int;
+  t_connections : int;  (** worker connections assigned to this target *)
+  t_ok : int;
+  t_errors : int;
+}
+(** Per-endpoint slice of a multi-target run. *)
+
 type report = {
   connections : int;
   requests_per_connection : int;
@@ -74,13 +125,17 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  targets : target_stat list;
+      (** One entry per endpoint, in the order given; a single entry
+          for a plain single-target run. *)
   server : Wire.server_stats option;
-      (** The server's own stats, fetched after the run — shows the
-          cache hit rate the workload achieved. *)
+      (** The first endpoint's own stats, fetched after the run —
+          shows the cache hit rate the workload achieved. *)
 }
 
 val loadgen :
   ?host:string ->
+  ?targets:(string * int) list ->
   port:int ->
   connections:int ->
   requests:int ->
@@ -96,7 +151,13 @@ val loadgen :
     verifies per [p + v] requests. A request only counts as [ok] if
     the semantically right response came back (a proof, or an
     all-nodes-accept verdict). Each request carries a distinct
-    correlation id and the echo is verified. *)
+    correlation id and the echo is verified.
+
+    A non-empty [targets] list overrides [host]:[port]: worker
+    connections round-robin over the endpoints (the setup pass warms
+    every one) and the report carries a per-target breakdown — how
+    [lcp loadgen] drives several daemons, or a router plus direct
+    backends, in one run. *)
 
 val report_json : report -> string
 (** The latency summary as one JSON object (the CI artifact). *)

@@ -1,0 +1,71 @@
+(* The plain-HTTP telemetry sidecar shared by the verification daemon
+   and the cluster router: a deliberately minimal HTTP/1.0 responder —
+   enough for a Prometheus scraper or `curl`, one request per
+   connection, no keep-alive, no external dependency. The owner hands
+   [serve] a [handler] mapping a GET path to a complete response;
+   everything else (framing, query-string stripping, the method guard)
+   lives here once. *)
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let not_found =
+  response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
+
+let handle_conn ~handler fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  try
+    (* read up to the end of the request line; headers are ignored *)
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 256 in
+    let rec fill () =
+      if (not (String.contains (Buffer.contents buf) '\n'))
+         && Buffer.length buf < 8192
+      then begin
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          fill ()
+        end
+      end
+    in
+    fill ();
+    let line =
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some i -> String.sub (Buffer.contents buf) 0 i
+      | None -> Buffer.contents buf
+    in
+    let reply =
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "GET"; target; _version ] ->
+          (* strip any query string: /metrics?x=1 -> /metrics *)
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          handler path
+      | _ ->
+          response ~status:"400 Bad Request" ~content_type:"text/plain"
+            "only GET is served here\n"
+    in
+    Net_io.write_all fd reply
+  with Unix.Unix_error _ -> ()
+
+let serve ~stopping ~handler sock =
+  let rec loop () =
+    if not (stopping ()) then
+      match Unix.accept sock with
+      | fd, _ ->
+          ignore (Thread.create (fun () -> handle_conn ~handler fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ when stopping () -> ()
+  in
+  loop ()

@@ -1,0 +1,24 @@
+(** Minimal plain-HTTP/1.0 telemetry sidecar, shared by the
+    verification daemon ({!Server}) and the cluster router
+    ({!Router}): one request per connection, GET only, no keep-alive,
+    no external dependency — just enough surface for a Prometheus
+    scraper, a Kubernetes probe or [curl]. *)
+
+val response : status:string -> content_type:string -> string -> string
+(** A complete HTTP/1.0 response: status line, [Content-Type],
+    [Content-Length], [Connection: close], body. *)
+
+val prometheus_content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"]. *)
+
+val not_found : string
+(** The canned 404 response — the [handler] fallback. *)
+
+val serve :
+  stopping:(unit -> bool) -> handler:(string -> string) -> Unix.file_descr -> unit
+(** Accept loop on an already-listening socket: one thread per
+    connection, each parsed down to its GET path (query string
+    stripped) and answered with [handler path] — a {e complete}
+    response built with {!response}. Returns when [stopping ()] turns
+    true and the socket is closed under it; non-GET requests get a
+    400 without reaching the handler. *)

@@ -97,6 +97,7 @@ type t = {
   cache_lock : Mutex.t;
   started_ns : int;
   stopping : bool Atomic.t;
+  draining : bool Atomic.t;
   rid : int Atomic.t;  (* next server-assigned correlation id *)
   window : Obs.Window.t;  (* latency µs + the w_* counters above *)
   c_requests : int Atomic.t;
@@ -162,6 +163,7 @@ let create config =
     cache_lock = Mutex.create ();
     started_ns = Obs.Clock.now_ns ();
     stopping = Atomic.make false;
+    draining = Atomic.make false;
     rid = Atomic.make 1;
     window = Obs.Window.create ~horizon:60 ~counters:w_counters ();
     c_requests = Atomic.make 0;
@@ -195,10 +197,17 @@ let stats t =
 
 let uptime_ms t = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000
 
+let draining t = Atomic.get t.draining
+
+let set_draining t enable = Atomic.set t.draining enable
+
 let health t =
   let pending = Pool.pending t.pool in
   {
-    Wire.ready = (not (Atomic.get t.stopping)) && pending < t.config.max_queue;
+    Wire.ready =
+      (not (Atomic.get t.stopping))
+      && (not (Atomic.get t.draining))
+      && pending < t.config.max_queue;
     pending;
     max_queue = t.config.max_queue;
     uptime_ms = uptime_ms t;
@@ -370,7 +379,8 @@ let compute t ctx req =
                       { fooled = Some proof; attempts = 0; best_rejections = 0 }
                 | Adversary.Resisted { best_rejections; attempts } ->
                     Wire.Forged { fooled = None; attempts; best_rejections })
-      | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health ->
+      | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
+      | Wire.Drain _ ->
           (* handled inline on the connection thread *)
           err Wire.Internal "request dispatched to a worker by mistake"
     in
@@ -543,13 +553,16 @@ let request_kind = function
   | Wire.Catalog -> "catalog"
   | Wire.Metrics_text -> "metrics"
   | Wire.Health -> "health"
+  | Wire.Drain _ -> "drain"
 
 let request_scheme = function
   | Wire.Prove { scheme; _ }
   | Wire.Verify { scheme; _ }
   | Wire.Forge { scheme; _ } ->
       scheme
-  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health -> "-"
+  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
+  | Wire.Drain _ ->
+      "-"
 
 let outcome_of = function
   | Wire.Error_reply { code; _ } -> Wire.error_code_to_string code
@@ -612,13 +625,18 @@ let handle_request t ctx req =
     | Wire.Forge _ -> m_req_forge
     | Wire.Stats -> m_req_stats
     | Wire.Catalog -> m_req_catalog
-    | Wire.Metrics_text | Wire.Health -> m_req_telemetry);
+    | Wire.Metrics_text | Wire.Health | Wire.Drain _ -> m_req_telemetry);
   let body () =
     match req with
     | Wire.Stats -> stats_reply t
     | Wire.Catalog -> catalog_reply ()
     | Wire.Metrics_text -> Wire.Metrics_text_reply (metrics_text t)
     | Wire.Health -> Wire.Health_reply (health t)
+    | Wire.Drain { enable } ->
+        (* graceful drain: keep serving everything, but report
+           not-ready so a routing frontend stops sending new work *)
+        set_draining t enable;
+        Wire.Drain_reply { draining = enable; pending = Pool.pending t.pool }
     | _ -> dispatch t ctx req
   in
   let resp =
@@ -688,92 +706,32 @@ let handle_conn t fd =
 
 (* --- HTTP sidecar ----------------------------------------------------- *)
 
-(* A deliberately minimal HTTP/1.0 responder — enough for a Prometheus
-   scraper or `curl`, one request per connection, no keep-alive, no
-   external dependency. *)
-let http_response ~status ~content_type body =
-  Printf.sprintf
-    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    status content_type (String.length body) body
-
-let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
-
 let http_reply t path =
   match path with
   | "/metrics" ->
-      http_response ~status:"200 OK" ~content_type:prometheus_content_type
-        (metrics_text t)
+      Http_sidecar.response ~status:"200 OK"
+        ~content_type:Http_sidecar.prometheus_content_type (metrics_text t)
   | "/metrics.json" ->
-      http_response ~status:"200 OK" ~content_type:"application/json"
+      Http_sidecar.response ~status:"200 OK" ~content_type:"application/json"
         (metrics_json t)
   | "/healthz" ->
-      http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+      Http_sidecar.response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
   | "/readyz" ->
       let h = health t in
       if h.Wire.ready then
-        http_response ~status:"200 OK" ~content_type:"text/plain" "ready\n"
+        Http_sidecar.response ~status:"200 OK" ~content_type:"text/plain"
+          "ready\n"
       else
-        http_response ~status:"503 Service Unavailable"
+        Http_sidecar.response ~status:"503 Service Unavailable"
           ~content_type:"text/plain"
           (Printf.sprintf "saturated: %d/%d tasks pending\n" h.Wire.pending
              h.Wire.max_queue)
-  | _ ->
-      http_response ~status:"404 Not Found" ~content_type:"text/plain"
-        "not found\n"
-
-let handle_http_conn t fd =
-  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
-  @@ fun () ->
-  try
-    (* read up to the end of the request line; headers are ignored *)
-    let buf = Buffer.create 256 in
-    let chunk = Bytes.create 256 in
-    let rec fill () =
-      if (not (String.contains (Buffer.contents buf) '\n'))
-         && Buffer.length buf < 8192
-      then begin
-        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-        if n > 0 then begin
-          Buffer.add_subbytes buf chunk 0 n;
-          fill ()
-        end
-      end
-    in
-    fill ();
-    let line =
-      match String.index_opt (Buffer.contents buf) '\n' with
-      | Some i -> String.sub (Buffer.contents buf) 0 i
-      | None -> Buffer.contents buf
-    in
-    let reply =
-      match String.split_on_char ' ' (String.trim line) with
-      | [ "GET"; target; _version ] ->
-          (* strip any query string: /metrics?x=1 -> /metrics *)
-          let path =
-            match String.index_opt target '?' with
-            | Some i -> String.sub target 0 i
-            | None -> target
-          in
-          http_reply t path
-      | _ ->
-          http_response ~status:"400 Bad Request" ~content_type:"text/plain"
-            "only GET is served here\n"
-    in
-    Net_io.write_all fd reply
-  with Unix.Unix_error _ -> ()
+  | _ -> Http_sidecar.not_found
 
 let http_loop t sock =
-  let rec loop () =
-    if not (Atomic.get t.stopping) then
-      match Unix.accept sock with
-      | fd, _ ->
-          ignore (Thread.create (fun () -> handle_http_conn t fd) ());
-          loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
-  in
-  loop ()
+  Http_sidecar.serve
+    ~stopping:(fun () -> Atomic.get t.stopping)
+    ~handler:(http_reply t) sock
 
 (* --- lifecycle -------------------------------------------------------- *)
 

@@ -105,8 +105,16 @@ val stats : t -> stats
 (** Live counters (independent of {!Obs} being enabled). *)
 
 val health : t -> Wire.health
-(** The readiness probe: [ready] iff not stopping and the pool backlog
-    is below [max_queue]. *)
+(** The readiness probe: [ready] iff not stopping, not draining and
+    the pool backlog is below [max_queue]. *)
+
+val draining : t -> bool
+
+val set_draining : t -> bool -> unit
+(** Toggle graceful drain (what a {!Wire.Drain} request does): a
+    draining server answers everything as usual but reports
+    [ready = false], so a routing frontend stops handing it new work
+    and it can be stopped once in-flight requests finish. *)
 
 val metrics_text : t -> string
 (** The Prometheus text exposition (format 0.0.4): server counters,

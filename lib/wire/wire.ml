@@ -35,6 +35,7 @@ type request =
   | Catalog
   | Metrics_text
   | Health
+  | Drain of { enable : bool }
 
 type error_code =
   | Bad_frame
@@ -69,6 +70,7 @@ type response =
   | Catalog_reply of catalog_entry list
   | Metrics_text_reply of string
   | Health_reply of health
+  | Drain_reply of { draining : bool; pending : int }
   | Error_reply of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -110,6 +112,7 @@ let request_tag = function
   | Catalog -> 0x05
   | Metrics_text -> 0x06
   | Health -> 0x07
+  | Drain _ -> 0x08
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -119,6 +122,7 @@ let response_tag = function
   | Catalog_reply _ -> 0x85
   | Metrics_text_reply _ -> 0x86
   | Health_reply _ -> 0x87
+  | Drain_reply _ -> 0x88
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -328,6 +332,7 @@ let request_body req =
       w_string b scheme;
       w_string b graph6;
       w_u16 b max_bits
+  | Drain { enable } -> w_u8 b (if enable then 1 else 0)
   | Stats | Catalog | Metrics_text | Health -> ());
   Buffer.contents b
 
@@ -354,6 +359,7 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
     | 0x05 -> Catalog
     | 0x06 -> Metrics_text
     | 0x07 -> Health
+    | 0x08 -> Drain { enable = r_bool c }
     | t -> fail "unknown request tag 0x%02x" t
   in
   (id, req)
@@ -401,6 +407,9 @@ let response_body resp =
       w_u32 b pending;
       w_u32 b max_queue;
       w_u32 b uptime_ms
+  | Drain_reply { draining; pending } ->
+      w_u8 b (if draining then 1 else 0);
+      w_u32 b pending
   | Error_reply { code; message } ->
       w_u8 b (error_code_to_int code);
       w_string b message);
@@ -453,6 +462,9 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         let pending = r_u32 c in
         let max_queue = r_u32 c in
         Health_reply { ready; pending; max_queue; uptime_ms = r_u32 c }
+    | 0x88 ->
+        let draining = r_bool c in
+        Drain_reply { draining; pending = r_u32 c }
     | 0xE0 ->
         let code_byte = r_u8 c in
         let code =
@@ -495,6 +507,7 @@ let equal_request a b =
       a.scheme = b.scheme && a.graph6 = b.graph6 && a.max_bits = b.max_bits
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
+  | Drain a, Drain b -> a.enable = b.enable
   | _ -> false
 
 let equal_proof_opt a b =
@@ -516,5 +529,7 @@ let equal_response a b =
   | Catalog_reply a, Catalog_reply b -> a = b
   | Metrics_text_reply a, Metrics_text_reply b -> a = b
   | Health_reply a, Health_reply b -> a = b
+  | Drain_reply a, Drain_reply b ->
+      a.draining = b.draining && a.pending = b.pending
   | Error_reply a, Error_reply b -> a.code = b.code && a.message = b.message
   | _ -> false

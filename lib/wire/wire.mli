@@ -70,6 +70,13 @@ type request =
       (** The telemetry exposition in Prometheus text format v0.0.4 —
           same bytes the HTTP sidecar serves on [/metrics]. *)
   | Health  (** Readiness probe: pool saturation, uptime. *)
+  | Drain of { enable : bool }
+      (** Backend-admin frame: [enable = true] flips the daemon into
+          draining mode — it keeps answering every request but reports
+          [ready = false] on {!Health}, so a routing frontend stops
+          sending it new work and it can be taken down without
+          dropping anything in flight. [enable = false] reinstates
+          it. *)
 
 type error_code =
   | Bad_frame  (** Unparseable frame: the connection is out of sync. *)
@@ -98,8 +105,9 @@ type server_stats = {
 
 type health = { ready : bool; pending : int; max_queue : int; uptime_ms : int }
 (** [ready] is false when the pool backlog has reached [max_queue]
-    (the next compute request would be shed) or the server is
-    stopping; [pending] is the live queued + running task count. *)
+    (the next compute request would be shed), the server is stopping,
+    or the server is draining (see {!request.Drain}); [pending] is the
+    live queued + running task count. *)
 
 type response =
   | Proved of Proof.t option
@@ -110,6 +118,9 @@ type response =
   | Catalog_reply of catalog_entry list
   | Metrics_text_reply of string
   | Health_reply of health
+  | Drain_reply of { draining : bool; pending : int }
+      (** Acknowledges a {!Drain} toggle: the mode now in force and
+          how many tasks are still queued or running. *)
   | Error_reply of { code : error_code; message : string }
 
 val error_code_to_string : error_code -> string

@@ -45,7 +45,8 @@ let expect_error code what = function
         | Wire.Stats_reply _ -> "Stats_reply"
         | Wire.Catalog_reply _ -> "Catalog_reply"
         | Wire.Metrics_text_reply _ -> "Metrics_text_reply"
-        | Wire.Health_reply _ -> "Health_reply")
+        | Wire.Health_reply _ -> "Health_reply"
+        | Wire.Drain_reply _ -> "Drain_reply")
 
 (* ------------------------------------------------------------------ *)
 (* In-process units: the LRU and the scheme registry. *)
@@ -379,6 +380,30 @@ let health_readiness () =
       | r -> expect_error Wire.Internal "health" r);
       check "Server.health agrees" false (Server.health t).Wire.ready)
 
+let drain_cycle () =
+  with_server Server.default_config @@ fun t port ->
+  with_client port @@ fun c ->
+  (* enabling drain is acknowledged and flips readiness... *)
+  (match call c (Wire.Drain { enable = true }) with
+  | Wire.Drain_reply { draining; _ } -> check "drain acknowledged" true draining
+  | r -> expect_error Wire.Internal "drain" r);
+  check "Server.draining agrees" true (Server.draining t);
+  (match call c Wire.Health with
+  | Wire.Health_reply h -> check "draining server not ready" false h.Wire.ready
+  | r -> expect_error Wire.Internal "health while draining" r);
+  (* ...but the server keeps serving compute — drain is advisory *)
+  let g6 = Graph6.encode (Builders.cycle 16) in
+  (match call c (Wire.Prove { scheme = "eulerian"; graph6 = g6 }) with
+  | Wire.Proved _ -> ()
+  | r -> expect_error Wire.Internal "prove while draining" r);
+  (* disabling restores readiness *)
+  (match call c (Wire.Drain { enable = false }) with
+  | Wire.Drain_reply { draining; _ } -> check "drain cleared" false draining
+  | r -> expect_error Wire.Internal "undrain" r);
+  match call c Wire.Health with
+  | Wire.Health_reply h -> check "ready again" true h.Wire.ready
+  | r -> expect_error Wire.Internal "health after undrain" r
+
 let metrics_text_endpoint () =
   with_server { Server.default_config with jobs = 2 } @@ fun t port ->
   with_client port @@ fun c ->
@@ -630,6 +655,8 @@ let suite =
       Alcotest.test_case "correlation ids echo end to end" `Quick
         correlation_ids;
       Alcotest.test_case "health and readiness probes" `Quick health_readiness;
+      Alcotest.test_case "drain toggles readiness, keeps serving" `Quick
+        drain_cycle;
       Alcotest.test_case "metrics_text exposition" `Quick metrics_text_endpoint;
       Alcotest.test_case "http sidecar endpoints" `Quick http_sidecar;
       Alcotest.test_case "structured request log" `Quick structured_log;

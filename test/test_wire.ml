@@ -129,6 +129,8 @@ let gen_request =
         return Wire.Catalog;
         return Wire.Metrics_text;
         return Wire.Health;
+        (let* enable = bool in
+         return (Wire.Drain { enable }));
       ])
 
 let gen_response =
@@ -179,6 +181,9 @@ let gen_response =
          let* max_queue = int_bound 10_000 in
          let* uptime_ms = int_bound 1_000_000 in
          return (Wire.Health_reply { Wire.ready; pending; max_queue; uptime_ms }));
+        (let* draining = bool in
+         let* pending = int_bound 10_000 in
+         return (Wire.Drain_reply { draining; pending }));
         (let* code =
            oneofl
              [
@@ -310,6 +315,8 @@ let cross_version_matrix () =
       Wire.Catalog;
       Wire.Metrics_text;
       Wire.Health;
+      Wire.Drain { enable = true };
+      Wire.Drain { enable = false };
       Wire.Prove { scheme = "eulerian"; graph6 = "A_" };
       Wire.Verify
         {
