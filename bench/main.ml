@@ -675,7 +675,7 @@ let json_of_result { row = r; outcome; wall_s; metrics } =
         (json_escape (Complexity.label fit))
         (if matches then "MATCH" else "DIFFERS")
 
-let write_json path ~smoke ~total_wall_s results =
+let write_json path ~smoke ~total_wall_s ?service results =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -685,10 +685,14 @@ let write_json path ~smoke ~total_wall_s results =
     \  \"smoke\": %b,\n\
     \  \"metrics\": %b,\n\
     \  \"total_wall_s\": %.6f,\n\
+     %s\
     \  \"rows\": [\n%s\n  ]\n\
      }\n"
     (if !use_reference then "reference" else "csr")
     !jobs smoke !collect_metrics total_wall_s
+    (match service with
+    | None -> ""
+    | Some s -> Printf.sprintf "  \"service\": %s,\n" s)
     (String.concat ",\n" (List.map json_of_result results));
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
@@ -723,6 +727,85 @@ let write_prom path ~total_wall_s results =
   output_string oc (Obs.Export.contents e);
   close_out oc;
   Format.printf "prometheus exposition written to %s@." path
+
+(* --- service bench (--service) --------------------------------------- *)
+
+(* The serving-path benchmark behind the "service" section of
+   BENCH_lcp.json: spin the verification daemon in-process on an
+   ephemeral port, drive it with the CI mix (eulerian 1:4 over cycle
+   sizes 64/128/256) through the real loadgen — once with plain
+   per-request frames, once with 64-op Batch frames — and record
+   req-equivalent throughput plus warm latency percentiles for both.
+   The loadgen setup pass warms the compiled-verifier cache, so every
+   measured request is warm. *)
+let service_bench () =
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      jobs = 1;
+      cache_size = 128;
+    }
+  in
+  let server = Server.create config in
+  let th = Server.start server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join th)
+  @@ fun () ->
+  let port = Server.port server in
+  let sizes = [ 64; 128; 256 ] in
+  let run ~batch ~requests =
+    match
+      Client.loadgen ~port ~batch ~connections:2 ~requests ~mix:(1, 4)
+        ~scheme:"eulerian" ~sizes ()
+    with
+    | Error m -> failwith ("service bench: " ^ m)
+    | Ok r -> r
+  in
+  Format.printf "@.=== service bench (in-process daemon, port %d) ===@." port;
+  let plain = run ~batch:1 ~requests:400 in
+  let batched = run ~batch:64 ~requests:25 in
+  let pcts (s : Client.lat_summary) =
+    match s.Client.latency with
+    | None -> (0.0, 0.0, 0.0)
+    | Some l -> (l.Client.p50_us, l.Client.p95_us, l.Client.p99_us)
+  in
+  let leg_json name (r : Client.report) =
+    let p50, p95, p99 = pcts r.Client.overall in
+    Printf.sprintf
+      "\"%s\":{\"batch\":%d,\"ops\":%d,\"errors\":%d,\"total_s\":%.4f,\"throughput_rps\":%.1f,\"throughput_ops\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}"
+      name r.Client.batch
+      (r.Client.ok + r.Client.errors)
+      r.Client.errors r.Client.total_s r.Client.throughput_rps
+      r.Client.throughput_ops p50 p95 p99
+  in
+  let speedup =
+    if plain.Client.throughput_ops > 0.0 then
+      batched.Client.throughput_ops /. plain.Client.throughput_ops
+    else 0.0
+  in
+  let describe name (r : Client.report) =
+    let p50, p95, p99 = pcts r.Client.overall in
+    Format.printf
+      "%-10s %6d ops in %6.3fs  %9.1f op/s  p50 %8.1f us  p95 %8.1f us  p99 \
+       %8.1f us  (%d error(s))@."
+      name
+      (r.Client.ok + r.Client.errors)
+      r.Client.total_s r.Client.throughput_ops p50 p95 p99 r.Client.errors
+  in
+  describe "unbatched" plain;
+  describe "batch-64" batched;
+  Format.printf "speedup:   %.1fx req-equivalent throughput@." speedup;
+  let st = Server.stats server in
+  Printf.sprintf
+    "{\"scheme\":\"eulerian\",\"mix\":\"1:4\",\"sizes\":[%s],\"connections\":2,%s,%s,\"speedup_ops\":%.2f,\"server\":{\"requests\":%d,\"batch_ops\":%d,\"cache_hits\":%d,\"cache_misses\":%d}}"
+    (String.concat "," (List.map string_of_int sizes))
+    (leg_json "unbatched" plain)
+    (leg_json "batch64" batched)
+    speedup st.Server.requests st.Server.batch_ops st.Server.cache_hits
+    st.Server.cache_misses
 
 (* --- lower-bound attack experiments --------------------------------- *)
 
@@ -993,8 +1076,8 @@ let run_table title rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--timing] [--reference] [--jobs N] [--metrics] \
-     [--trace FILE] [--prom FILE]  (N=0: all cores)";
+    "usage: main.exe [--smoke] [--timing] [--service] [--reference] [--jobs N] \
+     [--metrics] [--trace FILE] [--prom FILE]  (N=0: all cores)";
   exit 2
 
 (* Wrap a whole bench section in a trace span when tracing is on. *)
@@ -1046,8 +1129,8 @@ let () =
          String.length a > 1 && a.[0] = '-'
          && not
               (List.mem a
-                 [ "--smoke"; "--timing"; "--reference"; "--jobs"; "--metrics";
-                   "--trace"; "--prom" ]))
+                 [ "--smoke"; "--timing"; "--service"; "--reference"; "--jobs";
+                   "--metrics"; "--trace"; "--prom" ]))
        (flags_only (List.tl args))
    with
   | [] -> ()
@@ -1056,6 +1139,7 @@ let () =
       usage ());
   use_reference := List.mem "--reference" args;
   collect_metrics := List.mem "--metrics" args;
+  let with_service = List.mem "--service" args in
   if !collect_metrics || trace_file <> None then
     Obs.enable ~metrics:!collect_metrics ~trace:(trace_file <> None) ();
   let finish () =
@@ -1077,9 +1161,11 @@ let () =
       !jobs;
     let t0 = Obs.Clock.now_ns () in
     let results = run_table "smoke sweep" smoke_table in
+    let service = if with_service then Some (service_bench ()) else None in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
-    write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total results;
+    write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total ?service
+      results;
     Option.iter (fun p -> write_prom p ~total_wall_s:total results) prom_file;
     finish ()
   end
@@ -1097,8 +1183,12 @@ let () =
     section "bench.lower_bounds" lower_bounds;
     section "bench.ablations" ablations;
     section "bench.hierarchy" hierarchy;
+    let service =
+      if with_service then Some (section "bench.service" service_bench)
+      else None
+    in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
-    write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total
+    write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total ?service
       (results_a @ results_b);
     Option.iter
       (fun p -> write_prom p ~total_wall_s:total (results_a @ results_b))

@@ -658,8 +658,19 @@ let serve_cmd =
       & info [ "slow-dir" ] ~docv:"DIR"
           ~doc:"Directory for slow-request trace slices.")
   in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist compiled verifier images to $(docv) and mmap them back \
+             on cache misses, so a restarted daemon serves known graphs warm \
+             without recompiling. Empty (the default) disables the disk \
+             tier.")
+  in
   let run host port jobs cache_size deadline_ms max_queue http_port log_path
-      log_sample slow_ms slow_dir metrics trace =
+      log_sample slow_ms slow_dir cache_dir metrics trace =
     with_obs ~metrics ~trace @@ fun () ->
     let log =
       match log_path with
@@ -678,6 +689,7 @@ let serve_cmd =
         http_port;
         slow_ms;
         slow_dir;
+        cache_dir;
         log;
       }
     in
@@ -725,7 +737,7 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg $ jobs_arg $ cache_arg $ deadline_arg
       $ queue_arg $ http_port_arg $ log_arg $ log_sample_arg $ slow_ms_arg
-      $ slow_dir_arg $ metrics_arg $ trace_arg)
+      $ slow_dir_arg $ cache_dir_arg $ metrics_arg $ trace_arg)
 
 let route_cmd =
   let backend_arg =
@@ -972,11 +984,21 @@ let loadgen_cmd =
              connections round-robin over the targets and the summary gains \
              a per-target breakdown). Overrides --host/--port.")
   in
-  let run host port targets connections requests mix scheme sizes out =
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Pack $(docv) operations into each Batch wire frame (1 sends \
+             plain requests). The mix and graph rotation are identical per \
+             operation, so ops/s is directly comparable across batch sizes.")
+  in
+  let run host port targets connections requests batch mix scheme sizes out =
     let targets = match targets with [] -> None | l -> Some l in
     match
-      Client.loadgen ~host ?targets ~port ~connections ~requests ~mix ~scheme
-        ~sizes ()
+      Client.loadgen ~host ?targets ~batch ~port ~connections ~requests ~mix
+        ~scheme ~sizes ()
     with
     | Error m -> prerr_endline m; 1
     | Ok report ->
@@ -998,7 +1020,8 @@ let loadgen_cmd =
           prove/verify mix and report throughput and latency percentiles")
     Term.(
       const run $ host_arg $ port_arg $ connect_arg $ connections_arg
-      $ requests_arg $ mix_arg $ scheme_name_arg $ sizes_arg $ out_arg)
+      $ requests_arg $ batch_arg $ mix_arg $ scheme_name_arg $ sizes_arg
+      $ out_arg)
 
 let top_cmd =
   let interval_arg =

@@ -186,11 +186,38 @@ let err code fmt =
 (* The routing key doubles as the backend's compiled-verifier cache
    key (see Server.cache_key) — content-addressed placement is what
    gives the cluster cache affinity. *)
+let batch_op_scheme = function
+  | Wire.Op_prove { scheme; _ }
+  | Wire.Op_verify { scheme; _ }
+  | Wire.Op_forge { scheme; _ } ->
+      scheme
+
+let batch_op_graph = function
+  | Wire.Op_prove { graph; _ }
+  | Wire.Op_verify { graph; _ }
+  | Wire.Op_forge { graph; _ } ->
+      graph
+
+(* Per-op routing key inside a batch — the same content key a plain
+   request over that op's graph would get, so a batch op lands on the
+   daemon whose LRU already holds its compiled image. The decoder
+   guarantees in-range graph indices; hand-built requests with stray
+   indices share one arbitrary key and get their per-op Bad_request
+   from whichever backend receives them. *)
+let op_key gtable op =
+  let gi = batch_op_graph op in
+  let g6 = if gi < Array.length gtable then gtable.(gi) else "" in
+  batch_op_scheme op ^ "/" ^ Digest.to_hex (Digest.string g6)
+
 let request_key = function
   | Wire.Prove { scheme; graph6 }
   | Wire.Verify { scheme; graph6; _ }
   | Wire.Forge { scheme; graph6; _ } ->
       scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
+  | Wire.Batch { graphs; ops; _ } -> (
+      match ops with
+      | [] -> ""
+      | op :: _ -> op_key (Array.of_list graphs) op)
   | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
   | Wire.Drain _ ->
       ""
@@ -292,11 +319,17 @@ let attempt_on t ~rid req bi : (Wire.response, leg_failure) result =
       match Client.call_id c ~id:rid req with
       | Ok (rid', resp) -> (
           match resp with
-          | Wire.Error_reply { code = Wire.Overloaded; _ } ->
+          | Wire.Error_reply { code = (Wire.Overloaded | Wire.Unavailable) as code; _ }
+            ->
               give_back t bi c;
               Atomic.incr b.b_errors;
-              (* the backend is up but shedding: saturated, not dead *)
-              Health.observe_ok t.health bi ~ready:false;
+              (* both typed declines are worth a retry elsewhere:
+                 Overloaded means up-but-shedding (saturated, not
+                 dead); Unavailable means the pool is shutting down,
+                 so push the backend toward ejection *)
+              if code = Wire.Overloaded then
+                Health.observe_ok t.health bi ~ready:false
+              else Health.observe_failure t.health bi;
               Error (`Overloaded resp)
           | _ when rid' <> rid ->
               (* echoed id mismatch: the connection slipped a frame *)
@@ -419,6 +452,122 @@ let forward_compute t ~rid req =
             end)
   in
   go 1 [] None
+
+let fresh_rid t =
+  let rec fresh () =
+    let v = Atomic.fetch_and_add t.rid 1 land max_int in
+    if v = 0 then fresh () else v
+  in
+  fresh ()
+
+(* --- batch fan-out ------------------------------------------------------ *)
+
+let remap_op ~newgraph ~newproof = function
+  | Wire.Op_prove { scheme; graph } ->
+      Wire.Op_prove { scheme; graph = newgraph graph }
+  | Wire.Op_verify { scheme; graph; proof } ->
+      Wire.Op_verify { scheme; graph = newgraph graph; proof = newproof proof }
+  | Wire.Op_forge { scheme; graph; max_bits } ->
+      Wire.Op_forge { scheme; graph = newgraph graph; max_bits }
+
+(* A batch whose ops route to different backends is split by routing
+   key: one sub-batch per key, each with minimal remapped graph and
+   proof tables, forwarded concurrently (each leg gets its own rid and
+   the full retry/hedge budget of [forward_compute]). Per-op replies
+   are scattered back into the original op order, and a leg that fails
+   outright fills its ops' slots with that error — one cold or dead
+   backend degrades its share of the frame, never the whole frame.
+   The common case — every op sharing one key — forwards the frame
+   unchanged. *)
+let forward_batch t ~rid ~graphs ~proofs ~ops =
+  match ops with
+  | [] -> Wire.Batch_reply []
+  | _ -> (
+      let gt = Array.of_list graphs in
+      let pt = Array.of_list proofs in
+      (* group ops by key, preserving both first-seen key order and
+         arrival order within a group *)
+      let order = ref [] in
+      let groups = Hashtbl.create 8 in
+      List.iteri
+        (fun i op ->
+          let key = op_key gt op in
+          match Hashtbl.find_opt groups key with
+          | Some members -> members := (i, op) :: !members
+          | None ->
+              Hashtbl.add groups key (ref [ (i, op) ]);
+              order := key :: !order)
+        ops;
+      match List.rev !order with
+      | [] | [ _ ] ->
+          forward_compute t ~rid (Wire.Batch { graphs; proofs; ops })
+      | keys ->
+          let slots =
+            Array.make (List.length ops)
+              (Wire.Item_error
+                 { code = Wire.Internal; message = "batch op never routed" })
+          in
+          let run_group key =
+            let members = List.rev !(Hashtbl.find groups key) in
+            let remap = Hashtbl.create 4 in
+            let sub_graphs = ref [] in
+            let newgraph gi =
+              match Hashtbl.find_opt remap gi with
+              | Some j -> j
+              | None ->
+                  let j = Hashtbl.length remap in
+                  Hashtbl.add remap gi j;
+                  sub_graphs :=
+                    (if gi < Array.length gt then gt.(gi) else "")
+                    :: !sub_graphs;
+                  j
+            in
+            let premap = Hashtbl.create 4 in
+            let sub_proofs = ref [] in
+            let newproof pi =
+              match Hashtbl.find_opt premap pi with
+              | Some j -> j
+              | None ->
+                  let j = Hashtbl.length premap in
+                  Hashtbl.add premap pi j;
+                  sub_proofs :=
+                    (if pi < Array.length pt then pt.(pi) else Proof.empty)
+                    :: !sub_proofs;
+                  j
+            in
+            let sub_ops =
+              List.map (fun (_, op) -> remap_op ~newgraph ~newproof op) members
+            in
+            let req =
+              Wire.Batch
+                {
+                  graphs = List.rev !sub_graphs;
+                  proofs = List.rev !sub_proofs;
+                  ops = sub_ops;
+                }
+            in
+            let fill item_at =
+              List.iteri (fun j (i, _) -> slots.(i) <- item_at j) members
+            in
+            match forward_compute t ~rid:(fresh_rid t) req with
+            | Wire.Batch_reply items when List.length items = List.length members
+              ->
+                let items = Array.of_list items in
+                fill (fun j -> items.(j))
+            | Wire.Error_reply { code; message } ->
+                fill (fun _ -> Wire.Item_error { code; message })
+            | _ ->
+                fill (fun _ ->
+                    Wire.Item_error
+                      {
+                        code = Wire.Internal;
+                        message = "backend answered a batch with a non-batch \
+                                   response";
+                      })
+          in
+          let legs = List.map (fun key -> Thread.create run_group key) keys in
+          List.iter Thread.join legs;
+          Wire.Batch_reply (Array.to_list slots))
 
 (* --- non-compute requests --------------------------------------------- *)
 
@@ -613,13 +762,6 @@ let stats t =
 
 (* --- request dispatch -------------------------------------------------- *)
 
-let fresh_rid t =
-  let rec fresh () =
-    let v = Atomic.fetch_and_add t.rid 1 land max_int in
-    if v = 0 then fresh () else v
-  in
-  fresh ()
-
 let outcome_of = function
   | Wire.Error_reply { code; _ } -> Wire.error_code_to_string code
   | _ -> "ok"
@@ -628,6 +770,7 @@ let request_kind = function
   | Wire.Prove _ -> "prove"
   | Wire.Verify _ -> "verify"
   | Wire.Forge _ -> "forge"
+  | Wire.Batch _ -> "batch"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
   | Wire.Metrics_text -> "metrics"
@@ -647,6 +790,8 @@ let handle_request t ~rid req =
         err Wire.Bad_request
           "drain is a backend-local operation: send it to a daemon, not the \
            router"
+    | Wire.Batch { graphs; proofs; ops } ->
+        forward_batch t ~rid ~graphs ~proofs ~ops
     | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ ->
         forward_compute t ~rid req
   in

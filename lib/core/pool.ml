@@ -76,20 +76,31 @@ let create size =
   Obs.Trace.instant ~arg_name:"workers" ~arg:size "pool.create";
   p
 
-let submit_opt ?max_pending p task =
+type decline = Queue_full | Shutting_down
+
+(* Shutdown wins over a full queue when both hold: the caller must not
+   be told to "retry later" against a pool that will never come back. *)
+let submit_res ?max_pending p task =
   Mutex.lock p.lock;
-  let accepted =
-    (not p.stopping)
-    && (match max_pending with None -> true | Some b -> p.pending < b)
+  let verdict =
+    if p.stopping then Error Shutting_down
+    else
+      match max_pending with
+      | Some b when p.pending >= b -> Error Queue_full
+      | _ -> Ok ()
   in
-  if accepted then begin
-    Queue.push task p.tasks;
-    p.pending <- p.pending + 1;
-    Obs.Metrics.observe_max m_queue_depth (Queue.length p.tasks);
-    Condition.signal p.has_work
-  end;
+  (match verdict with
+  | Ok () ->
+      Queue.push task p.tasks;
+      p.pending <- p.pending + 1;
+      Obs.Metrics.observe_max m_queue_depth (Queue.length p.tasks);
+      Condition.signal p.has_work
+  | Error _ -> ());
   Mutex.unlock p.lock;
-  accepted
+  verdict
+
+let submit_opt ?max_pending p task =
+  Result.is_ok (submit_res ?max_pending p task)
 
 let submit p task =
   if not (submit_opt p task) then invalid_arg "Pool.submit: pool is shut down"

@@ -32,14 +32,25 @@ val pending : t -> int
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
 
+(** Why a bounded submit was declined. [Queue_full] is transient —
+    backpressure that clears as workers drain; [Shutting_down] is
+    terminal for this pool. The server maps them to distinct wire
+    errors ([Overloaded] vs [Unavailable]) so clients know whether to
+    retry here or go elsewhere. When both conditions hold,
+    [Shutting_down] wins. *)
+type decline = Queue_full | Shutting_down
+
+val submit_res :
+  ?max_pending:int -> t -> (unit -> unit) -> (unit, decline) result
+(** Non-raising, optionally bounded {!submit}: declines — instead of
+    raising or blocking — with [Error Shutting_down] when the pool has
+    been shut down, or [Error Queue_full] when [max_pending] is given
+    and [pending] (queued + running) tasks are already in flight. This
+    is the server's load-shedding primitive. [max_pending = 0] rejects
+    every task. *)
+
 val submit_opt : ?max_pending:int -> t -> (unit -> unit) -> bool
-(** Non-raising, optionally bounded {!submit}: returns [false] —
-    instead of raising or blocking — when the pool has been shut down,
-    or when [max_pending] is given and [pending] (queued + running)
-    tasks are already in flight. This is the server's load-shedding
-    primitive: a [false] turns into an explicit [Overloaded] response
-    rather than an unbounded queue. [max_pending = 0] rejects every
-    task. *)
+(** [submit_res] with the reason erased — [false] on any decline. *)
 
 val wait : t -> unit
 (** Block until every submitted task has finished. If any task raised,

@@ -195,21 +195,69 @@ let compile inst =
   else build ()
 
 let compiled_instance c = c.inst
+let compiled_csr c = c.csr
+let compiled_static_bits c = c.static_bits
+
+let compiled_of_parts inst csr static_bits =
+  if Array.length static_bits <> Csr.n csr then
+    invalid_arg "Simulator.compiled_of_parts: static_bits length mismatch";
+  { inst; csr; static_bits }
 
 (* Per-proof record sizes: static part + proof length at each node. *)
 let record_sizes c proof =
   Array.init (Csr.n c.csr) (fun i ->
       c.static_bits.(i) + Bits.length (Proof.get proof (Csr.node c.csr i)))
 
+let record_sizes_into c proof sizes =
+  for i = 0 to Csr.n c.csr - 1 do
+    sizes.(i) <- c.static_bits.(i) + Bits.length (Proof.get proof (Csr.node c.csr i))
+  done
+
+(* Sort the first [k] entries of [a] in place. Balls on the serving
+   path are small, so insertion sort wins; past the cutoff fall back
+   to a copying [Array.sort]. *)
+let sort_prefix a k =
+  if k > 48 then begin
+    let tmp = Array.sub a 0 k in
+    Array.sort Int.compare tmp;
+    Array.blit tmp 0 a 0 k
+  end
+  else
+    for i = 1 to k - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+
 (* Extract one view with a bounded BFS, plus (when [payload] is given)
    the size of the knowledge payload this node would send in the final
    gather round — the sum of record sizes over its radius-(r-1) ball —
-   which is what reproduces the reference transcript exactly. *)
-let view_of_scratch c proof scratch ?payload ?sizes ~centre_idx ~radius () =
+   which is what reproduces the reference transcript exactly.
+
+   [ids_buf] / [dists_buf] are arena buffers: when given (and big
+   enough) the ball's identifier prefix and distance table live in
+   them instead of fresh allocations. The returned view aliases
+   [dists_buf], so it is only valid until the buffer's next reuse. *)
+let view_of_scratch c proof scratch ?ids_buf ?dists_buf ?payload ?sizes
+    ~centre_idx ~radius () =
   let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
   let count = Csr.ball c.csr scratch ~centre:centre_idx ~radius in
-  let ids = Array.make count 0 in
-  let dists = Hashtbl.create 32 in
+  let ids =
+    match ids_buf with
+    | Some b when Array.length b >= count -> b
+    | _ -> Array.make count 0
+  in
+  let dists =
+    match dists_buf with
+    | Some h ->
+        Hashtbl.reset h;
+        h
+    | None -> Hashtbl.create 32
+  in
   (match (payload, sizes) with
   | Some cell, Some sizes ->
       let sum = ref 0 in
@@ -227,8 +275,8 @@ let view_of_scratch c proof scratch ?payload ?sizes ~centre_idx ~radius () =
         ids.(i) <- Csr.node c.csr idx;
         Hashtbl.replace dists ids.(i) (Csr.dist scratch idx)
       done);
-  Array.sort Int.compare ids;
-  let ball = Array.to_list ids in
+  sort_prefix ids count;
+  let ball = List.init count (fun i -> ids.(i)) in
   let view =
     View.of_ball c.inst proof ~centre:(Csr.node c.csr centre_idx) ~radius ~ball
       ~dists
@@ -245,30 +293,83 @@ let view_at c proof ~radius v =
   let scratch = Csr.scratch c.csr in
   view_of_scratch c proof scratch ~centre_idx:(Csr.index c.csr v) ~radius ()
 
-let run_verifier ?(jobs = 1) ?compiled inst proof ~radius verifier =
+(* --- arena: per-domain buffers reused across verification runs ------- *)
+
+(* Extends [Csr.scratch]'s lazy-reset idea up through the whole
+   sequential sweep: one arena owns every per-run buffer (BFS scratch,
+   ball ids, record sizes, verdict and payload arrays, the view's
+   distance table), grown monotonically to the largest graph seen, so
+   a warm [run_verifier ~arena] run allocates nothing per node beyond
+   the view's own persistent sub-instance. Single-owner, like a
+   scratch: never share one arena between domains. *)
+type arena = {
+  mutable a_scratch : Csr.scratch;
+  mutable a_ids : int array;
+  mutable a_sizes : int array;
+  mutable a_verdicts : bool array;
+  mutable a_payloads : int array;
+  a_dists : (Graph.node, int) Hashtbl.t;
+}
+
+let arena () =
+  {
+    a_scratch = Csr.scratch_of_capacity 1;
+    a_ids = [||];
+    a_sizes = [||];
+    a_verdicts = [||];
+    a_payloads = [||];
+    a_dists = Hashtbl.create 64;
+  }
+
+let arena_fit a n =
+  if Csr.scratch_capacity a.a_scratch < n then
+    a.a_scratch <- Csr.scratch_of_capacity n;
+  if Array.length a.a_ids < n then a.a_ids <- Array.make n 0;
+  if Array.length a.a_sizes < n then a.a_sizes <- Array.make n 0;
+  if Array.length a.a_verdicts < n then a.a_verdicts <- Array.make n false;
+  if Array.length a.a_payloads < n then a.a_payloads <- Array.make n 0
+
+let arena_capacity a = Csr.scratch_capacity a.a_scratch
+
+let run_verifier ?(jobs = 1) ?compiled ?arena inst proof ~radius verifier =
   if radius < 0 then invalid_arg "Simulator.run_verifier: negative radius";
   let c = match compiled with Some c -> c | None -> compile inst in
   let n = Csr.n c.csr in
-  let sizes = record_sizes c proof in
-  let verdicts = Array.make n false in
-  let payloads = Array.make n 0 in
+  (* The arena only serves the sequential sweep: chunked workers each
+     need their own scratch, so [jobs > 1] ignores it. *)
+  let arena = if jobs <= 1 then arena else None in
+  (match arena with Some a -> arena_fit a n | None -> ());
+  let sizes =
+    match arena with
+    | Some a ->
+        record_sizes_into c proof a.a_sizes;
+        a.a_sizes
+    | None -> record_sizes c proof
+  in
+  let verdicts =
+    match arena with Some a -> a.a_verdicts | None -> Array.make n false
+  in
+  let payloads =
+    match arena with Some a -> a.a_payloads | None -> Array.make n 0
+  in
   let eval view =
     try verifier view
     with Bits.Reader.Decode_error _ ->
       Obs.Metrics.incr m_decode_errors;
       false
   in
-  let process scratch i =
+  let process ?ids_buf ?dists_buf scratch i =
     let payload = ref 0 in
     let tracing = !Obs.Trace.enabled in
     let view =
       if tracing then
         Obs.Trace.span_arg "simulator.ball" "node" (Csr.node c.csr i)
           (fun () ->
-            view_of_scratch c proof scratch ~payload ~sizes ~centre_idx:i
-              ~radius ())
+            view_of_scratch c proof scratch ?ids_buf ?dists_buf ~payload ~sizes
+              ~centre_idx:i ~radius ())
       else
-        view_of_scratch c proof scratch ~payload ~sizes ~centre_idx:i ~radius ()
+        view_of_scratch c proof scratch ?ids_buf ?dists_buf ~payload ~sizes
+          ~centre_idx:i ~radius ()
     in
     payloads.(i) <- !payload;
     let t0 = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
@@ -286,11 +387,17 @@ let run_verifier ?(jobs = 1) ?compiled inst proof ~radius verifier =
   let sweep () =
     Pool.run ~jobs (fun pool ->
         match pool with
-        | None ->
-            let scratch = Csr.scratch c.csr in
-            for i = 0 to n - 1 do
-              process scratch i
-            done
+        | None -> (
+            match arena with
+            | Some a ->
+                for i = 0 to n - 1 do
+                  process ~ids_buf:a.a_ids ~dists_buf:a.a_dists a.a_scratch i
+                done
+            | None ->
+                let scratch = Csr.scratch c.csr in
+                for i = 0 to n - 1 do
+                  process scratch i
+                done)
         | Some pool ->
             Pool.parallel_for pool ~chunks:(Pool.size pool) ~n (fun _c lo hi ->
                 let scratch = Csr.scratch c.csr in

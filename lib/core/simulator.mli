@@ -50,6 +50,45 @@ val compile : Instance.t -> compiled
 
 val compiled_instance : compiled -> Instance.t
 
+val compiled_csr : compiled -> Csr.t
+(** The underlying CSR image — what the daemon's disk cache persists.
+    Treat as read-only (a [compiled] is shared across domains). *)
+
+val compiled_static_bits : compiled -> int array
+(** Per-dense-index proof-independent record sizes (same order as the
+    CSR's dense indices). Read-only, like {!compiled_csr}. *)
+
+val compiled_of_parts : Instance.t -> Csr.t -> int array -> compiled
+(** Reassemble a [compiled] from persisted parts {e without}
+    recompiling. The caller warrants that [csr] is the CSR image of
+    the instance's graph and [static_bits] its matching table (the
+    disk cache guarantees this by rebuilding the instance from the
+    CSR itself); only the array length is checked ([Invalid_argument]
+    on mismatch). *)
+
+(** {1 Arenas}
+
+    {!Csr.scratch}'s reuse discipline extended to the whole
+    verification sweep: an arena owns every buffer a sequential
+    {!run_verifier} needs — BFS scratch, ball-id prefix, record-size,
+    verdict and payload arrays, and the view's distance table — grown
+    monotonically to the largest graph seen and reused across runs, so
+    a warm batch of verifications allocates nothing per node beyond
+    each view's persistent sub-instance.
+
+    Lifetime rule: a view handed to the verifier callback {e aliases}
+    arena buffers and is valid only for the duration of that call —
+    a verifier must not retain views when an arena is in play. Like a
+    scratch, an arena belongs to exactly one domain. *)
+
+type arena
+
+val arena : unit -> arena
+(** An empty arena; buffers are sized on first use. *)
+
+val arena_capacity : arena -> int
+(** Largest node count the arena currently fits without growing. *)
+
 val view_at : compiled -> Proof.t -> radius:int -> Graph.node -> View.t
 (** Direct radius-r view extraction via bounded CSR BFS. Structurally
     identical to {!View.make} on the same arguments (it funnels through
@@ -58,6 +97,7 @@ val view_at : compiled -> Proof.t -> radius:int -> Graph.node -> View.t
 val run_verifier :
   ?jobs:int ->
   ?compiled:compiled ->
+  ?arena:arena ->
   Instance.t ->
   Proof.t ->
   radius:int ->
@@ -68,7 +108,9 @@ val run_verifier :
     runs on the compiled fast path. [?jobs] (default 1) chunks the
     per-node loop across that many worker domains; verdicts are
     independent of [jobs]. Pass [?compiled] to reuse a prior
-    {!compile} of the same instance. *)
+    {!compile} of the same instance, and [?arena] (sequential runs
+    only — ignored when [jobs > 1]) to reuse per-run buffers across
+    calls; verdicts are also independent of the arena. *)
 
 val all_accept :
   compiled -> Proof.t -> radius:int -> (View.t -> bool) -> bool

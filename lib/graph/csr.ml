@@ -70,6 +70,12 @@ type scratch = {
 
 let scratch t = { dist_ = Array.make t.n (-1); order = Array.make t.n 0; count = 0 }
 
+let scratch_of_capacity cap =
+  let cap = max cap 1 in
+  { dist_ = Array.make cap (-1); order = Array.make cap 0; count = 0 }
+
+let scratch_capacity s = Array.length s.dist_
+
 let ball t s ~centre ~radius =
   if centre < 0 || centre >= t.n then invalid_arg "Csr.ball: bad centre";
   if radius < 0 then invalid_arg "Csr.ball: negative radius";
@@ -103,3 +109,40 @@ let dist s v = s.dist_.(v)
 let ball_ids t s ~centre ~radius =
   let count = ball t s ~centre:(index t centre) ~radius in
   List.init count (fun i -> t.ids.(s.order.(i))) |> List.sort Int.compare
+
+(* --- raw image access (disk-cache serialisation) ---------------------- *)
+
+let export t = (t.offsets, t.targets, t.ids)
+
+(* Every structural invariant of [of_graph] is re-checked, so a
+   corrupt or hand-rolled image yields [Error], never a value that
+   crashes [ball] later. *)
+let import ~offsets ~targets ~ids =
+  let n = Array.length ids in
+  let e fmt = Printf.ksprintf Result.error fmt in
+  if Array.length offsets <> n + 1 then
+    e "offsets length %d, want %d" (Array.length offsets) (n + 1)
+  else if offsets.(0) <> 0 then e "offsets must start at 0"
+  else if Array.length targets mod 2 <> 0 then
+    e "odd target count %d" (Array.length targets)
+  else begin
+    let ok = ref (Ok ()) in
+    for i = 0 to n - 1 do
+      if !ok = Ok () && offsets.(i + 1) < offsets.(i) then
+        ok := e "offsets decrease at row %d" i;
+      if !ok = Ok () && i > 0 && ids.(i) <= ids.(i - 1) then
+        ok := e "ids not strictly increasing at %d" i
+    done;
+    if !ok = Ok () && n > 0 && ids.(0) < 0 then ok := e "negative node id";
+    if !ok = Ok () && offsets.(n) <> Array.length targets then
+      ok := e "offsets end at %d, want %d" offsets.(n) (Array.length targets);
+    Array.iter
+      (fun u -> if !ok = Ok () && (u < 0 || u >= n) then ok := e "target %d out of range" u)
+      targets;
+    match !ok with
+    | Error _ as err -> err
+    | Ok () ->
+        let idx = Hashtbl.create (2 * n) in
+        Array.iteri (fun i v -> Hashtbl.replace idx v i) ids;
+        Ok { n; m = Array.length targets / 2; offsets; targets; ids; idx }
+  end

@@ -52,6 +52,14 @@ type scratch
 
 val scratch : t -> scratch
 
+val scratch_of_capacity : int -> scratch
+(** A scratch usable with {e any} compiled graph of at most that many
+    nodes — the arena primitive: one long-lived scratch per worker
+    domain serves every cached graph whose [n] fits, growing (by
+    reallocation) only when a bigger graph arrives. *)
+
+val scratch_capacity : scratch -> int
+
 val ball : t -> scratch -> centre:int -> radius:int -> int
 (** [ball t s ~centre ~radius] runs a BFS from [centre] truncated at
     [radius] and returns the number of nodes in the ball. Afterwards
@@ -70,3 +78,23 @@ val dist : scratch -> int -> int
 val ball_ids : t -> scratch -> centre:int -> radius:int -> Graph.node list
 (** Convenience for tests: the ball of the {e identifier}-named centre
     as a sorted identifier list, exactly like {!Traversal.ball}. *)
+
+(** {1 Raw image access}
+
+    The disk cache persists a compiled graph as its three arrays and
+    rebuilds it without re-running {!of_graph} (or the graph6 decode
+    that precedes it). *)
+
+val export : t -> int array * int array * int array
+(** [(offsets, targets, ids)] — aliases of the live arrays; callers
+    must not mutate them. *)
+
+val import :
+  offsets:int array ->
+  targets:int array ->
+  ids:int array ->
+  (t, string) result
+(** Rebuild a CSR image from raw arrays, re-validating every
+    structural invariant ([of_graph]'s postconditions); [Error] on any
+    violation, so bytes from a corrupt cache file cannot become a
+    value that faults later. *)

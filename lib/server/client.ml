@@ -73,7 +73,13 @@ let connect_once ~host ~version ~port =
   | Ok addr -> (
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
-      | () -> Ok { fd; version }
+      | () ->
+          (* without this, every small request frame waits out a
+             Nagle/delayed-ACK exchange — milliseconds of idle per
+             round trip on loopback *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          Ok { fd; version }
       | exception Unix.Unix_error (e, _, _) ->
           (try Unix.close fd with _ -> ());
           Error
@@ -153,6 +159,7 @@ let error_codes =
     Wire.Overloaded;
     Wire.Deadline_exceeded;
     Wire.Internal;
+    Wire.Unavailable;
   ]
 
 let n_codes = List.length error_codes
@@ -183,12 +190,14 @@ type target_stat = {
 type report = {
   connections : int;
   requests_per_connection : int;
+  batch : int;
   prove_weight : int;
   verify_weight : int;
   scheme : string;
   sizes : int list;
   total_s : float;
   throughput_rps : float;
+  throughput_ops : float;
   ok : int;
   errors : int;
   errors_by_code : (string * int) list;
@@ -196,6 +205,7 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  batch_frames : lat_summary;
   targets : target_stat list;
   server : Wire.server_stats option;
 }
@@ -231,13 +241,81 @@ type worker_result = {
   mutable w_id_mismatches : int;
   mutable w_prove_ns : int list;
   mutable w_verify_ns : int list;
+  mutable w_batch_ns : int list;  (* per-frame latency, batched mode only *)
 }
 
-let run_worker ~host ~port ~requests ~mix:(p, v) ~graphs ~conn_id res =
+(* Batched worker loop: each frame carries [batch] ops following the
+   same deterministic mix as the plain loop (op [k = i * batch + j]
+   behaves exactly like plain request [k]), with every cycle graph
+   and its proof listed once in the frame's shared tables — op [j]'s
+   proof index equals its graph index. ok/errors count {e ops}, so a
+   batched and an unbatched run of equal op volume are directly
+   comparable; latency is per frame ([w_batch_ns]). *)
+let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res
+    =
+  let ngraphs = Array.length graphs in
+  let gtable = Array.to_list (Array.map fst graphs) in
+  let ptable = Array.to_list (Array.map (fun (_, (_, p)) -> p) graphs) in
+  let is_prove k = k mod (p + v) < p in
+  for i = 0 to requests - 1 do
+    let ops =
+      List.init batch (fun j ->
+          let k = (i * batch) + j in
+          let gi = (conn_id + k) mod ngraphs in
+          let _, (scheme, _) = graphs.(gi) in
+          if is_prove k then Wire.Op_prove { scheme; graph = gi }
+          else Wire.Op_verify { scheme; graph = gi; proof = gi })
+    in
+    let id = (conn_id * requests) + i + 1 in
+    let t0 = Obs.Clock.now_ns () in
+    let outcome =
+      call_id client ~id
+        (Wire.Batch { graphs = gtable; proofs = ptable; ops })
+    in
+    let dt = Obs.Clock.now_ns () - t0 in
+    (match outcome with
+    | Ok (rid, _) when rid <> id ->
+        res.w_id_mismatches <- res.w_id_mismatches + 1
+    | _ -> ());
+    let fail_all slot =
+      res.w_errors <- res.w_errors + batch;
+      res.w_by_slot.(slot) <- res.w_by_slot.(slot) + batch
+    in
+    match outcome with
+    | Ok (_, Wire.Batch_reply items) when List.length items = batch ->
+        res.w_batch_ns <- dt :: res.w_batch_ns;
+        List.iteri
+          (fun j item ->
+            match item with
+            | Wire.Item_proved (Some _) when is_prove ((i * batch) + j) ->
+                res.w_ok <- res.w_ok + 1
+            | Wire.Item_verified { accepted = true; _ }
+              when not (is_prove ((i * batch) + j)) ->
+                res.w_ok <- res.w_ok + 1
+            | Wire.Item_error { code; _ } ->
+                res.w_errors <- res.w_errors + 1;
+                let s = slot_of_code code in
+                res.w_by_slot.(s) <- res.w_by_slot.(s) + 1
+            | _ ->
+                res.w_errors <- res.w_errors + 1;
+                res.w_by_slot.(slot_unexpected) <-
+                  res.w_by_slot.(slot_unexpected) + 1)
+          items
+    | Ok (_, Wire.Error_reply { code; _ }) -> fail_all (slot_of_code code)
+    | Ok _ -> fail_all slot_unexpected
+    | Error _ -> fail_all slot_transport
+  done
+
+let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res =
   match connect ~host ~port ~retries:2 ~backoff_seed:conn_id () with
   | Error _ ->
-      res.w_errors <- requests;
-      res.w_by_slot.(slot_transport) <- res.w_by_slot.(slot_transport) + requests
+      let n = requests * max 1 batch in
+      res.w_errors <- n;
+      res.w_by_slot.(slot_transport) <- res.w_by_slot.(slot_transport) + n
+  | Ok client when batch > 1 ->
+      Fun.protect ~finally:(fun () -> close client) @@ fun () ->
+      run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
+        res
   | Ok client ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
       let ngraphs = Array.length graphs in
@@ -278,8 +356,8 @@ let run_worker ~host ~port ~requests ~mix:(p, v) ~graphs ~conn_id res =
               res.w_by_slot.(slot_transport) + 1
       done
 
-let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
-    ~mix:(p, v) ~scheme ~sizes () =
+let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ~port ~connections
+    ~requests ~mix:(p, v) ~scheme ~sizes () =
   (* The endpoint list: explicit [targets] (router / multi-daemon runs)
      or the single [host]:[port]. Workers round-robin over it. *)
   let endpoints =
@@ -289,6 +367,8 @@ let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
   let endpoint conn_id = List.nth endpoints (conn_id mod n_ep) in
   if connections < 1 then Error "loadgen: connections must be >= 1"
   else if requests < 1 then Error "loadgen: requests must be >= 1"
+  else if batch < 1 || batch > 0xFFFF then
+    Error "loadgen: batch must be in 1..65535"
   else if p < 0 || v < 0 || p + v = 0 then
     Error "loadgen: the mix needs non-negative weights summing to >= 1"
   else if sizes = [] then Error "loadgen: need at least one graph size"
@@ -350,6 +430,7 @@ let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
                 w_id_mismatches = 0;
                 w_prove_ns = [];
                 w_verify_ns = [];
+                w_batch_ns = [];
               })
         in
         let t0 = Obs.Clock.now_ns () in
@@ -358,7 +439,7 @@ let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
               let host, port = endpoint conn_id in
               Thread.create
                 (fun () ->
-                  run_worker ~host ~port ~requests ~mix:(p, v) ~graphs
+                  run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs
                     ~conn_id results.(conn_id))
                 ())
         in
@@ -410,25 +491,38 @@ let loadgen ?(host = "127.0.0.1") ?targets ~port ~connections ~requests
         let verify_ns =
           Array.fold_left (fun a r -> List.rev_append r.w_verify_ns a) [] results
         in
+        let batch_ns =
+          Array.fold_left (fun a r -> List.rev_append r.w_batch_ns a) [] results
+        in
+        (* ok + errors counts ops in both modes (each op lands in
+           exactly one bucket, including the failure paths), so ops/s
+           is the req-equivalent throughput and frames/s = ops/s ÷
+           batch. *)
+        let ops_per_s =
+          if total_s > 0. then float_of_int (ok + errors) /. total_s else 0.
+        in
         Ok
           {
             connections;
             requests_per_connection = requests;
+            batch;
             prove_weight = p;
             verify_weight = v;
             scheme;
             sizes;
             total_s;
-            throughput_rps =
-              (if total_s > 0. then float_of_int (ok + errors) /. total_s
-               else 0.);
+            throughput_rps = ops_per_s /. float_of_int batch;
+            throughput_ops = ops_per_s;
             ok;
             errors;
             errors_by_code;
             id_mismatches;
-            overall = summarise (List.rev_append prove_ns verify_ns);
+            overall =
+              summarise
+                (List.rev_append batch_ns (List.rev_append prove_ns verify_ns));
             prove = summarise prove_ns;
             verify = summarise verify_ns;
+            batch_frames = summarise batch_ns;
             targets = per_target;
             server = server_stats;
           }
@@ -485,12 +579,14 @@ let report_json r =
          r.targets)
   in
   Printf.sprintf
-    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"targets":[%s],"server":%s}|}
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"batch":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"throughput_ops":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"batch_frames":%s,"targets":[%s],"server":%s}|}
     (json_escape r.scheme)
     (String.concat "," (List.map string_of_int r.sizes))
-    r.connections r.requests_per_connection r.prove_weight r.verify_weight
-    r.total_s r.throughput_rps r.ok r.errors by_code r.id_mismatches
-    (summary_json r.overall) (summary_json r.prove) (summary_json r.verify)
+    r.connections r.requests_per_connection r.batch r.prove_weight
+    r.verify_weight r.total_s r.throughput_rps r.throughput_ops r.ok r.errors
+    by_code r.id_mismatches (summary_json r.overall) (summary_json r.prove)
+    (summary_json r.verify)
+    (summary_json r.batch_frames)
     targets_json server
 
 let pp_summary ppf name { count; latency } =
@@ -504,13 +600,19 @@ let pp_summary ppf name { count; latency } =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "loadgen: %d connection(s) x %d request(s), mix prove:verify = %d:%d, \
+    "loadgen: %d connection(s) x %d request(s)%s, mix prove:verify = %d:%d, \
      scheme %s, cycle sizes [%s]@."
-    r.connections r.requests_per_connection r.prove_weight r.verify_weight
-    r.scheme
+    r.connections r.requests_per_connection
+    (if r.batch > 1 then Printf.sprintf " x %d op(s)/batch" r.batch else "")
+    r.prove_weight r.verify_weight r.scheme
     (String.concat "; " (List.map string_of_int r.sizes));
-  Format.fprintf ppf "total:   %.3f s, %.1f req/s, %d ok, %d error(s)@."
-    r.total_s r.throughput_rps r.ok r.errors;
+  if r.batch > 1 then
+    Format.fprintf ppf
+      "total:   %.3f s, %.1f frame/s, %.1f op/s, %d ok, %d error(s)@."
+      r.total_s r.throughput_rps r.throughput_ops r.ok r.errors
+  else
+    Format.fprintf ppf "total:   %.3f s, %.1f req/s, %d ok, %d error(s)@."
+      r.total_s r.throughput_rps r.ok r.errors;
   if r.errors_by_code <> [] then
     Format.fprintf ppf "errors:  %s@."
       (String.concat ", "
@@ -520,8 +622,11 @@ let pp_report ppf r =
   if r.id_mismatches > 0 then
     Format.fprintf ppf "warning: %d response id mismatch(es)@." r.id_mismatches;
   pp_summary ppf "overall" r.overall;
-  pp_summary ppf "prove" r.prove;
-  pp_summary ppf "verify" r.verify;
+  if r.batch > 1 then pp_summary ppf "frame" r.batch_frames
+  else begin
+    pp_summary ppf "prove" r.prove;
+    pp_summary ppf "verify" r.verify
+  end;
   if List.length r.targets > 1 then
     List.iter
       (fun t ->

@@ -105,12 +105,18 @@ type target_stat = {
 type report = {
   connections : int;
   requests_per_connection : int;
+  batch : int;
+      (** Ops per frame; 1 means plain (unbatched) requests. *)
   prove_weight : int;
   verify_weight : int;
   scheme : string;
   sizes : int list;
   total_s : float;
-  throughput_rps : float;
+  throughput_rps : float;  (** Wire frames per second. *)
+  throughput_ops : float;
+      (** Request-equivalent operations per second — equals
+          [throughput_rps] when [batch = 1], and is the number to
+          compare across batch sizes. *)
   ok : int;
   errors : int;
   errors_by_code : (string * int) list;
@@ -125,6 +131,10 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  batch_frames : lat_summary;
+      (** Per-frame round-trip latency in batched mode (empty when
+          [batch = 1]; [prove]/[verify] are empty in batched mode —
+          per-op latency is not observable inside a frame). *)
   targets : target_stat list;
       (** One entry per endpoint, in the order given; a single entry
           for a plain single-target run. *)
@@ -136,6 +146,7 @@ type report = {
 val loadgen :
   ?host:string ->
   ?targets:(string * int) list ->
+  ?batch:int ->
   port:int ->
   connections:int ->
   requests:int ->
@@ -152,6 +163,15 @@ val loadgen :
     the semantically right response came back (a proof, or an
     all-nodes-accept verdict). Each request carries a distinct
     correlation id and the echo is verified.
+
+    [batch] (default 1) > 1 switches every worker to {!Wire.Batch}
+    frames of that many ops: op [k = i * batch + j] of a connection
+    follows exactly the mix/graph rotation plain request [k] would,
+    each frame's graph table lists every cycle graph once, and each
+    per-op reply slot is checked like a plain response — so [ok],
+    [errors] and [throughput_ops] stay op-granular and comparable with
+    an unbatched run of the same op volume. Requires [batch <= 65535]
+    (the wire's u16 op count).
 
     A non-empty [targets] list overrides [host]:[port]: worker
     connections round-robin over the endpoints (the setup pass warms

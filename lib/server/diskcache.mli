@@ -1,0 +1,37 @@
+(** mmap-persisted compiled-CSR image cache — the disk tier behind
+    [lcp serve --cache-dir].
+
+    Each {!Lru} key gets one [<key>.lcpc] file holding the compiled
+    image's raw arrays plus the scheme name and graph6 bytes it was
+    built from. {!load} memory-maps the file, validates a whole-file
+    checksum and the identity fields, and reassembles the
+    {!Simulator.compiled} from the persisted arrays — no graph6
+    decode, no {!Simulator.compile} — so a restarted daemon answers
+    its first request for a known graph warm.
+
+    Both operations are total: {!store} is best-effort (temp file +
+    atomic rename; failures are swallowed — a read-only cache dir
+    must never fail the request that tried to warm it) and {!load}
+    answers [None] on any corruption, truncation, version or identity
+    mismatch, leaving the caller to fall back to compiling. *)
+
+val path : dir:string -> string -> string
+(** Cache file for a key, with non-filename characters sanitised. *)
+
+val store :
+  dir:string ->
+  key:string ->
+  scheme:string ->
+  graph6:string ->
+  Simulator.compiled ->
+  unit
+
+val load :
+  dir:string ->
+  key:string ->
+  scheme:string ->
+  graph6:string ->
+  Simulator.compiled option
+(** [Some compiled] only if the file exists, its checksum and stored
+    (scheme, graph6) identity match, and every structural invariant
+    re-validates ({!Csr.import}). *)

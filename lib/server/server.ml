@@ -38,12 +38,17 @@ let m_requests = Obs.Metrics.counter "server.requests"
 let m_req_prove = Obs.Metrics.counter "server.req_prove"
 let m_req_verify = Obs.Metrics.counter "server.req_verify"
 let m_req_forge = Obs.Metrics.counter "server.req_forge"
+let m_req_batch = Obs.Metrics.counter "server.req_batch"
+let m_batch_ops = Obs.Metrics.counter "server.batch_ops"
+let m_batch_coalesced = Obs.Metrics.counter "server.batch_ops_coalesced"
 let m_req_stats = Obs.Metrics.counter "server.req_stats"
 let m_req_catalog = Obs.Metrics.counter "server.req_catalog"
 let m_req_telemetry = Obs.Metrics.counter "server.req_telemetry"
 let m_cache_hits = Obs.Metrics.counter "server.cache_hits"
 let m_cache_misses = Obs.Metrics.counter "server.cache_misses"
+let m_disk_hits = Obs.Metrics.counter "server.disk_cache_hits"
 let m_overloaded = Obs.Metrics.counter "server.overloaded"
+let m_unavailable = Obs.Metrics.counter "server.unavailable"
 let m_deadline = Obs.Metrics.counter "server.deadline_exceeded"
 let m_bad_frames = Obs.Metrics.counter "server.bad_frames"
 let m_connections = Obs.Metrics.counter "server.connections"
@@ -61,6 +66,7 @@ type config = {
   http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
   slow_ms : int;  (** <= 0 disables the slow-request recorder. *)
   slow_dir : string;  (** Where [slow-<id>.json] trace slices land. *)
+  cache_dir : string;  (** "" disables the persistent compiled cache. *)
   log : Obs.Log.t option;  (** Structured per-request log sink. *)
 }
 
@@ -75,6 +81,7 @@ let default_config =
     http_port = -1;
     slow_ms = 0;
     slow_dir = ".";
+    cache_dir = "";
     log = None;
   }
 
@@ -101,7 +108,11 @@ type t = {
   rid : int Atomic.t;  (* next server-assigned correlation id *)
   window : Obs.Window.t;  (* latency µs + the w_* counters above *)
   c_requests : int Atomic.t;
+  c_batch_ops : int Atomic.t;
+  c_disk_hits : int Atomic.t;
+  c_compile_misses : int Atomic.t;  (* every tier missed: had to compile *)
   c_overloaded : int Atomic.t;
+  c_unavailable : int Atomic.t;
   c_deadline : int Atomic.t;
   c_bad_frames : int Atomic.t;
   c_connections : int Atomic.t;
@@ -110,10 +121,13 @@ type t = {
 
 type stats = {
   requests : int;
+  batch_ops : int;
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  disk_hits : int;
   overloaded : int;
+  unavailable : int;
   deadline_exceeded : int;
   bad_frames : int;
   connections : int;
@@ -167,7 +181,11 @@ let create config =
     rid = Atomic.make 1;
     window = Obs.Window.create ~horizon:60 ~counters:w_counters ();
     c_requests = Atomic.make 0;
+    c_batch_ops = Atomic.make 0;
+    c_disk_hits = Atomic.make 0;
+    c_compile_misses = Atomic.make 0;
     c_overloaded = Atomic.make 0;
+    c_unavailable = Atomic.make 0;
     c_deadline = Atomic.make 0;
     c_bad_frames = Atomic.make 0;
     c_connections = Atomic.make 0;
@@ -180,15 +198,22 @@ let http_port t = t.actual_http_port
 let stats t =
   Mutex.lock t.cache_lock;
   let cache_hits = Lru.hits t.cache in
-  let cache_misses = Lru.misses t.cache in
   let cache_entries = Lru.length t.cache in
   Mutex.unlock t.cache_lock;
+  let disk_hits = Atomic.get t.c_disk_hits in
   {
     requests = Atomic.get t.c_requests;
-    cache_hits;
-    cache_misses;
+    batch_ops = Atomic.get t.c_batch_ops;
+    (* a disk-tier load is a cache hit as far as clients care: the
+       request skipped both the graph6 decode and the compile. A miss
+       means every tier missed — the daemon actually compiled — so a
+       warm restart reports hits with zero misses. *)
+    cache_hits = cache_hits + disk_hits;
+    cache_misses = Atomic.get t.c_compile_misses;
     cache_entries;
+    disk_hits;
     overloaded = Atomic.get t.c_overloaded;
+    unavailable = Atomic.get t.c_unavailable;
     deadline_exceeded = Atomic.get t.c_deadline;
     bad_frames = Atomic.get t.c_bad_frames;
     connections = Atomic.get t.c_connections;
@@ -279,8 +304,10 @@ let err code fmt =
 let cache_key scheme graph6 =
   scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
 
-(* Resolve the scheme, then the compiled image — from cache or by
-   decoding + compiling — and hand both to [f]. *)
+(* Resolve the scheme, then the compiled image — memory tier (LRU),
+   disk tier (mmap-validated image, when [cache_dir] is set), or by
+   decoding + compiling — and hand both to [f]. A compile also warms
+   the disk tier, so the image survives a restart. *)
 let with_compiled t ctx ~scheme ~graph6 f =
   match Registry.find scheme with
   | None -> err Wire.Unknown_scheme "unknown scheme %S" scheme
@@ -296,28 +323,206 @@ let with_compiled t ctx ~scheme ~graph6 f =
           Obs.Metrics.incr m_cache_hits;
           f entry compiled
       | None -> (
-          ctx.cache <- "miss";
-          Obs.Metrics.incr m_cache_misses;
-          match Graph6.decode_res graph6 with
-          | Error m -> err Wire.Bad_graph "%s" m
-          | Ok g ->
-              let compiled =
-                if !Obs.Trace.enabled then
-                  Obs.Trace.span_arg "server.compile" "rid" ctx.id (fun () ->
-                      Simulator.compile (Instance.of_graph g))
-                else Simulator.compile (Instance.of_graph g)
-              in
+          let disk =
+            if t.config.cache_dir = "" then None
+            else if !Obs.Trace.enabled then
+              Obs.Trace.span_arg "server.cache_load" "rid" ctx.id (fun () ->
+                  Diskcache.load ~dir:t.config.cache_dir ~key ~scheme ~graph6)
+            else Diskcache.load ~dir:t.config.cache_dir ~key ~scheme ~graph6
+          in
+          match disk with
+          | Some compiled ->
+              ctx.cache <- "disk";
               ctx.n_nodes <- Instance.n (Simulator.compiled_instance compiled);
+              Atomic.incr t.c_disk_hits;
+              Obs.Metrics.incr m_disk_hits;
               Mutex.lock t.cache_lock;
               Lru.put t.cache key compiled;
               Mutex.unlock t.cache_lock;
-              f entry compiled))
+              f entry compiled
+          | None -> (
+              ctx.cache <- "miss";
+              Atomic.incr t.c_compile_misses;
+              Obs.Metrics.incr m_cache_misses;
+              match Graph6.decode_res graph6 with
+              | Error m -> err Wire.Bad_graph "%s" m
+              | Ok g ->
+                  let compiled =
+                    if !Obs.Trace.enabled then
+                      Obs.Trace.span_arg "server.compile" "rid" ctx.id (fun () ->
+                          Simulator.compile (Instance.of_graph g))
+                    else Simulator.compile (Instance.of_graph g)
+                  in
+                  ctx.n_nodes <-
+                    Instance.n (Simulator.compiled_instance compiled);
+                  Mutex.lock t.cache_lock;
+                  Lru.put t.cache key compiled;
+                  Mutex.unlock t.cache_lock;
+                  if t.config.cache_dir <> "" then
+                    Diskcache.store ~dir:t.config.cache_dir ~key ~scheme ~graph6
+                      compiled;
+                  f entry compiled)))
 
 let deadline_error t stage =
   Atomic.incr t.c_deadline;
   Obs.Metrics.incr m_deadline;
   err Wire.Deadline_exceeded "%s after the %d ms deadline" stage
     t.config.deadline_ms
+
+(* Per-worker-domain arena: each pool domain reuses one set of
+   simulator buffers across every verification it runs, so a warm
+   batch verify allocates no per-run scratch at all. *)
+let arena_key = Domain.DLS.new_key Simulator.arena
+
+(* One prove/verify/forge against the cache — the shared body of both
+   the plain compute path and every batch sub-op. Runs on a worker
+   domain. *)
+let compute_one t ctx req =
+  match req with
+  | Wire.Prove { scheme; graph6 } ->
+      with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
+          Wire.Proved
+            (entry.Registry.scheme.Scheme.prover
+               (Simulator.compiled_instance compiled)))
+  | Wire.Verify { scheme; graph6; proof } ->
+      with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
+          let scheme = entry.Registry.scheme in
+          (* a malformed proof string means "reject here", exactly
+             as in [Scheme.decide] — it must not escape as an
+             exception *)
+          let verifier view =
+            try scheme.Scheme.verifier view
+            with Bits.Reader.Decode_error _ -> false
+          in
+          let verdicts, _ =
+            Simulator.run_verifier ~compiled
+              ~arena:(Domain.DLS.get arena_key)
+              (Simulator.compiled_instance compiled)
+              proof ~radius:scheme.Scheme.radius verifier
+          in
+          let rejecting =
+            List.filter_map
+              (fun (v, ok) -> if ok then None else Some v)
+              verdicts
+          in
+          Wire.Verified { accepted = rejecting = []; rejecting })
+  | Wire.Forge { scheme; graph6; max_bits } ->
+      if max_bits < 0 || max_bits > 64 then
+        err Wire.Bad_request "max_bits %d outside [0, 64]" max_bits
+      else
+        with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
+            match
+              Adversary.forge entry.Registry.scheme
+                (Simulator.compiled_instance compiled)
+                ~max_bits
+            with
+            | Adversary.Fooled proof ->
+                Wire.Forged
+                  { fooled = Some proof; attempts = 0; best_rejections = 0 }
+            | Adversary.Resisted { best_rejections; attempts } ->
+                Wire.Forged { fooled = None; attempts; best_rejections })
+  | Wire.Batch _ | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
+  | Wire.Drain _ ->
+      err Wire.Internal "request dispatched to a worker by mistake"
+
+let item_of_response = function
+  | Wire.Proved p -> Wire.Item_proved p
+  | Wire.Verified { accepted; rejecting } ->
+      Wire.Item_verified { accepted; rejecting }
+  | Wire.Forged { fooled; attempts; best_rejections } ->
+      Wire.Item_forged { fooled; attempts; best_rejections }
+  | Wire.Error_reply { code; message } -> Wire.Item_error { code; message }
+  | _ -> Wire.Item_error { code = Wire.Internal; message = "non-op response" }
+
+(* A whole batch runs as one pool task: one queue round trip and one
+   worker-domain arena for up to 65535 ops. Ops are evaluated in
+   order; identical ops (same kind, scheme, graph bytes and proof —
+   compared by their canonical encoding) are coalesced and computed
+   once, which is where a replayed serving mix wins big. Each op is
+   isolated: its failure lands in its own reply slot, and an op that
+   starts past the deadline answers [Deadline_exceeded] in its slot
+   without poisoning completed ones. *)
+let compute_batch t ctx ~deadline ~graphs ~proofs ~ops =
+  let graphs = Array.of_list graphs in
+  let proofs = Array.of_list proofs in
+  let memo = Hashtbl.create 16 in
+  let deadline_hit = ref false in
+  let items =
+    List.map
+      (fun op ->
+        Atomic.incr t.c_batch_ops;
+        Obs.Metrics.incr m_batch_ops;
+        if !deadline_hit || Obs.Clock.now_ns () > deadline then begin
+          if not !deadline_hit then begin
+            deadline_hit := true;
+            Atomic.incr t.c_deadline;
+            Obs.Metrics.incr m_deadline
+          end;
+          Wire.Item_error
+            {
+              code = Wire.Deadline_exceeded;
+              message =
+                Printf.sprintf "op started after the %d ms deadline"
+                  t.config.deadline_ms;
+            }
+        end
+        else
+          (* the op value is the memo key: an op is a few words of
+             plain data (scheme string + table indices), so hashing
+             and comparing it costs nothing — repeated ops coalesce
+             to one execution per distinct op *)
+          match Hashtbl.find_opt memo op with
+          | Some item ->
+              Obs.Metrics.incr m_batch_coalesced;
+              item
+          | None ->
+              let graph_idx =
+                match op with
+                | Wire.Op_prove { graph; _ }
+                | Wire.Op_verify { graph; _ }
+                | Wire.Op_forge { graph; _ } ->
+                    graph
+              in
+              let item =
+                if graph_idx < 0 || graph_idx >= Array.length graphs then
+                  Wire.Item_error
+                    {
+                      code = Wire.Bad_request;
+                      message =
+                        Printf.sprintf "graph index %d out of range" graph_idx;
+                    }
+                else
+                  let graph6 = graphs.(graph_idx) in
+                  let req =
+                    match op with
+                    | Wire.Op_prove { scheme; _ } ->
+                        Some (Wire.Prove { scheme; graph6 })
+                    | Wire.Op_verify { scheme; proof; _ } ->
+                        if proof < 0 || proof >= Array.length proofs then None
+                        else
+                          Some
+                            (Wire.Verify
+                               { scheme; graph6; proof = proofs.(proof) })
+                    | Wire.Op_forge { scheme; max_bits; _ } ->
+                        Some (Wire.Forge { scheme; graph6; max_bits })
+                  in
+                  match req with
+                  | None ->
+                      Wire.Item_error
+                        {
+                          code = Wire.Bad_request;
+                          message = "proof index out of range";
+                        }
+                  | Some req ->
+                      item_of_response
+                        (try compute_one t ctx req
+                         with e -> err Wire.Internal "%s" (Printexc.to_string e))
+              in
+              Hashtbl.replace memo op item;
+              item)
+      ops
+  in
+  Wire.Batch_reply items
 
 (* Runs on a worker domain. The deadline is measured from the
    request's arrival on the connection thread, so queue wait counts
@@ -338,51 +543,9 @@ let compute t ctx req =
   else begin
     let body () =
       match req with
-      | Wire.Prove { scheme; graph6 } ->
-          with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
-              Wire.Proved
-                (entry.Registry.scheme.Scheme.prover
-                   (Simulator.compiled_instance compiled)))
-      | Wire.Verify { scheme; graph6; proof } ->
-          with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
-              let scheme = entry.Registry.scheme in
-              (* a malformed proof string means "reject here", exactly
-                 as in [Scheme.decide] — it must not escape as an
-                 exception *)
-              let verifier view =
-                try scheme.Scheme.verifier view
-                with Bits.Reader.Decode_error _ -> false
-              in
-              let verdicts, _ =
-                Simulator.run_verifier ~compiled
-                  (Simulator.compiled_instance compiled)
-                  proof ~radius:scheme.Scheme.radius verifier
-              in
-              let rejecting =
-                List.filter_map
-                  (fun (v, ok) -> if ok then None else Some v)
-                  verdicts
-              in
-              Wire.Verified { accepted = rejecting = []; rejecting })
-      | Wire.Forge { scheme; graph6; max_bits } ->
-          if max_bits < 0 || max_bits > 64 then
-            err Wire.Bad_request "max_bits %d outside [0, 64]" max_bits
-          else
-            with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
-                match
-                  Adversary.forge entry.Registry.scheme
-                    (Simulator.compiled_instance compiled)
-                    ~max_bits
-                with
-                | Adversary.Fooled proof ->
-                    Wire.Forged
-                      { fooled = Some proof; attempts = 0; best_rejections = 0 }
-                | Adversary.Resisted { best_rejections; attempts } ->
-                    Wire.Forged { fooled = None; attempts; best_rejections })
-      | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-      | Wire.Drain _ ->
-          (* handled inline on the connection thread *)
-          err Wire.Internal "request dispatched to a worker by mistake"
+      | Wire.Batch { graphs; proofs; ops } ->
+          compute_batch t ctx ~deadline ~graphs ~proofs ~ops
+      | req -> compute_one t ctx req
     in
     let resp =
       if !Obs.Trace.enabled then
@@ -390,7 +553,12 @@ let compute t ctx req =
       else body ()
     in
     ctx.compute_ns <- Obs.Clock.now_ns () - dequeue_ns;
-    if Obs.Clock.now_ns () > deadline then deadline_error t "completed"
+    if Obs.Clock.now_ns () > deadline then
+      (* a finished batch keeps its per-op verdicts: the late ops
+         already answered [Deadline_exceeded] in their own slots *)
+      match resp with
+      | Wire.Batch_reply _ -> resp
+      | _ -> deadline_error t "completed"
     else resp
   end
 
@@ -403,13 +571,16 @@ let dispatch t ctx req =
     in
     cell_put c resp
   in
-  if Pool.submit_opt ~max_pending:t.config.max_queue t.pool task then
-    cell_take c
-  else begin
-    Atomic.incr t.c_overloaded;
-    Obs.Metrics.incr m_overloaded;
-    err Wire.Overloaded "backlog full (%d tasks pending)" t.config.max_queue
-  end
+  match Pool.submit_res ~max_pending:t.config.max_queue t.pool task with
+  | Ok () -> cell_take c
+  | Error Pool.Queue_full ->
+      Atomic.incr t.c_overloaded;
+      Obs.Metrics.incr m_overloaded;
+      err Wire.Overloaded "backlog full (%d tasks pending)" t.config.max_queue
+  | Error Pool.Shutting_down ->
+      Atomic.incr t.c_unavailable;
+      Obs.Metrics.incr m_unavailable;
+      err Wire.Unavailable "worker pool is shutting down"
 
 let stats_reply t =
   let s = stats t in
@@ -453,8 +624,12 @@ let metrics_text t =
   let e = Obs.Export.create () in
   let s = stats t in
   Obs.Export.counter e ~help:"Requests received" "server.requests" s.requests;
+  Obs.Export.counter e ~help:"Batch sub-operations processed"
+    "server.batch_ops" s.batch_ops;
   Obs.Export.counter e ~help:"Requests shed by backpressure"
     "server.overloaded" s.overloaded;
+  Obs.Export.counter e ~help:"Requests refused during shutdown"
+    "server.unavailable" s.unavailable;
   Obs.Export.counter e ~help:"Requests past their deadline"
     "server.deadline_exceeded" s.deadline_exceeded;
   Obs.Export.counter e ~help:"Unparseable frames" "server.bad_frames"
@@ -467,6 +642,8 @@ let metrics_text t =
     "server.cache_hits" s.cache_hits;
   Obs.Export.counter e ~help:"Compiled-verifier cache misses"
     "server.cache_misses" s.cache_misses;
+  Obs.Export.counter e ~help:"Compiled images served from the disk cache"
+    "server.disk_cache_hits" s.disk_hits;
   Obs.Export.gauge e ~help:"Compiled verifiers resident"
     "server.cache_entries"
     (float_of_int s.cache_entries);
@@ -511,12 +688,14 @@ let metrics_json t =
   let b = Buffer.create 512 in
   Buffer.add_char b '{';
   Printf.bprintf b
-    "\"server\":{\"requests\":%d,\"overloaded\":%d,\"deadline_exceeded\":%d,\
+    "\"server\":{\"requests\":%d,\"batch_ops\":%d,\"overloaded\":%d,\
+     \"unavailable\":%d,\"deadline_exceeded\":%d,\
      \"bad_frames\":%d,\"connections\":%d,\"slow_requests\":%d,\
      \"cache_hits\":%d,\"cache_misses\":%d,\"cache_entries\":%d,\
-     \"uptime_ms\":%d}"
-    s.requests s.overloaded s.deadline_exceeded s.bad_frames s.connections
-    s.slow_requests s.cache_hits s.cache_misses s.cache_entries (uptime_ms t);
+     \"disk_hits\":%d,\"uptime_ms\":%d}"
+    s.requests s.batch_ops s.overloaded s.unavailable s.deadline_exceeded
+    s.bad_frames s.connections s.slow_requests s.cache_hits s.cache_misses
+    s.cache_entries s.disk_hits (uptime_ms t);
   let h = health t in
   Printf.bprintf b
     ",\"health\":{\"ready\":%b,\"pending\":%d,\"max_queue\":%d}"
@@ -549,6 +728,7 @@ let request_kind = function
   | Wire.Prove _ -> "prove"
   | Wire.Verify _ -> "verify"
   | Wire.Forge _ -> "forge"
+  | Wire.Batch _ -> "batch"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
   | Wire.Metrics_text -> "metrics"
@@ -560,6 +740,15 @@ let request_scheme = function
   | Wire.Verify { scheme; _ }
   | Wire.Forge { scheme; _ } ->
       scheme
+  | Wire.Batch { ops; _ } -> (
+      (* batches are routed by their first op's scheme; mixed-scheme
+         batches log the same way *)
+      match ops with
+      | Wire.Op_prove { scheme; _ } :: _
+      | Wire.Op_verify { scheme; _ } :: _
+      | Wire.Op_forge { scheme; _ } :: _ ->
+          scheme
+      | [] -> "-")
   | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
   | Wire.Drain _ ->
       "-"
@@ -580,7 +769,7 @@ let finish_request t ctx req resp =
   Obs.Window.incr t.window w_requests;
   if outcome <> "ok" then Obs.Window.incr t.window w_errors;
   (match ctx.cache with
-  | "hit" -> Obs.Window.incr t.window w_hits
+  | "hit" | "disk" -> Obs.Window.incr t.window w_hits
   | "miss" -> Obs.Window.incr t.window w_misses
   | _ -> ());
   if !Obs.Metrics.enabled then Obs.Metrics.observe m_request_us latency_us;
@@ -623,6 +812,7 @@ let handle_request t ctx req =
     | Wire.Prove _ -> m_req_prove
     | Wire.Verify _ -> m_req_verify
     | Wire.Forge _ -> m_req_forge
+    | Wire.Batch _ -> m_req_batch
     | Wire.Stats -> m_req_stats
     | Wire.Catalog -> m_req_catalog
     | Wire.Metrics_text | Wire.Health | Wire.Drain _ -> m_req_telemetry);
@@ -758,6 +948,10 @@ let run t =
     if not (Atomic.get t.stopping) then
       match Unix.accept t.sock with
       | fd, _ ->
+          (* small frames must not sit out a Nagle/delayed-ACK round:
+             answers leave as soon as they are written *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
           Atomic.incr t.c_connections;
           Obs.Metrics.incr m_connections;
           ignore (Thread.create (fun () -> handle_conn t fd) ());

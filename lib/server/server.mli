@@ -54,12 +54,19 @@ type config = {
           an ephemeral port — read it back with {!http_port}. *)
   slow_ms : int;  (** Slow-request threshold; <= 0 disables. *)
   slow_dir : string;  (** Directory for slow-request trace slices. *)
+  cache_dir : string;
+      (** Persistent compiled-image cache directory ({!Diskcache});
+          [""] (default) disables it. With it set, every compile also
+          writes the image to disk, and an LRU miss consults the disk
+          tier before falling back to decode + compile — so a
+          restarted daemon answers its first request for a known
+          graph without a compile. *)
   log : Obs.Log.t option;  (** Structured per-request log sink. *)
 }
 
 val default_config : config
 (** 127.0.0.1:7411, 1 job, cache 128, no deadline, queue bound 256, no
-    sidecar, no slow threshold, no log. *)
+    sidecar, no slow threshold, no disk cache, no log. *)
 
 type t
 
@@ -91,10 +98,17 @@ val stop : t -> unit
 
 type stats = {
   requests : int;
+  batch_ops : int;  (** Batch sub-operations across all batch frames. *)
   cache_hits : int;
+      (** Requests that skipped decode + compile: LRU hits plus disk
+          hits. *)
   cache_misses : int;
+      (** Every tier missed: the daemon decoded and compiled. A warm
+          restart on a populated [cache_dir] reports zero. *)
   cache_entries : int;
+  disk_hits : int;  (** Compiled images served from [cache_dir]. *)
   overloaded : int;
+  unavailable : int;  (** Requests refused because the pool is stopping. *)
   deadline_exceeded : int;
   bad_frames : int;
   connections : int;

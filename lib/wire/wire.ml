@@ -27,10 +27,19 @@ let magic1 = 'C'
 
 type header = { version : int; tag : int; length : int }
 
+(* A batch sub-operation names its graph by index into the batch's
+   shared graph table, so a frame carrying 64 ops over 3 distinct
+   graphs ships each graph6 payload exactly once. *)
+type batch_op =
+  | Op_prove of { scheme : string; graph : int }
+  | Op_verify of { scheme : string; graph : int; proof : int }
+  | Op_forge of { scheme : string; graph : int; max_bits : int }
+
 type request =
   | Prove of { scheme : string; graph6 : string }
   | Verify of { scheme : string; graph6 : string; proof : Proof.t }
   | Forge of { scheme : string; graph6 : string; max_bits : int }
+  | Batch of { graphs : string list; proofs : Proof.t list; ops : batch_op list }
   | Stats
   | Catalog
   | Metrics_text
@@ -46,6 +55,7 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Internal
+  | Unavailable
 
 type catalog_entry = { name : string; radius : int; doc : string }
 
@@ -62,10 +72,24 @@ type server_stats = {
 
 type health = { ready : bool; pending : int; max_queue : int; uptime_ms : int }
 
+(* Each batch op gets its own reply slot: a success of the matching
+   kind, or an error that poisons only that slot — one bad op never
+   fails the frame. *)
+type batch_item =
+  | Item_proved of Proof.t option
+  | Item_verified of { accepted : bool; rejecting : int list }
+  | Item_forged of {
+      fooled : Proof.t option;
+      attempts : int;
+      best_rejections : int;
+    }
+  | Item_error of { code : error_code; message : string }
+
 type response =
   | Proved of Proof.t option
   | Verified of { accepted : bool; rejecting : int list }
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Batch_reply of batch_item list
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list
   | Metrics_text_reply of string
@@ -82,6 +106,7 @@ let error_code_to_int = function
   | Overloaded -> 6
   | Deadline_exceeded -> 7
   | Internal -> 8
+  | Unavailable -> 9
 
 let error_code_of_int = function
   | 1 -> Some Bad_frame
@@ -92,6 +117,7 @@ let error_code_of_int = function
   | 6 -> Some Overloaded
   | 7 -> Some Deadline_exceeded
   | 8 -> Some Internal
+  | 9 -> Some Unavailable
   | _ -> None
 
 let error_code_to_string = function
@@ -103,6 +129,7 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline-exceeded"
   | Internal -> "internal"
+  | Unavailable -> "unavailable"
 
 let request_tag = function
   | Prove _ -> 0x01
@@ -113,6 +140,7 @@ let request_tag = function
   | Metrics_text -> 0x06
   | Health -> 0x07
   | Drain _ -> 0x08
+  | Batch _ -> 0x09
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -123,6 +151,7 @@ let response_tag = function
   | Metrics_text_reply _ -> 0x86
   | Health_reply _ -> 0x87
   | Drain_reply _ -> 0x88
+  | Batch_reply _ -> 0x89
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -174,6 +203,27 @@ let w_proof b proof =
 let w_int_list b l =
   w_u32 b (List.length l);
   List.iter (w_u32 b) l
+
+(* Batch sub-ops carry a u8 kind, the scheme, and u16 indices into the
+   frame's shared graph and proof tables; only the kind-specific tail
+   differs. Hoisting both payloads into tables is what makes a frame
+   of repeated ops cheap: 64 verifies of one (graph, proof) pair carry
+   the bytes once and 64 eleven-byte ops. *)
+let w_batch_op b = function
+  | Op_prove { scheme; graph } ->
+      w_u8 b 1;
+      w_string b scheme;
+      w_u16 b graph
+  | Op_verify { scheme; graph; proof } ->
+      w_u8 b 2;
+      w_string b scheme;
+      w_u16 b graph;
+      w_u16 b proof
+  | Op_forge { scheme; graph; max_bits } ->
+      w_u8 b 3;
+      w_string b scheme;
+      w_u16 b graph;
+      w_u16 b max_bits
 
 (* --- readers ---------------------------------------------------------- *)
 
@@ -249,6 +299,31 @@ let r_proof c =
     (r_list c ~min_entry_bytes:8 (fun c ->
          let v = r_u32 c in
          (v, r_bits c)))
+
+(* Same bound as [r_list] but with a u16 count — batch tables cap at
+   65535 entries by construction. *)
+let r_list16 c ~min_entry_bytes f =
+  let count = r_u16 c in
+  if count * min_entry_bytes > remaining c then
+    fail "list count %d exceeds the %d bytes present" count (remaining c);
+  List.init count (fun _ -> f c)
+
+let r_batch_op c ~n_graphs ~n_proofs =
+  let kind = r_u8 c in
+  let scheme = r_string c in
+  let graph = r_u16 c in
+  if graph >= n_graphs then
+    fail "batch op references graph %d but the frame carries %d" graph n_graphs;
+  match kind with
+  | 1 -> Op_prove { scheme; graph }
+  | 2 ->
+      let proof = r_u16 c in
+      if proof >= n_proofs then
+        fail "batch op references proof %d but the frame carries %d" proof
+          n_proofs;
+      Op_verify { scheme; graph; proof }
+  | 3 -> Op_forge { scheme; graph; max_bits = r_u16 c }
+  | k -> fail "unknown batch op kind %d" k
 
 let expect_end c =
   if remaining c > 0 then fail "%d trailing bytes after the payload" (remaining c)
@@ -332,6 +407,13 @@ let request_body req =
       w_string b scheme;
       w_string b graph6;
       w_u16 b max_bits
+  | Batch { graphs; proofs; ops } ->
+      w_u16 b (List.length graphs);
+      List.iter (w_string b) graphs;
+      w_u16 b (List.length proofs);
+      List.iter (w_proof b) proofs;
+      w_u16 b (List.length ops);
+      List.iter (w_batch_op b) ops
   | Drain { enable } -> w_u8 b (if enable then 1 else 0)
   | Stats | Catalog | Metrics_text | Health -> ());
   Buffer.contents b
@@ -360,11 +442,69 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
     | 0x06 -> Metrics_text
     | 0x07 -> Health
     | 0x08 -> Drain { enable = r_bool c }
+    | 0x09 ->
+        let graphs = r_list16 c ~min_entry_bytes:4 r_string in
+        let n_graphs = List.length graphs in
+        let proofs = r_list16 c ~min_entry_bytes:4 r_proof in
+        let n_proofs = List.length proofs in
+        let ops =
+          r_list16 c ~min_entry_bytes:7 (r_batch_op ~n_graphs ~n_proofs)
+        in
+        Batch { graphs; proofs; ops }
     | t -> fail "unknown request tag 0x%02x" t
   in
   (id, req)
 
 (* --- responses -------------------------------------------------------- *)
+
+(* A reply slot leads with a status byte: 0 = per-op error (code +
+   message follow), 1..3 = success of the prove/verify/forge kind with
+   the same body layout as the corresponding plain response. *)
+let w_batch_item b = function
+  | Item_error { code; message } ->
+      w_u8 b 0;
+      w_u8 b (error_code_to_int code);
+      w_string b message
+  | Item_proved None ->
+      w_u8 b 1;
+      w_u8 b 0
+  | Item_proved (Some proof) ->
+      w_u8 b 1;
+      w_u8 b 1;
+      w_proof b proof
+  | Item_verified { accepted; rejecting } ->
+      w_u8 b 2;
+      w_u8 b (if accepted then 1 else 0);
+      w_int_list b rejecting
+  | Item_forged { fooled; attempts; best_rejections } ->
+      w_u8 b 3;
+      (match fooled with
+      | None -> w_u8 b 0
+      | Some proof ->
+          w_u8 b 1;
+          w_proof b proof);
+      w_u32 b attempts;
+      w_u32 b best_rejections
+
+let r_batch_item c =
+  match r_u8 c with
+  | 0 ->
+      let code_byte = r_u8 c in
+      let code =
+        match error_code_of_int code_byte with
+        | Some code -> code
+        | None -> fail "unknown error code %d in batch item" code_byte
+      in
+      Item_error { code; message = r_string c }
+  | 1 -> Item_proved (if r_bool c then Some (r_proof c) else None)
+  | 2 ->
+      let accepted = r_bool c in
+      Item_verified { accepted; rejecting = r_list c ~min_entry_bytes:4 r_u32 }
+  | 3 ->
+      let fooled = if r_bool c then Some (r_proof c) else None in
+      let attempts = r_u32 c in
+      Item_forged { fooled; attempts; best_rejections = r_u32 c }
+  | s -> fail "unknown batch item status %d" s
 
 let response_body resp =
   let b = Buffer.create 64 in
@@ -384,6 +524,9 @@ let response_body resp =
           w_proof b proof);
       w_u32 b attempts;
       w_u32 b best_rejections
+  | Batch_reply items ->
+      w_u16 b (List.length items);
+      List.iter (w_batch_item b) items
   | Stats_reply st ->
       w_u32 b st.requests;
       w_u32 b st.cache_hits;
@@ -465,6 +608,7 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
     | 0x88 ->
         let draining = r_bool c in
         Drain_reply { draining; pending = r_u32 c }
+    | 0x89 -> Batch_reply (r_list16 c ~min_entry_bytes:2 r_batch_item)
     | 0xE0 ->
         let code_byte = r_u8 c in
         let code =
@@ -498,6 +642,15 @@ let decode_response s =
 
 (* --- equality (round-trip tests) -------------------------------------- *)
 
+let equal_batch_op a b =
+  match (a, b) with
+  | Op_prove a, Op_prove b -> a.scheme = b.scheme && a.graph = b.graph
+  | Op_verify a, Op_verify b ->
+      a.scheme = b.scheme && a.graph = b.graph && a.proof = b.proof
+  | Op_forge a, Op_forge b ->
+      a.scheme = b.scheme && a.graph = b.graph && a.max_bits = b.max_bits
+  | _ -> false
+
 let equal_request a b =
   match (a, b) with
   | Prove a, Prove b -> a.scheme = b.scheme && a.graph6 = b.graph6
@@ -505,6 +658,12 @@ let equal_request a b =
       a.scheme = b.scheme && a.graph6 = b.graph6 && Proof.equal a.proof b.proof
   | Forge a, Forge b ->
       a.scheme = b.scheme && a.graph6 = b.graph6 && a.max_bits = b.max_bits
+  | Batch a, Batch b ->
+      a.graphs = b.graphs
+      && List.length a.proofs = List.length b.proofs
+      && List.for_all2 Proof.equal a.proofs b.proofs
+      && List.length a.ops = List.length b.ops
+      && List.for_all2 equal_batch_op a.ops b.ops
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
   | Drain a, Drain b -> a.enable = b.enable
@@ -516,6 +675,18 @@ let equal_proof_opt a b =
   | Some a, Some b -> Proof.equal a b
   | _ -> false
 
+let equal_batch_item a b =
+  match (a, b) with
+  | Item_proved a, Item_proved b -> equal_proof_opt a b
+  | Item_verified a, Item_verified b ->
+      a.accepted = b.accepted && a.rejecting = b.rejecting
+  | Item_forged a, Item_forged b ->
+      equal_proof_opt a.fooled b.fooled
+      && a.attempts = b.attempts
+      && a.best_rejections = b.best_rejections
+  | Item_error a, Item_error b -> a.code = b.code && a.message = b.message
+  | _ -> false
+
 let equal_response a b =
   match (a, b) with
   | Proved a, Proved b -> equal_proof_opt a b
@@ -525,6 +696,8 @@ let equal_response a b =
       equal_proof_opt a.fooled b.fooled
       && a.attempts = b.attempts
       && a.best_rejections = b.best_rejections
+  | Batch_reply a, Batch_reply b ->
+      List.length a = List.length b && List.for_all2 equal_batch_item a b
   | Stats_reply a, Stats_reply b -> a = b
   | Catalog_reply a, Catalog_reply b -> a = b
   | Metrics_text_reply a, Metrics_text_reply b -> a = b

@@ -60,10 +60,26 @@ val decode_header : string -> (header, string) result
 
 (** {1 Messages} *)
 
+(** One operation inside a {!request.Batch} frame. [graph] and
+    [proof] index into the batch's shared graph and proof tables — a
+    frame carrying many ops over few distinct payloads ships each
+    graph6 string and each proof exactly once, and the ops themselves
+    are a few bytes each. The decoder rejects out-of-range indices,
+    so a well-formed batch never dangles. *)
+type batch_op =
+  | Op_prove of { scheme : string; graph : int }
+  | Op_verify of { scheme : string; graph : int; proof : int }
+  | Op_forge of { scheme : string; graph : int; max_bits : int }
+
 type request =
   | Prove of { scheme : string; graph6 : string }
   | Verify of { scheme : string; graph6 : string; proof : Proof.t }
   | Forge of { scheme : string; graph6 : string; max_bits : int }
+  | Batch of { graphs : string list; proofs : Proof.t list; ops : batch_op list }
+      (** Up to 65535 sub-ops behind one header and one round trip.
+          The reply is a {!response.Batch_reply} with one
+          {!batch_item} per op, in op order; a bad op yields an
+          [Item_error] in its slot without failing the frame. *)
   | Stats
   | Catalog
   | Metrics_text
@@ -84,9 +100,13 @@ type error_code =
   | Unknown_scheme
   | Bad_graph  (** graph6 payload rejected by {!Graph6.decode_res}. *)
   | Bad_request  (** Frame ok, payload malformed for its tag. *)
-  | Overloaded  (** Shed by backpressure; retry later. *)
+  | Overloaded  (** Shed by backpressure (queue full); retry later. *)
   | Deadline_exceeded
   | Internal
+  | Unavailable
+      (** The worker pool is shutting down — unlike {!Overloaded} the
+          condition will not clear, so retry {e elsewhere}, not
+          later. *)
 
 type catalog_entry = { name : string; radius : int; doc : string }
 
@@ -109,11 +129,26 @@ type health = { ready : bool; pending : int; max_queue : int; uptime_ms : int }
     or the server is draining (see {!request.Drain}); [pending] is the
     live queued + running task count. *)
 
+(** One reply slot of a {!response.Batch_reply}, positionally matching
+    the request's op list. On the wire each slot leads with a status
+    byte (0 = error, else the op kind), so a reader can tally
+    failures without decoding payloads. *)
+type batch_item =
+  | Item_proved of Proof.t option
+  | Item_verified of { accepted : bool; rejecting : int list }
+  | Item_forged of {
+      fooled : Proof.t option;
+      attempts : int;
+      best_rejections : int;
+    }
+  | Item_error of { code : error_code; message : string }
+
 type response =
   | Proved of Proof.t option
       (** [None]: the prover recognised a no-instance. *)
   | Verified of { accepted : bool; rejecting : int list }
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Batch_reply of batch_item list
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list
   | Metrics_text_reply of string

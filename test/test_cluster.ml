@@ -504,6 +504,83 @@ let router_drain_reroutes () =
     ((Server.stats s2).Server.cache_misses >= 1);
   check_int "rerouting is not a retry" 0 (Router.stats r).Router.retries
 
+(* the smallest cycle size >= from whose *batch op* key is owned by
+   [idx] — op keys hash the graph bytes, not the whole frame, so a
+   single-op batch's request_key is exactly the op's routing key *)
+let cycle_op_owned_by idx ~from =
+  let rec go n =
+    let g6 = Graph6.encode (Builders.cycle n) in
+    let key =
+      Router.request_key
+        (Wire.Batch
+           {
+             graphs = [ g6 ];
+             proofs = [];
+             ops = [ Wire.Op_prove { scheme = "eulerian"; graph = 0 } ];
+           })
+    in
+    if Ring.owner two_ring key = idx then (n, g6) else go (n + 1)
+  in
+  go from
+
+let router_batch_split () =
+  with_cluster @@ fun r s1 s2 ->
+  (* two graphs keyed to different backends: the router must split the
+     frame, fan the sub-batches out concurrently, and reassemble the
+     per-op items in the original op order *)
+  let _n0, g0 = cycle_op_owned_by 0 ~from:16 in
+  let _n1, g1 = cycle_op_owned_by 1 ~from:16 in
+  let ops =
+    [
+      Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+      Wire.Op_prove { scheme = "eulerian"; graph = 1 };
+      Wire.Op_prove { scheme = "no-such-scheme"; graph = 0 };
+      Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+      Wire.Op_prove { scheme = "eulerian"; graph = 1 };
+    ]
+  in
+  with_client (Router.port r) (fun c ->
+      match call c (Wire.Batch { graphs = [ g0; g1 ]; proofs = []; ops }) with
+      | Wire.Batch_reply items ->
+          check_int "one item per op" (List.length ops) (List.length items);
+          List.iteri
+            (fun i item ->
+              match (i, item) with
+              | (0 | 1 | 3 | 4), Wire.Item_proved (Some _) -> ()
+              | 2, Wire.Item_error { code = Wire.Unknown_scheme; _ } -> ()
+              | _, _ -> Alcotest.failf "item %d has the wrong shape" i)
+            items
+      | _ -> Alcotest.fail "batch through router");
+  (* the split really spanned the cluster: each backend compiled
+     exactly the graph keyed to it *)
+  check_int "backend 0 compiled its graph" 1 (Server.stats s1).Server.cache_misses;
+  check_int "backend 1 compiled its graph" 1 (Server.stats s2).Server.cache_misses;
+  let st = Router.stats r in
+  check_int "one client request, counted once" 1 st.Router.requests;
+  check_int "no retries on a healthy cluster" 0 st.Router.retries;
+  (* a single-key batch takes the fast path: forwarded as one frame to
+     the owner, items still in order *)
+  let before0 = (Server.stats s1).Server.batch_ops in
+  with_client (Router.port r) (fun c ->
+      match
+        call c
+          (Wire.Batch
+             {
+               graphs = [ g0 ];
+               proofs = [];
+               ops =
+                 [
+                   Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+                   Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+                 ];
+             })
+      with
+      | Wire.Batch_reply [ Wire.Item_proved (Some _); Wire.Item_proved (Some _) ]
+        -> ()
+      | _ -> Alcotest.fail "single-key batch through router");
+  check_int "single-key frame landed whole on its owner" (before0 + 2)
+    (Server.stats s1).Server.batch_ops
+
 let router_hedging () =
   (* hedge after 1 ms: a cold compile takes far longer, so the hedge
      leg fires; whichever leg wins, the client sees exactly one reply
@@ -546,5 +623,7 @@ let suite =
       Alcotest.test_case "router admin endpoints" `Quick router_admin_endpoints;
       Alcotest.test_case "router routes around a draining backend" `Quick
         router_drain_reroutes;
+      Alcotest.test_case "router splits a batch across backends" `Quick
+        router_batch_split;
       Alcotest.test_case "router hedged request wins once" `Quick router_hedging;
     ] )

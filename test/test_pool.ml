@@ -69,7 +69,41 @@ let submit_after_shutdown () =
     | exception Invalid_argument _ -> true
     | _ -> false);
   check "submit_opt after shutdown declines" false
-    (Pool.submit_opt p (fun () -> ()))
+    (Pool.submit_opt p (fun () -> ()));
+  check "submit_res names the shutdown" true
+    (Pool.submit_res p (fun () -> ()) = Error Pool.Shutting_down)
+
+(* submit_res is submit_opt with the decline reason made typed: the
+   server maps Queue_full to Overloaded and Shutting_down to
+   Unavailable, so the two must stay distinguishable. *)
+let submit_res_reasons () =
+  let p = Pool.create 1 in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Pool.shutdown p)
+  @@ fun () ->
+  check "first task accepted" true
+    (Pool.submit_res ~max_pending:1 p (fun () ->
+         while not (Atomic.get gate) do
+           Domain.cpu_relax ()
+         done;
+         Atomic.incr ran)
+    = Ok ());
+  check "saturated bound is Queue_full" true
+    (Pool.submit_res ~max_pending:1 p (fun () -> Atomic.incr ran)
+    = Error Pool.Queue_full);
+  Atomic.set gate true;
+  Pool.wait p;
+  check_int "declined task never ran" 1 (Atomic.get ran);
+  Pool.shutdown p;
+  (* after shutdown even a saturated-looking bound reports the
+     shutdown, not the queue *)
+  check "stopped pool is Shutting_down" true
+    (Pool.submit_res ~max_pending:0 p (fun () -> Atomic.incr ran)
+    = Error Pool.Shutting_down)
 
 (* submit_opt with ~max_pending is the server's backpressure valve:
    while [max_pending] tasks are submitted-but-unfinished it must
@@ -144,6 +178,8 @@ let suite =
       Alcotest.test_case "submit after shutdown" `Quick submit_after_shutdown;
       Alcotest.test_case "submit_opt backpressure bound" `Quick
         submit_opt_bound;
+      Alcotest.test_case "submit_res decline reasons" `Quick
+        submit_res_reasons;
       Alcotest.test_case "metrics snapshots jobs-invariant" `Quick
         snapshots_jobs_invariant;
     ] )

@@ -46,7 +46,8 @@ let expect_error code what = function
         | Wire.Catalog_reply _ -> "Catalog_reply"
         | Wire.Metrics_text_reply _ -> "Metrics_text_reply"
         | Wire.Health_reply _ -> "Health_reply"
-        | Wire.Drain_reply _ -> "Drain_reply")
+        | Wire.Drain_reply _ -> "Drain_reply"
+        | Wire.Batch_reply _ -> "Batch_reply")
 
 (* ------------------------------------------------------------------ *)
 (* In-process units: the LRU and the scheme registry. *)
@@ -639,6 +640,219 @@ let loadgen_error_breakdown () =
         | None -> false);
       check_int "ids all echoed" 0 r.Client.id_mismatches
 
+(* ------------------------------------------------------------------ *)
+(* Batch frames end to end, and the disk cache. *)
+
+let batch_e2e () =
+  with_server { Server.default_config with jobs = 1; cache_size = 8 }
+  @@ fun t port ->
+  with_client port @@ fun c ->
+  let g6 = Graph6.encode (Builders.cycle 64) in
+  let proof =
+    match call c (Wire.Prove { scheme = "bipartite"; graph6 = g6 }) with
+    | Wire.Proved (Some p) -> p
+    | r ->
+        expect_error Wire.Internal "prove" r;
+        assert false
+  in
+  (* mixed kinds, repeated ops (the coalescing path), one shared
+     graph and one shared proof-table entry *)
+  let req =
+    Wire.Batch
+      {
+        graphs = [ g6 ];
+        proofs = [ proof ];
+        ops =
+          [
+            Wire.Op_prove { scheme = "bipartite"; graph = 0 };
+            Wire.Op_verify { scheme = "bipartite"; graph = 0; proof = 0 };
+            Wire.Op_prove { scheme = "bipartite"; graph = 0 };
+            Wire.Op_verify { scheme = "eulerian"; graph = 0; proof = 0 };
+          ];
+      }
+  in
+  (match call c req with
+  | Wire.Batch_reply
+      [
+        Wire.Item_proved (Some p1);
+        Wire.Item_verified { accepted = true; _ };
+        Wire.Item_proved (Some p2);
+        Wire.Item_verified { accepted = true; _ };
+      ] ->
+      (* proving is deterministic, so the coalesced duplicate agrees *)
+      check "duplicate ops agree" true (Proof.equal p1 p2)
+  | Wire.Batch_reply items ->
+      Alcotest.failf "wrong batch shape (%d items)" (List.length items)
+  | r -> expect_error Wire.Internal "batch" r);
+  let s = Server.stats t in
+  check_int "batch ops counted" 4 s.Server.batch_ops;
+  (* a batch of one must answer exactly like the plain request *)
+  let plain = call c (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof }) in
+  (match
+     call c
+       (Wire.Batch
+          {
+            graphs = [ g6 ];
+            proofs = [ proof ];
+            ops =
+              [ Wire.Op_verify { scheme = "bipartite"; graph = 0; proof = 0 } ];
+          })
+   with
+  | Wire.Batch_reply [ Wire.Item_verified { accepted; rejecting } ] ->
+      check "batch-of-1 = plain request" true
+        (Wire.equal_response plain (Wire.Verified { accepted; rejecting }))
+  | r -> expect_error Wire.Internal "batch-of-1" r)
+
+let batch_corrupt_op_isolated () =
+  with_server { Server.default_config with jobs = 1 } @@ fun _t port ->
+  with_client port @@ fun c ->
+  let g6 = Graph6.encode (Builders.cycle 32) in
+  let bad_slot = 13 in
+  let ops =
+    List.init 64 (fun i ->
+        if i = bad_slot then
+          Wire.Op_prove { scheme = "no-such-scheme"; graph = 0 }
+        else Wire.Op_prove { scheme = "eulerian"; graph = 0 })
+  in
+  match call c (Wire.Batch { graphs = [ g6 ]; proofs = []; ops }) with
+  | Wire.Batch_reply items ->
+      check_int "64 items back" 64 (List.length items);
+      List.iteri
+        (fun i item ->
+          match item with
+          | Wire.Item_error { code; _ } when i = bad_slot ->
+              check "bad op gets its own typed error" true
+                (code = Wire.Unknown_scheme)
+          | Wire.Item_proved (Some _) when i <> bad_slot -> ()
+          | _ -> Alcotest.failf "item %d has the wrong shape" i)
+        items
+  | r -> expect_error Wire.Internal "corrupt-op batch" r
+
+let with_tmp_dir prefix f =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cleanup () =
+    Array.iter
+      (fun file ->
+        try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let diskcache_unit () =
+  with_tmp_dir "lcp_cache" @@ fun dir ->
+  let graph = Builders.cycle 48 in
+  let g6 = Graph6.encode graph in
+  let compiled = Simulator.compile (Instance.of_graph graph) in
+  let key = "bipartite/" ^ Digest.to_hex (Digest.string g6) in
+  check "miss before store" true
+    (Diskcache.load ~dir ~key ~scheme:"bipartite" ~graph6:g6 = None);
+  Diskcache.store ~dir ~key ~scheme:"bipartite" ~graph6:g6 compiled;
+  (match Diskcache.load ~dir ~key ~scheme:"bipartite" ~graph6:g6 with
+  | None -> Alcotest.fail "stored image failed to load"
+  | Some c ->
+      (* the reloaded image must drive the verifier identically *)
+      let scheme =
+        match Registry.find "bipartite" with
+        | Some e -> e.Registry.scheme
+        | None -> Alcotest.fail "bipartite unregistered"
+      in
+      let inst = Simulator.compiled_instance c in
+      let proof =
+        match scheme.Scheme.prover inst with
+        | Some p -> p
+        | None -> Alcotest.fail "bipartite rejected C48"
+      in
+      let run cc =
+        Simulator.run_verifier ~compiled:cc inst proof
+          ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+      in
+      check "reloaded image verifies like the original" true
+        (run c = run compiled));
+  (* identity mismatch: same file, different requested graph *)
+  check "identity mismatch falls back" true
+    (Diskcache.load ~dir ~key ~scheme:"bipartite" ~graph6:"A_" = None);
+  check "scheme mismatch falls back" true
+    (Diskcache.load ~dir ~key ~scheme:"eulerian" ~graph6:g6 = None);
+  (* flip one byte mid-file: the checksum must catch it *)
+  let file = Diskcache.path ~dir key in
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let body = Bytes.of_string (really_input_string ic len) in
+  close_in ic;
+  Bytes.set body (len / 2) (Char.chr (Char.code (Bytes.get body (len / 2)) lxor 1));
+  let oc = open_out_bin file in
+  output_bytes oc body;
+  close_out oc;
+  check "corrupt image falls back" true
+    (Diskcache.load ~dir ~key ~scheme:"bipartite" ~graph6:g6 = None)
+
+let cache_dir_warm_restart () =
+  with_tmp_dir "lcp_cache" @@ fun dir ->
+  let g6 = Graph6.encode (Builders.cycle 256) in
+  let config =
+    { Server.default_config with jobs = 1; cache_size = 8; cache_dir = dir }
+  in
+  (* first daemon: cold compile, which persists the image *)
+  let proof =
+    with_server config @@ fun t port ->
+    with_client port @@ fun c ->
+    let p =
+      match call c (Wire.Prove { scheme = "bipartite"; graph6 = g6 }) with
+      | Wire.Proved (Some p) -> p
+      | r ->
+          expect_error Wire.Internal "prove" r;
+          assert false
+    in
+    let s = Server.stats t in
+    check_int "first daemon compiled" 1 s.Server.cache_misses;
+    check_int "no disk hit yet" 0 s.Server.disk_hits;
+    p
+  in
+  check "image persisted" true
+    (Sys.file_exists
+       (Diskcache.path ~dir
+          ("bipartite/" ^ Digest.to_hex (Digest.string g6))));
+  (* restarted daemon: the very first request must be served from the
+     mmapped image — a disk hit, no compile *)
+  with_server config @@ fun t port ->
+  with_client port @@ fun c ->
+  (match call c (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof }) with
+  | Wire.Verified { accepted; _ } -> check "warm verify accepted" true accepted
+  | r -> expect_error Wire.Internal "warm verify" r);
+  let s = Server.stats t in
+  check_int "first request was a disk hit" 1 s.Server.disk_hits;
+  check "disk hits count as cache hits" true (s.Server.cache_hits >= 1);
+  (* the next request for the same graph hits the LRU, not the disk *)
+  (match call c (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof }) with
+  | Wire.Verified _ -> ()
+  | r -> expect_error Wire.Internal "second verify" r);
+  let s = Server.stats t in
+  check_int "disk tier consulted once" 1 s.Server.disk_hits;
+  check "second request hit the LRU" true (s.Server.cache_hits >= 2)
+
+let loadgen_batched () =
+  with_server { Server.default_config with jobs = 1 } @@ fun t port ->
+  match
+    Client.loadgen ~port ~batch:8 ~connections:2 ~requests:5 ~mix:(1, 4)
+      ~scheme:"eulerian" ~sizes:[ 16; 24 ] ()
+  with
+  | Error m -> Alcotest.failf "batched loadgen: %s" m
+  | Ok r ->
+      check_int "all ops ok" (2 * 5 * 8) r.Client.ok;
+      check_int "no errors" 0 r.Client.errors;
+      check_int "ids all echoed" 0 r.Client.id_mismatches;
+      check "frame latencies recorded" true
+        (r.Client.batch_frames.Client.count = 2 * 5);
+      check "ops/s = frames/s x batch" true
+        (abs_float
+           (r.Client.throughput_ops -. (8.0 *. r.Client.throughput_rps))
+        < 1e-6 *. r.Client.throughput_ops);
+      check_int "server saw the ops" (2 * 5 * 8)
+        (Server.stats t).Server.batch_ops
+
 let suite =
   ( "server",
     [
@@ -665,4 +879,11 @@ let suite =
         reset_guard;
       Alcotest.test_case "loadgen per-code error breakdown" `Quick
         loadgen_error_breakdown;
+      Alcotest.test_case "batch frames end to end" `Quick batch_e2e;
+      Alcotest.test_case "corrupt batch op isolated" `Quick
+        batch_corrupt_op_isolated;
+      Alcotest.test_case "disk cache store/load/corrupt" `Quick diskcache_unit;
+      Alcotest.test_case "cache-dir restart serves warm" `Quick
+        cache_dir_warm_restart;
+      Alcotest.test_case "loadgen batched mode" `Quick loadgen_batched;
     ] )

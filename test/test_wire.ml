@@ -110,10 +110,59 @@ let gen_name = QCheck.Gen.(string_size ~gen:printable (int_bound 16))
    range, not just printables *)
 let gen_blob = QCheck.Gen.(string_size ~gen:char (int_bound 32))
 
+(* batch ops must reference graph- and proof-table slots — the
+   decoder rejects out-of-range indices, so the generator keeps them
+   in range *)
+let gen_batch_op n_graphs n_proofs =
+  QCheck.Gen.(
+    let* graph = int_bound (n_graphs - 1) in
+    oneof
+      [
+        (let* scheme = gen_name in
+         return (Wire.Op_prove { scheme; graph }));
+        (let* scheme = gen_name in
+         let* proof = int_bound (n_proofs - 1) in
+         return (Wire.Op_verify { scheme; graph; proof }));
+        (let* scheme = gen_name in
+         let* max_bits = int_bound 0xffff in
+         return (Wire.Op_forge { scheme; graph; max_bits }));
+      ])
+
+let gen_batch =
+  QCheck.Gen.(
+    let* graphs = list_size (int_range 1 4) gen_blob in
+    let* proofs = list_size (int_range 1 3) gen_proof in
+    let* ops =
+      list_size (int_bound 6)
+        (gen_batch_op (List.length graphs) (List.length proofs))
+    in
+    return (Wire.Batch { graphs; proofs; ops }))
+
+let gen_batch_item =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* p = opt gen_proof in
+         return (Wire.Item_proved p));
+        (let* accepted = bool in
+         let* rejecting = list_size (int_bound 6) (int_bound 5000) in
+         return (Wire.Item_verified { accepted; rejecting }));
+        (let* fooled = opt gen_proof in
+         let* attempts = int_bound 100000 in
+         let* best_rejections = int_bound 5000 in
+         return (Wire.Item_forged { fooled; attempts; best_rejections }));
+        (let* code =
+           oneofl [ Wire.Unknown_scheme; Wire.Deadline_exceeded; Wire.Internal ]
+         in
+         let* message = gen_blob in
+         return (Wire.Item_error { code; message }));
+      ])
+
 let gen_request =
   QCheck.Gen.(
     oneof
       [
+        gen_batch;
         (let* scheme = gen_name in
          let* graph6 = gen_blob in
          return (Wire.Prove { scheme; graph6 }));
@@ -184,6 +233,8 @@ let gen_response =
         (let* draining = bool in
          let* pending = int_bound 10_000 in
          return (Wire.Drain_reply { draining; pending }));
+        (let* items = list_size (int_bound 6) gen_batch_item in
+         return (Wire.Batch_reply items));
         (let* code =
            oneofl
              [
@@ -195,6 +246,7 @@ let gen_response =
                Wire.Overloaded;
                Wire.Deadline_exceeded;
                Wire.Internal;
+               Wire.Unavailable;
              ]
          in
          let* message = gen_blob in
@@ -382,6 +434,112 @@ let id_codec_edges () =
   | Ok _ -> Alcotest.fail "wrong request back"
   | Error m -> Alcotest.failf "max_int id rejected: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* Batch frames. *)
+
+let c8 = lazy (Graph6.encode (Builders.cycle 8))
+
+let mixed_batch () =
+  Wire.Batch
+    {
+      graphs = [ Lazy.force c8; "A_" ];
+      proofs = [ Proof.of_list [ (0, Bits.of_bools [ true; false ]) ] ];
+      ops =
+        [
+          Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+          Wire.Op_verify { scheme = "eulerian"; graph = 1; proof = 0 };
+          Wire.Op_forge { scheme = "bipartite"; graph = 0; max_bits = 4 };
+          Wire.Op_prove { scheme = "eulerian"; graph = 0 };
+        ];
+    }
+
+let batch_roundtrip () =
+  let req = mixed_batch () in
+  List.iter
+    (fun version ->
+      let id = if version = 1 then 0 else 42 in
+      match Wire.decode_request (Wire.encode_request ~version ~id req) with
+      | Error m -> Alcotest.failf "v%d batch decode failed: %s" version m
+      | Ok (id', req') ->
+          check_int "batch id" id id';
+          check "batch survives" true (Wire.equal_request req req'))
+    [ 1; 2 ];
+  (* an empty batch is legal: zero graphs, zero ops *)
+  let empty = Wire.Batch { graphs = []; proofs = []; ops = [] } in
+  check "empty batch roundtrips" true
+    (match Wire.decode_request (Wire.encode_request empty) with
+    | Ok (_, r) -> Wire.equal_request empty r
+    | Error _ -> false);
+  (* and the reply side, one item of each kind *)
+  let reply =
+    Wire.Batch_reply
+      [
+        Wire.Item_proved (Some (Proof.of_list [ (3, Bits.of_bools [ true ]) ]));
+        Wire.Item_verified { accepted = false; rejecting = [ 1; 4 ] };
+        Wire.Item_forged { fooled = None; attempts = 7; best_rejections = 2 };
+        Wire.Item_error { code = Wire.Deadline_exceeded; message = "late" };
+      ]
+  in
+  check "batch reply roundtrips" true
+    (match Wire.decode_response (Wire.encode_response reply) with
+    | Ok (_, r) -> Wire.equal_response reply r
+    | Error _ -> false)
+
+let batch_truncations () =
+  let frame = Wire.encode_request (mixed_batch ()) in
+  for i = 0 to String.length frame - 1 do
+    match Wire.decode_request (String.sub frame 0 i) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "batch truncation at %d bytes accepted" i
+  done;
+  check "batch trailing byte rejected" true
+    (Result.is_error (Wire.decode_request (frame ^ "\x00")))
+
+let batch_rejects () =
+  let reject what frame =
+    match Wire.decode_request frame with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | exception e -> Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+  in
+  (* an op pointing past the graph table must die in the decoder, not
+     reach dispatch *)
+  reject "graph index out of range"
+    (Wire.encode_request
+       (Wire.Batch
+          {
+            graphs = [ "A_" ];
+            proofs = [];
+            ops = [ Wire.Op_prove { scheme = "eulerian"; graph = 1 } ];
+          }));
+  (* likewise an op pointing past the proof table *)
+  reject "proof index out of range"
+    (Wire.encode_request
+       (Wire.Batch
+          {
+            graphs = [ "A_" ];
+            proofs = [];
+            ops = [ Wire.Op_verify { scheme = "eulerian"; graph = 0; proof = 0 } ];
+          }));
+  let tag = Wire.request_tag (Wire.Batch { graphs = []; proofs = []; ops = [] }) in
+  (* unknown op kind byte: 1 graph "A_", 0 proofs, 1 op of kind 9 *)
+  reject "unknown op kind"
+    (raw_frame ~version:1 ~tag
+       "\x00\x01\x00\x00\x00\x02A_\x00\x00\x00\x01\x09\x00\x00\x00\x01x\x00\x00");
+  (* inflated op count with no op bytes: the count guard must reject
+     before any allocation *)
+  reject "inflated op count"
+    (raw_frame ~version:1 ~tag "\x00\x00\x00\x00\xff\xff");
+  (* inflated proof count likewise *)
+  reject "inflated proof count" (raw_frame ~version:1 ~tag "\x00\x00\xff\xff");
+  (* and the graph count *)
+  reject "inflated graph count" (raw_frame ~version:1 ~tag "\xff\xff");
+  (* reply side: unknown per-op status byte *)
+  let rtag = Wire.response_tag (Wire.Batch_reply []) in
+  check "unknown item status rejected" true
+    (Result.is_error
+       (Wire.decode_response (raw_frame ~version:1 ~tag:rtag "\x00\x01\x09")))
+
 let count_mismatch () =
   (* a Verify payload whose binding count claims more entries than the
      payload can hold must be rejected by the count guard, not by
@@ -413,5 +571,8 @@ let suite =
       QCheck_alcotest.to_alcotest payload_garbage_total_prop;
       Alcotest.test_case "cross-version matrix" `Quick cross_version_matrix;
       Alcotest.test_case "correlation id edge cases" `Quick id_codec_edges;
+      Alcotest.test_case "batch roundtrip" `Quick batch_roundtrip;
+      Alcotest.test_case "batch truncations rejected" `Quick batch_truncations;
+      Alcotest.test_case "batch rejects malformed" `Quick batch_rejects;
       Alcotest.test_case "inflated count rejected" `Quick count_mismatch;
     ] )
