@@ -11,6 +11,8 @@
      lcp route   [--backend ...]          run the cluster routing frontend
      lcp loadgen [--port|--connect ...]   drive daemon(s) with a request mix
      lcp top     [--port ...]             live telemetry dashboard for a daemon
+     lcp trace fetch HOST:PORT            pull a live process's trace ring
+     lcp trace merge FILES -o OUT         join per-process lanes, align clocks
 
    prove/verify/forge/stats accept [--metrics] (print engine counters on
    exit) and [--trace FILE] (write a Chrome trace-event JSON timeline).
@@ -94,6 +96,49 @@ let trace_arg =
         ~doc:
           "Record a structured trace and write it to $(docv) as Chrome \
            trace-event JSON (open in chrome://tracing or Perfetto).")
+
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Distributed tracing: trace 1 in $(docv) requests. Sampling is \
+           head-based and deterministic in the correlation id, so client, \
+           router and backend all keep the same requests; a request \
+           arriving with a trace context on the wire is always traced. \
+           Implies tracing is on. 0 (the default) disables sampling.")
+
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "On exit, spool this process's trace ring to \
+           $(docv)/trace-<process>.json — one lane per process; join the \
+           lanes of a cluster run with 'lcp trace merge'. Implies tracing \
+           is on.")
+
+(* Distributed-tracing setup shared by serve / route / loadgen: name
+   this process's lane, turn the ring on when sampling or spooling was
+   requested, and spool on the way out. *)
+let with_trace_spool ~process ~trace_sample ~trace_dir f =
+  Obs.Trace.process := process;
+  if trace_sample > 0 || trace_dir <> None then
+    Obs.enable ~metrics:false ~trace:true ();
+  let code = f () in
+  (match trace_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Obs.Trace.spool ~dir in
+      Format.printf "trace lane %S (%d events%s) spooled to %s@."
+        !Obs.Trace.process (Obs.Trace.recorded ())
+        (match Obs.Trace.dropped () with
+        | 0 -> ""
+        | d -> Printf.sprintf ", %d dropped" d)
+        path);
+  code
 
 (* Enable the requested observability, run the command body, then export
    the trace / print the metrics table. Exit codes pass through; the
@@ -670,8 +715,13 @@ let serve_cmd =
              tier.")
   in
   let run host port jobs cache_size deadline_ms max_queue http_port log_path
-      log_sample slow_ms slow_dir cache_dir metrics trace =
+      log_sample slow_ms slow_dir cache_dir trace_sample trace_dir metrics
+      trace =
     with_obs ~metrics ~trace @@ fun () ->
+    with_trace_spool
+      ~process:(Printf.sprintf "serve-%d-%d" port (Unix.getpid ()))
+      ~trace_sample ~trace_dir
+    @@ fun () ->
     let log =
       match log_path with
       | None -> None
@@ -691,6 +741,7 @@ let serve_cmd =
         slow_dir;
         cache_dir;
         log;
+        trace_sample;
       }
     in
     match Server.create config with
@@ -704,6 +755,10 @@ let serve_cmd =
         Option.iter Obs.Log.close log;
         1
     | server ->
+        (* re-stamp the lane with the bound port once it is known
+           (port 0 picks an ephemeral one) *)
+        Obs.Trace.process :=
+          Printf.sprintf "serve-%d-%d" (Server.port server) (Unix.getpid ());
         let stop _ = Server.stop server in
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -737,7 +792,8 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg $ jobs_arg $ cache_arg $ deadline_arg
       $ queue_arg $ http_port_arg $ log_arg $ log_sample_arg $ slow_ms_arg
-      $ slow_dir_arg $ cache_dir_arg $ metrics_arg $ trace_arg)
+      $ slow_dir_arg $ cache_dir_arg $ trace_sample_arg $ trace_dir_arg
+      $ metrics_arg $ trace_arg)
 
 let route_cmd =
   let backend_arg =
@@ -833,12 +889,17 @@ let route_cmd =
              $(docv) ('-' means stderr).")
   in
   let run host port backends retries hedge_ms probe_interval_ms load_factor
-      vnodes fail_threshold cooldown_ms http_port log_path =
+      vnodes fail_threshold cooldown_ms http_port log_path trace_sample
+      trace_dir =
     if backends = [] then begin
       prerr_endline "lcp route: need at least one --backend HOST:PORT";
       1
     end
     else begin
+      with_trace_spool
+        ~process:(Printf.sprintf "route-%d-%d" port (Unix.getpid ()))
+        ~trace_sample ~trace_dir
+      @@ fun () ->
       let log =
         match log_path with
         | None -> None
@@ -860,6 +921,7 @@ let route_cmd =
           cooldown_ms;
           http_port;
           log;
+          trace_sample;
         }
       in
       match Router.create config with
@@ -873,6 +935,8 @@ let route_cmd =
           Option.iter Obs.Log.close log;
           1
       | router ->
+          Obs.Trace.process :=
+            Printf.sprintf "route-%d-%d" (Router.port router) (Unix.getpid ());
           let stop _ = Router.stop router in
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -919,7 +983,8 @@ let route_cmd =
     Term.(
       const run $ host_arg $ route_port_arg $ backend_arg $ retries_arg
       $ hedge_arg $ probe_arg $ load_factor_arg $ vnodes_arg
-      $ fail_threshold_arg $ cooldown_arg $ http_port_arg $ log_arg)
+      $ fail_threshold_arg $ cooldown_arg $ http_port_arg $ log_arg
+      $ trace_sample_arg $ trace_dir_arg)
 
 let loadgen_cmd =
   let connections_arg =
@@ -994,11 +1059,16 @@ let loadgen_cmd =
              plain requests). The mix and graph rotation are identical per \
              operation, so ops/s is directly comparable across batch sizes.")
   in
-  let run host port targets connections requests batch mix scheme sizes out =
+  let run host port targets connections requests batch mix scheme sizes out
+      trace_sample trace_dir =
     let targets = match targets with [] -> None | l -> Some l in
+    with_trace_spool
+      ~process:(Printf.sprintf "loadgen-%d" (Unix.getpid ()))
+      ~trace_sample ~trace_dir
+    @@ fun () ->
     match
-      Client.loadgen ~host ?targets ~batch ~port ~connections ~requests ~mix
-        ~scheme ~sizes ()
+      Client.loadgen ~host ?targets ~batch ~trace_sample ~port ~connections
+        ~requests ~mix ~scheme ~sizes ()
     with
     | Error m -> prerr_endline m; 1
     | Ok report ->
@@ -1021,7 +1091,125 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg $ connect_arg $ connections_arg
       $ requests_arg $ batch_arg $ mix_arg $ scheme_name_arg $ sizes_arg
-      $ out_arg)
+      $ out_arg $ trace_sample_arg $ trace_dir_arg)
+
+let trace_cmd =
+  let merge_cmd =
+    let files_arg =
+      Arg.(
+        non_empty & pos_all file []
+        & info [] ~docv:"FILE"
+            ~doc:
+              "Per-process trace spools — the Chrome trace-event JSON files \
+               written by --trace-dir or fetched with 'lcp trace fetch'.")
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt string "trace-merged.json"
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the merged timeline here.")
+    in
+    let id_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-id" ] ~docv:"HEX"
+            ~doc:
+              "Keep only the events of this trace (the 32-hex id from a \
+               slow-request log line or a span's args).")
+    in
+    let run files out trace_id =
+      let slurp path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let named =
+        List.map
+          (fun path ->
+            (Filename.remove_extension (Filename.basename path), slurp path))
+          files
+      in
+      match Obs.Trace_merge.merge ?trace_id named with
+      | Error m ->
+          prerr_endline ("lcp trace merge: " ^ m);
+          1
+      | Ok (json, stats) ->
+          let oc = open_out out in
+          output_string oc json;
+          close_out oc;
+          Obs.Trace_merge.pp_stats stdout stats;
+          Format.printf "merged timeline written to %s@." out;
+          0
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:
+           "Join per-process trace spools into one timeline, aligning each \
+            process's clock from cross-process span parent links (no NTP \
+            assumption)")
+      Term.(const run $ files_arg $ out_arg $ id_arg)
+  in
+  let fetch_cmd =
+    let target_arg =
+      Arg.(
+        required
+        & pos 0 (some hostport_conv) None
+        & info [] ~docv:"HOST:PORT"
+            ~doc:"Daemon or router to fetch the trace ring from.")
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Output file (default trace-HOST-PORT.json).")
+    in
+    let run (host, port) out =
+      match Client.connect ~host ~port () with
+      | Error m ->
+          prerr_endline m;
+          1
+      | Ok c -> (
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          match Client.call c Wire.Trace_export with
+          | Ok (Wire.Trace_export_reply json) ->
+              let path =
+                match out with
+                | Some p -> p
+                | None -> Printf.sprintf "trace-%s-%d.json" host port
+              in
+              let oc = open_out path in
+              output_string oc json;
+              close_out oc;
+              Format.printf "trace lane from %s:%d written to %s@." host port
+                path;
+              0
+          | Ok (Wire.Error_reply { message; _ }) ->
+              prerr_endline ("server said: " ^ message);
+              1
+          | Ok _ ->
+              prerr_endline "unexpected response type";
+              1
+          | Error m ->
+              prerr_endline m;
+              1)
+    in
+    Cmd.v
+      (Cmd.info "fetch"
+         ~doc:
+           "Fetch a live process's trace ring over the wire protocol \
+            (Trace_export) without restarting it")
+      Term.(const run $ target_arg $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Distributed-tracing utilities: fetch per-process trace rings and \
+          merge spooled lanes into one cross-process timeline")
+    [ merge_cmd; fetch_cmd ]
 
 let top_cmd =
   let interval_arg =
@@ -1041,8 +1229,36 @@ let top_cmd =
      protocol's Metrics_text request and read back through the same
      parser `lcp top`'s tests use — the exposition is the contract. *)
   let header () =
-    Format.printf "%9s %9s %9s %9s %9s %6s %6s %6s %s@." "rate/s" "reqs"
-      "p50_us" "p95_us" "p99_us" "hit%" "queue" "shed" "ready"
+    Format.printf "%9s %9s %9s %9s %9s %9s %6s %6s %6s %s@." "frame/s"
+      "ops/s" "reqs" "p50_us" "p95_us" "p99_us" "hit%" "queue" "shed" "ready"
+  in
+  (* Pointed at a router, expand each sample into per-backend rows —
+     the labelled lcp_router_backend_* series are already in the same
+     exposition text. *)
+  let backend_rows text =
+    List.iter
+      (fun line ->
+        match Obs.Export.parse_sample line with
+        | Some ("lcp_router_backend_requests_total", labels, reqs) -> (
+            match List.assoc_opt "backend" labels with
+            | None -> ()
+            | Some name ->
+                let fl metric =
+                  Option.value ~default:0.0
+                    (Obs.Export.find_sample text ~name:metric
+                       ~labels:[ ("backend", name) ])
+                in
+                Format.printf
+                  "  %-21s %9.0f attempts %6.0f err %4.0f inflight %s@."
+                  name reqs
+                  (fl "lcp_router_backend_errors_total")
+                  (fl "lcp_router_backend_inflight")
+                  (match fl "lcp_router_backend_state" with
+                  | 0. -> "ready"
+                  | 1. -> "saturated"
+                  | _ -> "dead"))
+        | _ -> ())
+      (String.split_on_char '\n' text)
   in
   let sample text =
     let f ?(labels = []) name =
@@ -1052,13 +1268,16 @@ let top_cmd =
     let q v = ("quantile", v) :: w10 in
     (* the same dashboard reads a daemon or a router — the router has
        no compile cache (hit% renders as "-"), and its queue / shed
-       columns are in-flight forwards / unroutable requests *)
+       columns are in-flight forwards / unroutable requests. frame/s
+       counts wire frames, ops/s counts batch sub-ops — they diverge
+       exactly when --batch is doing its job *)
     let router =
       Obs.Export.find_sample text ~name:"lcp_router_ready" ~labels:[] <> None
     in
     let p name = (if router then "lcp_router_" else "lcp_server_") ^ name in
-    Format.printf "%9.1f %9.0f %9.0f %9.0f %9.0f %6s %6.0f %6.0f %s@."
+    Format.printf "%9.1f %9.1f %9.0f %9.0f %9.0f %9.0f %6s %6.0f %6.0f %s@."
       (f ~labels:w10 (p "request_rate"))
+      (f ~labels:w10 (p "op_rate"))
       (f (p "requests_total"))
       (f ~labels:(q "0.5") (p "request_us"))
       (f ~labels:(q "0.95") (p "request_us"))
@@ -1071,15 +1290,16 @@ let top_cmd =
       (f
          (if router then "lcp_router_no_backend_total"
           else "lcp_server_overloaded_total"))
-      (if f (p "ready") > 0.5 then "yes" else "NO")
+      (if f (p "ready") > 0.5 then "yes" else "NO");
+    if router then backend_rows text
   in
   (* A lost daemon renders as a status row and `top` keeps sampling:
      the next connect (itself retried with backoff) picks the daemon
      back up when it returns. The exit code only says whether any
      sample ever succeeded. *)
   let disconnected_row reason =
-    Format.printf "%9s %9s %9s %9s %9s %6s %6s %6s disconnected (%s)@." "-"
-      "-" "-" "-" "-" "-" "-" "-" reason
+    Format.printf "%9s %9s %9s %9s %9s %9s %6s %6s %6s disconnected (%s)@."
+      "-" "-" "-" "-" "-" "-" "-" "-" "-" reason
   in
   let run host port interval iterations =
     let stop = ref false in
@@ -1148,7 +1368,7 @@ let main =
     [
       schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
       dot_cmd; attack_cmd; table_cmd; serve_cmd; route_cmd; loadgen_cmd;
-      top_cmd;
+      trace_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

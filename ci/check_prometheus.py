@@ -3,9 +3,11 @@
 
 Every non-comment line must parse as `name[{labels}] value`; HELP/TYPE
 preambles must name a metric that actually appears, and TYPE must be
-one of the spec's kinds. Optionally assert a counter's value:
+one of the spec's kinds. Optionally assert a counter's value, and that
+specific metrics are present at all:
 
     check_prometheus.py FILE [--counter-at-least NAME MIN]
+                             [--require NAME]...
 
 Used by CI against both the bench --prom export and a live scrape of
 `lcp serve --http-port`.
@@ -28,8 +30,17 @@ def main():
         sys.exit(__doc__)
     path = args[0]
     want_counter = None
-    if len(args) >= 4 and args[1] == "--counter-at-least":
-        want_counter = (args[2], float(args[3]))
+    required = []
+    i = 1
+    while i < len(args):
+        if args[i] == "--counter-at-least" and i + 2 < len(args):
+            want_counter = (args[i + 1], float(args[i + 2]))
+            i += 3
+        elif args[i] == "--require" and i + 1 < len(args):
+            required.append(args[i + 1])
+            i += 2
+        else:
+            sys.exit(f"unknown or incomplete argument: {args[i]}")
 
     declared, seen, samples = set(), set(), {}
     with open(path) as f:
@@ -58,6 +69,10 @@ def main():
     for name in declared:
         if not any(s == name or s.startswith(name + "_") for s in seen):
             sys.exit(f"{path}: declared but never sampled: {name}")
+
+    for name in required:
+        if name not in seen:
+            sys.exit(f"{path}: required metric missing: {name}")
 
     if want_counter is not None:
         name, least = want_counter

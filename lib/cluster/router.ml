@@ -40,6 +40,10 @@ type config = {
   cooldown_ms : int;
   http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
   log : Obs.Log.t option;
+  trace_sample : int;
+      (** Head-based trace sampling for requests arriving without a
+          wire trace context; <= 0 disables. A context already on the
+          frame is always honoured — the head of the chain decided. *)
 }
 
 let default_config =
@@ -57,6 +61,7 @@ let default_config =
     cooldown_ms = 1_000;
     http_port = -1;
     log = None;
+    trace_sample = 0;
   }
 
 (* cap on waiting for an in-flight leg once we are committed to it *)
@@ -68,7 +73,8 @@ let w_requests = 0
 let w_errors = 1
 let w_retries = 2
 let w_hedges = 3
-let w_counters = 4
+let w_ops = 4 (* batch sub-ops count as ops; a plain request is 1 op *)
+let w_counters = 5
 
 type backend = {
   b_host : string;
@@ -219,8 +225,19 @@ let request_key = function
       | [] -> ""
       | op :: _ -> op_key (Array.of_list graphs) op)
   | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ ->
+  | Wire.Drain _ | Wire.Trace_export ->
       ""
+
+(* A child span identity under the request's routing span; null stays
+   null, so untraced requests cost nothing. *)
+let child_span (tctx : Obs.Trace.ctx) =
+  if tctx.Obs.Trace.span = 0 then Obs.Trace.null_ctx
+  else
+    {
+      tctx with
+      Obs.Trace.span = Obs.Trace.new_span_id ();
+      parent = tctx.Obs.Trace.span;
+    }
 
 (* --- backend connections ---------------------------------------------- *)
 
@@ -307,7 +324,7 @@ type leg_failure = [ `Overloaded of Wire.response | `Transport of string ]
 (* One attempt on one backend. Feeds passive health; classifies the
    two retryable outcomes. Everything else — including backend error
    replies like Unknown_scheme — is the request's answer. *)
-let attempt_on t ~rid req bi : (Wire.response, leg_failure) result =
+let attempt_on t ~rid ~tctx req bi : (Wire.response, leg_failure) result =
   let b = t.backends.(bi) in
   Atomic.incr b.b_requests;
   match borrow t bi with
@@ -316,7 +333,15 @@ let attempt_on t ~rid req bi : (Wire.response, leg_failure) result =
       Health.observe_failure t.health bi;
       Error (`Transport m)
   | Ok c -> (
-      match Client.call_id c ~id:rid req with
+      (* the upstream span brackets exactly the request/response round
+         trip on the router's clock, and the backend parents its own
+         server.request span under it — that pairing is what the trace
+         merger's clock-offset estimate keys on *)
+      let uctx = child_span tctx in
+      match
+        Obs.Trace.span_ctx "router.upstream" "backend" bi uctx (fun () ->
+            Client.call_id ?trace:(Client.wire_trace uctx) c ~id:rid req)
+      with
       | Ok (rid', resp) -> (
           match resp with
           | Wire.Error_reply { code = (Wire.Overloaded | Wire.Unavailable) as code; _ }
@@ -353,11 +378,11 @@ let attempt_on t ~rid req bi : (Wire.response, leg_failure) result =
    slot, then race into the cell. A reply that loses the race is
    simply dropped — [Hedge.offer] returning false is the single point
    that guarantees no double-counting. *)
-let spawn_leg t ~rid req bi ~origin cell last_failure =
+let spawn_leg t ~rid ~tctx req bi ~origin cell last_failure =
   ignore
     (Thread.create
        (fun () ->
-         let r = attempt_on t ~rid req bi in
+         let r = attempt_on t ~rid ~tctx req bi in
          Balancer.release t.balancer bi;
          match r with
          | Ok resp -> ignore (Hedge.offer cell ~rid (origin, resp))
@@ -369,10 +394,10 @@ let spawn_leg t ~rid req bi ~origin cell last_failure =
 (* First attempt with hedging: race a second backend if the primary
    is silent for [hedge_ms]. Returns the used backends for the avoid
    list of a subsequent retry. *)
-let hedged_attempt t ~key ~rid req bi ~avoid =
+let hedged_attempt t ~key ~rid ~tctx req bi ~avoid =
   let cell = Hedge.create ~rid ~legs:1 in
   let last_failure = Atomic.make None in
-  spawn_leg t ~rid req bi ~origin:`Primary cell last_failure;
+  spawn_leg t ~rid ~tctx req bi ~origin:`Primary cell last_failure;
   let finish used outcome =
     Hedge.dispose cell;
     match outcome with
@@ -392,12 +417,14 @@ let hedged_attempt t ~key ~rid req bi ~avoid =
           Atomic.incr t.c_hedges;
           Atomic.incr t.backends.(b2).b_hedges;
           Obs.Window.incr t.window w_hedges;
+          Obs.Trace.instant ~arg_name:"backend" ~arg:b2 ~ctx:(child_span tctx)
+            "router.hedge";
           Hedge.add_leg cell;
-          spawn_leg t ~rid req b2 ~origin:`Hedge cell last_failure;
+          spawn_leg t ~rid ~tctx req b2 ~origin:`Hedge cell last_failure;
           finish [ bi; b2 ] (Hedge.await cell ~timeout_ms:leg_wait_cap_ms))
 
-let plain_attempt t ~rid req bi =
-  let r = attempt_on t ~rid req bi in
+let plain_attempt t ~rid ~tctx req bi =
+  let r = attempt_on t ~rid ~tctx req bi in
   Balancer.release t.balancer bi;
   match r with
   | Ok resp -> ([ bi ], Ok resp)
@@ -410,7 +437,7 @@ let exhausted ~attempts last =
       err Wire.Internal "forwarding failed after %d attempt(s): %s" attempts m
   | None -> err Wire.Internal "forwarding failed after %d attempt(s)" attempts
 
-let forward_compute t ~rid req =
+let forward_compute t ~rid ~tctx req =
   let key = request_key req in
   let max_attempts = 1 + t.config.retries in
   let rec go attempt avoid last =
@@ -430,8 +457,8 @@ let forward_compute t ~rid req =
     | Some bi -> (
         let used, outcome =
           if t.config.hedge_ms > 0 && attempt = 1 then
-            hedged_attempt t ~key ~rid req bi ~avoid
-          else plain_attempt t ~rid req bi
+            hedged_attempt t ~key ~rid ~tctx req bi ~avoid
+          else plain_attempt t ~rid ~tctx req bi
         in
         match outcome with
         | Ok resp -> resp
@@ -441,6 +468,8 @@ let forward_compute t ~rid req =
             else begin
               Atomic.incr t.c_retries;
               Obs.Window.incr t.window w_retries;
+              Obs.Trace.instant ~arg_name:"attempt" ~arg:attempt
+                ~ctx:(child_span tctx) "router.retry";
               List.iter
                 (fun b -> Atomic.incr t.backends.(b).b_retries)
                 used;
@@ -479,7 +508,7 @@ let remap_op ~newgraph ~newproof = function
    backend degrades its share of the frame, never the whole frame.
    The common case — every op sharing one key — forwards the frame
    unchanged. *)
-let forward_batch t ~rid ~graphs ~proofs ~ops =
+let forward_batch t ~rid ~tctx ~graphs ~proofs ~ops =
   match ops with
   | [] -> Wire.Batch_reply []
   | _ -> (
@@ -500,8 +529,10 @@ let forward_batch t ~rid ~graphs ~proofs ~ops =
         ops;
       match List.rev !order with
       | [] | [ _ ] ->
-          forward_compute t ~rid (Wire.Batch { graphs; proofs; ops })
+          forward_compute t ~rid ~tctx (Wire.Batch { graphs; proofs; ops })
       | keys ->
+          Obs.Trace.instant ~arg_name:"legs" ~arg:(List.length keys)
+            ~ctx:(child_span tctx) "router.split";
           let slots =
             Array.make (List.length ops)
               (Wire.Item_error
@@ -549,7 +580,7 @@ let forward_batch t ~rid ~graphs ~proofs ~ops =
             let fill item_at =
               List.iteri (fun j (i, _) -> slots.(i) <- item_at j) members
             in
-            match forward_compute t ~rid:(fresh_rid t) req with
+            match forward_compute t ~rid:(fresh_rid t) ~tctx req with
             | Wire.Batch_reply items when List.length items = List.length members
               ->
                 let items = Array.of_list items in
@@ -705,6 +736,11 @@ let metrics_text t =
         "router.request_us" w;
       Obs.Export.gauge e ~labels ~help:"Routed requests per second"
         "router.request_rate" w.Obs.Window.rate;
+      Obs.Export.gauge e ~labels
+        ~help:"Routed operations per second (batch sub-ops counted singly)"
+        "router.op_rate"
+        (float_of_int w.Obs.Window.counters.(w_ops)
+        /. float_of_int w.Obs.Window.seconds);
       Obs.Export.gauge e ~labels ~help:"Error responses per second"
         "router.error_rate"
         (float_of_int w.Obs.Window.counters.(w_errors)
@@ -776,41 +812,63 @@ let request_kind = function
   | Wire.Metrics_text -> "metrics"
   | Wire.Health -> "health"
   | Wire.Drain _ -> "drain"
+  | Wire.Trace_export -> "trace"
 
-let handle_request t ~rid req =
+let handle_request t ~rid ~tctx req =
   Atomic.incr t.c_requests;
   let t0 = Obs.Clock.now_ns () in
   let resp =
+    Obs.Trace.span_ctx "router.request" "rid" rid tctx @@ fun () ->
     match req with
     | Wire.Health -> Wire.Health_reply (health t)
     | Wire.Metrics_text -> Wire.Metrics_text_reply (metrics_text t)
     | Wire.Stats -> stats_reply t
     | Wire.Catalog -> catalog_reply t
+    | Wire.Trace_export ->
+        (* the router's own ring, answered locally — each process in
+           the cluster exports its own lane *)
+        Wire.Trace_export_reply
+          (if !Obs.Trace.enabled then Obs.Trace.export_string ()
+           else "{\"traceEvents\":[],\"dropped\":0}")
     | Wire.Drain _ ->
         err Wire.Bad_request
           "drain is a backend-local operation: send it to a daemon, not the \
            router"
     | Wire.Batch { graphs; proofs; ops } ->
-        forward_batch t ~rid ~graphs ~proofs ~ops
+        forward_batch t ~rid ~tctx ~graphs ~proofs ~ops
     | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ ->
-        forward_compute t ~rid req
+        forward_compute t ~rid ~tctx req
   in
   let latency_us = (Obs.Clock.now_ns () - t0) / 1_000 in
   Obs.Window.observe t.window latency_us;
   Obs.Window.incr t.window w_requests;
+  Obs.Window.add t.window w_ops
+    (match req with Wire.Batch { ops; _ } -> List.length ops | _ -> 1);
   let outcome = outcome_of resp in
   if outcome <> "ok" then Obs.Window.incr t.window w_errors;
   (match t.config.log with
   | None -> ()
   | Some log ->
-      ignore
-        (Obs.Log.write log
-           [
-             ("rid", Obs.Log.Int rid);
-             ("req", Obs.Log.Str (request_kind req));
-             ("latency_us", Obs.Log.Int latency_us);
-             ("outcome", Obs.Log.Str outcome);
-           ]));
+      let fields =
+        [
+          ("rid", Obs.Log.Int rid);
+          ("rid_hex", Obs.Log.Str (Printf.sprintf "%x" rid));
+          ("req", Obs.Log.Str (request_kind req));
+          ("latency_us", Obs.Log.Int latency_us);
+          ("outcome", Obs.Log.Str outcome);
+        ]
+      in
+      let fields =
+        if tctx.Obs.Trace.span <> 0 then
+          fields
+          @ [
+              ( "trace",
+                Obs.Log.Str
+                  (Obs.Trace.hex_id tctx.Obs.Trace.t_hi tctx.Obs.Trace.t_lo) );
+            ]
+        else fields
+      in
+      ignore (Obs.Log.write log fields));
   resp
 
 (* --- connections ------------------------------------------------------- *)
@@ -845,22 +903,40 @@ let handle_conn t fd =
                 match Net_io.read_exact fd length with
                 | None -> ()
                 | Some payload ->
-                    let id, resp =
+                    let id, trace, resp =
                       match
                         Wire.decode_request_payload ~version ~tag payload
                       with
                       | Error m ->
                           Atomic.incr t.c_bad_frames;
-                          (0, err Wire.Bad_request "%s" m)
-                      | Ok (id, req) ->
+                          (0, None, err Wire.Bad_request "%s" m)
+                      | Ok (id, wire_trace, req) ->
                           (* the router always talks v2 to backends, so
                              a v1 client's requests still get a rid for
                              hedging and logs; the reply speaks the
                              client's version, which elides it *)
                           let rid = if id <> 0 then id else fresh_rid t in
-                          (rid, handle_request t ~rid req)
+                          let tctx =
+                            match wire_trace with
+                            | Some
+                                { Wire.trace_hi; trace_lo; parent_span } ->
+                                {
+                                  Obs.Trace.t_hi = trace_hi;
+                                  t_lo = trace_lo;
+                                  span = Obs.Trace.new_span_id ();
+                                  parent = parent_span;
+                                }
+                            | None ->
+                                if
+                                  Obs.Trace.sample
+                                    ~every:t.config.trace_sample rid
+                                then Obs.Trace.ctx_of_rid rid
+                                else Obs.Trace.null_ctx
+                          in
+                          (rid, wire_trace, handle_request t ~rid ~tctx req)
                     in
-                    Net_io.write_all fd (Wire.encode_response ~version ~id resp);
+                    Net_io.write_all fd
+                      (Wire.encode_response ~version ~id ?trace resp);
                     loop ()))
     in
     loop ()

@@ -27,8 +27,10 @@
 
     {2 Endpoints}
 
-    [Health] / [Metrics_text] are answered locally (router readiness =
-    at least one backend alive; router Prometheus exposition);
+    [Health] / [Metrics_text] / [Trace_export] are answered locally
+    (router readiness = at least one backend alive; router Prometheus
+    exposition; the router's own trace-ring lane — fetch each process
+    separately and join with [lcp trace merge]);
     [Stats] aggregates every live backend; [Catalog] is forwarded;
     [Drain] is refused with [Bad_request] — it is a backend-local
     admin operation. The optional HTTP sidecar serves [/metrics],
@@ -48,6 +50,13 @@ type config = {
   cooldown_ms : int;
   http_port : int;  (** < 0 disables the sidecar; 0 picks a port. *)
   log : Obs.Log.t option;
+  trace_sample : int;
+      (** Head-based trace sampling ({!Obs.Trace.sample}) for requests
+          arriving without a wire trace context; <= 0 (default)
+          disables. A frame that already carries a context is always
+          traced — the head of the call chain decided, and the same
+          1-in-N rid hash on client, router and backend keeps their
+          decisions aligned. *)
 }
 
 val default_config : config

@@ -1,0 +1,250 @@
+(* A small total JSON codec for reading trace spools back. The trace
+   exporter writes JSON; the merge tool and the tests need to parse it
+   without pulling in an external dependency, so the parser lives here
+   next to the writer. Strict enough for our own output and for
+   hand-written test fixtures: numbers are OCaml floats, strings know
+   the standard escapes and \uXXXX (encoded as UTF-8), and any
+   malformed input is an [Error], never an exception. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected '%c' at byte %d, found '%c'" ch c.pos x
+  | None -> fail "expected '%c' at byte %d, found end of input" ch c.pos
+
+let literal c word value =
+  String.iter (fun ch -> expect c ch) word;
+  value
+
+let hex_digit ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail "invalid hex digit '%c'" ch
+
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let r_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail "unterminated string at byte %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail "unterminated escape at byte %d" c.pos
+        | Some esc ->
+            advance c;
+            (match esc with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let code = ref 0 in
+                for _ = 1 to 4 do
+                  match peek c with
+                  | None -> fail "truncated \\u escape at byte %d" c.pos
+                  | Some h ->
+                      advance c;
+                      code := (!code lsl 4) lor hex_digit h
+                done;
+                add_utf8 b !code
+            | e -> fail "invalid escape '\\%c' at byte %d" e c.pos);
+            loop ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let r_number c =
+  let start = c.pos in
+  let numeric ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec loop () =
+    match peek c with
+    | Some ch when numeric ch ->
+        advance c;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some v -> v
+  | None -> fail "invalid number %S at byte %d" text start
+
+let rec r_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input at byte %d" c.pos
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = r_string c in
+          skip_ws c;
+          expect c ':';
+          let v = r_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}' at byte %d" c.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = r_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at byte %d" c.pos
+        in
+        Arr (elements [])
+      end
+  | Some '"' -> Str (r_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (r_number c)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match
+    let v = r_value c in
+    skip_ws c;
+    if c.pos <> String.length s then
+      fail "%d trailing bytes after the value" (String.length s - c.pos);
+    v
+  with
+  | v -> Ok v
+  | exception Fail m -> Error m
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_float_opt = function Num v -> Some v | _ -> None
+
+(* --- writer ------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.bprintf b "%.0f" v
+      else Printf.bprintf b "%.3f" v
+  | Str s -> Printf.bprintf b "\"%s\"" (escape s)
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\":" (escape k);
+          to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** A small total JSON codec — just enough to read the trace spools
+    {!Trace} writes (and hand-written fixtures) back without an
+    external dependency. Numbers are floats; strings understand the
+    standard escapes and [\uXXXX] (decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Total: malformed input (including trailing bytes) is an [Error]
+    with a byte offset, never an exception. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on a non-object. *)
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control bytes). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Serialize. Integral numbers print without a decimal point;
+    everything else with millisecond-of-a-microsecond (3 decimal)
+    precision. *)

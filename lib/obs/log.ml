@@ -21,6 +21,7 @@ type t = {
   mutable cur_sec : int;
   mutable written_this_sec : int;
   mutable dropped_pending : int;  (* since the last written line *)
+  mutable dropped_since_ns : int;  (* timestamp of the first of those *)
   mutable dropped_total : int;
   mutable closed : bool;
 }
@@ -34,6 +35,7 @@ let of_channel ?(max_per_sec = 0) ~owns_channel oc =
     cur_sec = min_int;
     written_this_sec = 0;
     dropped_pending = 0;
+    dropped_since_ns = 0;
     dropped_total = 0;
     closed = false;
   }
@@ -63,11 +65,17 @@ let escape b s =
     s;
   Buffer.add_char b '"'
 
-let render ~ts_ns ~dropped_before fields =
+(* A dropped_before marker alone does not say *when* the sampled-away
+   window started, which breaks sorting when logs from several
+   processes are merged — so the first dropped line's timestamp rides
+   along as dropped_since_ns. *)
+let render ~ts_ns ~dropped_before ~dropped_since_ns fields =
   let b = Buffer.create 160 in
   Buffer.add_string b (Printf.sprintf "{\"ts_ns\":%d" ts_ns);
   if dropped_before > 0 then
-    Buffer.add_string b (Printf.sprintf ",\"dropped_before\":%d" dropped_before);
+    Buffer.add_string b
+      (Printf.sprintf ",\"dropped_before\":%d,\"dropped_since_ns\":%d"
+         dropped_before dropped_since_ns);
   List.iter
     (fun (k, v) ->
       Buffer.add_char b ',';
@@ -98,13 +106,17 @@ let write ?now_ns t fields =
         t.written_this_sec <- 0
       end;
       if t.max_per_sec > 0 && t.written_this_sec >= t.max_per_sec then begin
+        if t.dropped_pending = 0 then t.dropped_since_ns <- now_ns;
         t.dropped_pending <- t.dropped_pending + 1;
         t.dropped_total <- t.dropped_total + 1;
         false
       end
       else begin
         t.written_this_sec <- t.written_this_sec + 1;
-        let line = render ~ts_ns:now_ns ~dropped_before:t.dropped_pending fields in
+        let line =
+          render ~ts_ns:now_ns ~dropped_before:t.dropped_pending
+            ~dropped_since_ns:t.dropped_since_ns fields
+        in
         t.dropped_pending <- 0;
         output_string t.oc line;
         flush t.oc;

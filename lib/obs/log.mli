@@ -6,7 +6,9 @@
     bookkeeping: with [max_per_sec] set, at most that many lines are
     written in any one wall second; excess lines are dropped, counted,
     and the next line that gets through carries a ["dropped_before"]
-    field so a reader can see the gap. A request log therefore
+    count plus a ["dropped_since_ns"] timestamp (the first dropped
+    line's clock) so a reader can see the gap — and place it, even
+    after merging logs from several processes. A request log therefore
     degrades gracefully into a sample when the service is saturated
     instead of making the log device the bottleneck. *)
 

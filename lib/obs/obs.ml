@@ -19,6 +19,8 @@ module Trace = Trace
 module Window = Window
 module Export = Export
 module Log = Log
+module Json = Json
+module Trace_merge = Trace_merge
 
 (* Ring-wrap losses were silent; surfacing them as an external counter
    puts them in every snapshot (and thus the Prometheus exposition)

@@ -1,5 +1,57 @@
 let enabled = ref false
 
+(* Distributed-tracing identity of an event: the 126-bit trace id as
+   two 63-bit halves, the event's own span id, and the span it nests
+   under (0 = root). All-zero ([null_ctx]) marks an untraced event and
+   keeps the exported JSON byte-identical to the pre-tracing format. *)
+type ctx = { t_hi : int; t_lo : int; span : int; parent : int }
+
+let null_ctx = { t_hi = 0; t_lo = 0; span = 0; parent = 0 }
+
+(* The process lane name baked into every export; callers set it to
+   something unique per process (e.g. "serve:7421#1234" with the pid)
+   before spooling so merged timelines get distinct lanes. *)
+let process = ref "lcp"
+
+(* splitmix64-style finalizer, truncated to OCaml's 63-bit int. Pure,
+   so every process hashing the same rid lands on the same value —
+   that is what makes head-based sampling and rid-derived trace ids
+   agree across client, router and backend without coordination. *)
+let mix x =
+  let h = ref (x * 0x4F1BBCDCBFA53E0B) in
+  h := (!h lxor (!h lsr 30)) * 0x2545F4914F6CDD1D;
+  h := (!h lxor (!h lsr 27)) * 0x7FB5D329728EA185;
+  (!h lxor (!h lsr 31)) land max_int
+
+(* 1-in-[every] head-based sampling keyed on the correlation id. *)
+let sample ~every rid =
+  if every <= 0 then false
+  else if every = 1 then true
+  else mix (rid + 0x51ED) mod every = 0
+
+(* Trace id derived deterministically from the rid: the two halves use
+   distinct tweaks so the 126-bit id is not just a repeated hash. *)
+let trace_of_rid rid =
+  let nz v = if v = 0 then 1 else v in
+  (nz (mix (rid lxor 0x7472616365)), nz (mix (rid + 0x69645F6C6F)))
+
+(* Span ids only need to be unique across the processes of one trace;
+   a per-process seed from the monotonic clock plus a counter mixed
+   through the same finalizer gets there without coordination. *)
+let span_seed = Clock.now_ns ()
+let span_counter = Atomic.make 1
+
+let new_span_id () =
+  let n = Atomic.fetch_and_add span_counter 1 in
+  let v = mix (span_seed lxor (n * 0x9E3779B1)) in
+  if v = 0 then 1 else v
+
+let ctx_of_rid ?(parent = 0) rid =
+  let t_hi, t_lo = trace_of_rid rid in
+  { t_hi; t_lo; span = new_span_id (); parent }
+
+let hex_id hi lo = Printf.sprintf "%016x%016x" hi lo
+
 type buf = {
   mask : int;  (* capacity - 1; capacity is a power of two *)
   name : string array;
@@ -9,6 +61,10 @@ type buf = {
   tid : int array;
   arg_name : string array;
   arg : int array;
+  e_hi : int array;  (* trace id halves; 0,0 = untraced event *)
+  e_lo : int array;
+  span : int array;
+  parent : int array;
   cursor : int Atomic.t;  (* total events ever emitted *)
 }
 
@@ -25,6 +81,10 @@ let mk capacity =
     tid = Array.make cap 0;
     arg_name = Array.make cap "";
     arg = Array.make cap 0;
+    e_hi = Array.make cap 0;
+    e_lo = Array.make cap 0;
+    span = Array.make cap 0;
+    parent = Array.make cap 0;
     cursor = Atomic.make 0;
   }
 
@@ -42,7 +102,7 @@ let set_capacity n =
 (* Each event claims a distinct slot via fetch-and-add; two domains
    only touch the same slot when the ring has lapped, in which case the
    older event was already forfeit. *)
-let emit ph name arg_name arg ts dur =
+let emit_ctx ph name arg_name arg ctx ts dur =
   let b = !buf in
   let i = Atomic.fetch_and_add b.cursor 1 land b.mask in
   Array.unsafe_set b.name i name;
@@ -51,7 +111,14 @@ let emit ph name arg_name arg ts dur =
   Array.unsafe_set b.dur i dur;
   Array.unsafe_set b.tid i (Domain.self () :> int);
   Array.unsafe_set b.arg_name i arg_name;
-  Array.unsafe_set b.arg i arg
+  Array.unsafe_set b.arg i arg;
+  Array.unsafe_set b.e_hi i ctx.t_hi;
+  Array.unsafe_set b.e_lo i ctx.t_lo;
+  Array.unsafe_set b.span i ctx.span;
+  Array.unsafe_set b.parent i ctx.parent
+
+let emit ph name arg_name arg ts dur =
+  emit_ctx ph name arg_name arg null_ctx ts dur
 
 let span name f =
   if not !enabled then f ()
@@ -79,11 +146,24 @@ let span_arg name arg_name arg f =
         raise e
   end
 
-let complete ?(arg_name = "") ?(arg = 0) name ~t0_ns ~dur_ns =
-  if !enabled then emit 'X' name arg_name arg t0_ns (max 0 dur_ns)
+let span_ctx name arg_name arg ctx f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | r ->
+        emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
+        r
+    | exception e ->
+        emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
+        raise e
+  end
 
-let instant ?(arg_name = "") ?(arg = 0) name =
-  if !enabled then emit 'i' name arg_name arg (Clock.now_ns ()) 0
+let complete ?(arg_name = "") ?(arg = 0) ?(ctx = null_ctx) name ~t0_ns ~dur_ns =
+  if !enabled then emit_ctx 'X' name arg_name arg ctx t0_ns (max 0 dur_ns)
+
+let instant ?(arg_name = "") ?(arg = 0) ?(ctx = null_ctx) name =
+  if !enabled then emit_ctx 'i' name arg_name arg ctx (Clock.now_ns ()) 0
 
 let counter_event name v =
   if !enabled then emit 'C' name "value" v (Clock.now_ns ()) 0
@@ -112,8 +192,10 @@ let json_escape s =
 
 (* [keep] filters on the event's relative start timestamp; the
    "dropped" footer counts ring-wrap losses, so readers of the JSON
-   can tell a quiet trace from a lapped one. *)
-let export_filtered oc keep =
+   can tell a quiet trace from a lapped one. Traced events carry their
+   identity in [args] — "trace" as 32 hex digits, "span"/"parent" as
+   ints — which is what [Trace_merge] keys on. *)
+let render_filtered bb keep =
   let b = !buf in
   let n = min (Atomic.get b.cursor) (b.mask + 1) in
   let order =
@@ -121,23 +203,47 @@ let export_filtered oc keep =
       (Seq.filter (fun i -> keep b.ts.(i)) (Seq.init n Fun.id))
   in
   Array.sort (fun i j -> compare b.ts.(i) b.ts.(j)) order;
-  output_string oc "{\"traceEvents\":[";
+  Buffer.add_string bb "{\"traceEvents\":[";
   Array.iteri
     (fun k i ->
-      if k > 0 then output_string oc ",";
+      if k > 0 then Buffer.add_string bb ",";
       let ph = Bytes.get b.ph i in
-      Printf.fprintf oc
+      Printf.bprintf bb
         "\n {\"name\":\"%s\",\"cat\":\"lcp\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"ts\":%.3f"
         (json_escape b.name.(i)) ph b.tid.(i)
         (Clock.ns_to_us b.ts.(i));
-      if ph = 'X' then Printf.fprintf oc ",\"dur\":%.3f" (Clock.ns_to_us b.dur.(i));
-      if b.arg_name.(i) <> "" then
-        Printf.fprintf oc ",\"args\":{\"%s\":%d}" (json_escape b.arg_name.(i)) b.arg.(i);
-      output_string oc "}")
+      if ph = 'X' then Printf.bprintf bb ",\"dur\":%.3f" (Clock.ns_to_us b.dur.(i));
+      let traced = b.e_hi.(i) <> 0 || b.e_lo.(i) <> 0 in
+      if b.arg_name.(i) <> "" || traced then begin
+        Buffer.add_string bb ",\"args\":{";
+        if b.arg_name.(i) <> "" then
+          Printf.bprintf bb "\"%s\":%d" (json_escape b.arg_name.(i)) b.arg.(i);
+        if traced then begin
+          if b.arg_name.(i) <> "" then Buffer.add_string bb ",";
+          Printf.bprintf bb "\"trace\":\"%s\",\"span\":%d,\"parent\":%d"
+            (hex_id b.e_hi.(i) b.e_lo.(i))
+            b.span.(i) b.parent.(i)
+        end;
+        Buffer.add_string bb "}"
+      end;
+      Buffer.add_string bb "}")
     order;
-  Printf.fprintf oc "\n],\"dropped\":%d,\"displayTimeUnit\":\"ms\"}\n" (dropped ())
+  Printf.bprintf bb
+    "\n],\"dropped\":%d,\"process\":\"%s\",\"displayTimeUnit\":\"ms\"}\n"
+    (dropped ())
+    (json_escape !process)
+
+let export_filtered oc keep =
+  let bb = Buffer.create 65536 in
+  render_filtered bb keep;
+  Buffer.output_buffer oc bb
 
 let export_channel oc = export_filtered oc (fun _ -> true)
+
+let export_string () =
+  let bb = Buffer.create 65536 in
+  render_filtered bb (fun _ -> true);
+  Buffer.contents bb
 
 let export path =
   let oc = open_out path in
@@ -152,3 +258,20 @@ let export_slice path ~since_ns ~until_ns =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> export_filtered oc (fun ts -> ts >= lo && ts <= hi))
+
+(* One spool file per process under [dir], named after [process] so
+   `lcp trace merge dir/*.json` picks up every lane. Sys.mkdir keeps
+   this module free of the unix dependency. *)
+let spool ~dir =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let safe =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+        | _ -> '_')
+      !process
+  in
+  let path = Filename.concat dir (Printf.sprintf "trace-%s.json" safe) in
+  export path;
+  path

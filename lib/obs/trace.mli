@@ -17,6 +17,47 @@
 val enabled : bool ref
 (** Master switch, off by default; prefer {!Obs.enable}. *)
 
+(** {1 Distributed-tracing identity} *)
+
+type ctx = { t_hi : int; t_lo : int; span : int; parent : int }
+(** The tracing identity an event carries: the 126-bit trace id as two
+    63-bit halves, the event's own span id, and the span it nests
+    under (0 = root). {!null_ctx} (all zero) marks an untraced event
+    and leaves the exported JSON unchanged from the pre-tracing
+    format. *)
+
+val null_ctx : ctx
+
+val process : string ref
+(** Lane name stamped into every export (["process"] footer); set it
+    to something unique per OS process — e.g. ["serve:7421#<pid>"] —
+    before spooling so merged timelines get distinct lanes. *)
+
+val sample : every:int -> int -> bool
+(** [sample ~every rid] — deterministic 1-in-[every] head sampling
+    keyed on the correlation id: a pure hash, so client, router and
+    backend always agree on whether a given rid is traced. [every <=
+    0] never samples, [every = 1] always does. *)
+
+val trace_of_rid : int -> int * int
+(** The (high, low) trace-id halves derived deterministically from a
+    correlation id; never (0, 0). Used by whichever process is the
+    trace head (no incoming context) so that retries and hedges of the
+    same rid still land in one trace. *)
+
+val new_span_id : unit -> int
+(** A fresh nonzero span id, unique within this process and — thanks
+    to a per-process clock seed — not colliding across the processes
+    of one trace in practice. *)
+
+val ctx_of_rid : ?parent:int -> int -> ctx
+(** Trace id from {!trace_of_rid}, fresh span id, given parent
+    (default 0 = root). *)
+
+val hex_id : int -> int -> string
+(** [hex_id hi lo] — the 32-hex-digit rendering of a trace id, as it
+    appears in exported [args] and log exemplars. *)
+
 val set_capacity : int -> unit
 (** Resize (and clear) the ring; rounded up to a power of two.
     Default 65536 events. *)
@@ -33,13 +74,25 @@ val span_arg : string -> string -> int -> (unit -> 'a) -> 'a
 (** [span_arg name key v f] — like {!span} with one integer argument
     attached (e.g. ["node", 17]). *)
 
-val complete : ?arg_name:string -> ?arg:int -> string -> t0_ns:int -> dur_ns:int -> unit
+val span_ctx : string -> string -> int -> ctx -> (unit -> 'a) -> 'a
+(** [span_ctx name key v ctx f] — {!span_arg} carrying a tracing
+    identity; generate the ctx (and thus the span id) {e before}
+    running [f] so children can parent to it. *)
+
+val complete :
+  ?arg_name:string ->
+  ?arg:int ->
+  ?ctx:ctx ->
+  string ->
+  t0_ns:int ->
+  dur_ns:int ->
+  unit
 (** Record a complete ("ph":"X") event with an explicit start and
     duration — for spans whose endpoints were observed on different
     threads (e.g. the server's queue-wait span, stamped at dequeue
     with the enqueue timestamp). *)
 
-val instant : ?arg_name:string -> ?arg:int -> string -> unit
+val instant : ?arg_name:string -> ?arg:int -> ?ctx:ctx -> string -> unit
 (** A point event ("ph":"i") — e.g. "first accepted forgery". *)
 
 val counter_event : string -> int -> unit
@@ -62,7 +115,17 @@ val export_channel : out_channel -> unit
 val export : string -> unit
 (** {!export_channel} to a fresh file. *)
 
+val export_string : unit -> string
+(** The same JSON as a string — the {!Wire.request.Trace_export}
+    reply body. *)
+
 val export_slice : string -> since_ns:int -> until_ns:int -> unit
 (** {!export} restricted to events whose start timestamp (absolute
     {!Clock.now_ns} terms) falls within [since_ns, until_ns] — the
     slow-request flight recorder's dump format. *)
+
+val spool : dir:string -> string
+(** Export the full ring to [dir/trace-<process>.json] (creating [dir]
+    if needed, process name sanitised for the filesystem) and return
+    the path written — the [--trace-dir] exit hook, one file per
+    process, ready for [lcp trace merge]. *)

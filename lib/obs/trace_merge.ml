@@ -1,0 +1,274 @@
+(* Joining per-process trace spools into one timeline.
+
+   Each spool is a Chrome trace-event JSON written by {!Trace} — its
+   timestamps are microseconds since *that process's* tracing epoch,
+   so the files cannot be overlaid directly and the machines are not
+   assumed NTP-disciplined. The aligner instead exploits the parent
+   links the wire context gives us: when an event in file B declares a
+   parent span that lives in file A, the child's interval (a backend's
+   server.request) is bracketed by the parent's (the router's
+   upstream-call span, which timed the request/response round trip on
+   its own clock). Midpoint-matching the two intervals is the classic
+   symmetric-delay estimate; the median over every such link of a
+   process pair cancels queueing noise, and a BFS over the pair graph
+   chains offsets for processes that never talk to each other
+   directly (loadgen and backend both anchor to the router). *)
+
+type event = {
+  e_name : string;
+  ph : string;
+  ts : float;  (* us, in the source file's clock *)
+  dur : float;
+  tid : int;
+  file : int;
+  trace : string;  (* 32-hex trace id, or "" for untraced events *)
+  span : int;
+  parent : int;
+  extra : (string * Json.t) list;  (* args minus the tracing keys *)
+}
+
+type spool = { p_name : string; sp_events : event list }
+
+type stats = {
+  events : int;
+  processes : (string * float) list;
+      (* lane name, clock offset applied (us, relative to the first file) *)
+  traces : int;
+  cross_process : int;  (* trace ids seen in >= 2 processes *)
+  max_lanes : int;  (* most processes sharing one trace id *)
+}
+
+let num ?(default = 0.) j key =
+  match Option.bind (Json.member key j) Json.to_float_opt with
+  | Some v -> v
+  | None -> default
+
+let str ?(default = "") j key =
+  match Option.bind (Json.member key j) Json.to_string_opt with
+  | Some v -> v
+  | None -> default
+
+let parse_spool ~file ~fallback_name content =
+  match Json.parse content with
+  | Error m -> Error (Printf.sprintf "%s: %s" fallback_name m)
+  | Ok j ->
+      let p_name =
+        match Option.bind (Json.member "process" j) Json.to_string_opt with
+        | Some n -> n
+        | None -> fallback_name
+      in
+      let raw =
+        match Option.bind (Json.member "traceEvents" j) Json.to_list with
+        | Some l -> l
+        | None -> []
+      in
+      let parse_event ev =
+        let args =
+          match Json.member "args" ev with Some (Json.Obj kvs) -> kvs | _ -> []
+        in
+        let tracing_key k = k = "trace" || k = "span" || k = "parent" in
+        {
+          e_name = str ev "name";
+          ph = str ~default:"X" ev "ph";
+          ts = num ev "ts";
+          dur = num ev "dur";
+          tid = int_of_float (num ev "tid");
+          file;
+          trace = str (Json.Obj args) "trace";
+          span = int_of_float (num (Json.Obj args) "span");
+          parent = int_of_float (num (Json.Obj args) "parent");
+          extra = List.filter (fun (k, _) -> not (tracing_key k)) args;
+        }
+      in
+      Ok { p_name; sp_events = List.map parse_event raw }
+
+(* --- clock alignment --------------------------------------------------- *)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* Offsets per file such that [ts + offset.(file)] puts every event on
+   file 0's clock (or its connected component's root). *)
+let estimate_offsets ~n_files (all : event list) =
+  let span_home = Hashtbl.create 1024 in
+  List.iter
+    (fun e ->
+      if e.span <> 0 then
+        Hashtbl.replace span_home e.span (e.file, e.ts +. (e.dur /. 2.)))
+    all;
+  (* samples.(child).(parent) = list of (parent_mid - child_mid) *)
+  let samples = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.parent <> 0 then
+        match Hashtbl.find_opt span_home e.parent with
+        | Some (pf, pmid) when pf <> e.file ->
+            let key = (e.file, pf) in
+            let mid = e.ts +. (e.dur /. 2.) in
+            let prev =
+              match Hashtbl.find_opt samples key with Some l -> l | None -> []
+            in
+            Hashtbl.replace samples key ((pmid -. mid) :: prev)
+        | _ -> ())
+    all;
+  let edges = Hashtbl.fold (fun k l acc -> (k, median l) :: acc) samples [] in
+  let offset = Array.make n_files 0. in
+  let known = Array.make n_files false in
+  (* BFS the pair graph, seeding each still-unknown component at its
+     lowest file index so disconnected spools stay on their own clock
+     rather than inheriting garbage. *)
+  for root = 0 to n_files - 1 do
+    if not known.(root) then begin
+      known.(root) <- true;
+      let frontier = ref [ root ] in
+      while !frontier <> [] do
+        let next = ref [] in
+        List.iter
+          (fun f ->
+            List.iter
+              (fun ((child, parent), delta) ->
+                (* ts_child + delta ≈ ts on the parent file's clock *)
+                if parent = f && not known.(child) then begin
+                  known.(child) <- true;
+                  offset.(child) <- offset.(f) +. delta;
+                  next := child :: !next
+                end;
+                if child = f && not known.(parent) then begin
+                  known.(parent) <- true;
+                  offset.(parent) <- offset.(f) -. delta;
+                  next := parent :: !next
+                end)
+              edges)
+          !frontier;
+        frontier := !next
+      done
+    end
+  done;
+  offset
+
+(* --- merged output ----------------------------------------------------- *)
+
+let render_merged spools offsets events =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n "
+  in
+  Array.iteri
+    (fun i (sp : spool) ->
+      sep ();
+      Printf.bprintf b
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+        (i + 1)
+        (Json.escape sp.p_name))
+    spools;
+  List.iter
+    (fun e ->
+      sep ();
+      Printf.bprintf b "{\"name\":\"%s\",\"cat\":\"lcp\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f"
+        (Json.escape e.e_name) (Json.escape e.ph) (e.file + 1) e.tid
+        (e.ts +. offsets.(e.file));
+      if e.ph = "X" then Printf.bprintf b ",\"dur\":%.3f" e.dur;
+      if e.extra <> [] || e.trace <> "" then begin
+        Buffer.add_string b ",\"args\":{";
+        let first_arg = ref true in
+        let comma () =
+          if !first_arg then first_arg := false else Buffer.add_char b ','
+        in
+        List.iter
+          (fun (k, v) ->
+            comma ();
+            Printf.bprintf b "\"%s\":" (Json.escape k);
+            Json.to_buffer b v)
+          e.extra;
+        if e.trace <> "" then begin
+          comma ();
+          Printf.bprintf b "\"trace\":\"%s\",\"span\":%d,\"parent\":%d"
+            (Json.escape e.trace) e.span e.parent
+        end;
+        Buffer.add_string b "}"
+      end;
+      Buffer.add_char b '}')
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let compute_stats spools offsets events =
+  let lanes = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.trace <> "" then begin
+        let set =
+          match Hashtbl.find_opt lanes e.trace with
+          | Some s -> s
+          | None ->
+              let s = Hashtbl.create 4 in
+              Hashtbl.replace lanes e.trace s;
+              s
+        in
+        Hashtbl.replace set e.file ()
+      end)
+    events;
+  let traces = Hashtbl.length lanes in
+  let cross = ref 0 and max_lanes = ref 0 in
+  Hashtbl.iter
+    (fun _ set ->
+      let n = Hashtbl.length set in
+      if n >= 2 then incr cross;
+      if n > !max_lanes then max_lanes := n)
+    lanes;
+  {
+    events = List.length events;
+    processes =
+      Array.to_list (Array.mapi (fun i sp -> (sp.p_name, offsets.(i))) spools);
+    traces;
+    cross_process = !cross;
+    max_lanes = !max_lanes;
+  }
+
+let merge ?trace_id files =
+  let rec parse_all i acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, content) :: rest -> (
+        match parse_spool ~file:i ~fallback_name:name content with
+        | Error _ as e -> e
+        | Ok sp -> parse_all (i + 1) (sp :: acc) rest)
+  in
+  match parse_all 0 [] files with
+  | Error m -> Error m
+  | Ok spool_list ->
+      let spools = Array.of_list spool_list in
+      let all = List.concat_map (fun sp -> sp.sp_events) spool_list in
+      let offsets = estimate_offsets ~n_files:(Array.length spools) all in
+      let kept =
+        match trace_id with
+        | None -> all
+        | Some id ->
+            let id = String.lowercase_ascii id in
+            List.filter (fun e -> String.lowercase_ascii e.trace = id) all
+      in
+      let kept =
+        List.stable_sort
+          (fun a b ->
+            compare (a.ts +. offsets.(a.file)) (b.ts +. offsets.(b.file)))
+          kept
+      in
+      Ok (render_merged spools offsets kept, compute_stats spools offsets kept)
+
+let pp_stats oc st =
+  Printf.fprintf oc
+    "merged %d events from %d processes: %d traces, %d cross-process, max %d lanes\n"
+    st.events
+    (List.length st.processes)
+    st.traces st.cross_process st.max_lanes;
+  List.iter
+    (fun (name, off) ->
+      Printf.fprintf oc "  lane %-24s clock offset %+.1f us\n" name off)
+    st.processes

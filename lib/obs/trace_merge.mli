@@ -1,0 +1,34 @@
+(** Joining per-process {!Trace} spools into one Chrome-trace
+    timeline, aligning clocks without an NTP assumption.
+
+    Each spool's timestamps are relative to its own process's tracing
+    epoch. Alignment uses the cross-process parent links the wire
+    trace context establishes: a child span's interval (a backend's
+    [server.request]) is bracketed by its parent's (the router's
+    upstream-call span, which timed the round trip on its own clock),
+    so matching interval midpoints is a symmetric-delay offset
+    estimate. The median over all links of a process pair cancels
+    queueing noise; a BFS over the pair graph chains offsets between
+    processes that never talk directly. *)
+
+type stats = {
+  events : int;  (** events in the merged output *)
+  processes : (string * float) list;
+      (** lane name and the clock offset applied, in microseconds
+          relative to the first file's clock *)
+  traces : int;  (** distinct trace ids *)
+  cross_process : int;  (** trace ids observed in at least 2 lanes *)
+  max_lanes : int;  (** most lanes any single trace id spans *)
+}
+
+val merge :
+  ?trace_id:string -> (string * string) list -> (string * stats, string) result
+(** [merge [(name, content); ...]] parses each spool (the name seeds
+    the lane label if the file lacks a ["process"] footer, and
+    prefixes parse errors), estimates per-file clock offsets, and
+    returns the merged Chrome trace JSON — one [pid] lane per input
+    file, [process_name] metadata events, timestamps shifted onto the
+    first file's clock — plus summary statistics. [?trace_id]
+    (32 hex digits) restricts the output to one trace. *)
+
+val pp_stats : out_channel -> stats -> unit

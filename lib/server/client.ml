@@ -107,15 +107,16 @@ let connect ?(host = "127.0.0.1") ?(version = Wire.protocol_version)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let send ?(id = 0) t req =
+let send ?(id = 0) ?trace t req =
   match
-    Net_io.write_all t.fd (Wire.encode_request ~version:t.version ~id req)
+    Net_io.write_all t.fd
+      (Wire.encode_request ~version:t.version ~id ?trace req)
   with
   | () -> Ok ()
   | exception Unix.Unix_error (e, _, _) ->
       Error ("send: " ^ Unix.error_message e)
 
-let recv_id t =
+let recv_full t =
   match Net_io.read_exact t.fd Wire.header_bytes with
   | None -> Error "connection closed by server"
   | Some raw -> (
@@ -128,12 +129,25 @@ let recv_id t =
   | exception Unix.Unix_error (e, _, _) ->
       Error ("recv: " ^ Unix.error_message e)
 
-let recv t = Result.map snd (recv_id t)
+let recv_id t = Result.map (fun (id, _, resp) -> (id, resp)) (recv_full t)
+let recv t = Result.map (fun (_, _, resp) -> resp) (recv_full t)
 
-let call_id t ~id req =
-  match send ~id t req with Ok () -> recv_id t | Error _ as e -> e
+let call_id ?trace t ~id req =
+  match send ~id ?trace t req with Ok () -> recv_id t | Error _ as e -> e
 
 let call t req = Result.map snd (call_id t ~id:0 req)
+
+(* The wire form of a local span: the next hop parents its own request
+   span under the span that timed this call. *)
+let wire_trace (c : Obs.Trace.ctx) =
+  if c.Obs.Trace.span = 0 then None
+  else
+    Some
+      {
+        Wire.trace_hi = c.Obs.Trace.t_hi;
+        trace_lo = c.Obs.Trace.t_lo;
+        parent_span = c.Obs.Trace.span;
+      }
 
 (* --- load generator --------------------------------------------------- *)
 
@@ -251,8 +265,8 @@ type worker_result = {
    proof index equals its graph index. ok/errors count {e ops}, so a
    batched and an unbatched run of equal op volume are directly
    comparable; latency is per frame ([w_batch_ns]). *)
-let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res
-    =
+let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
+    ~trace_sample res =
   let ngraphs = Array.length graphs in
   let gtable = Array.to_list (Array.map fst graphs) in
   let ptable = Array.to_list (Array.map (fun (_, (_, p)) -> p) graphs) in
@@ -267,10 +281,15 @@ let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res
           else Wire.Op_verify { scheme; graph = gi; proof = gi })
     in
     let id = (conn_id * requests) + i + 1 in
+    let tctx =
+      if Obs.Trace.sample ~every:trace_sample id then Obs.Trace.ctx_of_rid id
+      else Obs.Trace.null_ctx
+    in
     let t0 = Obs.Clock.now_ns () in
     let outcome =
-      call_id client ~id
-        (Wire.Batch { graphs = gtable; proofs = ptable; ops })
+      Obs.Trace.span_ctx "client.request" "rid" id tctx (fun () ->
+          call_id ?trace:(wire_trace tctx) client ~id
+            (Wire.Batch { graphs = gtable; proofs = ptable; ops }))
     in
     let dt = Obs.Clock.now_ns () - t0 in
     (match outcome with
@@ -306,7 +325,8 @@ let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res
     | Error _ -> fail_all slot_transport
   done
 
-let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res =
+let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
+    ~trace_sample res =
   match connect ~host ~port ~retries:2 ~backoff_seed:conn_id () with
   | Error _ ->
       let n = requests * max 1 batch in
@@ -315,7 +335,7 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res =
   | Ok client when batch > 1 ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
       run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
-        res
+        ~trace_sample res
   | Ok client ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
       let ngraphs = Array.length graphs in
@@ -328,8 +348,16 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res =
         in
         (* distinct per request across all workers, never 0 *)
         let id = (conn_id * requests) + i + 1 in
+        let tctx =
+          if Obs.Trace.sample ~every:trace_sample id then
+            Obs.Trace.ctx_of_rid id
+          else Obs.Trace.null_ctx
+        in
         let t0 = Obs.Clock.now_ns () in
-        let outcome = call_id client ~id req in
+        let outcome =
+          Obs.Trace.span_ctx "client.request" "rid" id tctx (fun () ->
+              call_id ?trace:(wire_trace tctx) client ~id req)
+        in
         let dt = Obs.Clock.now_ns () - t0 in
         (match outcome with
         | Ok (rid, _) when rid <> id ->
@@ -356,8 +384,8 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id res =
               res.w_by_slot.(slot_transport) + 1
       done
 
-let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ~port ~connections
-    ~requests ~mix:(p, v) ~scheme ~sizes () =
+let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
+    ~port ~connections ~requests ~mix:(p, v) ~scheme ~sizes () =
   (* The endpoint list: explicit [targets] (router / multi-daemon runs)
      or the single [host]:[port]. Workers round-robin over it. *)
   let endpoints =
@@ -440,7 +468,7 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ~port ~connections
               Thread.create
                 (fun () ->
                   run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs
-                    ~conn_id results.(conn_id))
+                    ~conn_id ~trace_sample results.(conn_id))
                 ())
         in
         List.iter Thread.join threads;

@@ -67,12 +67,21 @@ val call : t -> Wire.request -> (Wire.response, string) result
     the transport or framing itself failed. *)
 
 val call_id :
-  t -> id:int -> Wire.request -> (int * Wire.response, string) result
+  ?trace:Wire.trace_context ->
+  t ->
+  id:int ->
+  Wire.request ->
+  (int * Wire.response, string) result
 (** {!call} carrying correlation id [id] (0 = let the server assign
     one); returns the id from the response alongside it. On a v1
-    connection ids never touch the wire and the response id is 0. *)
+    connection ids never touch the wire and the response id is 0.
+    [trace] attaches a distributed-tracing context to the request
+    frame (v2 only — a v1 connection silently drops it, degrading that
+    hop to unsampled). *)
 
-val send : ?id:int -> t -> Wire.request -> (unit, string) result
+val send :
+  ?id:int -> ?trace:Wire.trace_context -> t -> Wire.request ->
+  (unit, string) result
 (** Fire without waiting — paired with {!recv}, lets a caller keep a
     slow request in flight while talking on other connections (the
     deadline tests drive the server into saturation this way). *)
@@ -80,6 +89,17 @@ val send : ?id:int -> t -> Wire.request -> (unit, string) result
 val recv : t -> (Wire.response, string) result
 
 val recv_id : t -> (int * Wire.response, string) result
+
+val recv_full :
+  t -> (int * Wire.trace_context option * Wire.response, string) result
+(** {!recv_id} plus the trace context the server echoed (it mirrors
+    the request's verbatim; [None] on v1 or untraced requests). *)
+
+val wire_trace : Obs.Trace.ctx -> Wire.trace_context option
+(** The wire form of a local span: [None] for {!Obs.Trace.null_ctx},
+    otherwise a context whose [parent_span] is the local span's id —
+    so the next hop parents its request span under the span that
+    timed this call. *)
 
 (** {1 Load generation} *)
 
@@ -147,6 +167,7 @@ val loadgen :
   ?host:string ->
   ?targets:(string * int) list ->
   ?batch:int ->
+  ?trace_sample:int ->
   port:int ->
   connections:int ->
   requests:int ->
@@ -177,7 +198,12 @@ val loadgen :
     connections round-robin over the endpoints (the setup pass warms
     every one) and the report carries a per-target breakdown — how
     [lcp loadgen] drives several daemons, or a router plus direct
-    backends, in one run. *)
+    backends, in one run.
+
+    [trace_sample] (default 0 = off) head-samples 1 in that many
+    correlation ids with {!Obs.Trace.sample}: a sampled request gets a
+    root [client.request] span in the local ring and its context rides
+    the wire, so router and backend spans land in the same trace. *)
 
 val report_json : report -> string
 (** The latency summary as one JSON object (the CI artifact). *)

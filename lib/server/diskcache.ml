@@ -31,6 +31,24 @@ let m_stores = Obs.Metrics.counter "diskcache.stores"
 let m_loads = Obs.Metrics.counter "diskcache.loads"
 let m_load_failures = Obs.Metrics.counter "diskcache.load_failures"
 
+(* Always-on counters (the registry above is gated on
+   [Obs.Metrics.enabled]) so the server's Prometheus exposition can
+   render hit/miss/invalid unconditionally: hits = image reassembled,
+   misses = no file (ENOENT), invalid = a file existed but failed
+   checksum/identity/structure and was ignored. *)
+let c_hits = Atomic.make 0
+let c_misses = Atomic.make 0
+let c_invalid = Atomic.make 0
+
+type counts = { hits : int; misses : int; invalid : int }
+
+let counts () =
+  {
+    hits = Atomic.get c_hits;
+    misses = Atomic.get c_misses;
+    invalid = Atomic.get c_invalid;
+  }
+
 let magic = "LCPC"
 let format_version = 1
 
@@ -222,9 +240,13 @@ let load ~dir ~key ~scheme ~graph6 =
         decode { buf; pos = 0 } ~scheme ~graph6)
   with
   | compiled ->
+      Atomic.incr c_hits;
       Obs.Metrics.incr m_loads;
       Some compiled
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      Atomic.incr c_misses;
+      None
   | exception (Bad _ | Unix.Unix_error _ | Sys_error _ | Invalid_argument _) ->
+      Atomic.incr c_invalid;
       Obs.Metrics.incr m_load_failures;
       None

@@ -35,3 +35,12 @@ val load :
 (** [Some compiled] only if the file exists, its checksum and stored
     (scheme, graph6) identity match, and every structural invariant
     re-validates ({!Csr.import}). *)
+
+type counts = { hits : int; misses : int; invalid : int }
+
+val counts : unit -> counts
+(** Always-on load outcome counters (process-wide, independent of
+    {!Obs.Metrics.enabled}): [hits] = image reassembled, [misses] = no
+    file, [invalid] = a file existed but failed validation and was
+    ignored. Rendered as [lcp_diskcache_*_total] in the server's
+    Prometheus exposition. *)

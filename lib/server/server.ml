@@ -68,6 +68,11 @@ type config = {
   slow_dir : string;  (** Where [slow-<id>.json] trace slices land. *)
   cache_dir : string;  (** "" disables the persistent compiled cache. *)
   log : Obs.Log.t option;  (** Structured per-request log sink. *)
+  trace_sample : int;
+      (** Head-based trace sampling: 1-in-N rids get a trace identity
+          when no upstream context arrived (<= 0 disables; a wire
+          trace context always wins). Deterministic per rid, so every
+          process of the cluster agrees — see {!Obs.Trace.sample}. *)
 }
 
 let default_config =
@@ -83,6 +88,7 @@ let default_config =
     slow_dir = ".";
     cache_dir = "";
     log = None;
+    trace_sample = 0;
   }
 
 (* Auxiliary counter slots in the rolling latency window. *)
@@ -91,7 +97,8 @@ let w_requests = 0
 let w_errors = 1
 let w_hits = 2
 let w_misses = 3
-let w_counters = 4
+let w_ops = 4  (* batch sub-ops count as ops; a plain request is 1 op *)
+let w_counters = 5
 
 type t = {
   config : config;
@@ -245,13 +252,15 @@ let health t =
 type ctx = {
   id : int;  (* correlation id, client-chosen or server-assigned *)
   arrival_ns : int;
+  trace : Obs.Trace.ctx;  (* the server.request span; null when unsampled *)
+  mutable tparent : int;  (* span id children emitted right now nest under *)
   mutable cache : string;  (* "hit" | "miss" | "-" *)
   mutable queue_wait_ns : int;
   mutable compute_ns : int;
   mutable n_nodes : int;  (* -1 when the request never decoded a graph *)
 }
 
-let make_ctx t ~id =
+let make_ctx t ~id ?wire_trace () =
   let id =
     if id <> 0 then id
     else
@@ -262,14 +271,48 @@ let make_ctx t ~id =
       in
       fresh ()
   in
+  (* an upstream-supplied context always wins (the head already made
+     the sampling decision); otherwise this process is the trace head
+     for its 1-in-N share of rids *)
+  let trace =
+    if not !Obs.Trace.enabled then Obs.Trace.null_ctx
+    else
+      match wire_trace with
+      | Some { Wire.trace_hi; trace_lo; parent_span } ->
+          {
+            Obs.Trace.t_hi = trace_hi;
+            t_lo = trace_lo;
+            span = Obs.Trace.new_span_id ();
+            parent = parent_span;
+          }
+      | None ->
+          if Obs.Trace.sample ~every:t.config.trace_sample id then
+            Obs.Trace.ctx_of_rid id
+          else Obs.Trace.null_ctx
+  in
   {
     id;
     arrival_ns = Obs.Clock.now_ns ();
+    trace;
+    tparent = trace.Obs.Trace.span;
     cache = "-";
     queue_wait_ns = 0;
     compute_ns = 0;
     n_nodes = -1;
   }
+
+(* A child identity under whatever span the request is currently
+   inside ([tparent] — server.request, or server.compute once the
+   worker picked the request up). Null stays null: unsampled requests
+   keep emitting identity-less spans exactly as before. *)
+let child_trace ctx =
+  if ctx.trace.Obs.Trace.span = 0 then Obs.Trace.null_ctx
+  else
+    {
+      ctx.trace with
+      Obs.Trace.span = Obs.Trace.new_span_id ();
+      parent = ctx.tparent;
+    }
 
 (* --- one-shot response cells ------------------------------------------ *)
 
@@ -326,7 +369,8 @@ let with_compiled t ctx ~scheme ~graph6 f =
           let disk =
             if t.config.cache_dir = "" then None
             else if !Obs.Trace.enabled then
-              Obs.Trace.span_arg "server.cache_load" "rid" ctx.id (fun () ->
+              Obs.Trace.span_ctx "server.cache_load" "rid" ctx.id
+                (child_trace ctx) (fun () ->
                   Diskcache.load ~dir:t.config.cache_dir ~key ~scheme ~graph6)
             else Diskcache.load ~dir:t.config.cache_dir ~key ~scheme ~graph6
           in
@@ -349,7 +393,8 @@ let with_compiled t ctx ~scheme ~graph6 f =
               | Ok g ->
                   let compiled =
                     if !Obs.Trace.enabled then
-                      Obs.Trace.span_arg "server.compile" "rid" ctx.id (fun () ->
+                      Obs.Trace.span_ctx "server.compile" "rid" ctx.id
+                        (child_trace ctx) (fun () ->
                           Simulator.compile (Instance.of_graph g))
                     else Simulator.compile (Instance.of_graph g)
                   in
@@ -422,7 +467,7 @@ let compute_one t ctx req =
             | Adversary.Resisted { best_rejections; attempts } ->
                 Wire.Forged { fooled = None; attempts; best_rejections })
   | Wire.Batch _ | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ ->
+  | Wire.Drain _ | Wire.Trace_export ->
       err Wire.Internal "request dispatched to a worker by mistake"
 
 let item_of_response = function
@@ -448,8 +493,8 @@ let compute_batch t ctx ~deadline ~graphs ~proofs ~ops =
   let memo = Hashtbl.create 16 in
   let deadline_hit = ref false in
   let items =
-    List.map
-      (fun op ->
+    List.mapi
+      (fun op_idx op ->
         Atomic.incr t.c_batch_ops;
         Obs.Metrics.incr m_batch_ops;
         if !deadline_hit || Obs.Clock.now_ns () > deadline then begin
@@ -474,6 +519,12 @@ let compute_batch t ctx ~deadline ~graphs ~proofs ~ops =
           match Hashtbl.find_opt memo op with
           | Some item ->
               Obs.Metrics.incr m_batch_coalesced;
+              (* memo hits are points, not spans: a traced --batch 64
+                 frame shows exactly which ops coalesced and which
+                 ones actually ran *)
+              if !Obs.Trace.enabled then
+                Obs.Trace.instant ~arg_name:"op" ~arg:op_idx
+                  ~ctx:(child_trace ctx) "server.batch_memo";
               item
           | None ->
               let graph_idx =
@@ -514,9 +565,27 @@ let compute_batch t ctx ~deadline ~graphs ~proofs ~ops =
                           message = "proof index out of range";
                         }
                   | Some req ->
-                      item_of_response
-                        (try compute_one t ctx req
-                         with e -> err Wire.Internal "%s" (Printexc.to_string e))
+                      let run () =
+                        item_of_response
+                          (try compute_one t ctx req
+                           with e ->
+                             err Wire.Internal "%s" (Printexc.to_string e))
+                      in
+                      if !Obs.Trace.enabled then begin
+                        (* a real (uncoalesced) op gets its own span,
+                           and becomes the parent of any cache_load /
+                           compile it triggers *)
+                        let c = child_trace ctx in
+                        let saved = ctx.tparent in
+                        if c.Obs.Trace.span <> 0 then
+                          ctx.tparent <- c.Obs.Trace.span;
+                        let item =
+                          Obs.Trace.span_ctx "server.batch_op" "op" op_idx c run
+                        in
+                        ctx.tparent <- saved;
+                        item
+                      end
+                      else run ()
               in
               Hashtbl.replace memo op item;
               item)
@@ -531,8 +600,8 @@ let compute t ctx req =
   let dequeue_ns = Obs.Clock.now_ns () in
   ctx.queue_wait_ns <- dequeue_ns - ctx.arrival_ns;
   if !Obs.Trace.enabled then
-    Obs.Trace.complete ~arg_name:"rid" ~arg:ctx.id "server.queue_wait"
-      ~t0_ns:ctx.arrival_ns ~dur_ns:ctx.queue_wait_ns;
+    Obs.Trace.complete ~arg_name:"rid" ~arg:ctx.id ~ctx:(child_trace ctx)
+      "server.queue_wait" ~t0_ns:ctx.arrival_ns ~dur_ns:ctx.queue_wait_ns;
   if !Obs.Metrics.enabled then
     Obs.Metrics.observe m_queue_wait_us (ctx.queue_wait_ns / 1_000);
   let deadline =
@@ -548,8 +617,14 @@ let compute t ctx req =
       | req -> compute_one t ctx req
     in
     let resp =
-      if !Obs.Trace.enabled then
-        Obs.Trace.span_arg "server.compute" "rid" ctx.id body
+      if !Obs.Trace.enabled then begin
+        let c = child_trace ctx in
+        let saved = ctx.tparent in
+        if c.Obs.Trace.span <> 0 then ctx.tparent <- c.Obs.Trace.span;
+        let resp = Obs.Trace.span_ctx "server.compute" "rid" ctx.id c body in
+        ctx.tparent <- saved;
+        resp
+      end
       else body ()
     in
     ctx.compute_ns <- Obs.Clock.now_ns () - dequeue_ns;
@@ -644,6 +719,14 @@ let metrics_text t =
     "server.cache_misses" s.cache_misses;
   Obs.Export.counter e ~help:"Compiled images served from the disk cache"
     "server.disk_cache_hits" s.disk_hits;
+  let dc = Diskcache.counts () in
+  Obs.Export.counter e ~help:"Disk-cache images loaded and validated"
+    "diskcache.hits" dc.Diskcache.hits;
+  Obs.Export.counter e ~help:"Disk-cache lookups with no image on disk"
+    "diskcache.misses" dc.Diskcache.misses;
+  Obs.Export.counter e
+    ~help:"Disk-cache images rejected by validation (checksum, identity)"
+    "diskcache.invalid" dc.Diskcache.invalid;
   Obs.Export.gauge e ~help:"Compiled verifiers resident"
     "server.cache_entries"
     (float_of_int s.cache_entries);
@@ -668,6 +751,13 @@ let metrics_text t =
         "server.request_us" w;
       Obs.Export.gauge e ~labels ~help:"Requests per second, rolling window"
         "server.request_rate" w.Obs.Window.rate;
+      (* frames/s is request_rate; ops/s counts batch sub-ops, so the
+         two diverge exactly when batching is doing its job *)
+      Obs.Export.gauge e ~labels
+        ~help:"Operations per second (batch sub-ops counted singly)"
+        "server.op_rate"
+        (float_of_int w.Obs.Window.counters.(w_ops)
+        /. float_of_int w.Obs.Window.seconds);
       Obs.Export.gauge e ~labels ~help:"Error responses per second"
         "server.error_rate"
         (float_of_int w.Obs.Window.counters.(w_errors)
@@ -734,6 +824,7 @@ let request_kind = function
   | Wire.Metrics_text -> "metrics"
   | Wire.Health -> "health"
   | Wire.Drain _ -> "drain"
+  | Wire.Trace_export -> "trace"
 
 let request_scheme = function
   | Wire.Prove { scheme; _ }
@@ -750,7 +841,7 @@ let request_scheme = function
           scheme
       | [] -> "-")
   | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ ->
+  | Wire.Drain _ | Wire.Trace_export ->
       "-"
 
 let outcome_of = function
@@ -767,32 +858,53 @@ let finish_request t ctx req resp =
   let outcome = outcome_of resp in
   Obs.Window.observe t.window latency_us;
   Obs.Window.incr t.window w_requests;
+  Obs.Window.add t.window w_ops
+    (match req with Wire.Batch { ops; _ } -> List.length ops | _ -> 1);
   if outcome <> "ok" then Obs.Window.incr t.window w_errors;
   (match ctx.cache with
   | "hit" | "disk" -> Obs.Window.incr t.window w_hits
   | "miss" -> Obs.Window.incr t.window w_misses
   | _ -> ());
   if !Obs.Metrics.enabled then Obs.Metrics.observe m_request_us latency_us;
+  let slow =
+    t.config.slow_ms > 0 && latency_ns >= t.config.slow_ms * 1_000_000
+  in
   (match t.config.log with
   | None -> ()
   | Some log ->
-      ignore
-        (Obs.Log.write log
-           [
-             ("rid", Obs.Log.Int ctx.id);
-             ("req", Obs.Log.Str (request_kind req));
-             ("scheme", Obs.Log.Str (request_scheme req));
-             ("n", Obs.Log.Int ctx.n_nodes);
-             ("cache", Obs.Log.Str ctx.cache);
-             ("queue_wait_ns", Obs.Log.Int ctx.queue_wait_ns);
-             ("compute_ns", Obs.Log.Int ctx.compute_ns);
-             ("latency_us", Obs.Log.Int latency_us);
-             ("outcome", Obs.Log.Str outcome);
-           ]));
-  if t.config.slow_ms > 0 && latency_ns >= t.config.slow_ms * 1_000_000 then begin
+      let fields =
+        [
+          ("rid", Obs.Log.Int ctx.id);
+          ("rid_hex", Obs.Log.Str (Printf.sprintf "%x" ctx.id));
+          ("req", Obs.Log.Str (request_kind req));
+          ("scheme", Obs.Log.Str (request_scheme req));
+          ("n", Obs.Log.Int ctx.n_nodes);
+          ("cache", Obs.Log.Str ctx.cache);
+          ("queue_wait_ns", Obs.Log.Int ctx.queue_wait_ns);
+          ("compute_ns", Obs.Log.Int ctx.compute_ns);
+          ("latency_us", Obs.Log.Int latency_us);
+          ("outcome", Obs.Log.Str outcome);
+        ]
+      in
+      (* exemplar: a slow line names its trace so the operator can jump
+         from the log straight to the merged timeline *)
+      let fields =
+        if slow && ctx.trace.Obs.Trace.span <> 0 then
+          fields
+          @ [
+              ( "trace",
+                Obs.Log.Str
+                  (Obs.Trace.hex_id ctx.trace.Obs.Trace.t_hi
+                     ctx.trace.Obs.Trace.t_lo) );
+            ]
+        else fields
+      in
+      ignore (Obs.Log.write log fields));
+  if slow then begin
     Atomic.incr t.c_slow;
     Obs.Metrics.incr m_slow;
-    Obs.Trace.instant ~arg_name:"rid" ~arg:ctx.id "server.slow_request";
+    Obs.Trace.instant ~arg_name:"rid" ~arg:ctx.id ~ctx:(child_trace ctx)
+      "server.slow_request";
     if !Obs.Trace.enabled then begin
       let path =
         Filename.concat t.config.slow_dir
@@ -815,13 +927,20 @@ let handle_request t ctx req =
     | Wire.Batch _ -> m_req_batch
     | Wire.Stats -> m_req_stats
     | Wire.Catalog -> m_req_catalog
-    | Wire.Metrics_text | Wire.Health | Wire.Drain _ -> m_req_telemetry);
+    | Wire.Metrics_text | Wire.Health | Wire.Drain _ | Wire.Trace_export ->
+        m_req_telemetry);
   let body () =
     match req with
     | Wire.Stats -> stats_reply t
     | Wire.Catalog -> catalog_reply ()
     | Wire.Metrics_text -> Wire.Metrics_text_reply (metrics_text t)
     | Wire.Health -> Wire.Health_reply (health t)
+    | Wire.Trace_export ->
+        (* answered inline like Metrics_text: exporting must work even
+           when the pool is saturated — that is when you want traces *)
+        Wire.Trace_export_reply
+          (if !Obs.Trace.enabled then Obs.Trace.export_string ()
+           else "{\"traceEvents\":[],\"dropped\":0}")
     | Wire.Drain { enable } ->
         (* graceful drain: keep serving everything, but report
            not-ready so a routing frontend stops sending new work *)
@@ -831,7 +950,7 @@ let handle_request t ctx req =
   in
   let resp =
     if !Obs.Trace.enabled then
-      Obs.Trace.span_arg "server.request" "rid" ctx.id body
+      Obs.Trace.span_ctx "server.request" "rid" ctx.id ctx.trace body
     else body ()
   in
   finish_request t ctx req resp;
@@ -873,22 +992,24 @@ let handle_conn t fd =
                 match Net_io.read_exact fd length with
                 | None -> ()
                 | Some payload ->
-                    (* the reply speaks the request's version and
-                       echoes its id (v1: no id on the wire) *)
-                    let id, resp =
+                    (* the reply speaks the request's version, echoes
+                       its id (v1: no id on the wire) and its trace
+                       context, so the caller can pair the response
+                       with the trace it started *)
+                    let id, trace, resp =
                       match
                         Wire.decode_request_payload ~version ~tag payload
                       with
                       | Error m ->
                           Atomic.incr t.c_bad_frames;
                           Obs.Metrics.incr m_bad_frames;
-                          (0, err Wire.Bad_request "%s" m)
-                      | Ok (id, req) ->
-                          let ctx = make_ctx t ~id in
-                          (ctx.id, handle_request t ctx req)
+                          (0, None, err Wire.Bad_request "%s" m)
+                      | Ok (id, wire_trace, req) ->
+                          let ctx = make_ctx t ~id ?wire_trace () in
+                          (ctx.id, wire_trace, handle_request t ctx req)
                     in
                     Net_io.write_all fd
-                      (Wire.encode_response ~version ~id resp);
+                      (Wire.encode_response ~version ~id ?trace resp);
                     loop ()))
     in
     loop ()

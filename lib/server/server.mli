@@ -62,6 +62,13 @@ type config = {
           restarted daemon answers its first request for a known
           graph without a compile. *)
   log : Obs.Log.t option;  (** Structured per-request log sink. *)
+  trace_sample : int;
+      (** Head-based trace sampling: trace 1 in [trace_sample]
+          correlation ids (deterministic — {!Obs.Trace.sample} — so
+          every process keeps the same rids); <= 0 disables. A wire
+          frame that already carries a trace context is always
+          honoured regardless of this setting: the head of the call
+          chain decided. *)
 }
 
 val default_config : config

@@ -15,7 +15,15 @@
    unassigned; the server allocates one) echoed verbatim on the
    response; version 1 frames — no id, same body layout — are still
    accepted and answered in version 1, so old clients keep working
-   against a v2 server. *)
+   against a v2 server.
+
+   A v2 payload may additionally carry a trace context: bit 63 of the
+   correlation-id word flags its presence, and 24 context bytes follow
+   the id — trace id high half, trace id low half, parent span id,
+   each a 63-bit non-negative int in a u64. Context-less v2 frames are
+   byte-identical to the pre-context encoding, and peers built before
+   this extension reject the flag bit with a typed Bad_request instead
+   of crashing, so mixed fleets degrade to unsampled. *)
 
 let protocol_version = 2
 let min_protocol_version = 1
@@ -26,6 +34,12 @@ let magic0 = 'L'
 let magic1 = 'C'
 
 type header = { version : int; tag : int; length : int }
+
+(* Distributed-tracing context rides the v2 id prefix: a 126-bit trace
+   id split across two 63-bit halves plus the sender's span id, which
+   becomes the receiver's parent. All-zero means "unsampled" and is
+   never encoded — senders pass [None] instead. *)
+type trace_context = { trace_hi : int; trace_lo : int; parent_span : int }
 
 (* A batch sub-operation names its graph by index into the batch's
    shared graph table, so a frame carrying 64 ops over 3 distinct
@@ -45,6 +59,7 @@ type request =
   | Metrics_text
   | Health
   | Drain of { enable : bool }
+  | Trace_export
 
 type error_code =
   | Bad_frame
@@ -95,6 +110,7 @@ type response =
   | Metrics_text_reply of string
   | Health_reply of health
   | Drain_reply of { draining : bool; pending : int }
+  | Trace_export_reply of string
   | Error_reply of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -141,6 +157,7 @@ let request_tag = function
   | Health -> 0x07
   | Drain _ -> 0x08
   | Batch _ -> 0x09
+  | Trace_export -> 0x0A
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -152,6 +169,7 @@ let response_tag = function
   | Health_reply _ -> 0x87
   | Drain_reply _ -> 0x88
   | Batch_reply _ -> 0x89
+  | Trace_export_reply _ -> 0x8A
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -173,10 +191,18 @@ let w_string b s =
   Buffer.add_string b s
 
 (* Correlation ids are 63-bit non-negative ints carried as a u64; the
-   encoder owns the range check so hostile values cannot be ours. *)
-let w_id b id =
-  w_u32 b (id lsr 32);
+   encoder owns the range check so hostile values cannot be ours. Bit
+   63 of the word is the trace-context flag, never part of the id. *)
+let trace_flag_bit = 0x8000_0000
+
+let w_id ?(flag = false) b id =
+  w_u32 b ((id lsr 32) lor (if flag then trace_flag_bit else 0));
   w_u32 b id
+
+let w_trace b { trace_hi; trace_lo; parent_span } =
+  w_id b trace_hi;
+  w_id b trace_lo;
+  w_id b parent_span
 
 let w_bits b bits =
   let len = Bits.length bits in
@@ -258,13 +284,31 @@ let r_bool c =
   | 1 -> true
   | v -> fail "invalid boolean byte %d" v
 
-let r_id c =
+let r_id ?(what = "request id") c =
+  if remaining c < id_bytes then
+    fail "truncated %s (wanted %d bytes, got %d)" what id_bytes (remaining c);
+  let hi = r_u32 c in
+  let lo = r_u32 c in
+  if hi land trace_flag_bit <> 0 then fail "%s out of the 63-bit range" what;
+  (hi lsl 32) lor lo
+
+(* The id word, plus the 24-byte trace context when the flag bit is
+   set. Every failure mode of the context — truncation, a sign bit in
+   any field — lands in [Fail] and therefore in [Error], never in an
+   exception at the accept loop. *)
+let r_id_trace c =
   if remaining c < id_bytes then
     fail "truncated request id (wanted %d bytes, got %d)" id_bytes (remaining c);
   let hi = r_u32 c in
   let lo = r_u32 c in
-  if hi land 0x8000_0000 <> 0 then fail "request id out of the 63-bit range";
-  (hi lsl 32) lor lo
+  let flagged = hi land trace_flag_bit <> 0 in
+  let id = ((hi land lnot trace_flag_bit) lsl 32) lor lo in
+  if not flagged then (id, None)
+  else
+    let trace_hi = r_id ~what:"trace id (high half)" c in
+    let trace_lo = r_id ~what:"trace id (low half)" c in
+    let parent_span = r_id ~what:"parent span id" c in
+    (id, Some { trace_hi; trace_lo; parent_span })
 
 let r_string c =
   let len = r_u32 c in
@@ -357,15 +401,27 @@ let check_version version =
 let check_id id =
   if id < 0 then invalid_arg "Wire: request ids are non-negative"
 
+let check_trace { trace_hi; trace_lo; parent_span } =
+  if trace_hi < 0 || trace_lo < 0 || parent_span < 0 then
+    invalid_arg "Wire: trace context fields are non-negative"
+
 (* A v2 payload is the u64 correlation id followed by the v1 body; a
-   v1 payload is the bare body. *)
-let frame_with_id ~version ~id tag body =
+   v1 payload is the bare body. A trace context, when present and the
+   version can carry one, is flagged in the id word and inserted
+   between the id and the body; v1 frames silently drop it (a v1 peer
+   could not parse it anyway — the hop degrades to unsampled). *)
+let frame_with_id ~version ~id ?trace tag body =
   check_version version;
   check_id id;
+  Option.iter check_trace trace;
   if version = 1 then frame ~version tag body
   else begin
     let b = Buffer.create (id_bytes + String.length body) in
-    w_id b id;
+    (match trace with
+    | None -> w_id b id
+    | Some t ->
+        w_id ~flag:true b id;
+        w_trace b t);
     Buffer.add_string b body;
     frame ~version tag (Buffer.contents b)
   end
@@ -415,15 +471,15 @@ let request_body req =
       w_u16 b (List.length ops);
       List.iter (w_batch_op b) ops
   | Drain { enable } -> w_u8 b (if enable then 1 else 0)
-  | Stats | Catalog | Metrics_text | Health -> ());
+  | Stats | Catalog | Metrics_text | Health | Trace_export -> ());
   Buffer.contents b
 
-let encode_request ?(version = protocol_version) ?(id = 0) req =
-  frame_with_id ~version ~id (request_tag req) (request_body req)
+let encode_request ?(version = protocol_version) ?(id = 0) ?trace req =
+  frame_with_id ~version ~id ?trace (request_tag req) (request_body req)
 
 let decode_request_payload ?(version = protocol_version) ~tag payload =
   decoding payload @@ fun c ->
-  let id = if version >= 2 then r_id c else 0 in
+  let id, trace = if version >= 2 then r_id_trace c else (0, None) in
   let req =
     match tag with
     | 0x01 ->
@@ -451,9 +507,10 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
           r_list16 c ~min_entry_bytes:7 (r_batch_op ~n_graphs ~n_proofs)
         in
         Batch { graphs; proofs; ops }
+    | 0x0A -> Trace_export
     | t -> fail "unknown request tag 0x%02x" t
   in
-  (id, req)
+  (id, trace, req)
 
 (* --- responses -------------------------------------------------------- *)
 
@@ -553,17 +610,18 @@ let response_body resp =
   | Drain_reply { draining; pending } ->
       w_u8 b (if draining then 1 else 0);
       w_u32 b pending
+  | Trace_export_reply json -> w_string b json
   | Error_reply { code; message } ->
       w_u8 b (error_code_to_int code);
       w_string b message);
   Buffer.contents b
 
-let encode_response ?(version = protocol_version) ?(id = 0) resp =
-  frame_with_id ~version ~id (response_tag resp) (response_body resp)
+let encode_response ?(version = protocol_version) ?(id = 0) ?trace resp =
+  frame_with_id ~version ~id ?trace (response_tag resp) (response_body resp)
 
 let decode_response_payload ?(version = protocol_version) ~tag payload =
   decoding payload @@ fun c ->
-  let id = if version >= 2 then r_id c else 0 in
+  let id, trace = if version >= 2 then r_id_trace c else (0, None) in
   let resp =
     match tag with
     | 0x81 -> Proved (if r_bool c then Some (r_proof c) else None)
@@ -609,6 +667,7 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         let draining = r_bool c in
         Drain_reply { draining; pending = r_u32 c }
     | 0x89 -> Batch_reply (r_list16 c ~min_entry_bytes:2 r_batch_item)
+    | 0x8A -> Trace_export_reply (r_string c)
     | 0xE0 ->
         let code_byte = r_u8 c in
         let code =
@@ -619,7 +678,7 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         Error_reply { code; message = r_string c }
     | t -> fail "unknown response tag 0x%02x" t
   in
-  (id, resp)
+  (id, trace, resp)
 
 (* --- whole-frame convenience ------------------------------------------ *)
 
@@ -666,8 +725,11 @@ let equal_request a b =
       && List.for_all2 equal_batch_op a.ops b.ops
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
+  | Trace_export, Trace_export -> true
   | Drain a, Drain b -> a.enable = b.enable
   | _ -> false
+
+let equal_trace_context (a : trace_context) (b : trace_context) = a = b
 
 let equal_proof_opt a b =
   match (a, b) with
@@ -704,5 +766,6 @@ let equal_response a b =
   | Health_reply a, Health_reply b -> a = b
   | Drain_reply a, Drain_reply b ->
       a.draining = b.draining && a.pending = b.pending
+  | Trace_export_reply a, Trace_export_reply b -> a = b
   | Error_reply a, Error_reply b -> a.code = b.code && a.message = b.message
   | _ -> false

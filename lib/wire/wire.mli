@@ -25,6 +25,16 @@
     same body layout, no id — are still accepted and answered in
     version 1.
 
+    A v2 payload may additionally carry a {e trace context} for
+    distributed tracing: bit 63 of the correlation-id word (otherwise
+    always zero — ids are 63-bit) flags its presence, and 24 bytes
+    follow the id word: the 126-bit trace id as two u64 halves, then
+    the sender's span id (the receiver's parent). Context-less v2
+    frames are byte-for-byte identical to the pre-context encoding,
+    and a peer built before this extension rejects the flag bit as an
+    out-of-range id — a typed [Bad_request], never a crash — so mixed
+    fleets degrade to unsampled tracing.
+
     Everything that parses bytes from the peer is {e total}: malformed
     input — bad magic, unknown version or tag, oversized length,
     truncated or trailing bytes (including a truncated or
@@ -50,6 +60,13 @@ val max_payload : int
     is rejected before any payload is read. *)
 
 type header = { version : int; tag : int; length : int }
+
+type trace_context = { trace_hi : int; trace_lo : int; parent_span : int }
+(** Distributed-tracing context carried on the v2 id prefix: the
+    126-bit trace id split across two 63-bit halves, plus the sending
+    span's id, which the receiver uses as the parent of its own
+    request span. All-zero means "unsampled"; senders encode [None]
+    instead. *)
 
 val decode_header : string -> (header, string) result
 (** Parse the first {!header_bytes} bytes of a frame. Checks magic,
@@ -93,6 +110,11 @@ type request =
           sending it new work and it can be taken down without
           dropping anything in flight. [enable = false] reinstates
           it. *)
+  | Trace_export
+      (** Fetch the process's trace ring as Chrome trace-event JSON —
+          the same bytes a [--trace-dir] spool file holds, served over
+          the wire so a merger can collect live processes without
+          filesystem access. *)
 
 type error_code =
   | Bad_frame  (** Unparseable frame: the connection is out of sync. *)
@@ -156,6 +178,8 @@ type response =
   | Drain_reply of { draining : bool; pending : int }
       (** Acknowledges a {!Drain} toggle: the mode now in force and
           how many tasks are still queued or running. *)
+  | Trace_export_reply of string
+      (** The trace ring rendered as Chrome trace-event JSON. *)
   | Error_reply of { code : error_code; message : string }
 
 val error_code_to_string : error_code -> string
@@ -164,36 +188,49 @@ val error_code_to_string : error_code -> string
 
     Encoders take the protocol [version] to emit (default
     {!protocol_version}) and, for v2, the correlation [id] (default 0
-    = unassigned). Encoding raises [Invalid_argument] on a version
-    outside the supported range or a negative id — those are caller
-    bugs, not wire input. Decoders return the id alongside the
-    message; v1 frames always decode with id 0. *)
+    = unassigned) plus an optional [trace] context. Encoding raises
+    [Invalid_argument] on a version outside the supported range, a
+    negative id, or a negative trace field — those are caller bugs,
+    not wire input; a [trace] passed with [version = 1] is silently
+    dropped (the hop degrades to unsampled). Decoders return the id
+    and the trace context alongside the message; v1 frames always
+    decode with id 0 and no context. *)
 
-val encode_request : ?version:int -> ?id:int -> request -> string
+val encode_request :
+  ?version:int -> ?id:int -> ?trace:trace_context -> request -> string
 (** A complete frame: header plus payload. *)
 
-val encode_response : ?version:int -> ?id:int -> response -> string
+val encode_response :
+  ?version:int -> ?id:int -> ?trace:trace_context -> response -> string
 
 val request_tag : request -> int
 val response_tag : response -> int
 
 val decode_request_payload :
-  ?version:int -> tag:int -> string -> (int * request, string) result
+  ?version:int ->
+  tag:int ->
+  string ->
+  (int * trace_context option * request, string) result
 (** Decode the payload of a frame whose header carried [tag] and
     [version]. Total; rejects unknown tags, truncated fields
-    (including a short or out-of-range v2 request id) and trailing
-    bytes. *)
+    (including a short or out-of-range v2 request id and a truncated
+    or out-of-range trace context) and trailing bytes. *)
 
 val decode_response_payload :
-  ?version:int -> tag:int -> string -> (int * response, string) result
+  ?version:int ->
+  tag:int ->
+  string ->
+  (int * trace_context option * response, string) result
 
-val decode_request : string -> (int * request, string) result
+val decode_request : string -> (int * trace_context option * request, string) result
 (** Decode one complete frame (header and payload, nothing after). *)
 
-val decode_response : string -> (int * response, string) result
+val decode_response :
+  string -> (int * trace_context option * response, string) result
 
 val equal_request : request -> request -> bool
 (** Structural equality (proofs via [Proof.equal]); the round-trip
     property tests pin [decode (encode m) = m] with these. *)
 
 val equal_response : response -> response -> bool
+val equal_trace_context : trace_context -> trace_context -> bool

@@ -599,6 +599,50 @@ let router_hedging () =
      but request/win accounting stays at one *)
   check "at most one hedge win recorded" true (st.Router.hedge_wins <= 1)
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let router_trace_propagation () =
+  (* with 1-in-1 head sampling the router roots a trace for an
+     untraced client frame and propagates the context to the backend;
+     backends run in-process here so all lanes share one ring — the
+     router's Trace_export must show its own spans AND the backend's
+     server.request, all under the rid-derived trace id *)
+  Obs.enable ~metrics:false ~trace:true ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.Trace.clear ())
+  @@ fun () ->
+  with_cluster ~router:(fun c -> { c with Router.trace_sample = 1 })
+  @@ fun r _s1 _s2 ->
+  with_client (Router.port r) @@ fun c ->
+  let rid = 99991 in
+  let g6 = Graph6.encode (Builders.cycle 16) in
+  (match
+     Client.call_id c ~id:rid (Wire.Prove { scheme = "eulerian"; graph6 = g6 })
+   with
+  | Ok (id, Wire.Proved _) -> check_int "echoed rid" rid id
+  | Ok (_, _) -> Alcotest.fail "unexpected prove reply"
+  | Error m -> Alcotest.failf "prove: %s" m);
+  let hex =
+    let h, l = Obs.Trace.trace_of_rid rid in
+    Obs.Trace.hex_id h l
+  in
+  match call c Wire.Trace_export with
+  | Wire.Trace_export_reply json ->
+      check "router.request span traced" true
+        (contains ~sub:"\"name\":\"router.request\"" json);
+      check "router.upstream span traced" true
+        (contains ~sub:"\"name\":\"router.upstream\"" json);
+      check "backend server.request span traced" true
+        (contains ~sub:"\"name\":\"server.request\"" json);
+      check "spans share the rid-derived trace id" true
+        (contains ~sub:(Printf.sprintf "\"trace\":\"%s\"" hex) json)
+  | _ -> Alcotest.fail "unexpected Trace_export reply"
+
 let suite =
   ( "cluster",
     [
@@ -626,4 +670,6 @@ let suite =
       Alcotest.test_case "router splits a batch across backends" `Quick
         router_batch_split;
       Alcotest.test_case "router hedged request wins once" `Quick router_hedging;
+      Alcotest.test_case "router roots and propagates traces" `Quick
+        router_trace_propagation;
     ] )

@@ -353,6 +353,172 @@ let trace_disabled_is_passthrough () =
   Obs.Trace.instant "test.off";
   check_int "nothing recorded" 0 (Obs.Trace.recorded ())
 
+(* --- distributed-tracing identity ------------------------------------- *)
+
+let trace_sampler () =
+  (* every=1 samples everything; <= 0 samples nothing *)
+  for rid = 0 to 99 do
+    check "every=1 samples all" true (Obs.Trace.sample ~every:1 rid);
+    check "every=0 samples none" false (Obs.Trace.sample ~every:0 rid)
+  done;
+  check "negative rate samples none" false (Obs.Trace.sample ~every:(-4) 7);
+  (* the verdict is a pure function of the rid — what keeps the
+     client's, router's and backend's decisions aligned *)
+  for rid = 0 to 999 do
+    check "verdict stable" true
+      (Obs.Trace.sample ~every:8 rid = Obs.Trace.sample ~every:8 rid)
+  done;
+  (* 1-in-8 sampling over sequential rids lands near 1/8 — the hash,
+     not the rid's low bits, decides *)
+  let n = 100_000 in
+  let hits = ref 0 in
+  for rid = 1 to n do
+    if Obs.Trace.sample ~every:8 rid then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check "rate near 1/8" true (rate > 0.10 && rate < 0.15);
+  (* rid-derived trace ids are deterministic, nonzero, 32 hex digits *)
+  let h1, l1 = Obs.Trace.trace_of_rid 42 in
+  let h2, l2 = Obs.Trace.trace_of_rid 42 in
+  check "trace id deterministic" true (h1 = h2 && l1 = l2);
+  check "trace id nonzero" true (h1 <> 0 || l1 <> 0);
+  check "trace id halves non-negative" true (h1 >= 0 && l1 >= 0);
+  check_int "hex id is 32 digits" 32 (String.length (Obs.Trace.hex_id h1 l1));
+  let c1 = Obs.Trace.ctx_of_rid 42 in
+  let c2 = Obs.Trace.ctx_of_rid ~parent:9 42 in
+  check "ctx keeps the rid's trace id" true
+    (c1.Obs.Trace.t_hi = h1 && c1.Obs.Trace.t_lo = l1);
+  check "span ids are fresh per ctx" true
+    (c1.Obs.Trace.span <> 0 && c2.Obs.Trace.span <> 0
+    && c1.Obs.Trace.span <> c2.Obs.Trace.span);
+  check_int "default parent is root" 0 c1.Obs.Trace.parent;
+  check_int "explicit parent kept" 9 c2.Obs.Trace.parent
+
+let trace_ctx_args_export () =
+  with_obs_reset @@ fun () ->
+  Obs.enable ~metrics:false ~trace:true ();
+  let ctx = Obs.Trace.ctx_of_rid ~parent:77 42 in
+  check_int "span_ctx returns the thunk's value" 5
+    (Obs.Trace.span_ctx "test.traced" "rid" 42 ctx (fun () -> 5));
+  Obs.Trace.span "test.untraced" (fun () -> ());
+  let j = parse_json (Obs.Trace.export_string ()) in
+  let events =
+    match assoc "traceEvents" j with
+    | Some (Arr e) -> e
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let find name =
+    match List.find_opt (fun e -> assoc "name" e = Some (Str name)) events with
+    | Some e -> e
+    | None -> Alcotest.failf "event %s lost" name
+  in
+  (match assoc "args" (find "test.traced") with
+  | Some (Obj kvs) ->
+      check "rid arg kept" true (List.assoc_opt "rid" kvs = Some (Num 42.));
+      check "trace arg is the rid's hex id" true
+        (List.assoc_opt "trace" kvs
+        = Some (Str (Obs.Trace.hex_id ctx.Obs.Trace.t_hi ctx.Obs.Trace.t_lo)));
+      check "span arg" true
+        (List.assoc_opt "span" kvs
+        = Some (Num (float_of_int ctx.Obs.Trace.span)));
+      check "parent arg" true (List.assoc_opt "parent" kvs = Some (Num 77.))
+  | _ -> Alcotest.fail "traced span lost its args");
+  (* untraced events must NOT grow identity args — exact-match
+     consumers (and sheer ring size) depend on it *)
+  check "untraced span carries no identity" true
+    (match assoc "args" (find "test.untraced") with
+    | None -> true
+    | Some (Obj kvs) -> not (List.mem_assoc "trace" kvs)
+    | _ -> false);
+  check "export names the process lane" true
+    (match assoc "process" j with Some (Str _) -> true | _ -> false)
+
+let tid_main = "000102030405060708090a0b0c0d0e0f"
+
+let trace_merge_aligns_clocks () =
+  let ev name ts dur ~span ~parent ~extra =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"lcp\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s\"trace\":\"%s\",\"span\":%d,\"parent\":%d}}"
+      name ts dur extra tid_main span parent
+  in
+  let spool process evs =
+    Printf.sprintf "{\"traceEvents\":[%s],\"dropped\":0,\"process\":%S}"
+      (String.concat "," evs) process
+  in
+  (* one request crossing three processes, each spool on its own clock:
+     the router's clock runs 2000us ahead of the loadgen's and the
+     backend's 5000us ahead — the parent links must recover both
+     (loadgen<->backend never talk directly; the BFS chains through
+     the router) *)
+  let loadgen =
+    spool "loadgen"
+      [ ev "client.request" 100. 300. ~span:100 ~parent:0 ~extra:"\"rid\":7," ]
+  in
+  let router =
+    spool "router"
+      [
+        ev "router.request" 2150. 200. ~span:200 ~parent:100 ~extra:"";
+        ev "router.upstream" 2160. 180. ~span:300 ~parent:200 ~extra:"";
+        "{\"name\":\"router.tick\",\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":2100.0}";
+      ]
+  in
+  let backend =
+    spool "backend"
+      [ ev "server.request" 5200. 100. ~span:400 ~parent:300 ~extra:"" ]
+  in
+  let files =
+    [ ("loadgen", loadgen); ("router", router); ("backend", backend) ]
+  in
+  (match Obs.Trace_merge.merge files with
+  | Error m -> Alcotest.failf "merge failed: %s" m
+  | Ok (json, st) ->
+      check_int "all events merged" 5 st.Obs.Trace_merge.events;
+      check_int "one trace id" 1 st.Obs.Trace_merge.traces;
+      check_int "it crosses processes" 1 st.Obs.Trace_merge.cross_process;
+      check_int "over three lanes" 3 st.Obs.Trace_merge.max_lanes;
+      (match st.Obs.Trace_merge.processes with
+      | [ ("loadgen", o0); ("router", o1); ("backend", o2) ] ->
+          check "reference lane unshifted" true (abs_float o0 < 1e-9);
+          check "router offset recovered" true (abs_float (o1 +. 2000.) < 1e-6);
+          check "backend offset chained through the router" true
+            (abs_float (o2 +. 5000.) < 1e-6)
+      | _ -> Alcotest.fail "unexpected lane list");
+      let events =
+        match assoc "traceEvents" (parse_json json) with
+        | Some (Arr e) -> e
+        | _ -> Alcotest.fail "merged traceEvents missing"
+      in
+      let ts_of name =
+        match
+          List.find_opt (fun e -> assoc "name" e = Some (Str name)) events
+        with
+        | Some e -> (
+            match assoc "ts" e with
+            | Some (Num t) -> t
+            | _ -> Alcotest.failf "%s has no ts" name)
+        | None -> Alcotest.failf "merged output lost %s" name
+      in
+      (* after alignment every span sits on the loadgen's clock and
+         nests where the true timeline put it *)
+      check "router span lands inside the client span" true
+        (abs_float (ts_of "router.request" -. 150.) < 1e-6);
+      check "backend span lands inside the upstream span" true
+        (abs_float (ts_of "server.request" -. 200.) < 1e-6);
+      check_int "one process_name metadata event per lane" 3
+        (List.length
+           (List.filter (fun e -> assoc "ph" e = Some (Str "M")) events)));
+  (* ?trace_id keeps only that trace (case-insensitively) *)
+  (match Obs.Trace_merge.merge ~trace_id:(String.uppercase_ascii tid_main) files with
+  | Error m -> Alcotest.failf "filtered merge failed: %s" m
+  | Ok (_, st) ->
+      check_int "untraced tick filtered out" 4 st.Obs.Trace_merge.events);
+  (* a garbage spool is a typed error naming the file, not a raise *)
+  match Obs.Trace_merge.merge [ ("bad-spool", "{nope") ] with
+  | Error m ->
+      check "error names the file" true
+        (String.length m >= 9 && String.sub m 0 9 = "bad-spool")
+  | Ok _ -> Alcotest.fail "garbage spool accepted"
+
 let metrics_json_parses () =
   with_obs_reset @@ fun () ->
   Obs.enable ();
@@ -390,5 +556,10 @@ let suite =
         trace_ring_wraps;
       Alcotest.test_case "disabled trace is pass-through" `Quick
         trace_disabled_is_passthrough;
+      Alcotest.test_case "trace sampler deterministic" `Quick trace_sampler;
+      Alcotest.test_case "trace ctx rides the export" `Quick
+        trace_ctx_args_export;
+      Alcotest.test_case "trace merge aligns clocks" `Quick
+        trace_merge_aligns_clocks;
       Alcotest.test_case "metrics to_json parses" `Quick metrics_json_parses;
     ] )

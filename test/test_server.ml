@@ -47,7 +47,8 @@ let expect_error code what = function
         | Wire.Metrics_text_reply _ -> "Metrics_text_reply"
         | Wire.Health_reply _ -> "Health_reply"
         | Wire.Drain_reply _ -> "Drain_reply"
-        | Wire.Batch_reply _ -> "Batch_reply")
+        | Wire.Batch_reply _ -> "Batch_reply"
+        | Wire.Trace_export_reply _ -> "Trace_export_reply")
 
 (* ------------------------------------------------------------------ *)
 (* In-process units: the LRU and the scheme registry. *)
@@ -239,7 +240,7 @@ let read_response fd =
           | None -> Alcotest.fail "truncated response"
           | Some payload -> (
               match Wire.decode_response_payload ~version ~tag payload with
-              | Ok (_, r) -> r
+              | Ok (_, _, r) -> r
               | Error m -> Alcotest.failf "bad response payload: %s" m)))
 
 let with_raw_socket port f =
@@ -853,6 +854,72 @@ let loadgen_batched () =
       check_int "server saw the ops" (2 * 5 * 8)
         (Server.stats t).Server.batch_ops
 
+let wire_trace_parentage () =
+  (* a frame that arrives carrying a trace context must be traced even
+     with sampling off (the head of the call chain decided), and the
+     server's request span must parent under the caller's span *)
+  Obs.enable ~metrics:false ~trace:true ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.Trace.clear ())
+  @@ fun () ->
+  with_server Server.default_config @@ fun _t port ->
+  with_client port @@ fun c ->
+  let rid = 4242 in
+  let ctx = Obs.Trace.ctx_of_rid rid in
+  let g6 = Graph6.encode (Builders.cycle 12) in
+  (match
+     Client.call_id ?trace:(Client.wire_trace ctx) c ~id:rid
+       (Wire.Prove { scheme = "eulerian"; graph6 = g6 })
+   with
+  | Ok (id, Wire.Proved _) -> check_int "echoed rid" rid id
+  | Ok (_, r) -> expect_error Wire.Internal "prove" r
+  | Error m -> Alcotest.failf "prove: %s" m);
+  (* the response frame echoes the request's context verbatim *)
+  (match Client.send ~id:rid ?trace:(Client.wire_trace ctx) c Wire.Stats with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "send: %s" m);
+  (match Client.recv_full c with
+  | Ok (id, Some echoed, Wire.Stats_reply _) ->
+      check_int "echoed rid" rid id;
+      check "context echoed verbatim" true
+        (echoed.Wire.trace_hi = ctx.Obs.Trace.t_hi
+        && echoed.Wire.trace_lo = ctx.Obs.Trace.t_lo
+        && echoed.Wire.parent_span = ctx.Obs.Trace.span)
+  | Ok (_, None, _) -> Alcotest.fail "response dropped the trace context"
+  | Ok _ -> Alcotest.fail "unexpected response"
+  | Error m -> Alcotest.failf "recv: %s" m);
+  (* fetch the ring over the wire: the request span must carry the
+     caller's trace id and parent under the caller's span *)
+  match call c Wire.Trace_export with
+  | Wire.Trace_export_reply json ->
+      check "server.request span exported" true
+        (contains ~sub:"\"name\":\"server.request\"" json);
+      check "span carries the caller's trace id" true
+        (contains
+           ~sub:
+             (Printf.sprintf "\"trace\":\"%s\""
+                (Obs.Trace.hex_id ctx.Obs.Trace.t_hi ctx.Obs.Trace.t_lo))
+           json);
+      check "a span parents under the client span" true
+        (contains
+           ~sub:(Printf.sprintf "\"parent\":%d}" ctx.Obs.Trace.span)
+           json);
+      check "compute child span exported" true
+        (contains ~sub:"\"name\":\"server.compute\"" json)
+  | r -> expect_error Wire.Internal "trace export" r
+
+let trace_export_disabled () =
+  (* with tracing off the endpoint still answers — an empty trace, not
+     an error, so `lcp trace fetch` is always safe to point anywhere *)
+  with_server Server.default_config @@ fun _t port ->
+  with_client port @@ fun c ->
+  match call c Wire.Trace_export with
+  | Wire.Trace_export_reply json ->
+      check "empty traceEvents" true (contains ~sub:"\"traceEvents\":[]" json)
+  | r -> expect_error Wire.Internal "trace export" r
+
 let suite =
   ( "server",
     [
@@ -886,4 +953,8 @@ let suite =
       Alcotest.test_case "cache-dir restart serves warm" `Quick
         cache_dir_warm_restart;
       Alcotest.test_case "loadgen batched mode" `Quick loadgen_batched;
+      Alcotest.test_case "wire trace context parents spans" `Quick
+        wire_trace_parentage;
+      Alcotest.test_case "trace export while disabled" `Quick
+        trace_export_disabled;
     ] )

@@ -178,6 +178,7 @@ let gen_request =
         return Wire.Catalog;
         return Wire.Metrics_text;
         return Wire.Health;
+        return Wire.Trace_export;
         (let* enable = bool in
          return (Wire.Drain { enable }));
       ])
@@ -233,6 +234,8 @@ let gen_response =
         (let* draining = bool in
          let* pending = int_bound 10_000 in
          return (Wire.Drain_reply { draining; pending }));
+        (let* json = gen_blob in
+         return (Wire.Trace_export_reply json));
         (let* items = list_size (int_bound 6) gen_batch_item in
          return (Wire.Batch_reply items));
         (let* code =
@@ -254,29 +257,54 @@ let gen_response =
       ])
 
 (* every message round-trips in both protocol versions; the
-   correlation id survives on v2 and is elided (decoding as 0) on v1 *)
+   correlation id survives on v2 and is elided (decoding as 0) on v1,
+   and an attached trace context survives on v2 and is dropped
+   (degrading the hop to unsampled) on v1 *)
+let gen_trace =
+  QCheck.Gen.(
+    let* trace_hi = int_bound 0x3FFF_FFFF_FFFF in
+    let* trace_lo = int_bound 0x3FFF_FFFF_FFFF in
+    let* parent_span = int_bound 0x3FFF_FFFF_FFFF in
+    return { Wire.trace_hi; trace_lo; parent_span })
+
 let gen_version_id =
   QCheck.Gen.(
     let* version = oneofl [ 1; 2 ] in
     let* id = if version = 1 then return 0 else int_bound 0x3FFF_FFFF in
-    return (version, id))
+    let* trace = opt gen_trace in
+    return (version, id, trace))
+
+let check_trace_echo ~version ~trace trace' =
+  match (version, trace, trace') with
+  | 1, _, None -> true (* v1 never carries a context *)
+  | 2, None, None -> true
+  | 2, Some t, Some t' -> Wire.equal_trace_context t t'
+  | _ -> false
 
 let request_roundtrip_prop =
   QCheck.Test.make ~name:"request roundtrip (v1 and v2)" ~count:300
     (QCheck.make QCheck.Gen.(pair gen_version_id gen_request))
-    (fun ((version, id), r) ->
-      match Wire.decode_request (Wire.encode_request ~version ~id r) with
-      | Ok (id', r') ->
-          id' = (if version = 1 then 0 else id) && Wire.equal_request r r'
+    (fun ((version, id, trace), r) ->
+      match
+        Wire.decode_request (Wire.encode_request ~version ~id ?trace r)
+      with
+      | Ok (id', trace', r') ->
+          id' = (if version = 1 then 0 else id)
+          && check_trace_echo ~version ~trace trace'
+          && Wire.equal_request r r'
       | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
 
 let response_roundtrip_prop =
   QCheck.Test.make ~name:"response roundtrip (v1 and v2)" ~count:300
     (QCheck.make QCheck.Gen.(pair gen_version_id gen_response))
-    (fun ((version, id), r) ->
-      match Wire.decode_response (Wire.encode_response ~version ~id r) with
-      | Ok (id', r') ->
-          id' = (if version = 1 then 0 else id) && Wire.equal_response r r'
+    (fun ((version, id, trace), r) ->
+      match
+        Wire.decode_response (Wire.encode_response ~version ~id ?trace r)
+      with
+      | Ok (id', trace', r') ->
+          id' = (if version = 1 then 0 else id)
+          && check_trace_echo ~version ~trace trace'
+          && Wire.equal_response r r'
       | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
 
 (* ------------------------------------------------------------------ *)
@@ -388,8 +416,10 @@ let cross_version_matrix () =
           check_int "version byte on the wire" version (Char.code frame.[2]);
           match Wire.decode_request frame with
           | Error m -> Alcotest.failf "v%d decode failed: %s" version m
-          | Ok (id', req') ->
+          | Ok (id', trace', req') ->
               check_int "echoed id" (if version = 1 then 0 else id) id';
+              check "context-less frame decodes to no trace" true
+                (trace' = None);
               check "request survives" true (Wire.equal_request req req'))
         [ 1; 2 ])
     requests;
@@ -430,9 +460,76 @@ let id_codec_edges () =
   (* the largest representable id survives a v2 round trip *)
   let big = max_int in
   match Wire.decode_request (Wire.encode_request ~version:2 ~id:big Wire.Stats) with
-  | Ok (id, Wire.Stats) -> check_int "max_int id" big id
+  | Ok (id, _, Wire.Stats) -> check_int "max_int id" big id
   | Ok _ -> Alcotest.fail "wrong request back"
   | Error m -> Alcotest.failf "max_int id rejected: %s" m
+
+let trace_context_edges () =
+  let ctx =
+    {
+      Wire.trace_hi = 0x0123_4567_89ab;
+      trace_lo = 0x0fed_cba9_8765;
+      parent_span = 42;
+    }
+  in
+  (* the context survives a v2 round trip in both directions *)
+  (match
+     Wire.decode_request (Wire.encode_request ~version:2 ~id:9 ~trace:ctx Wire.Stats)
+   with
+  | Ok (id, Some ctx', Wire.Stats) ->
+      check_int "traced request id" 9 id;
+      check "request context survives" true (Wire.equal_trace_context ctx ctx')
+  | Ok _ -> Alcotest.fail "request trace context lost"
+  | Error m -> Alcotest.failf "traced request rejected: %s" m);
+  (match
+     Wire.decode_response
+       (Wire.encode_response ~version:2 ~id:9 ~trace:ctx
+          (Wire.Trace_export_reply "{}"))
+   with
+  | Ok (id, Some ctx', Wire.Trace_export_reply "{}") ->
+      check_int "traced response id" 9 id;
+      check "response context survives" true (Wire.equal_trace_context ctx ctx')
+  | Ok _ -> Alcotest.fail "response trace context lost"
+  | Error m -> Alcotest.failf "traced response rejected: %s" m);
+  (* the context costs exactly 24 payload bytes on v2 — and nothing on
+     v1, whose frames stay byte-identical whether or not the caller
+     attached one (old peers cannot tell tracing exists) *)
+  let plain = Wire.encode_request ~version:2 ~id:9 Wire.Stats in
+  let traced = Wire.encode_request ~version:2 ~id:9 ~trace:ctx Wire.Stats in
+  check_int "context adds 24 bytes" (String.length plain + 24)
+    (String.length traced);
+  check "v1 drops the context byte-for-byte" true
+    (String.equal
+       (Wire.encode_request ~version:1 Wire.Stats)
+       (Wire.encode_request ~version:1 ~trace:ctx Wire.Stats));
+  (* adversarial frames: a flagged id word promising a context that is
+     truncated, absent or out of range is a typed error, never a raise *)
+  let tag = Wire.request_tag Wire.Stats in
+  let expect_error what frame =
+    match Wire.decode_request frame with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | exception e ->
+        Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+  in
+  let flagged_id = "\x80\x00\x00\x00\x00\x00\x00\x07" in
+  expect_error "flag set with no context bytes"
+    (raw_frame ~version:2 ~tag flagged_id);
+  expect_error "truncated trace context"
+    (raw_frame ~version:2 ~tag (flagged_id ^ "\x00\x01"));
+  expect_error "trace field with the sign bit set"
+    (raw_frame ~version:2 ~tag
+       (flagged_id ^ "\xff\xff\xff\xff\xff\xff\xff\xff"
+      ^ String.make 16 '\x00'));
+  (* encoder guard: negative trace fields are caller bugs and raise *)
+  check "negative trace field raises" true
+    (match
+       Wire.encode_request ~version:2 ~id:1
+         ~trace:{ Wire.trace_hi = -1; trace_lo = 0; parent_span = 0 }
+         Wire.Stats
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Batch frames. *)
@@ -460,7 +557,7 @@ let batch_roundtrip () =
       let id = if version = 1 then 0 else 42 in
       match Wire.decode_request (Wire.encode_request ~version ~id req) with
       | Error m -> Alcotest.failf "v%d batch decode failed: %s" version m
-      | Ok (id', req') ->
+      | Ok (id', _, req') ->
           check_int "batch id" id id';
           check "batch survives" true (Wire.equal_request req req'))
     [ 1; 2 ];
@@ -468,7 +565,7 @@ let batch_roundtrip () =
   let empty = Wire.Batch { graphs = []; proofs = []; ops = [] } in
   check "empty batch roundtrips" true
     (match Wire.decode_request (Wire.encode_request empty) with
-    | Ok (_, r) -> Wire.equal_request empty r
+    | Ok (_, _, r) -> Wire.equal_request empty r
     | Error _ -> false);
   (* and the reply side, one item of each kind *)
   let reply =
@@ -482,7 +579,7 @@ let batch_roundtrip () =
   in
   check "batch reply roundtrips" true
     (match Wire.decode_response (Wire.encode_response reply) with
-    | Ok (_, r) -> Wire.equal_response reply r
+    | Ok (_, _, r) -> Wire.equal_response reply r
     | Error _ -> false)
 
 let batch_truncations () =
@@ -571,6 +668,7 @@ let suite =
       QCheck_alcotest.to_alcotest payload_garbage_total_prop;
       Alcotest.test_case "cross-version matrix" `Quick cross_version_matrix;
       Alcotest.test_case "correlation id edge cases" `Quick id_codec_edges;
+      Alcotest.test_case "trace context edge cases" `Quick trace_context_edges;
       Alcotest.test_case "batch roundtrip" `Quick batch_roundtrip;
       Alcotest.test_case "batch truncations rejected" `Quick batch_truncations;
       Alcotest.test_case "batch rejects malformed" `Quick batch_rejects;
