@@ -675,7 +675,7 @@ let json_of_result { row = r; outcome; wall_s; metrics } =
         (json_escape (Complexity.label fit))
         (if matches then "MATCH" else "DIFFERS")
 
-let write_json path ~smoke ~total_wall_s ?service results =
+let write_json path ~smoke ~total_wall_s ?service ?partition results =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -686,6 +686,7 @@ let write_json path ~smoke ~total_wall_s ?service results =
     \  \"metrics\": %b,\n\
     \  \"total_wall_s\": %.6f,\n\
      %s\
+     %s\
     \  \"rows\": [\n%s\n  ]\n\
      }\n"
     (if !use_reference then "reference" else "csr")
@@ -693,6 +694,9 @@ let write_json path ~smoke ~total_wall_s ?service results =
     (match service with
     | None -> ""
     | Some s -> Printf.sprintf "  \"service\": %s,\n" s)
+    (match partition with
+    | None -> ""
+    | Some p -> Printf.sprintf "  \"partition\": %s,\n" p)
     (String.concat ",\n" (List.map json_of_result results));
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
@@ -806,6 +810,233 @@ let service_bench () =
     (leg_json "batch64" batched)
     speedup st.Server.requests st.Server.batch_ops st.Server.cache_hits
     st.Server.cache_misses
+
+(* --- partition bench (--partition) ----------------------------------- *)
+
+(* The partition-parallel serving path behind the "partition" section
+   of BENCH_lcp.json: one whole-graph Verify against a single `lcp
+   serve` daemon versus a 4-shard Fanout.verify scattered directly
+   over two daemons, on the same cycle instances. The daemons
+   are real child processes, not in-process Server values: separate
+   runtimes mirror deployment and keep one leg's GC from stalling the
+   other's — in-process, every live worker domain joins every minor
+   collection, which taxes whichever leg happens to share the runtime.
+   Caches are off (--cache-size 0) so every request pays the full
+   graph6 decode + compile; that cold path is what partitioning
+   attacks: graph6 costs O(n²) to encode and decode, so four quarter
+   shards cost ~O(n²/16) each and the sharded run wins even when the
+   backends time-share a core, and wins again on compute when they do
+   not. Verdict equality against the single-daemon reply is
+   asserted per row, on an accepting instance and on a rejecting
+   one. *)
+let partition_bench () =
+  Format.printf
+    "@.=== partition bench (1 whole-graph daemon vs 2 sharded backends) ===@.";
+  (* eulerian: radius 1, LCP(0) — the proof is empty, so the rows
+     measure exactly what partitioning targets: the O(n²) graph6
+     encode + decode of the instance itself. A cycle accepts; a cycle
+     plus one chord has two odd-degree endpoints and must reject at
+     them, in both paths, with identical node ids. *)
+  let scheme =
+    match Registry.find "eulerian" with
+    | Some e -> e.Registry.scheme
+    | None -> failwith "partition bench: eulerian not registered"
+  in
+  let cycle ?chord n =
+    let g =
+      List.fold_left
+        (fun g i -> Graph.add_edge g i ((i + 1) mod n))
+        (List.fold_left
+           (fun g i -> Graph.add_node g i)
+           Graph.empty
+           (List.init n (fun i -> i)))
+        (List.init n (fun i -> i))
+    in
+    match chord with None -> g | Some (u, v) -> Graph.add_edge g u v
+  in
+  let reps = 5 in
+  (* best-of-reps, not mean: the client and both daemons time-share
+     one box, so any rep can eat an unrelated scheduler or GC stall —
+     the minimum is the reproducible cost of the path itself *)
+  let wall f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Obs.Clock.now_ns () in
+      f ();
+      let s = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let proof = Proof.empty in
+  (* the largest row is sized just under the 16 MiB frame cap:
+     graph6 at n=13312 is ~14.8 MiB whole, ~3.7 MiB per half shard *)
+  let sizes = [ 4096; 8192; 13312 ] in
+  let graphs =
+    List.map
+      (fun n ->
+        let g = cycle n in
+        (n, g, Csr.of_graph g, cycle ~chord:(2, n / 2) n))
+      sizes
+  in
+  (* child-process plumbing: the lcp binary lives next to this bench
+     inside _build, so resolve it relative to the running executable
+     rather than the cwd *)
+  let lcp =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/lcp.exe"
+  in
+  if not (Sys.file_exists lcp) then
+    failwith ("partition bench: lcp binary not found at " ^ lcp);
+  let spawn args =
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process lcp (Array.of_list (lcp :: args)) Unix.stdin null null
+    in
+    Unix.close null;
+    pid
+  in
+  let wait_ready port =
+    let deadline = Obs.Clock.now_ns () in
+    let rec go () =
+      match Client.connect ~port () with
+      | Ok c -> Client.close c
+      | Error _ ->
+          if Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns deadline) > 10.0 then
+            failwith
+              (Printf.sprintf "partition bench: daemon on port %d never came up"
+                 port)
+          else (
+            Thread.delay 0.05;
+            go ())
+    in
+    go ()
+  in
+  let shutdown pid =
+    Unix.kill pid Sys.sigint;
+    ignore (Unix.waitpid [] pid)
+  in
+  let serve port =
+    let pid =
+      spawn
+        [
+          "serve"; "--port"; string_of_int port; "--jobs"; "1"; "--cache-size";
+          "0";
+        ]
+    in
+    wait_ready port;
+    pid
+  in
+  let p_single = 7471 and p_b1 = 7472 and p_b2 = 7473 in
+  (* phase 1: whole-graph requests against one daemon *)
+  let call_whole port g =
+    match Client.connect ~port () with
+    | Error m -> failwith ("partition bench: " ^ m)
+    | Ok c -> (
+        let r =
+          Client.call c
+            (Wire.Verify { scheme = "eulerian"; graph6 = Graph6.encode g; proof })
+        in
+        Client.close c;
+        match r with
+        | Ok (Wire.Verified { accepted; rejecting }) -> (accepted, rejecting)
+        | Ok _ -> failwith "partition bench: unexpected reply"
+        | Error m -> failwith ("partition bench: " ^ m))
+  in
+  let whole_rows =
+    let pid = serve p_single in
+    Fun.protect ~finally:(fun () -> shutdown pid) @@ fun () ->
+    List.map
+      (fun (n, g, _, bad) ->
+        let verdict = call_whole p_single g
+        and bad_verdict = call_whole p_single bad in
+        ( n,
+          verdict,
+          bad_verdict,
+          wall (fun () -> ignore (call_whole p_single g)) ))
+      graphs
+  in
+  (* phase 2: the same instances sharded 2-way, one shard per backend *)
+  let call_sharded csr =
+    match
+      Fanout.verify ~port:p_b1
+        ~endpoints:[ ("127.0.0.1", p_b1); ("127.0.0.1", p_b2) ]
+        ~scheme:"eulerian" ~csr ~proof ~radius:scheme.Scheme.radius ~k:4 ()
+    with
+    | Ok v -> (v.Fanout.all_accept, v.Fanout.rejecting)
+    | Error m -> failwith ("partition bench: fanout: " ^ m)
+  in
+  let counter text name =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ' ' line with
+        | [ n; v ] when n = name -> (
+            match float_of_string_opt v with
+            | Some f -> int_of_float f
+            | None -> acc)
+        | _ -> acc)
+      0
+      (String.split_on_char '\n' text)
+  in
+  let metrics port =
+    match Client.connect ~port () with
+    | Error m -> failwith ("partition bench: " ^ m)
+    | Ok c -> (
+        let r = Client.call c Wire.Metrics_text in
+        Client.close c;
+        match r with
+        | Ok (Wire.Metrics_text_reply s) -> s
+        | _ -> failwith "partition bench: metrics scrape failed")
+  in
+  let sharded_rows, shards1, rej1, shards2, rej2 =
+    let b1 = serve p_b1 in
+    let b2 = serve p_b2 in
+    Fun.protect ~finally:(fun () -> List.iter shutdown [ b1; b2 ])
+    @@ fun () ->
+    let rows =
+      List.map
+        (fun (n, _, csr, bad) ->
+          let verdict = call_sharded csr
+          and bad_verdict = call_sharded (Csr.of_graph bad) in
+          (n, verdict, bad_verdict, wall (fun () -> ignore (call_sharded csr))))
+        graphs
+    in
+    let m1 = metrics p_b1 and m2 = metrics p_b2 in
+    ( rows,
+      counter m1 "lcp_partition_shards_total",
+      counter m1 "lcp_partition_reject_total",
+      counter m2 "lcp_partition_shards_total",
+      counter m2 "lcp_partition_reject_total" )
+  in
+  let rows =
+    List.map2
+      (fun (n, wv, wb, single_s) (n', sv, sb, sharded_s) ->
+        assert (n = n');
+        let equal = wv = sv && wb = sb in
+        let ratio = if single_s > 0.0 then sharded_s /. single_s else 0.0 in
+        Format.printf
+          "n=%-5d whole %8.2f ms   4-shard %8.2f ms   ratio %.2fx   verdicts \
+           %s@."
+          n (single_s *. 1000.0) (sharded_s *. 1000.0) ratio
+          (if equal then "equal" else "DIFFER");
+        (n, single_s, sharded_s, ratio, equal))
+      whole_rows sharded_rows
+  in
+  Format.printf "backend shards: %d + %d, rejects %d + %d@." shards1 shards2
+    rej1 rej2;
+  let largest_ratio =
+    match List.rev rows with (_, _, _, r, _) :: _ -> r | [] -> 0.0
+  in
+  Printf.sprintf
+    "{\"scheme\":\"eulerian\",\"partitions\":4,\"backends\":2,\"transport\":\"direct\",\"reps\":%d,\"rows\":[%s],\"largest_ratio\":%.3f,\"backend_shards\":[%d,%d]}"
+    reps
+    (String.concat ","
+       (List.map
+          (fun (n, single_s, sharded_s, ratio, equal) ->
+            Printf.sprintf
+              "{\"n\":%d,\"single_s\":%.6f,\"sharded_s\":%.6f,\"ratio\":%.3f,\"verdict_equal\":%b}"
+              n single_s sharded_s ratio equal)
+          rows))
+    largest_ratio shards1 shards2
 
 (* --- lower-bound attack experiments --------------------------------- *)
 
@@ -1076,8 +1307,9 @@ let run_table title rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--timing] [--service] [--reference] [--jobs N] \
-     [--metrics] [--trace FILE] [--prom FILE]  (N=0: all cores)";
+    "usage: main.exe [--smoke] [--timing] [--service] [--partition] \
+     [--reference] [--jobs N] [--metrics] [--trace FILE] [--prom FILE]  \
+     (N=0: all cores)";
   exit 2
 
 (* Wrap a whole bench section in a trace span when tracing is on. *)
@@ -1129,8 +1361,8 @@ let () =
          String.length a > 1 && a.[0] = '-'
          && not
               (List.mem a
-                 [ "--smoke"; "--timing"; "--service"; "--reference"; "--jobs";
-                   "--metrics"; "--trace"; "--prom" ]))
+                 [ "--smoke"; "--timing"; "--service"; "--partition";
+                   "--reference"; "--jobs"; "--metrics"; "--trace"; "--prom" ]))
        (flags_only (List.tl args))
    with
   | [] -> ()
@@ -1140,6 +1372,7 @@ let () =
   use_reference := List.mem "--reference" args;
   collect_metrics := List.mem "--metrics" args;
   let with_service = List.mem "--service" args in
+  let with_partition = List.mem "--partition" args in
   if !collect_metrics || trace_file <> None then
     Obs.enable ~metrics:!collect_metrics ~trace:(trace_file <> None) ();
   let finish () =
@@ -1162,10 +1395,13 @@ let () =
     let t0 = Obs.Clock.now_ns () in
     let results = run_table "smoke sweep" smoke_table in
     let service = if with_service then Some (service_bench ()) else None in
+    let partition =
+      if with_partition then Some (partition_bench ()) else None
+    in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
     write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total ?service
-      results;
+      ?partition results;
     Option.iter (fun p -> write_prom p ~total_wall_s:total results) prom_file;
     finish ()
   end
@@ -1187,9 +1423,13 @@ let () =
       if with_service then Some (section "bench.service" service_bench)
       else None
     in
+    let partition =
+      if with_partition then Some (section "bench.partition" partition_bench)
+      else None
+    in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total ?service
-      (results_a @ results_b);
+      ?partition (results_a @ results_b);
     Option.iter
       (fun p -> write_prom p ~total_wall_s:total (results_a @ results_b))
       prom_file;

@@ -3,6 +3,8 @@
      lcp schemes                          list available schemes
      lcp prove  -s NAME -g FILE [-o OUT]  run the prover, print/save the proof
      lcp verify -s NAME -g FILE -p PROOF  run the verifier at every node
+                [--cluster HOST:PORT --partitions K]  shard + scatter-gather
+     lcp partition -g FILE -o PREFIX      cut a graph into shard files
      lcp forge  -s NAME -g FILE [-b BITS] adversarial proof forging
      lcp stats  -s NAME -g FILE           prove+verify+soundness with metrics
      lcp attack ATTACK [...]              run a lower-bound attack
@@ -79,6 +81,51 @@ let jobs_arg =
            sequentially (default), 0 uses all recommended cores.")
 
 let resolve_jobs j = if j = 0 then Pool.default_jobs () else j
+
+let hostport_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "invalid target %S (want HOST:PORT)" s))
+    in
+    match String.rindex_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> fail ())
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let cluster_arg =
+  Arg.(
+    value
+    & opt (some hostport_conv) None
+    & info [ "cluster" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Verify over the network instead of in-process: partition the \
+           graph into --partitions radius-r shards and scatter them to \
+           $(docv) — an 'lcp route' frontend (shards spread over its \
+           backends and run in parallel) or a single 'lcp serve' daemon.")
+
+let partitions_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "partitions" ] ~docv:"K"
+        ~doc:"Shards to cut the graph into for --cluster (default 2).")
+
+(* scheme_arg converts the name to the scheme itself; the wire wants
+   the name back. Entries are unique and the conv only ever hands out
+   registry values, so physical equality recovers it. *)
+let scheme_name scheme =
+  match
+    List.find_opt (fun e -> e.Registry.scheme == scheme) Registry.all
+  with
+  | Some e -> e.Registry.name
+  | None -> invalid_arg "scheme not in registry"
 
 (* --- observability ---------------------------------------------------- *)
 
@@ -234,7 +281,7 @@ let prove_cmd =
       $ trace_arg)
 
 let verify_cmd =
-  let run scheme graph proof jobs metrics trace =
+  let run scheme graph proof jobs metrics trace cluster partitions =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok inst ->
@@ -247,26 +294,138 @@ let verify_cmd =
         match proof with
         | Error m -> prerr_endline m; 1
         | Ok proof -> (
-            let verdicts, _ =
-              Simulator.run_verifier ~jobs:(resolve_jobs jobs) inst proof
-                ~radius:scheme.Scheme.radius scheme.Scheme.verifier
-            in
-            match
-              List.filter_map (fun (v, ok) -> if ok then None else Some v) verdicts
-            with
-            | [] ->
-                Format.printf "ACCEPT: all %d nodes accept@." (Instance.n inst);
-                0
-            | vs ->
-                Format.printf "REJECT at nodes [%s]@."
-                  (String.concat "; " (List.map string_of_int vs));
-                2))
+            match cluster with
+            | Some (host, port) -> (
+                let csr = Csr.of_graph (Instance.graph inst) in
+                match
+                  Fanout.verify ~host ~port ~scheme:(scheme_name scheme) ~csr
+                    ~proof ~radius:scheme.Scheme.radius ~k:partitions ()
+                with
+                | Error m ->
+                    prerr_endline m;
+                    1
+                | Ok v when v.Fanout.all_accept ->
+                    Format.printf "ACCEPT: all %d nodes accept (%d shards)@."
+                      v.Fanout.owned v.Fanout.shards;
+                    0
+                | Ok v ->
+                    Format.printf "REJECT at nodes [%s]%s@."
+                      (String.concat "; "
+                         (List.map string_of_int v.Fanout.rejecting))
+                      (if v.Fanout.rejected > List.length v.Fanout.rejecting
+                       then
+                         Printf.sprintf " (%d rejecting in total)"
+                           v.Fanout.rejected
+                       else "");
+                    2)
+            | None -> (
+                let verdicts, _ =
+                  Simulator.run_verifier ~jobs:(resolve_jobs jobs) inst proof
+                    ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+                in
+                match
+                  List.filter_map
+                    (fun (v, ok) -> if ok then None else Some v)
+                    verdicts
+                with
+                | [] ->
+                    Format.printf "ACCEPT: all %d nodes accept@."
+                      (Instance.n inst);
+                    0
+                | vs ->
+                    Format.printf "REJECT at nodes [%s]@."
+                      (String.concat "; " (List.map string_of_int vs));
+                    2)))
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a scheme's verifier at every node")
     Term.(
       const run $ scheme_arg $ graph_arg $ proof_arg $ jobs_arg $ metrics_arg
-      $ trace_arg)
+      $ trace_arg $ cluster_arg $ partitions_arg)
+
+let partition_cmd =
+  let radius_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "r"; "radius" ] ~docv:"R"
+          ~doc:
+            "Ghost-halo radius; defaults to the scheme's radius when \
+             --scheme is given. One of the two is required.")
+  in
+  let scheme_opt_arg =
+    let scheme_conv =
+      Arg.enum
+        (List.map (fun e -> (e.Registry.name, e.Registry.scheme)) Registry.all)
+    in
+    Arg.(
+      value
+      & opt (some scheme_conv) None
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Scheme whose radius to cut for (see 'lcp schemes').")
+  in
+  let prefix_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PREFIX"
+          ~doc:"Write one $(docv).I-of-K.shard file per shard.")
+  in
+  let run graph partitions radius scheme prefix =
+    match
+      match (radius, scheme) with
+      | Some r, _ -> Ok r
+      | None, Some s -> Ok s.Scheme.radius
+      | None, None -> Error "one of --radius or --scheme is required"
+    with
+    | Error m ->
+        prerr_endline m;
+        1
+    | Ok radius -> (
+        match load_instance graph with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            1
+        | Ok inst -> (
+            let csr = Csr.of_graph (Instance.graph inst) in
+            match Partition.make csr ~k:partitions ~radius with
+            | exception Invalid_argument m ->
+                prerr_endline m;
+                1
+            | shards -> (
+                match Partition.check csr shards with
+                | Error m ->
+                    Format.eprintf "partition check failed: %s@." m;
+                    1
+                | Ok () ->
+                    Array.iter
+                      (fun (s : Partition.shard) ->
+                        let path =
+                          Printf.sprintf "%s.%d-of-%d.shard" prefix
+                            s.Partition.index s.Partition.count
+                        in
+                        let oc = open_out path in
+                        output_string oc (Partition.to_string s);
+                        close_out oc;
+                        Format.printf
+                          "%s: %d owned + %d ghost node(s), radius %d@." path
+                          (Partition.owned_count s)
+                          (Partition.shard_n s - Partition.owned_count s)
+                          radius)
+                      shards;
+                    Format.printf
+                      "%d shard(s), ghost closure verified exact@."
+                      (Array.length shards);
+                    0)))
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Cut a graph into balanced shards with radius-r ghost halos for \
+          partition-parallel verification")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ radius_arg $ scheme_opt_arg
+      $ prefix_arg)
 
 let forge_cmd =
   let run scheme graph bits metrics trace =
@@ -608,23 +767,6 @@ let host_arg =
     value
     & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"HOST" ~doc:"Address to listen on / connect to.")
-
-let hostport_conv =
-  let parse s =
-    let fail () =
-      Error (`Msg (Printf.sprintf "invalid target %S (want HOST:PORT)" s))
-    in
-    match String.rindex_opt s ':' with
-    | None -> fail ()
-    | Some i -> (
-        let host = String.sub s 0 i in
-        let port = String.sub s (i + 1) (String.length s - i - 1) in
-        match int_of_string_opt port with
-        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
-        | _ -> fail ())
-  in
-  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
-  Arg.conv (parse, print)
 
 let port_arg =
   Arg.(
@@ -1291,7 +1433,17 @@ let top_cmd =
          (if router then "lcp_router_no_backend_total"
           else "lcp_server_overloaded_total"))
       (if f (p "ready") > 0.5 then "yes" else "NO");
-    if router then backend_rows text
+    if router then backend_rows text;
+    (* partitioned-verification traffic gets its own row once any
+       shard has been seen: the daemon counts shards executed (plus
+       rejecting owned nodes), the router counts shards forwarded *)
+    let shards =
+      if router then f "lcp_router_partition_shards_total"
+      else f "lcp_partition_shards_total"
+    in
+    if shards > 0.0 then
+      Format.printf "  partition: %9.0f shard(s) %9.0f reject(s)@." shards
+        (f "lcp_partition_reject_total")
   in
   (* A lost daemon renders as a status row and `top` keeps sampling:
      the next connect (itself retried with backoff) picks the daemon
@@ -1366,9 +1518,9 @@ let main =
   Cmd.group
     (Cmd.info "lcp" ~doc ~version:"1.0.0")
     [
-      schemes_cmd; prove_cmd; verify_cmd; forge_cmd; stats_cmd; info_cmd;
-      dot_cmd; attack_cmd; table_cmd; serve_cmd; route_cmd; loadgen_cmd;
-      trace_cmd; top_cmd;
+      schemes_cmd; prove_cmd; verify_cmd; partition_cmd; forge_cmd; stats_cmd;
+      info_cmd; dot_cmd; attack_cmd; table_cmd; serve_cmd; route_cmd;
+      loadgen_cmd; trace_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

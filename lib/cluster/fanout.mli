@@ -1,0 +1,52 @@
+(** Client-side scatter-gather for partition-parallel verification.
+
+    [verify] cuts a compiled graph into [k] radius-r shards
+    ({!Partition.make}), ships each as a {!Wire.request.Verify_partition}
+    frame on its own connection and thread, and merges the per-shard
+    verdicts back into exactly what a whole-graph
+    {!Wire.request.Verify} would have answered. Pointed at a single
+    daemon it trades one big graph6 payload (≈ n²/12 bytes to encode
+    and decode) for [k] much smaller ones; pointed at an [lcp route]
+    frontend the shards additionally land on distinct backends (the
+    router spreads sibling shards by [shard_index]) and verify in
+    parallel.
+
+    Each leg is independent: a transport failure is retried once on a
+    fresh connection, and one failing leg never aborts the others —
+    the merge reports the first leg error only after every thread has
+    been joined. *)
+
+type verdict = {
+  all_accept : bool;
+  owned : int;  (** Owned nodes verified, summed over all shards. *)
+  rejected : int;  (** Rejecting owned nodes, summed over all shards. *)
+  rejecting : int list;
+      (** First ≤ 64 rejecting node ids in original numbering,
+          sorted; the per-shard 64-entry samples merged and re-capped,
+          so the list matches a whole-graph [Verify]'s sample whenever
+          fewer than 64 nodes reject. *)
+  shards : int;  (** Shards actually sent ([k] clamped by the cut). *)
+}
+
+val verify :
+  ?host:string ->
+  ?endpoints:(string * int) list ->
+  port:int ->
+  scheme:string ->
+  csr:Csr.t ->
+  proof:Proof.t ->
+  radius:int ->
+  k:int ->
+  unit ->
+  (verdict, string) result
+(** Partition, scatter, gather. [proof] is keyed by original node
+    identifiers; [radius] must match the scheme's radius or every
+    backend answers [Bad_request]. Errors — a failed cut, a leg that
+    failed twice, a backend error reply — come back as [Error] with
+    the offending shard named.
+
+    [endpoints] scatters directly without a routing frontend: shard
+    [i] goes to [endpoints.(i mod length)], so [k] shards round-robin
+    over the listed daemons and every payload crosses the wire once
+    instead of twice. Omitted (or empty), every leg goes to
+    [host:port] — a single daemon or a router. *)

@@ -109,6 +109,7 @@ type t = {
   c_no_backend : int Atomic.t;
   c_bad_frames : int Atomic.t;
   c_connections : int Atomic.t;
+  c_shards : int Atomic.t;  (* Verify_partition frames forwarded *)
 }
 
 let listen_on host port =
@@ -180,6 +181,7 @@ let create (config : config) =
     c_no_backend = Atomic.make 0;
     c_bad_frames = Atomic.make 0;
     c_connections = Atomic.make 0;
+    c_shards = Atomic.make 0;
   }
 
 let port t = t.actual_port
@@ -220,6 +222,15 @@ let request_key = function
   | Wire.Verify { scheme; graph6; _ }
   | Wire.Forge { scheme; graph6; _ } ->
       scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
+  | Wire.Verify_partition { scheme; graph6; ids; _ } ->
+      (* same composite identity the backend caches the shard image
+         under (Server.shard_identity): subgraph bytes plus the id map,
+         so a re-verified shard keeps hitting the daemon whose LRU
+         holds it *)
+      let b = Buffer.create (String.length graph6 + (4 * Array.length ids)) in
+      Buffer.add_string b graph6;
+      Array.iter (fun id -> Buffer.add_string b (Printf.sprintf "\n%x" id)) ids;
+      scheme ^ "/" ^ Digest.to_hex (Digest.string (Buffer.contents b))
   | Wire.Batch { graphs; ops; _ } -> (
       match ops with
       | [] -> ""
@@ -437,17 +448,58 @@ let exhausted ~attempts last =
       err Wire.Internal "forwarding failed after %d attempt(s): %s" attempts m
   | None -> err Wire.Internal "forwarding failed after %d attempt(s)" attempts
 
+(* Sibling shards of one partitioned verification must land on
+   distinct backends — spreading the legs is the whole point of the
+   split. Content-addressed placement would stack the two shards of a
+   k=2 partition on one daemon about half the time, so a
+   Verify_partition picks by rotating its shard_index over the
+   non-dead backends; the ring key (cache affinity) only decides when
+   that pick is unusable. *)
+let shard_target t ~shard_index ~avoid =
+  let usable = ref [] in
+  for i = Array.length t.backends - 1 downto 0 do
+    if Health.state t.health i <> Health.Dead && not (List.mem i avoid) then
+      usable := i :: !usable
+  done;
+  match !usable with
+  | [] -> None
+  | l -> Some (List.nth l (shard_index mod List.length l))
+
+(* Acquire one specific backend through the balancer so in-flight
+   accounting stays single-sourced; None if it died in between. *)
+let acquire_exact t bi =
+  let avoid =
+    List.filter (( <> ) bi) (List.init (Array.length t.backends) Fun.id)
+  in
+  Balancer.acquire t.balancer ~key:"" ~avoid
+
 let forward_compute t ~rid ~tctx req =
   let key = request_key req in
+  let spread_index =
+    match req with
+    | Wire.Verify_partition { shard_index; _ } -> Some shard_index
+    | _ -> None
+  in
   let max_attempts = 1 + t.config.retries in
   let rec go attempt avoid last =
     let acquired =
-      match Balancer.acquire t.balancer ~key ~avoid with
-      | None when avoid <> [] ->
-          (* everything usable already failed this request; a retry
-             may still land if a backend recovered, so widen *)
-          Balancer.acquire t.balancer ~key ~avoid:[]
-      | r -> r
+      let spread =
+        match spread_index with
+        | None -> None
+        | Some si -> (
+            match shard_target t ~shard_index:si ~avoid with
+            | None -> None
+            | Some bi -> acquire_exact t bi)
+      in
+      match spread with
+      | Some _ as p -> p
+      | None -> (
+          match Balancer.acquire t.balancer ~key ~avoid with
+          | None when avoid <> [] ->
+              (* everything usable already failed this request; a retry
+                 may still land if a backend recovered, so widen *)
+              Balancer.acquire t.balancer ~key ~avoid:[]
+          | r -> r)
     in
     match acquired with
     | None ->
@@ -683,6 +735,9 @@ let metrics_text t =
     (Atomic.get t.c_no_backend);
   Obs.Export.counter e ~help:"Unparseable frames" "router.bad_frames"
     (Atomic.get t.c_bad_frames);
+  Obs.Export.counter e ~help:"Partition shards forwarded"
+    "router.partition_shards"
+    (Atomic.get t.c_shards);
   Obs.Export.counter e ~help:"Client connections accepted"
     "router.connections"
     (Atomic.get t.c_connections);
@@ -806,6 +861,7 @@ let request_kind = function
   | Wire.Prove _ -> "prove"
   | Wire.Verify _ -> "verify"
   | Wire.Forge _ -> "forge"
+  | Wire.Verify_partition _ -> "verify_partition"
   | Wire.Batch _ -> "batch"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
@@ -836,6 +892,11 @@ let handle_request t ~rid ~tctx req =
            router"
     | Wire.Batch { graphs; proofs; ops } ->
         forward_batch t ~rid ~tctx ~graphs ~proofs ~ops
+    | Wire.Verify_partition { shard_index; _ } ->
+        Atomic.incr t.c_shards;
+        Obs.Trace.instant ~arg_name:"shard" ~arg:shard_index
+          ~ctx:(child_span tctx) "router.shard";
+        forward_compute t ~rid ~tctx req
     | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ ->
         forward_compute t ~rid ~tctx req
   in
@@ -896,9 +957,22 @@ let handle_conn t fd =
         match Net_io.read_exact fd Wire.header_bytes with
         | None -> ()
         | Some raw -> (
-            match Wire.decode_header raw with
-            | Error m ->
+            match Wire.decode_header_err raw with
+            | Error (Wire.Bad_header m) ->
                 Net_io.write_all fd (Wire.encode_response (bad_frame t raw m))
+            | Error (Wire.Oversized { version; tag = _; length }) ->
+                (* the length field is trustworthy even when over the
+                   cap: drain the payload, answer a typed error naming
+                   the size, and keep the connection framed *)
+                Atomic.incr t.c_bad_frames;
+                if Net_io.skip_exact fd length then begin
+                  Net_io.write_all fd
+                    (Wire.encode_response ~version
+                       (err Wire.Bad_request
+                          "payload of %d bytes exceeds the %d byte cap" length
+                          Wire.max_payload));
+                  loop ()
+                end
             | Ok { Wire.version; tag; length } -> (
                 match Net_io.read_exact fd length with
                 | None -> ()

@@ -431,6 +431,60 @@ let run_verifier ?(jobs = 1) ?compiled ?arena inst proof ~radius verifier =
   ( List.init n (fun i -> (Csr.node c.csr i, verdicts.(i))),
     { rounds = radius; messages_sent; max_message_bits } )
 
+(* Partition shards verify only their owned nodes: same per-node path
+   as [run_verifier], swept over an explicit identifier subset. No
+   transcript — a shard's exchange accounting is the whole graph's
+   business, not the slice's. *)
+let run_verifier_on ?(jobs = 1) ?arena c proof ~radius ~nodes verifier =
+  if radius < 0 then invalid_arg "Simulator.run_verifier_on: negative radius";
+  let k = Array.length nodes in
+  let idxs = Array.map (Csr.index c.csr) nodes in
+  let n = Csr.n c.csr in
+  let arena = if jobs <= 1 then arena else None in
+  (match arena with Some a -> arena_fit a n | None -> ());
+  let verdicts = Array.make (max k 1) false in
+  let eval view =
+    try verifier view
+    with Bits.Reader.Decode_error _ ->
+      Obs.Metrics.incr m_decode_errors;
+      false
+  in
+  let process ?ids_buf ?dists_buf scratch j =
+    let view =
+      view_of_scratch c proof scratch ?ids_buf ?dists_buf
+        ~centre_idx:idxs.(j) ~radius ()
+    in
+    Obs.Metrics.incr m_calls;
+    let ok = eval view in
+    if not ok then Obs.Metrics.incr m_rejects;
+    verdicts.(j) <- ok
+  in
+  let sweep () =
+    Pool.run ~jobs (fun pool ->
+        match pool with
+        | None -> (
+            match arena with
+            | Some a ->
+                for j = 0 to k - 1 do
+                  process ~ids_buf:a.a_ids ~dists_buf:a.a_dists a.a_scratch j
+                done
+            | None ->
+                let scratch = Csr.scratch c.csr in
+                for j = 0 to k - 1 do
+                  process scratch j
+                done)
+        | Some pool ->
+            Pool.parallel_for pool ~chunks:(Pool.size pool) ~n:k (fun _c lo hi ->
+                let scratch = Csr.scratch c.csr in
+                for j = lo to hi - 1 do
+                  process scratch j
+                done))
+  in
+  if !Obs.Trace.enabled then
+    Obs.Trace.span_arg "simulator.run_verifier_on" "nodes" k sweep
+  else sweep ();
+  List.init k (fun j -> (nodes.(j), verdicts.(j)))
+
 let all_accept c proof ~radius verifier =
   if radius < 0 then invalid_arg "Simulator.all_accept: negative radius";
   let n = Csr.n c.csr in

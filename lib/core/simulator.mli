@@ -112,6 +112,24 @@ val run_verifier :
     only — ignored when [jobs > 1]) to reuse per-run buffers across
     calls; verdicts are also independent of the arena. *)
 
+val run_verifier_on :
+  ?jobs:int ->
+  ?arena:arena ->
+  compiled ->
+  Proof.t ->
+  radius:int ->
+  nodes:Graph.node array ->
+  (View.t -> bool) ->
+  (Graph.node * bool) list
+(** {!run_verifier} restricted to the given identifier subset — the
+    partition-shard sweep: a backend holding a shard verifies exactly
+    its owned nodes against views cut from the shard's graph. Verdicts
+    are returned in the order of [nodes]; each equals what
+    {!run_verifier} would report for that node on the same compiled
+    instance. Raises [Invalid_argument] on identifiers outside the
+    compiled graph. No transcript: message accounting belongs to the
+    whole graph, not a slice. *)
+
 val all_accept :
   compiled -> Proof.t -> radius:int -> (View.t -> bool) -> bool
 (** True when the verifier accepts at every node; stops at the first

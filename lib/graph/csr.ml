@@ -110,6 +110,51 @@ let ball_ids t s ~centre ~radius =
   let count = ball t s ~centre:(index t centre) ~radius in
   List.init count (fun i -> t.ids.(s.order.(i))) |> List.sort Int.compare
 
+(* --- induced subgraph extraction (partition shards) ------------------- *)
+
+let extract_subgraph t sel =
+  let k = Array.length sel in
+  let sorted = Array.copy sel in
+  Array.sort Int.compare sorted;
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= t.n then
+        invalid_arg
+          (Printf.sprintf "Csr.extract_subgraph: dense index %d out of range" v);
+      if i > 0 && sorted.(i - 1) = v then
+        invalid_arg
+          (Printf.sprintf "Csr.extract_subgraph: duplicate dense index %d" v))
+    sorted;
+  let new_of_old = Array.make t.n (-1) in
+  Array.iteri (fun i' old -> new_of_old.(old) <- i') sorted;
+  let offsets = Array.make (k + 1) 0 in
+  for i' = 0 to k - 1 do
+    let old = sorted.(i') in
+    let d = ref 0 in
+    for e = t.offsets.(old) to t.offsets.(old + 1) - 1 do
+      if new_of_old.(t.targets.(e)) >= 0 then incr d
+    done;
+    offsets.(i' + 1) <- offsets.(i') + !d
+  done;
+  let targets = Array.make offsets.(k) 0 in
+  let pos = ref 0 in
+  for i' = 0 to k - 1 do
+    let old = sorted.(i') in
+    (* old rows are sorted by old dense index and [new_of_old] is
+       monotone over the kept indices, so new rows stay sorted. *)
+    for e = t.offsets.(old) to t.offsets.(old + 1) - 1 do
+      let u = new_of_old.(t.targets.(e)) in
+      if u >= 0 then begin
+        targets.(!pos) <- u;
+        incr pos
+      end
+    done
+  done;
+  let ids = Array.map (fun old -> t.ids.(old)) sorted in
+  let idx = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) ids;
+  ({ n = k; m = Array.length targets / 2; offsets; targets; ids; idx }, sorted)
+
 (* --- raw image access (disk-cache serialisation) ---------------------- *)
 
 let export t = (t.offsets, t.targets, t.ids)

@@ -79,6 +79,18 @@ val ball_ids : t -> scratch -> centre:int -> radius:int -> Graph.node list
 (** Convenience for tests: the ball of the {e identifier}-named centre
     as a sorted identifier list, exactly like {!Traversal.ball}. *)
 
+(** {1 Induced subgraphs} *)
+
+val extract_subgraph : t -> int array -> t * int array
+(** [extract_subgraph t sel] compiles the subgraph induced by the dense
+    indices in [sel] (any order; [Invalid_argument] on duplicates or
+    out-of-range entries). Kept nodes retain their original
+    identifiers, so {!node}/{!index} keep working on the result. Also
+    returns the remap table: entry [i'] is the {e old} dense index now
+    living at new dense index [i'] (i.e. [sel] sorted increasingly).
+    The partitioner carves shards with this; any future dynamic-graph
+    work shares it. *)
+
 (** {1 Raw image access}
 
     The disk cache persists a compiled graph as its three arrays and

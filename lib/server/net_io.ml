@@ -20,6 +20,22 @@ let read_exact fd len =
     go 0
   end
 
+(* Drain and discard exactly [len] bytes — how a peer survives an
+   oversized frame: the header's length field is trustworthy, so the
+   connection stays framed after the payload is thrown away. A bounded
+   chunk buffer keeps a hostile length from demanding that much
+   memory. False on EOF. *)
+let skip_exact fd len =
+  let chunk = 65536 in
+  let buf = Bytes.create (min chunk (max 1 len)) in
+  let rec go left =
+    left = 0
+    ||
+    let k = retry (fun () -> Unix.read fd buf 0 (min chunk left)) in
+    k > 0 && go (left - k)
+  in
+  go len
+
 let write_all fd s =
   let buf = Bytes.unsafe_of_string s in
   let len = Bytes.length buf in

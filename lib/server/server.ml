@@ -124,6 +124,10 @@ type t = {
   c_bad_frames : int Atomic.t;
   c_connections : int Atomic.t;
   c_slow : int Atomic.t;
+  (* always-on partition-traffic counters (like the diskcache trio):
+     dashboards must see shard flow even with the registry off *)
+  c_partition_shards : int Atomic.t;
+  c_partition_reject : int Atomic.t;
 }
 
 type stats = {
@@ -139,6 +143,8 @@ type stats = {
   bad_frames : int;
   connections : int;
   slow_requests : int;
+  partition_shards : int;
+  partition_reject : int;
 }
 
 let listen_on host port =
@@ -197,6 +203,8 @@ let create config =
     c_bad_frames = Atomic.make 0;
     c_connections = Atomic.make 0;
     c_slow = Atomic.make 0;
+    c_partition_shards = Atomic.make 0;
+    c_partition_reject = Atomic.make 0;
   }
 
 let port t = t.actual_port
@@ -225,6 +233,8 @@ let stats t =
     bad_frames = Atomic.get t.c_bad_frames;
     connections = Atomic.get t.c_connections;
     slow_requests = Atomic.get t.c_slow;
+    partition_shards = Atomic.get t.c_partition_shards;
+    partition_reject = Atomic.get t.c_partition_reject;
   }
 
 let uptime_ms t = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000
@@ -349,12 +359,17 @@ let cache_key scheme graph6 =
 
 (* Resolve the scheme, then the compiled image — memory tier (LRU),
    disk tier (mmap-validated image, when [cache_dir] is set), or by
-   decoding + compiling — and hand both to [f]. A compile also warms
-   the disk tier, so the image survives a restart. *)
-let with_compiled t ctx ~scheme ~graph6 f =
+   running [decode] + compiling — and hand both to [f]. A compile also
+   warms the disk tier, so the image survives a restart. [identity] is
+   the byte string that names the compiled artefact across all tiers:
+   the raw graph6 payload for plain requests, graph6 + id table for
+   partition shards (two shards with equal subgraphs but different id
+   maps are different verification jobs and must not share images). *)
+let with_compiled_gen t ctx ~scheme ~identity ~decode f =
   match Registry.find scheme with
   | None -> err Wire.Unknown_scheme "unknown scheme %S" scheme
   | Some entry -> (
+      let graph6 = identity in
       let key = cache_key scheme graph6 in
       Mutex.lock t.cache_lock;
       let cached = Lru.find t.cache key in
@@ -388,15 +403,14 @@ let with_compiled t ctx ~scheme ~graph6 f =
               ctx.cache <- "miss";
               Atomic.incr t.c_compile_misses;
               Obs.Metrics.incr m_cache_misses;
-              match Graph6.decode_res graph6 with
+              match decode () with
               | Error m -> err Wire.Bad_graph "%s" m
-              | Ok g ->
+              | Ok inst ->
                   let compiled =
                     if !Obs.Trace.enabled then
                       Obs.Trace.span_ctx "server.compile" "rid" ctx.id
-                        (child_trace ctx) (fun () ->
-                          Simulator.compile (Instance.of_graph g))
-                    else Simulator.compile (Instance.of_graph g)
+                        (child_trace ctx) (fun () -> Simulator.compile inst)
+                    else Simulator.compile inst
                   in
                   ctx.n_nodes <-
                     Instance.n (Simulator.compiled_instance compiled);
@@ -407,6 +421,36 @@ let with_compiled t ctx ~scheme ~graph6 f =
                     Diskcache.store ~dir:t.config.cache_dir ~key ~scheme ~graph6
                       compiled;
                   f entry compiled)))
+
+let with_compiled t ctx ~scheme ~graph6 f =
+  with_compiled_gen t ctx ~scheme ~identity:graph6
+    ~decode:(fun () ->
+      Result.map Instance.of_graph (Graph6.decode_res graph6))
+    f
+
+(* The cache identity of a shard: its graph6 bytes plus the local→
+   original id table. '\n' never occurs in graph6 (printable columns
+   63..126 only), so the concatenation cannot collide with a plain
+   graph, and distinct id tables yield distinct identities. *)
+let shard_identity graph6 ids =
+  let b = Buffer.create (String.length graph6 + (4 * Array.length ids)) in
+  Buffer.add_string b graph6;
+  Array.iter (fun v -> Printf.bprintf b "\n%x" v) ids;
+  Buffer.contents b
+
+(* Decode a shard into an instance on original identifiers: the local
+   graph (ids 0..ns-1) relabelled through the id table. The wire layer
+   already guarantees the table is strictly increasing, so the
+   relabelling is injective. *)
+let shard_instance ~graph6 ~ids () =
+  match Graph6.decode_res graph6 with
+  | Error _ as e -> e
+  | Ok g ->
+      if Graph.n g <> Array.length ids then
+        Error
+          (Printf.sprintf "shard id table has %d entries for a %d-node graph"
+             (Array.length ids) (Graph.n g))
+      else Ok (Instance.of_graph (Graph.relabel g (fun i -> ids.(i))))
 
 let deadline_error t stage =
   Atomic.incr t.c_deadline;
@@ -466,6 +510,74 @@ let compute_one t ctx req =
                   { fooled = Some proof; attempts = 0; best_rejections = 0 }
             | Adversary.Resisted { best_rejections; attempts } ->
                 Wire.Forged { fooled = None; attempts; best_rejections })
+  | Wire.Verify_partition
+      { scheme; graph6; ids; owned; proof; radius; shard_index; shard_count = _ }
+    ->
+      with_compiled_gen t ctx ~scheme ~identity:(shard_identity graph6 ids)
+        ~decode:(shard_instance ~graph6 ~ids)
+        (fun entry compiled ->
+          let scheme_v = entry.Registry.scheme in
+          let ns = Array.length ids in
+          if radius <> scheme_v.Scheme.radius then
+            err Wire.Bad_request
+              "shard cut for radius %d, but scheme %S verifies at radius %d"
+              radius scheme scheme_v.Scheme.radius
+          else if Instance.n (Simulator.compiled_instance compiled) <> ns then
+            (* a cache hit under the composite identity guarantees the
+               image matches graph6 AND ids; sizes can only disagree if
+               the identity string was forged — reject, don't crash *)
+            err Wire.Bad_graph "shard graph does not match its id table"
+          else if
+            List.exists (fun (v, _) -> v < 0 || v >= ns) (Proof.bindings proof)
+          then err Wire.Bad_request "proof references a node outside the shard"
+          else begin
+            Atomic.incr t.c_partition_shards;
+            let proof =
+              Proof.of_list
+                (List.map (fun (v, b) -> (ids.(v), b)) (Proof.bindings proof))
+            in
+            let nodes =
+              let out = ref [] in
+              for i = ns - 1 downto 0 do
+                if Bits.get owned i then out := ids.(i) :: !out
+              done;
+              Array.of_list !out
+            in
+            let verifier view =
+              try scheme_v.Scheme.verifier view
+              with Bits.Reader.Decode_error _ -> false
+            in
+            let verdicts =
+              if !Obs.Trace.enabled then
+                Obs.Trace.span_arg "server.shard" "shard" shard_index
+                  (fun () ->
+                    Simulator.run_verifier_on
+                      ~arena:(Domain.DLS.get arena_key) compiled proof
+                      ~radius:scheme_v.Scheme.radius ~nodes verifier)
+              else
+                Simulator.run_verifier_on
+                  ~arena:(Domain.DLS.get arena_key) compiled proof
+                  ~radius:scheme_v.Scheme.radius ~nodes verifier
+            in
+            let rejecting =
+              List.filter_map (fun (v, ok) -> if ok then None else Some v)
+                verdicts
+            in
+            let rejected = List.length rejecting in
+            if rejected > 0 then
+              ignore (Atomic.fetch_and_add t.c_partition_reject rejected);
+            let rec take n = function
+              | x :: tl when n > 0 -> x :: take (n - 1) tl
+              | _ -> []
+            in
+            Wire.Partition_verified
+              {
+                all_accept = rejected = 0;
+                owned = Array.length nodes;
+                rejected;
+                rejecting = take 64 rejecting;
+              }
+          end)
   | Wire.Batch _ | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
   | Wire.Drain _ | Wire.Trace_export ->
       err Wire.Internal "request dispatched to a worker by mistake"
@@ -719,6 +831,10 @@ let metrics_text t =
     "server.cache_misses" s.cache_misses;
   Obs.Export.counter e ~help:"Compiled images served from the disk cache"
     "server.disk_cache_hits" s.disk_hits;
+  Obs.Export.counter e ~help:"Partition shards verified"
+    "partition.shards" s.partition_shards;
+  Obs.Export.counter e ~help:"Rejecting owned nodes across partition shards"
+    "partition.reject" s.partition_reject;
   let dc = Diskcache.counts () in
   Obs.Export.counter e ~help:"Disk-cache images loaded and validated"
     "diskcache.hits" dc.Diskcache.hits;
@@ -819,6 +935,7 @@ let request_kind = function
   | Wire.Verify _ -> "verify"
   | Wire.Forge _ -> "forge"
   | Wire.Batch _ -> "batch"
+  | Wire.Verify_partition _ -> "verify_partition"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
   | Wire.Metrics_text -> "metrics"
@@ -829,7 +946,8 @@ let request_kind = function
 let request_scheme = function
   | Wire.Prove { scheme; _ }
   | Wire.Verify { scheme; _ }
-  | Wire.Forge { scheme; _ } ->
+  | Wire.Forge { scheme; _ }
+  | Wire.Verify_partition { scheme; _ } ->
       scheme
   | Wire.Batch { ops; _ } -> (
       (* batches are routed by their first op's scheme; mixed-scheme
@@ -922,7 +1040,7 @@ let handle_request t ctx req =
   Obs.Metrics.incr
     (match req with
     | Wire.Prove _ -> m_req_prove
-    | Wire.Verify _ -> m_req_verify
+    | Wire.Verify _ | Wire.Verify_partition _ -> m_req_verify
     | Wire.Forge _ -> m_req_forge
     | Wire.Batch _ -> m_req_batch
     | Wire.Stats -> m_req_stats
@@ -984,10 +1102,25 @@ let handle_conn t fd =
         match Net_io.read_exact fd Wire.header_bytes with
         | None -> ()
         | Some raw -> (
-            match Wire.decode_header raw with
-            | Error m ->
+            match Wire.decode_header_err raw with
+            | Error (Wire.Bad_header m) ->
                 (* framing lost: answer once, then drop the link *)
                 Net_io.write_all fd (Wire.encode_response (bad_frame t raw m))
+            | Error (Wire.Oversized { version; tag = _; length }) ->
+                (* the length field is trustworthy: drain the payload,
+                   answer a typed error naming the offending size, and
+                   keep the connection — an oversized shard must not
+                   kill its siblings multiplexed on the same link *)
+                Atomic.incr t.c_bad_frames;
+                Obs.Metrics.incr m_bad_frames;
+                if Net_io.skip_exact fd length then begin
+                  Net_io.write_all fd
+                    (Wire.encode_response ~version
+                       (err Wire.Bad_request
+                          "payload of %d bytes exceeds the %d byte cap" length
+                          Wire.max_payload));
+                  loop ()
+                end
             | Ok { Wire.version; tag; length } -> (
                 match Net_io.read_exact fd length with
                 | None -> ()

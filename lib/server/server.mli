@@ -120,6 +120,10 @@ type stats = {
   bad_frames : int;
   connections : int;
   slow_requests : int;
+  partition_shards : int;
+      (** {!Wire.request.Verify_partition} frames executed. *)
+  partition_reject : int;
+      (** Rejecting owned nodes summed across all shards. *)
 }
 
 val stats : t -> stats

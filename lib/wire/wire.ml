@@ -54,6 +54,16 @@ type request =
   | Verify of { scheme : string; graph6 : string; proof : Proof.t }
   | Forge of { scheme : string; graph6 : string; max_bits : int }
   | Batch of { graphs : string list; proofs : Proof.t list; ops : batch_op list }
+  | Verify_partition of {
+      scheme : string;
+      graph6 : string;  (** Shard graph on local ids [0 .. ns-1]. *)
+      ids : int array;  (** Local id → original id; strictly increasing. *)
+      owned : Bits.t;  (** One bit per local id; 1 = owned, 0 = ghost. *)
+      proof : Proof.t;  (** Keyed by local ids. *)
+      radius : int;
+      shard_index : int;
+      shard_count : int;
+    }
   | Stats
   | Catalog
   | Metrics_text
@@ -104,6 +114,12 @@ type response =
   | Proved of Proof.t option
   | Verified of { accepted : bool; rejecting : int list }
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Partition_verified of {
+      all_accept : bool;
+      owned : int;  (** Owned nodes verified. *)
+      rejected : int;  (** Owned nodes that rejected (full count). *)
+      rejecting : int list;  (** First ≤64 rejecting original ids. *)
+    }
   | Batch_reply of batch_item list
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list
@@ -158,6 +174,7 @@ let request_tag = function
   | Drain _ -> 0x08
   | Batch _ -> 0x09
   | Trace_export -> 0x0A
+  | Verify_partition _ -> 0x0B
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -170,6 +187,7 @@ let response_tag = function
   | Drain_reply _ -> 0x88
   | Batch_reply _ -> 0x89
   | Trace_export_reply _ -> 0x8A
+  | Partition_verified _ -> 0x8B
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -426,16 +444,32 @@ let frame_with_id ~version ~id ?trace tag body =
     frame ~version tag (Buffer.contents b)
   end
 
-let decode_header s =
+(* Header failures split in two: [Bad_header] means the framing itself
+   cannot be trusted (wrong magic, unknown version, truncation) and the
+   connection must drop; [Oversized] means the frame is well-formed but
+   its payload exceeds the cap — the length field is trustworthy, so a
+   peer can drain exactly that many bytes, answer with a typed error,
+   and keep the connection. Partition shards are the first frames big
+   enough to trip the cap in normal operation. *)
+type header_error =
+  | Bad_header of string
+  | Oversized of { version : int; tag : int; length : int }
+
+let decode_header_err s =
   if String.length s < header_bytes then
     Error
-      (Printf.sprintf "frame header needs %d bytes, got %d" header_bytes
-         (String.length s))
-  else if s.[0] <> magic0 || s.[1] <> magic1 then Error "bad magic bytes"
+      (Bad_header
+         (Printf.sprintf "frame header needs %d bytes, got %d" header_bytes
+            (String.length s)))
+  else if s.[0] <> magic0 || s.[1] <> magic1 then
+    Error (Bad_header "bad magic bytes")
   else if
     Char.code s.[2] < min_protocol_version
     || Char.code s.[2] > protocol_version
-  then Error (Printf.sprintf "unsupported protocol version %d" (Char.code s.[2]))
+  then
+    Error
+      (Bad_header
+         (Printf.sprintf "unsupported protocol version %d" (Char.code s.[2])))
   else
     let length =
       (Char.code s.[4] lsl 24)
@@ -444,8 +478,17 @@ let decode_header s =
       lor Char.code s.[7]
     in
     if length > max_payload then
-      Error (Printf.sprintf "payload length %d exceeds the %d cap" length max_payload)
+      Error
+        (Oversized { version = Char.code s.[2]; tag = Char.code s.[3]; length })
     else Ok { version = Char.code s.[2]; tag = Char.code s.[3]; length }
+
+let header_error_to_string = function
+  | Bad_header m -> m
+  | Oversized { length; _ } ->
+      Printf.sprintf "payload length %d exceeds the %d cap" length max_payload
+
+let decode_header s =
+  Result.map_error header_error_to_string (decode_header_err s)
 
 (* --- requests --------------------------------------------------------- *)
 
@@ -470,6 +513,17 @@ let request_body req =
       List.iter (w_proof b) proofs;
       w_u16 b (List.length ops);
       List.iter (w_batch_op b) ops
+  | Verify_partition
+      { scheme; graph6; ids; owned; proof; radius; shard_index; shard_count } ->
+      w_string b scheme;
+      w_string b graph6;
+      w_u32 b (Array.length ids);
+      Array.iter (w_u32 b) ids;
+      w_bits b owned;
+      w_proof b proof;
+      w_u16 b radius;
+      w_u16 b shard_index;
+      w_u16 b shard_count
   | Drain { enable } -> w_u8 b (if enable then 1 else 0)
   | Stats | Catalog | Metrics_text | Health | Trace_export -> ());
   Buffer.contents b
@@ -508,6 +562,31 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
         in
         Batch { graphs; proofs; ops }
     | 0x0A -> Trace_export
+    | 0x0B ->
+        if version < 2 then
+          fail "Verify_partition requires protocol version 2";
+        let scheme = r_string c in
+        let graph6 = r_string c in
+        let ids = Array.of_list (r_list c ~min_entry_bytes:4 r_u32) in
+        Array.iteri
+          (fun i v ->
+            if i > 0 && v <= ids.(i - 1) then
+              fail "shard id table not strictly increasing at entry %d" i)
+          ids;
+        let owned = r_bits c in
+        if Bits.length owned <> Array.length ids then
+          fail "owned bitmap carries %d bits for %d shard nodes"
+            (Bits.length owned) (Array.length ids);
+        let proof = r_proof c in
+        let radius = r_u16 c in
+        let shard_index = r_u16 c in
+        let shard_count = r_u16 c in
+        if shard_count < 1 then fail "shard count must be positive";
+        if shard_index >= shard_count then
+          fail "shard index %d out of range for %d shards" shard_index
+            shard_count;
+        Verify_partition
+          { scheme; graph6; ids; owned; proof; radius; shard_index; shard_count }
     | t -> fail "unknown request tag 0x%02x" t
   in
   (id, trace, req)
@@ -601,6 +680,11 @@ let response_body resp =
           w_u16 b e.radius;
           w_string b e.doc)
         entries
+  | Partition_verified { all_accept; owned; rejected; rejecting } ->
+      w_u8 b (if all_accept then 1 else 0);
+      w_u32 b owned;
+      w_u32 b rejected;
+      w_int_list b rejecting
   | Metrics_text_reply text -> w_string b text
   | Health_reply { ready; pending; max_queue; uptime_ms } ->
       w_u8 b (if ready then 1 else 0);
@@ -668,6 +752,21 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         Drain_reply { draining; pending = r_u32 c }
     | 0x89 -> Batch_reply (r_list16 c ~min_entry_bytes:2 r_batch_item)
     | 0x8A -> Trace_export_reply (r_string c)
+    | 0x8B ->
+        let all_accept = r_bool c in
+        let owned = r_u32 c in
+        let rejected = r_u32 c in
+        let rejecting = r_list c ~min_entry_bytes:4 r_u32 in
+        if all_accept <> (rejected = 0) then
+          fail "all-accept flag disagrees with %d rejections" rejected;
+        if rejected > owned then
+          fail "%d rejections among %d owned nodes" rejected owned;
+        if List.length rejecting > 64 then
+          fail "rejecting sample carries %d ids (cap 64)"
+            (List.length rejecting);
+        if List.length rejecting > rejected then
+          fail "rejecting sample larger than the rejection count";
+        Partition_verified { all_accept; owned; rejected; rejecting }
     | 0xE0 ->
         let code_byte = r_u8 c in
         let code =
@@ -723,6 +822,13 @@ let equal_request a b =
       && List.for_all2 Proof.equal a.proofs b.proofs
       && List.length a.ops = List.length b.ops
       && List.for_all2 equal_batch_op a.ops b.ops
+  | Verify_partition a, Verify_partition b ->
+      a.scheme = b.scheme && a.graph6 = b.graph6 && a.ids = b.ids
+      && Bits.equal a.owned b.owned
+      && Proof.equal a.proof b.proof
+      && a.radius = b.radius
+      && a.shard_index = b.shard_index
+      && a.shard_count = b.shard_count
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
   | Trace_export, Trace_export -> true
@@ -758,6 +864,10 @@ let equal_response a b =
       equal_proof_opt a.fooled b.fooled
       && a.attempts = b.attempts
       && a.best_rejections = b.best_rejections
+  | Partition_verified a, Partition_verified b ->
+      a.all_accept = b.all_accept && a.owned = b.owned
+      && a.rejected = b.rejected
+      && a.rejecting = b.rejecting
   | Batch_reply a, Batch_reply b ->
       List.length a = List.length b && List.for_all2 equal_batch_item a b
   | Stats_reply a, Stats_reply b -> a = b

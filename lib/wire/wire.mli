@@ -75,6 +75,23 @@ val decode_header : string -> (header, string) result
     payload decoders own that), so a framing layer can skip messages
     it does not understand. *)
 
+(** Typed form of a header failure. [Bad_header] means the framing is
+    untrustworthy (bad magic, unknown version, truncation) and the
+    connection must be dropped; [Oversized] means the frame is
+    well-formed but announces a payload over {!max_payload} — the
+    length is trustworthy, so the peer can drain exactly [length]
+    bytes, answer a typed error naming the offending size, and keep
+    the connection. *)
+type header_error =
+  | Bad_header of string
+  | Oversized of { version : int; tag : int; length : int }
+
+val decode_header_err : string -> (header, header_error) result
+(** {!decode_header} with the typed error — what the server and router
+    accept loops use to survive oversized shards. *)
+
+val header_error_to_string : header_error -> string
+
 (** {1 Messages} *)
 
 (** One operation inside a {!request.Batch} frame. [graph] and
@@ -97,6 +114,26 @@ type request =
           The reply is a {!response.Batch_reply} with one
           {!batch_item} per op, in op order; a bad op yields an
           [Item_error] in its slot without failing the frame. *)
+  | Verify_partition of {
+      scheme : string;
+      graph6 : string;
+      ids : int array;
+      owned : Bits.t;
+      proof : Proof.t;
+      radius : int;
+      shard_index : int;
+      shard_count : int;
+    }
+      (** One shard of a partitioned verification (v2-only; a v1 frame
+          with this tag is rejected as [Bad_request]). [graph6] is the
+          shard subgraph on local ids [0 .. ns-1]; [ids] maps local ids
+          back to original identifiers (strictly increasing — the
+          decoder enforces it); [owned] carries one bit per local id
+          (1 = this shard owns the node, 0 = radius-[radius] ghost);
+          [proof] is the whole-graph proof restricted to the shard and
+          rekeyed to local ids. The backend verifies {e owned} nodes
+          only and answers {!response.Partition_verified} in original
+          numbering. *)
   | Stats
   | Catalog
   | Metrics_text
@@ -170,6 +207,17 @@ type response =
       (** [None]: the prover recognised a no-instance. *)
   | Verified of { accepted : bool; rejecting : int list }
   | Forged of { fooled : Proof.t option; attempts : int; best_rejections : int }
+  | Partition_verified of {
+      all_accept : bool;
+      owned : int;
+      rejected : int;
+      rejecting : int list;
+    }
+      (** Verdict summary for one shard's owned nodes: [owned] nodes
+          verified, [rejected] of them rejecting, and the first ≤64
+          rejecting node ids in {e original} numbering. The decoder
+          enforces [all_accept = (rejected = 0)], [rejected <= owned],
+          and the 64-entry sample cap. *)
   | Batch_reply of batch_item list
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list

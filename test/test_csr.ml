@@ -248,6 +248,68 @@ let pool_basics () =
       ignore (Atomic.fetch_and_add total (hi - lo)));
   check_int "pool survives exceptions" 100 (Atomic.get total)
 
+(* extract_subgraph: the induced subgraph keeps original identifiers,
+   keeps exactly the selected nodes' mutual edges, and returns the
+   remap table sorted — against a reference computed with Graph
+   operations. Rejects duplicate and out-of-range selections. *)
+let extract_subgraph_induced () =
+  List.iter
+    (fun (name, g) ->
+      let c = Csr.of_graph g in
+      let n = Csr.n c in
+      let rng = st 77 in
+      List.iter
+        (fun frac ->
+          let sel =
+            Array.of_list
+              (List.filteri
+                 (fun _ _ -> Random.State.float rng 1.0 < frac)
+                 (List.init n Fun.id))
+          in
+          (* shuffle: selection order must not matter *)
+          let sel = Array.copy sel in
+          for i = Array.length sel - 1 downto 1 do
+            let j = Random.State.int rng (i + 1) in
+            let t = sel.(i) in
+            sel.(i) <- sel.(j);
+            sel.(j) <- t
+          done;
+          let sub, remap = Csr.extract_subgraph c sel in
+          let sorted = Array.copy sel in
+          Array.sort compare sorted;
+          check (name ^ " remap is the sorted selection") true (remap = sorted);
+          check_int (name ^ " node count") (Array.length sel) (Csr.n sub);
+          let keep = Hashtbl.create 16 in
+          Array.iter (fun i -> Hashtbl.replace keep (Csr.node c i) ()) sel;
+          let m_ref = ref 0 in
+          Graph.fold_edges
+            (fun u v () ->
+              if Hashtbl.mem keep u && Hashtbl.mem keep v then incr m_ref)
+            g ();
+          check_int (name ^ " induced edge count") !m_ref (Csr.m sub);
+          for i = 0 to Csr.n sub - 1 do
+            let v = Csr.node sub i in
+            check (name ^ " keeps original identifiers") true
+              (Hashtbl.mem keep v);
+            Csr.iter_neighbours sub i (fun j ->
+                let u = Csr.node sub j in
+                check (name ^ " edges come from g") true
+                  (List.mem u (Graph.neighbours g v)))
+          done)
+        [ 0.3; 0.7; 1.0 ])
+    family
+
+let extract_subgraph_rejects () =
+  let c = Csr.of_graph (Builders.cycle 8) in
+  Alcotest.check_raises "duplicate selection"
+    (Invalid_argument "Csr.extract_subgraph: duplicate dense index 3")
+    (fun () ->
+      ignore (Csr.extract_subgraph c [| 1; 3; 3 |]));
+  check "out of range raises" true
+    (match Csr.extract_subgraph c [| 0; 99 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   ( "csr-engine",
     [
@@ -263,4 +325,8 @@ let suite =
       Alcotest.test_case "soundness_random parallel" `Quick
         soundness_random_parallel;
       Alcotest.test_case "pool basics" `Quick pool_basics;
+      Alcotest.test_case "extract_subgraph = induced subgraph" `Quick
+        extract_subgraph_induced;
+      Alcotest.test_case "extract_subgraph validates selection" `Quick
+        extract_subgraph_rejects;
     ] )

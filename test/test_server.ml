@@ -48,6 +48,7 @@ let expect_error code what = function
         | Wire.Health_reply _ -> "Health_reply"
         | Wire.Drain_reply _ -> "Drain_reply"
         | Wire.Batch_reply _ -> "Batch_reply"
+        | Wire.Partition_verified _ -> "Partition_verified"
         | Wire.Trace_export_reply _ -> "Trace_export_reply")
 
 (* ------------------------------------------------------------------ *)
