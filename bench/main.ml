@@ -570,6 +570,7 @@ type row_result = {
   outcome : row_outcome;
   wall_s : float;
   metrics : string option;  (* pre-rendered JSON object, with --metrics *)
+  profile : string option;  (* per-row GC deltas, with --profile-hz/-dir *)
 }
 
 (* One row: monotonic wall time, an optional trace span, and — with
@@ -585,12 +586,30 @@ let eval_row r =
         let fit = Complexity.classify series in
         Fitted (series, fit, List.mem fit r.ok_classes)
   in
+  (* With the profiler on, bracket the row with the coordinating
+     domain's GC counters — worker-domain allocations show up in the
+     pool.task_alloc_bytes metric instead. *)
+  let prof_on = !Obs.Profile.enabled in
+  let gc0 = if prof_on then Some (Gc.quick_stat ()) else None in
+  let alloc0 = if prof_on then Gc.allocated_bytes () else 0.0 in
   let t0 = Obs.Clock.now_ns () in
   let outcome =
-    if !Obs.Trace.enabled then Obs.Trace.span ("bench.row:" ^ r.id) measure
+    if Obs.Trace.on () then Obs.Trace.span ("bench.row:" ^ r.id) measure
     else measure ()
   in
   let wall_s = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
+  let profile =
+    match gc0 with
+    | None -> None
+    | Some g0 ->
+        let g1 = Gc.quick_stat () in
+        Some
+          (Printf.sprintf
+             "{\"alloc_bytes\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}"
+             (Gc.allocated_bytes () -. alloc0)
+             (g1.Gc.minor_collections - g0.Gc.minor_collections)
+             (g1.Gc.major_collections - g0.Gc.major_collections))
+  in
   let metrics =
     if not !collect_metrics then None
     else begin
@@ -608,7 +627,7 @@ let eval_row r =
            (Obs.Metrics.count snap "simulator.compiles"))
     end
   in
-  { row = r; outcome; wall_s; metrics }
+  { row = r; outcome; wall_s; metrics; profile }
 
 let print_header title =
   Format.printf "@.=== %s ===@." title;
@@ -617,7 +636,7 @@ let print_header title =
     "wall";
   Format.printf "%s@." (String.make 126 '-')
 
-let print_result { row = r; outcome; wall_s; metrics = _ } =
+let print_result { row = r; outcome; wall_s; metrics = _; profile = _ } =
   match outcome with
   | Failed msg ->
       Format.printf "%-7s %-28s %-10s %-18s MEASUREMENT FAILED: %s@." r.id r.what
@@ -649,7 +668,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let json_of_result { row = r; outcome; wall_s; metrics } =
+let json_of_result { row = r; outcome; wall_s; metrics; profile } =
   let common =
     Printf.sprintf
       "\"id\":\"%s\",\"what\":\"%s\",\"family\":\"%s\",\"paper\":\"%s\",\"param\":\"%s\",\"wall_s\":%.6f"
@@ -659,6 +678,11 @@ let json_of_result { row = r; outcome; wall_s; metrics } =
   let common =
     match metrics with
     | Some m -> Printf.sprintf "%s,\"metrics\":%s" common m
+    | None -> common
+  in
+  let common =
+    match profile with
+    | Some pr -> Printf.sprintf "%s,\"profile\":%s" common pr
     | None -> common
   in
   match outcome with
@@ -675,7 +699,8 @@ let json_of_result { row = r; outcome; wall_s; metrics } =
         (json_escape (Complexity.label fit))
         (if matches then "MATCH" else "DIFFERS")
 
-let write_json path ~smoke ~total_wall_s ?service ?partition results =
+let write_json path ~smoke ~total_wall_s ?service ?partition ?profile results
+    =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -685,6 +710,7 @@ let write_json path ~smoke ~total_wall_s ?service ?partition results =
     \  \"smoke\": %b,\n\
     \  \"metrics\": %b,\n\
     \  \"total_wall_s\": %.6f,\n\
+     %s\
      %s\
      %s\
     \  \"rows\": [\n%s\n  ]\n\
@@ -697,6 +723,9 @@ let write_json path ~smoke ~total_wall_s ?service ?partition results =
     (match partition with
     | None -> ""
     | Some p -> Printf.sprintf "  \"partition\": %s,\n" p)
+    (match profile with
+    | None -> ""
+    | Some p -> Printf.sprintf "  \"profile\": %s,\n" p)
     (String.concat ",\n" (List.map json_of_result results));
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
@@ -713,7 +742,7 @@ let write_prom path ~total_wall_s results =
   Obs.Export.counter e ~help:"rows attempted" "bench.rows"
     (List.length results);
   List.iter
-    (fun { row = r; outcome; wall_s; metrics = _ } ->
+    (fun { row = r; outcome; wall_s; metrics = _; profile = _ } ->
       let labels = [ ("id", r.id) ] in
       Obs.Export.gauge e ~help:"per-row wall time" ~labels
         "bench.row_wall_seconds" wall_s;
@@ -727,6 +756,7 @@ let write_prom path ~total_wall_s results =
     results;
   if !collect_metrics then
     Obs.Export.metrics_snapshot e (Obs.Metrics.snapshot ());
+  Obs.Profile.exposition e;
   let oc = open_out path in
   output_string oc (Obs.Export.contents e);
   close_out oc;
@@ -1309,7 +1339,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--timing] [--service] [--partition] \
      [--reference] [--jobs N] [--metrics] [--trace FILE] [--prom FILE]  \
-     (N=0: all cores)";
+     [--profile-hz HZ] [--profile-dir DIR] (N=0: all cores)";
   exit 2
 
 (* Wrap a whole bench section in a trace span when tracing is on. *)
@@ -1348,10 +1378,25 @@ let () =
   jobs := (match find_jobs args with 0 -> Pool.default_jobs () | j -> j);
   let trace_file = find_trace args in
   let prom_file = find_prom args in
+  let profile_hz =
+    match find_file "--profile-hz" args with
+    | None -> 0
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some hz when hz > 0 -> hz
+        | _ ->
+            Printf.eprintf "--profile-hz: expected a positive integer, got %S\n"
+              v;
+            usage ())
+  in
+  let profile_dir = find_file "--profile-dir" args in
+  let profile_on = profile_hz > 0 || profile_dir <> None in
   (* Drop option arguments (the values after --jobs / --trace / --prom)
      before scanning for unknown flags. *)
   let rec flags_only = function
-    | ("--jobs" | "--trace" | "--prom") :: _ :: rest -> flags_only rest
+    | ("--jobs" | "--trace" | "--prom" | "--profile-hz" | "--profile-dir")
+      :: _ :: rest ->
+        flags_only rest
     | a :: rest -> a :: flags_only rest
     | [] -> []
   in
@@ -1362,7 +1407,8 @@ let () =
          && not
               (List.mem a
                  [ "--smoke"; "--timing"; "--service"; "--partition";
-                   "--reference"; "--jobs"; "--metrics"; "--trace"; "--prom" ]))
+                   "--reference"; "--jobs"; "--metrics"; "--trace"; "--prom";
+                   "--profile-hz"; "--profile-dir" ]))
        (flags_only (List.tl args))
    with
   | [] -> ()
@@ -1375,6 +1421,28 @@ let () =
   let with_partition = List.mem "--partition" args in
   if !collect_metrics || trace_file <> None then
     Obs.enable ~metrics:!collect_metrics ~trace:(trace_file <> None) ();
+  if profile_on then begin
+    Obs.Trace.process := Printf.sprintf "bench-%d" (Unix.getpid ());
+    Obs.Profile.start ~hz:(if profile_hz > 0 then profile_hz else 97) ()
+  end;
+  (* The profiler must stop before the JSON/spool reads so the counts
+     are final; returns the "profile" section for BENCH_lcp.json. *)
+  let finish_profile () =
+    if not profile_on then None
+    else begin
+      Obs.Profile.stop ();
+      let section = Obs.Profile.export_string () in
+      (match profile_dir with
+      | None -> ()
+      | Some dir ->
+          let path = Obs.Profile.spool ~dir in
+          Format.printf "profile (%d sample(s), %d stack(s)) spooled to %s@."
+            (Obs.Profile.samples ())
+            (Obs.Profile.stack_samples ())
+            path);
+      Some section
+    end
+  in
   let finish () =
     match trace_file with
     | Some path ->
@@ -1400,8 +1468,9 @@ let () =
     in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
+    let profile = finish_profile () in
     write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total ?service
-      ?partition results;
+      ?partition ?profile results;
     Option.iter (fun p -> write_prom p ~total_wall_s:total results) prom_file;
     finish ()
   end
@@ -1428,8 +1497,9 @@ let () =
       else None
     in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
+    let profile = finish_profile () in
     write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total ?service
-      ?partition (results_a @ results_b);
+      ?partition ?profile (results_a @ results_b);
     Option.iter
       (fun p -> write_prom p ~total_wall_s:total (results_a @ results_b))
       prom_file;

@@ -167,6 +167,28 @@ let trace_dir_arg =
            lanes of a cluster run with 'lcp trace merge'. Implies tracing \
            is on.")
 
+let profile_hz_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "profile-hz" ] ~docv:"HZ"
+        ~doc:
+          "Continuous profiling: sample every domain's active-span stack \
+           $(docv) times per second and track GC/runtime telemetry. Fetch \
+           the live profile with 'lcp profile fetch'. 0 (the default) \
+           disables the profiler; 97 is a good prime choice.")
+
+let profile_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-dir" ] ~docv:"DIR"
+        ~doc:
+          "On exit, spool the accumulated profile to \
+           $(docv)/profile-<process>.json (collapsed stacks, speedscope \
+           JSON, GC and per-scheme accounts). Implies profiling is on at \
+           97 Hz unless --profile-hz overrides the rate.")
+
 (* Distributed-tracing setup shared by serve / route / loadgen: name
    this process's lane, turn the ring on when sampling or spooling was
    requested, and spool on the way out. *)
@@ -185,6 +207,27 @@ let with_trace_spool ~process ~trace_sample ~trace_dir f =
         | 0 -> ""
         | d -> Printf.sprintf ", %d dropped" d)
         path);
+  code
+
+(* Profiler lifecycle shared by serve / route / loadgen: start the
+   sampler when either flag asks for it, stop and spool on the way
+   out. Runs inside [with_trace_spool] so the lane name is set. *)
+let with_profile ~profile_hz ~profile_dir f =
+  let on = profile_hz > 0 || profile_dir <> None in
+  if on then
+    Obs.Profile.start ~hz:(if profile_hz > 0 then profile_hz else 97) ();
+  let code = f () in
+  if on then begin
+    Obs.Profile.stop ();
+    match profile_dir with
+    | None -> ()
+    | Some dir ->
+        let path = Obs.Profile.spool ~dir in
+        Format.printf "profile (%d sample(s), %d stack(s)) spooled to %s@."
+          (Obs.Profile.samples ())
+          (Obs.Profile.stack_samples ())
+          path
+  end;
   code
 
 (* Enable the requested observability, run the command body, then export
@@ -857,13 +900,14 @@ let serve_cmd =
              tier.")
   in
   let run host port jobs cache_size deadline_ms max_queue http_port log_path
-      log_sample slow_ms slow_dir cache_dir trace_sample trace_dir metrics
-      trace =
+      log_sample slow_ms slow_dir cache_dir trace_sample trace_dir profile_hz
+      profile_dir metrics trace =
     with_obs ~metrics ~trace @@ fun () ->
     with_trace_spool
       ~process:(Printf.sprintf "serve-%d-%d" port (Unix.getpid ()))
       ~trace_sample ~trace_dir
     @@ fun () ->
+    with_profile ~profile_hz ~profile_dir @@ fun () ->
     let log =
       match log_path with
       | None -> None
@@ -935,7 +979,7 @@ let serve_cmd =
       const run $ host_arg $ port_arg $ jobs_arg $ cache_arg $ deadline_arg
       $ queue_arg $ http_port_arg $ log_arg $ log_sample_arg $ slow_ms_arg
       $ slow_dir_arg $ cache_dir_arg $ trace_sample_arg $ trace_dir_arg
-      $ metrics_arg $ trace_arg)
+      $ profile_hz_arg $ profile_dir_arg $ metrics_arg $ trace_arg)
 
 let route_cmd =
   let backend_arg =
@@ -1032,7 +1076,7 @@ let route_cmd =
   in
   let run host port backends retries hedge_ms probe_interval_ms load_factor
       vnodes fail_threshold cooldown_ms http_port log_path trace_sample
-      trace_dir =
+      trace_dir profile_hz profile_dir =
     if backends = [] then begin
       prerr_endline "lcp route: need at least one --backend HOST:PORT";
       1
@@ -1042,6 +1086,7 @@ let route_cmd =
         ~process:(Printf.sprintf "route-%d-%d" port (Unix.getpid ()))
         ~trace_sample ~trace_dir
       @@ fun () ->
+      with_profile ~profile_hz ~profile_dir @@ fun () ->
       let log =
         match log_path with
         | None -> None
@@ -1126,7 +1171,7 @@ let route_cmd =
       const run $ host_arg $ route_port_arg $ backend_arg $ retries_arg
       $ hedge_arg $ probe_arg $ load_factor_arg $ vnodes_arg
       $ fail_threshold_arg $ cooldown_arg $ http_port_arg $ log_arg
-      $ trace_sample_arg $ trace_dir_arg)
+      $ trace_sample_arg $ trace_dir_arg $ profile_hz_arg $ profile_dir_arg)
 
 let loadgen_cmd =
   let connections_arg =
@@ -1202,12 +1247,13 @@ let loadgen_cmd =
              operation, so ops/s is directly comparable across batch sizes.")
   in
   let run host port targets connections requests batch mix scheme sizes out
-      trace_sample trace_dir =
+      trace_sample trace_dir profile_hz profile_dir =
     let targets = match targets with [] -> None | l -> Some l in
     with_trace_spool
       ~process:(Printf.sprintf "loadgen-%d" (Unix.getpid ()))
       ~trace_sample ~trace_dir
     @@ fun () ->
+    with_profile ~profile_hz ~profile_dir @@ fun () ->
     match
       Client.loadgen ~host ?targets ~batch ~trace_sample ~port ~connections
         ~requests ~mix ~scheme ~sizes ()
@@ -1233,7 +1279,8 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg $ connect_arg $ connections_arg
       $ requests_arg $ batch_arg $ mix_arg $ scheme_name_arg $ sizes_arg
-      $ out_arg $ trace_sample_arg $ trace_dir_arg)
+      $ out_arg $ trace_sample_arg $ trace_dir_arg $ profile_hz_arg
+      $ profile_dir_arg)
 
 let trace_cmd =
   let merge_cmd =
@@ -1353,6 +1400,279 @@ let trace_cmd =
           merge spooled lanes into one cross-process timeline")
     [ merge_cmd; fetch_cmd ]
 
+let profile_cmd =
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* Shared by fetch's summary and diff: the collapsed-stack text of a
+     profile export, parsed back to (stack, count) rows. *)
+  let collapsed_rows json =
+    match Obs.Json.parse json with
+    | Error m -> Error ("malformed profile JSON: " ^ m)
+    | Ok doc -> (
+        match
+          Option.bind (Obs.Json.member "collapsed" doc) Obs.Json.to_string_opt
+        with
+        | None -> Error "profile JSON has no \"collapsed\" member"
+        | Some text ->
+            Ok
+              (List.filter_map
+                 (fun line ->
+                   match String.rindex_opt line ' ' with
+                   | None -> None
+                   | Some i ->
+                       Option.map
+                         (fun c -> (String.sub line 0 i, c))
+                         (int_of_string_opt
+                            (String.sub line (i + 1)
+                               (String.length line - i - 1))))
+                 (String.split_on_char '\n' text)))
+  in
+  let fetch_cmd =
+    let target_arg =
+      Arg.(
+        required
+        & pos 0 (some hostport_conv) None
+        & info [] ~docv:"HOST:PORT"
+            ~doc:"Daemon or router to fetch the live profile from.")
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Output file (default profile-HOST-PORT.json).")
+    in
+    let collapsed_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "collapsed" ] ~docv:"FILE"
+            ~doc:
+              "Also extract the collapsed-stack text to $(docv) — ready \
+               for flamegraph.pl.")
+    in
+    let speedscope_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "speedscope" ] ~docv:"FILE"
+            ~doc:
+              "Also extract the speedscope profile to $(docv) — open it at \
+               https://www.speedscope.app.")
+    in
+    let run (host, port) out collapsed_out speedscope_out =
+      match Client.connect ~host ~port () with
+      | Error m ->
+          prerr_endline m;
+          1
+      | Ok c -> (
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          match Client.call c Wire.Profile_export with
+          | Ok (Wire.Profile_export_reply json) -> (
+              let path =
+                match out with
+                | Some p -> p
+                | None -> Printf.sprintf "profile-%s-%d.json" host port
+              in
+              let oc = open_out path in
+              output_string oc json;
+              close_out oc;
+              match Obs.Json.parse json with
+              | Error m ->
+                  prerr_endline ("malformed profile JSON: " ^ m);
+                  1
+              | Ok doc ->
+                  let num name =
+                    match
+                      Option.bind (Obs.Json.member name doc)
+                        Obs.Json.to_float_opt
+                    with
+                    | Some f -> int_of_float f
+                    | None -> 0
+                  in
+                  Format.printf
+                    "profile from %s:%d written to %s (%d sample(s), %d \
+                     stack(s), %d Hz)@."
+                    host port path (num "samples") (num "stack_samples")
+                    (num "hz");
+                  (match collapsed_out with
+                  | None -> ()
+                  | Some p -> (
+                      match
+                        Option.bind
+                          (Obs.Json.member "collapsed" doc)
+                          Obs.Json.to_string_opt
+                      with
+                      | None -> ()
+                      | Some text ->
+                          let oc = open_out p in
+                          output_string oc text;
+                          close_out oc;
+                          Format.printf "collapsed stacks written to %s@." p));
+                  (match speedscope_out with
+                  | None -> ()
+                  | Some p -> (
+                      match Obs.Json.member "speedscope" doc with
+                      | None -> ()
+                      | Some ss ->
+                          let oc = open_out p in
+                          output_string oc (Obs.Json.to_string ss);
+                          close_out oc;
+                          Format.printf
+                            "speedscope profile written to %s (open at \
+                             https://www.speedscope.app)@."
+                            p));
+                  (match collapsed_rows json with
+                  | Error _ -> ()
+                  | Ok rows ->
+                      let total =
+                        List.fold_left (fun a (_, c) -> a + c) 0 rows
+                      in
+                      if total > 0 then begin
+                        Format.printf "top stacks:@.";
+                        List.iteri
+                          (fun i (stack, c) ->
+                            if i < 10 then
+                              Format.printf "  %5.1f%% %6d  %s@."
+                                (100.0 *. float_of_int c /. float_of_int total)
+                                c stack)
+                          rows
+                      end);
+                  (match
+                     Option.bind (Obs.Json.member "schemes" doc)
+                       Obs.Json.to_list
+                   with
+                  | Some (_ :: _ as rows) ->
+                      Format.printf "schemes:@.";
+                      List.iter
+                        (fun r ->
+                          let str name =
+                            Option.bind (Obs.Json.member name r)
+                              Obs.Json.to_string_opt
+                          in
+                          let fl name =
+                            Option.bind (Obs.Json.member name r)
+                              Obs.Json.to_float_opt
+                          in
+                          match
+                            ( str "scheme", fl "cpu_ns", fl "alloc_bytes",
+                              fl "requests" )
+                          with
+                          | Some sc, Some cpu, Some alloc, Some n ->
+                              Format.printf
+                                "  %-16s %9.1f ms cpu %10.1f KB %7.0f \
+                                 request(s)@."
+                                sc (cpu /. 1e6) (alloc /. 1024.0) n
+                          | _ -> ())
+                        rows
+                  | _ -> ());
+                  0)
+          | Ok (Wire.Error_reply { message; _ }) ->
+              prerr_endline ("server said: " ^ message);
+              1
+          | Ok _ ->
+              prerr_endline "unexpected response type";
+              1
+          | Error m ->
+              prerr_endline m;
+              1)
+    in
+    Cmd.v
+      (Cmd.info "fetch"
+         ~doc:
+           "Fetch a live process's accumulated profile over the wire \
+            protocol (Profile_export) without restarting it")
+      Term.(const run $ target_arg $ out_arg $ collapsed_arg $ speedscope_arg)
+  in
+  let diff_cmd =
+    let a_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"BEFORE" ~doc:"Baseline profile export (JSON).")
+    in
+    let b_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"AFTER" ~doc:"Comparison profile export (JSON).")
+    in
+    let limit_arg =
+      Arg.(
+        value
+        & opt int 20
+        & info [ "limit" ] ~docv:"N" ~doc:"Show the top $(docv) movers.")
+    in
+    (* Each side is normalised to its own total before differencing, so
+       runs of different lengths compare on time share, not raw ticks. *)
+    let run a b limit =
+      match (collapsed_rows (slurp a), collapsed_rows (slurp b)) with
+      | Error m, _ | _, Error m ->
+          prerr_endline ("lcp profile diff: " ^ m);
+          1
+      | Ok ra, Ok rb ->
+          let total r =
+            float_of_int
+              (max 1 (List.fold_left (fun acc (_, c) -> acc + c) 0 r))
+          in
+          let ta = total ra and tb = total rb in
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun (st, c) -> Hashtbl.replace tbl st (float_of_int c /. ta, 0.0))
+            ra;
+          List.iter
+            (fun (st, c) ->
+              let before =
+                match Hashtbl.find_opt tbl st with
+                | Some (x, _) -> x
+                | None -> 0.0
+              in
+              Hashtbl.replace tbl st (before, float_of_int c /. tb))
+            rb;
+          let rows = Hashtbl.fold (fun st xy l -> (st, xy) :: l) tbl [] in
+          let rows =
+            List.sort
+              (fun (s1, (x1, y1)) (s2, (x2, y2)) ->
+                match
+                  compare (Float.abs (y2 -. x2)) (Float.abs (y1 -. x1))
+                with
+                | 0 -> compare s1 s2
+                | c -> c)
+              rows
+          in
+          Format.printf "%8s %8s %9s  stack@." "before%" "after%" "delta";
+          List.iteri
+            (fun i (st, (x, y)) ->
+              if i < limit then
+                Format.printf "%8.2f %8.2f %+9.2f  %s@." (100.0 *. x)
+                  (100.0 *. y)
+                  (100.0 *. (y -. x))
+                  st)
+            rows;
+          if List.length rows > limit then
+            Format.printf "(%d more stack(s) not shown)@."
+              (List.length rows - limit);
+          0
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two fetched profiles: time share per stack before vs \
+            after, biggest movers first")
+      Term.(const run $ a_arg $ b_arg $ limit_arg)
+  in
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:
+         "Continuous-profiling utilities: fetch a live process's \
+          attribution tree (collapsed stacks + speedscope) and diff two \
+          captures")
+    [ fetch_cmd; diff_cmd ]
+
 let top_cmd =
   let interval_arg =
     Arg.(
@@ -1371,8 +1691,15 @@ let top_cmd =
      protocol's Metrics_text request and read back through the same
      parser `lcp top`'s tests use — the exposition is the contract. *)
   let header () =
-    Format.printf "%9s %9s %9s %9s %9s %9s %6s %6s %6s %s@." "frame/s"
-      "ops/s" "reqs" "p50_us" "p95_us" "p99_us" "hit%" "queue" "shed" "ready"
+    Format.printf "%9s %9s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s %s@."
+      "frame/s" "ops/s" "reqs" "p50_us" "p95_us" "p99_us" "hit%" "queue"
+      "shed" "alloc/s" "heap" "maj/s" "ready"
+  in
+  let human_bytes v =
+    if v >= 1_073_741_824.0 then Printf.sprintf "%.1fG" (v /. 1_073_741_824.0)
+    else if v >= 1_048_576.0 then Printf.sprintf "%.1fM" (v /. 1_048_576.0)
+    else if v >= 1024.0 then Printf.sprintf "%.1fK" (v /. 1024.0)
+    else Printf.sprintf "%.0f" v
   in
   (* Pointed at a router, expand each sample into per-backend rows —
      the labelled lcp_router_backend_* series are already in the same
@@ -1402,9 +1729,43 @@ let top_cmd =
         | _ -> ())
       (String.split_on_char '\n' text)
   in
-  let sample text =
+  let sample gc_prev text =
     let f ?(labels = []) name =
       Option.value ~default:0.0 (Obs.Export.find_sample text ~name ~labels)
+    in
+    let opt name = Obs.Export.find_sample text ~name ~labels:[] in
+    (* GC columns come from the lcp_gc_* families the profiling layer
+       exposes; a pre-profiling server has none and renders "-". Rates
+       are diffed across our own samples (guarding against counter
+       resets on daemon restart); the allocation rate prefers the
+       server's own 10 s window when the sampler is running there. *)
+    let now = Unix.gettimeofday () in
+    let gc_alloc = opt "lcp_gc_allocated_bytes_total" in
+    let gc_major = opt "lcp_gc_major_collections_total" in
+    let rates =
+      match (gc_alloc, gc_major, !gc_prev) with
+      | Some a, Some m, Some (t0, a0, m0)
+        when now -. t0 > 0.01 && a >= a0 && m >= m0 ->
+          let dt = now -. t0 in
+          Some ((a -. a0) /. dt, (m -. m0) /. dt)
+      | _ -> None
+    in
+    (match (gc_alloc, gc_major) with
+    | Some a, Some m -> gc_prev := Some (now, a, m)
+    | _ -> gc_prev := None);
+    let alloc_col =
+      match opt "lcp_gc_alloc_bytes_per_s" with
+      | Some r -> human_bytes r
+      | None -> (
+          match rates with Some (r, _) -> human_bytes r | None -> "-")
+    in
+    let heap_col =
+      match opt "lcp_gc_heap_bytes" with
+      | Some h -> human_bytes h
+      | None -> "-"
+    in
+    let major_col =
+      match rates with Some (_, r) -> Printf.sprintf "%.1f" r | None -> "-"
     in
     let w10 = [ ("window", "10s") ] in
     let q v = ("quantile", v) :: w10 in
@@ -1417,7 +1778,8 @@ let top_cmd =
       Obs.Export.find_sample text ~name:"lcp_router_ready" ~labels:[] <> None
     in
     let p name = (if router then "lcp_router_" else "lcp_server_") ^ name in
-    Format.printf "%9.1f %9.1f %9.0f %9.0f %9.0f %9.0f %6s %6.0f %6.0f %s@."
+    Format.printf
+      "%9.1f %9.1f %9.0f %9.0f %9.0f %9.0f %6s %6.0f %6.0f %8s %8s %6s %s@."
       (f ~labels:w10 (p "request_rate"))
       (f ~labels:w10 (p "op_rate"))
       (f (p "requests_total"))
@@ -1432,6 +1794,7 @@ let top_cmd =
       (f
          (if router then "lcp_router_no_backend_total"
           else "lcp_server_overloaded_total"))
+      alloc_col heap_col major_col
       (if f (p "ready") > 0.5 then "yes" else "NO");
     if router then backend_rows text;
     (* partitioned-verification traffic gets its own row once any
@@ -1450,14 +1813,16 @@ let top_cmd =
      back up when it returns. The exit code only says whether any
      sample ever succeeded. *)
   let disconnected_row reason =
-    Format.printf "%9s %9s %9s %9s %9s %9s %6s %6s %6s disconnected (%s)@."
-      "-" "-" "-" "-" "-" "-" "-" "-" "-" reason
+    Format.printf
+      "%9s %9s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s disconnected (%s)@."
+      "-" "-" "-" "-" "-" "-" "-" "-" "-" "-" "-" "-" reason
   in
   let run host port interval iterations =
     let stop = ref false in
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
      with Invalid_argument _ | Sys_error _ -> ());
     let successes = ref 0 and rows = ref 0 in
+    let gc_prev = ref None in
     let conn = ref None in
     let drop_conn () =
       Option.iter Client.close !conn;
@@ -1487,7 +1852,7 @@ let top_cmd =
             match Client.call c Wire.Metrics_text with
             | Ok (Wire.Metrics_text_reply text) ->
                 incr successes;
-                row (fun () -> sample text)
+                row (fun () -> sample gc_prev text)
             | Ok (Wire.Error_reply { message; _ }) ->
                 drop_conn ();
                 row (fun () -> disconnected_row ("server said: " ^ message))
@@ -1520,7 +1885,7 @@ let main =
     [
       schemes_cmd; prove_cmd; verify_cmd; partition_cmd; forge_cmd; stats_cmd;
       info_cmd; dot_cmd; attack_cmd; table_cmd; serve_cmd; route_cmd;
-      loadgen_cmd; trace_cmd; top_cmd;
+      loadgen_cmd; trace_cmd; profile_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -236,7 +236,7 @@ let request_key = function
       | [] -> ""
       | op :: _ -> op_key (Array.of_list graphs) op)
   | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ | Wire.Trace_export ->
+  | Wire.Drain _ | Wire.Trace_export | Wire.Profile_export ->
       ""
 
 (* A child span identity under the request's routing span; null stays
@@ -801,6 +801,10 @@ let metrics_text t =
         (float_of_int w.Obs.Window.counters.(w_errors)
         /. float_of_int w.Obs.Window.seconds))
     [ 1; 10; 60 ];
+  (* the router's own GC/profiler telemetry: its hot path is header
+     shuffling and connection pooling, which is exactly where an
+     allocation regression would hide *)
+  Obs.Profile.exposition e;
   Obs.Export.contents e
 
 (* --- stats ------------------------------------------------------------- *)
@@ -869,6 +873,7 @@ let request_kind = function
   | Wire.Health -> "health"
   | Wire.Drain _ -> "drain"
   | Wire.Trace_export -> "trace"
+  | Wire.Profile_export -> "profile"
 
 let handle_request t ~rid ~tctx req =
   Atomic.incr t.c_requests;
@@ -886,6 +891,9 @@ let handle_request t ~rid ~tctx req =
         Wire.Trace_export_reply
           (if !Obs.Trace.enabled then Obs.Trace.export_string ()
            else "{\"traceEvents\":[],\"dropped\":0}")
+    | Wire.Profile_export ->
+        (* local, like Trace_export: each process profiles itself *)
+        Wire.Profile_export_reply (Obs.Profile.export_string ())
     | Wire.Drain _ ->
         err Wire.Bad_request
           "drain is a backend-local operation: send it to a daemon, not the \

@@ -7,6 +7,7 @@ let m_queue_depth = Obs.Metrics.gauge_max "pool.queue_depth_max"
 let m_tasks = Obs.Metrics.counter "pool.tasks_completed"
 let m_busy_ns = Obs.Metrics.counter "pool.busy_ns"
 let m_idle_ns = Obs.Metrics.counter "pool.idle_ns"
+let m_alloc_bytes = Obs.Metrics.counter "pool.task_alloc_bytes"
 
 type t = {
   size : int;
@@ -42,12 +43,21 @@ let rec worker_loop p =
     let task = Queue.pop p.tasks in
     Mutex.unlock p.lock;
     let t_run = if !Obs.Metrics.enabled then Obs.Clock.now_ns () else 0 in
+    (* Profiler hooks: the "pool.task" span feeds the worker's
+       active-span stack (so the sampler attributes this domain's time
+       even with tracing off), and Gc.allocated_bytes bracketing — a
+       per-domain counter, exact because the task owns this domain —
+       charges the task's allocations to the pool counter. *)
+    let a_run = if !Obs.Profile.enabled then Gc.allocated_bytes () else 0.0 in
     (try
-       if !Obs.Trace.enabled then Obs.Trace.span "pool.task" task else task ()
+       if Obs.Trace.on () then Obs.Trace.span "pool.task" task else task ()
      with e ->
        Mutex.lock p.lock;
        if p.error = None then p.error <- Some e;
        Mutex.unlock p.lock);
+    if !Obs.Profile.enabled && a_run > 0.0 then
+      Obs.Metrics.add m_alloc_bytes
+        (int_of_float (Gc.allocated_bytes () -. a_run));
     if t_run <> 0 then Obs.Metrics.add m_busy_ns (Obs.Clock.now_ns () - t_run);
     Obs.Metrics.incr m_tasks;
     Mutex.lock p.lock;

@@ -191,7 +191,7 @@ let compile inst =
     { inst; csr; static_bits }
   in
   Obs.Metrics.incr m_compiles;
-  if !Obs.Trace.enabled then Obs.Trace.span "simulator.compile" build
+  if Obs.Trace.on () then Obs.Trace.span "simulator.compile" build
   else build ()
 
 let compiled_instance c = c.inst
@@ -360,7 +360,7 @@ let run_verifier ?(jobs = 1) ?compiled ?arena inst proof ~radius verifier =
   in
   let process ?ids_buf ?dists_buf scratch i =
     let payload = ref 0 in
-    let tracing = !Obs.Trace.enabled in
+    let tracing = Obs.Trace.on () in
     let view =
       if tracing then
         Obs.Trace.span_arg "simulator.ball" "node" (Csr.node c.csr i)
@@ -401,7 +401,7 @@ let run_verifier ?(jobs = 1) ?compiled ?arena inst proof ~radius verifier =
         | Some pool ->
             Pool.parallel_for pool ~chunks:(Pool.size pool) ~n (fun _c lo hi ->
                 let scratch = Csr.scratch c.csr in
-                if !Obs.Trace.enabled then
+                if Obs.Trace.on () then
                   Obs.Trace.span_arg "simulator.chunk" "nodes" (hi - lo)
                     (fun () ->
                       for i = lo to hi - 1 do
@@ -412,7 +412,7 @@ let run_verifier ?(jobs = 1) ?compiled ?arena inst proof ~radius verifier =
                     process scratch i
                   done))
   in
-  if !Obs.Trace.enabled then
+  if Obs.Trace.on () then
     Obs.Trace.span_arg "simulator.run_verifier" "nodes" n sweep
   else sweep ();
   (* Transcript of the synchronous exchange, computed in closed form:

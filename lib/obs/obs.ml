@@ -21,6 +21,7 @@ module Export = Export
 module Log = Log
 module Json = Json
 module Trace_merge = Trace_merge
+module Profile = Profile
 
 (* Ring-wrap losses were silent; surfacing them as an external counter
    puts them in every snapshot (and thus the Prometheus exposition)

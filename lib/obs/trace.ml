@@ -120,42 +120,102 @@ let emit_ctx ph name arg_name arg ctx ts dur =
 let emit ph name arg_name arg ts dur =
   emit_ctx ph name arg_name arg null_ctx ts dur
 
-let span name f =
-  if not !enabled then f ()
+(* --- per-domain active-span stacks (the profiler's raw material) ---- *)
+
+(* Each domain owns a fixed-size stack of the span names currently
+   open on it, maintained by the [span*] entry points when [stacks_on]
+   is set (the profiler's switch — tracing alone never pays for it).
+   The stacks are read cross-thread by the [Profile] sampler without
+   any synchronisation: a torn read costs one misattributed sample,
+   never a crash, because every slot always holds a valid string.
+   Threads multiplexed onto one domain (the server's connection
+   threads all live on domain 0) share that domain's stack; their
+   interleaved pushes and pops stay depth-balanced, so the shared lane
+   degrades to attribution noise while the pool domains — where the
+   compute actually runs, one task at a time — stay exact. *)
+
+let stacks_on = ref false
+let max_stack_domains = 128
+let max_stack_depth = 32
+
+type dstack = { frames : string array; mutable depth : int }
+
+let stacks =
+  Array.init max_stack_domains (fun _ ->
+      { frames = Array.make max_stack_depth ""; depth = 0 })
+
+let push_frame name =
+  let id = (Domain.self () :> int) in
+  if id < max_stack_domains then begin
+    let s = stacks.(id) in
+    if s.depth >= 0 && s.depth < max_stack_depth then s.frames.(s.depth) <- name;
+    s.depth <- s.depth + 1
+  end
+
+let pop_frame () =
+  let id = (Domain.self () :> int) in
+  if id < max_stack_domains then begin
+    let s = stacks.(id) in
+    if s.depth > 0 then s.depth <- s.depth - 1
+  end
+
+let stack_snapshot id =
+  if id < 0 || id >= max_stack_domains then [||]
   else begin
+    let s = stacks.(id) in
+    let d = min s.depth max_stack_depth in
+    if d <= 0 then [||] else Array.init d (fun i -> s.frames.(i))
+  end
+
+let on () = !enabled || !stacks_on
+
+let span name f =
+  if not (!enabled || !stacks_on) then f ()
+  else begin
+    if !stacks_on then push_frame name;
     let t0 = Clock.now_ns () in
     match f () with
     | r ->
-        emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
         r
     | exception e ->
-        emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then emit 'X' name "" 0 t0 (Clock.now_ns () - t0);
         raise e
   end
 
 let span_arg name arg_name arg f =
-  if not !enabled then f ()
+  if not (!enabled || !stacks_on) then f ()
   else begin
+    if !stacks_on then push_frame name;
     let t0 = Clock.now_ns () in
     match f () with
     | r ->
-        emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
         r
     | exception e ->
-        emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then emit 'X' name arg_name arg t0 (Clock.now_ns () - t0);
         raise e
   end
 
 let span_ctx name arg_name arg ctx f =
-  if not !enabled then f ()
+  if not (!enabled || !stacks_on) then f ()
   else begin
+    if !stacks_on then push_frame name;
     let t0 = Clock.now_ns () in
     match f () with
     | r ->
-        emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then
+          emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
         r
     | exception e ->
-        emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
+        if !stacks_on then pop_frame ();
+        if !enabled then
+          emit_ctx 'X' name arg_name arg ctx t0 (Clock.now_ns () - t0);
         raise e
   end
 
@@ -259,19 +319,30 @@ let export_slice path ~since_ns ~until_ns =
     ~finally:(fun () -> close_out oc)
     (fun () -> export_filtered oc (fun ts -> ts >= lo && ts <= hi))
 
+(* mkdir -p without the unix dependency: walk up with
+   Filename.dirname, then create on the way back down. Races and
+   pre-existing components surface as Sys_error and are ignored — the
+   caller's subsequent open reports any real failure. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let sanitize_process () =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    !process
+
 (* One spool file per process under [dir], named after [process] so
-   `lcp trace merge dir/*.json` picks up every lane. Sys.mkdir keeps
-   this module free of the unix dependency. *)
+   `lcp trace merge dir/*.json` picks up every lane. *)
 let spool ~dir =
-  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-  let safe =
-    String.map
-      (fun c ->
-        match c with
-        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
-        | _ -> '_')
-      !process
+  mkdir_p dir;
+  let path =
+    Filename.concat dir (Printf.sprintf "trace-%s.json" (sanitize_process ()))
   in
-  let path = Filename.concat dir (Printf.sprintf "trace-%s.json" safe) in
   export path;
   path

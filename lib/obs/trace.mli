@@ -65,6 +65,36 @@ val set_capacity : int -> unit
 val clear : unit -> unit
 (** Drop all events and re-zero the time origin. *)
 
+(** {1 Active-span stacks (profiler support)} *)
+
+val stacks_on : bool ref
+(** When set (by {!Obs.Profile}), every [span*] entry point also
+    pushes its name onto the calling domain's active-span stack and
+    pops it when the thunk returns — the wall-clock sampler reads
+    these stacks cross-thread. Off by default; tracing alone never
+    maintains the stacks. Prefer {!Obs.Profile.start}. *)
+
+val on : unit -> bool
+(** [!enabled || !stacks_on] — the guard for call sites that build a
+    non-trivial span argument: the span must run if {e either} tracing
+    or profiling wants it. *)
+
+val max_stack_domains : int
+(** Domains with id >= this are not stack-tracked (they still trace). *)
+
+val stack_snapshot : int -> string array
+(** [stack_snapshot domain_id] — the names currently open on that
+    domain, outermost first; [[||]] when idle or out of range. Read
+    without synchronisation: a concurrently-mutating stack can yield a
+    frame list that never existed, which costs one misattributed
+    sample and nothing else. *)
+
+val mkdir_p : string -> unit
+(** Create [dir] and any missing parents (mkdir -p semantics);
+    existing components and races are silently fine. Used by every
+    [--trace-dir] / [--slow-dir] / [--profile-dir] sink so a fresh
+    deployment's first write cannot fail on a missing directory. *)
+
 val span : string -> (unit -> 'a) -> 'a
 (** Run the thunk and record a complete ("ph":"X") event with its
     duration. The event is recorded (and the exception re-raised) even

@@ -222,6 +222,9 @@ type report = {
   batch_frames : lat_summary;
   targets : target_stat list;
   server : Wire.server_stats option;
+  gc_alloc_bytes : float;
+  gc_minor : int;
+  gc_major : int;
 }
 
 let summarise ns_list =
@@ -461,6 +464,11 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
                 w_batch_ns = [];
               })
         in
+        (* Client-side GC bracket: worker threads share this domain
+           (systhreads), so the domain-local counters cover the whole
+           run — the client half of a bench's allocation ledger. *)
+        let gc0 = Gc.quick_stat () in
+        let alloc0 = Gc.allocated_bytes () in
         let t0 = Obs.Clock.now_ns () in
         let threads =
           List.init connections (fun conn_id ->
@@ -473,6 +481,10 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
         in
         List.iter Thread.join threads;
         let total_s = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0) in
+        let gc_alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+        let gc1 = Gc.quick_stat () in
+        let gc_minor = gc1.Gc.minor_collections - gc0.Gc.minor_collections in
+        let gc_major = gc1.Gc.major_collections - gc0.Gc.major_collections in
         let per_target =
           List.mapi
             (fun i (t_host, t_port) ->
@@ -553,6 +565,9 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
             batch_frames = summarise batch_ns;
             targets = per_target;
             server = server_stats;
+            gc_alloc_bytes;
+            gc_minor;
+            gc_major;
           }
 
 (* --- rendering -------------------------------------------------------- *)
@@ -607,7 +622,7 @@ let report_json r =
          r.targets)
   in
   Printf.sprintf
-    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"batch":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"throughput_ops":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"batch_frames":%s,"targets":[%s],"server":%s}|}
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"batch":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"throughput_ops":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"batch_frames":%s,"targets":[%s],"server":%s,"gc":{"allocated_bytes":%.0f,"minor_collections":%d,"major_collections":%d}}|}
     (json_escape r.scheme)
     (String.concat "," (List.map string_of_int r.sizes))
     r.connections r.requests_per_connection r.batch r.prove_weight
@@ -615,7 +630,7 @@ let report_json r =
     by_code r.id_mismatches (summary_json r.overall) (summary_json r.prove)
     (summary_json r.verify)
     (summary_json r.batch_frames)
-    targets_json server
+    targets_json server r.gc_alloc_bytes r.gc_minor r.gc_major
 
 let pp_summary ppf name { count; latency } =
   match latency with
@@ -662,6 +677,11 @@ let pp_report ppf r =
           "target:  %s:%d  %d connection(s), %d ok, %d error(s)@." t.t_host
           t.t_port t.t_connections t.t_ok t.t_errors)
       r.targets;
+  if r.gc_alloc_bytes > 0.0 then
+    Format.fprintf ppf
+      "client:  %.1f MB allocated, %d minor / %d major collection(s)@."
+      (r.gc_alloc_bytes /. 1_048_576.0)
+      r.gc_minor r.gc_major;
   match r.server with
   | None -> ()
   | Some st ->

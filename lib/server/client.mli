@@ -161,6 +161,12 @@ type report = {
   server : Wire.server_stats option;
       (** The first endpoint's own stats, fetched after the run —
           shows the cache hit rate the workload achieved. *)
+  gc_alloc_bytes : float;
+      (** Bytes the loadgen process itself allocated during the timed
+          run — the client side of the cost ledger, next to the
+          server's [lcp_gc_allocated_bytes_total]. *)
+  gc_minor : int;  (** Client minor collections during the run. *)
+  gc_major : int;  (** Client major collections during the run. *)
 }
 
 val loadgen :

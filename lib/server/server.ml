@@ -164,6 +164,11 @@ let listen_on host port =
 let create config =
   if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
   if config.max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+  (* the slow-request recorder writes its first slice mid-request;
+     create the sink directory now so a fresh deployment cannot lose
+     the very slice that would explain its first slow request *)
+  if config.slow_ms > 0 && config.slow_dir <> "" then
+    Obs.Trace.mkdir_p config.slow_dir;
   let sock, actual_port = listen_on config.host config.port in
   let http_sock, actual_http_port =
     if config.http_port < 0 then (None, -1)
@@ -579,7 +584,7 @@ let compute_one t ctx req =
               }
           end)
   | Wire.Batch _ | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ | Wire.Trace_export ->
+  | Wire.Drain _ | Wire.Trace_export | Wire.Profile_export ->
       err Wire.Internal "request dispatched to a worker by mistake"
 
 let item_of_response = function
@@ -705,6 +710,39 @@ let compute_batch t ctx ~deadline ~graphs ~proofs ~ops =
   in
   Wire.Batch_reply items
 
+let request_kind = function
+  | Wire.Prove _ -> "prove"
+  | Wire.Verify _ -> "verify"
+  | Wire.Forge _ -> "forge"
+  | Wire.Batch _ -> "batch"
+  | Wire.Verify_partition _ -> "verify_partition"
+  | Wire.Stats -> "stats"
+  | Wire.Catalog -> "catalog"
+  | Wire.Metrics_text -> "metrics"
+  | Wire.Health -> "health"
+  | Wire.Drain _ -> "drain"
+  | Wire.Trace_export -> "trace"
+  | Wire.Profile_export -> "profile"
+
+let request_scheme = function
+  | Wire.Prove { scheme; _ }
+  | Wire.Verify { scheme; _ }
+  | Wire.Forge { scheme; _ }
+  | Wire.Verify_partition { scheme; _ } ->
+      scheme
+  | Wire.Batch { ops; _ } -> (
+      (* batches are routed by their first op's scheme; mixed-scheme
+         batches log the same way *)
+      match ops with
+      | Wire.Op_prove { scheme; _ } :: _
+      | Wire.Op_verify { scheme; _ } :: _
+      | Wire.Op_forge { scheme; _ } :: _ ->
+          scheme
+      | [] -> "-")
+  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
+  | Wire.Drain _ | Wire.Trace_export | Wire.Profile_export ->
+      "-"
+
 (* Runs on a worker domain. The deadline is measured from the
    request's arrival on the connection thread, so queue wait counts
    against it. *)
@@ -728,7 +766,7 @@ let compute t ctx req =
           compute_batch t ctx ~deadline ~graphs ~proofs ~ops
       | req -> compute_one t ctx req
     in
-    let resp =
+    let run () =
       if !Obs.Trace.enabled then begin
         let c = child_trace ctx in
         let saved = ctx.tparent in
@@ -738,6 +776,21 @@ let compute t ctx req =
         resp
       end
       else body ()
+    in
+    let resp =
+      (* per-scheme cost accounting: this closure owns the worker
+         domain, so Gc.allocated_bytes bracketing is exact for the
+         request (plus the span-emit noise, which is constant) *)
+      if !Obs.Profile.enabled then begin
+        let p0 = Obs.Clock.now_ns () in
+        let a0 = Gc.allocated_bytes () in
+        let resp = run () in
+        Obs.Profile.account ~scheme:(request_scheme req)
+          ~cpu_ns:(Obs.Clock.now_ns () - p0)
+          ~alloc_bytes:(Gc.allocated_bytes () -. a0);
+        resp
+      end
+      else run ()
     in
     ctx.compute_ns <- Obs.Clock.now_ns () - dequeue_ns;
     if Obs.Clock.now_ns () > deadline then
@@ -885,6 +938,9 @@ let metrics_text t =
            w.Obs.Window.counters.(w_hits)
            w.Obs.Window.counters.(w_misses)))
     [ 1; 10; 60 ];
+  (* GC/runtime telemetry and the profiler's families: live
+     quick_stat values plus sampler counters and per-scheme costs *)
+  Obs.Profile.exposition e;
   if !Obs.Metrics.enabled then
     Obs.Export.metrics_snapshot e (Obs.Metrics.snapshot ());
   Obs.Export.contents e
@@ -929,38 +985,6 @@ let metrics_json t =
   Buffer.contents b
 
 (* --- per-request telemetry -------------------------------------------- *)
-
-let request_kind = function
-  | Wire.Prove _ -> "prove"
-  | Wire.Verify _ -> "verify"
-  | Wire.Forge _ -> "forge"
-  | Wire.Batch _ -> "batch"
-  | Wire.Verify_partition _ -> "verify_partition"
-  | Wire.Stats -> "stats"
-  | Wire.Catalog -> "catalog"
-  | Wire.Metrics_text -> "metrics"
-  | Wire.Health -> "health"
-  | Wire.Drain _ -> "drain"
-  | Wire.Trace_export -> "trace"
-
-let request_scheme = function
-  | Wire.Prove { scheme; _ }
-  | Wire.Verify { scheme; _ }
-  | Wire.Forge { scheme; _ }
-  | Wire.Verify_partition { scheme; _ } ->
-      scheme
-  | Wire.Batch { ops; _ } -> (
-      (* batches are routed by their first op's scheme; mixed-scheme
-         batches log the same way *)
-      match ops with
-      | Wire.Op_prove { scheme; _ } :: _
-      | Wire.Op_verify { scheme; _ } :: _
-      | Wire.Op_forge { scheme; _ } :: _ ->
-          scheme
-      | [] -> "-")
-  | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
-  | Wire.Drain _ | Wire.Trace_export ->
-      "-"
 
 let outcome_of = function
   | Wire.Error_reply { code; _ } -> Wire.error_code_to_string code
@@ -1045,7 +1069,8 @@ let handle_request t ctx req =
     | Wire.Batch _ -> m_req_batch
     | Wire.Stats -> m_req_stats
     | Wire.Catalog -> m_req_catalog
-    | Wire.Metrics_text | Wire.Health | Wire.Drain _ | Wire.Trace_export ->
+    | Wire.Metrics_text | Wire.Health | Wire.Drain _ | Wire.Trace_export
+    | Wire.Profile_export ->
         m_req_telemetry);
   let body () =
     match req with
@@ -1059,6 +1084,10 @@ let handle_request t ctx req =
         Wire.Trace_export_reply
           (if !Obs.Trace.enabled then Obs.Trace.export_string ()
            else "{\"traceEvents\":[],\"dropped\":0}")
+    | Wire.Profile_export ->
+        (* inline for the same reason as Trace_export: a saturated
+           pool is exactly when the profile is wanted *)
+        Wire.Profile_export_reply (Obs.Profile.export_string ())
     | Wire.Drain { enable } ->
         (* graceful drain: keep serving everything, but report
            not-ready so a routing frontend stops sending new work *)

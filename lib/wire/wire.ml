@@ -70,6 +70,7 @@ type request =
   | Health
   | Drain of { enable : bool }
   | Trace_export
+  | Profile_export
 
 type error_code =
   | Bad_frame
@@ -127,6 +128,7 @@ type response =
   | Health_reply of health
   | Drain_reply of { draining : bool; pending : int }
   | Trace_export_reply of string
+  | Profile_export_reply of string
   | Error_reply of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -175,6 +177,7 @@ let request_tag = function
   | Batch _ -> 0x09
   | Trace_export -> 0x0A
   | Verify_partition _ -> 0x0B
+  | Profile_export -> 0x0C
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -188,6 +191,7 @@ let response_tag = function
   | Batch_reply _ -> 0x89
   | Trace_export_reply _ -> 0x8A
   | Partition_verified _ -> 0x8B
+  | Profile_export_reply _ -> 0x8C
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -525,7 +529,9 @@ let request_body req =
       w_u16 b shard_index;
       w_u16 b shard_count
   | Drain { enable } -> w_u8 b (if enable then 1 else 0)
-  | Stats | Catalog | Metrics_text | Health | Trace_export -> ());
+  | Stats | Catalog | Metrics_text | Health | Trace_export | Profile_export
+    ->
+      ());
   Buffer.contents b
 
 let encode_request ?(version = protocol_version) ?(id = 0) ?trace req =
@@ -562,6 +568,7 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
         in
         Batch { graphs; proofs; ops }
     | 0x0A -> Trace_export
+    | 0x0C -> Profile_export
     | 0x0B ->
         if version < 2 then
           fail "Verify_partition requires protocol version 2";
@@ -695,6 +702,7 @@ let response_body resp =
       w_u8 b (if draining then 1 else 0);
       w_u32 b pending
   | Trace_export_reply json -> w_string b json
+  | Profile_export_reply json -> w_string b json
   | Error_reply { code; message } ->
       w_u8 b (error_code_to_int code);
       w_string b message);
@@ -752,6 +760,7 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         Drain_reply { draining; pending = r_u32 c }
     | 0x89 -> Batch_reply (r_list16 c ~min_entry_bytes:2 r_batch_item)
     | 0x8A -> Trace_export_reply (r_string c)
+    | 0x8C -> Profile_export_reply (r_string c)
     | 0x8B ->
         let all_accept = r_bool c in
         let owned = r_u32 c in
@@ -832,6 +841,7 @@ let equal_request a b =
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
   | Trace_export, Trace_export -> true
+  | Profile_export, Profile_export -> true
   | Drain a, Drain b -> a.enable = b.enable
   | _ -> false
 
@@ -877,5 +887,6 @@ let equal_response a b =
   | Drain_reply a, Drain_reply b ->
       a.draining = b.draining && a.pending = b.pending
   | Trace_export_reply a, Trace_export_reply b -> a = b
+  | Profile_export_reply a, Profile_export_reply b -> a = b
   | Error_reply a, Error_reply b -> a.code = b.code && a.message = b.message
   | _ -> false

@@ -152,6 +152,12 @@ type request =
           the same bytes a [--trace-dir] spool file holds, served over
           the wire so a merger can collect live processes without
           filesystem access. *)
+  | Profile_export
+      (** Fetch the process's continuous profile (attribution tree,
+          GC telemetry, per-scheme cost accounts) as one JSON object
+          — the {!Obs.Profile.export_string} body. Answered inline by
+          daemon and router, even when profiling is off (zero-sample
+          document), so a fetcher never needs to know the flag. *)
 
 type error_code =
   | Bad_frame  (** Unparseable frame: the connection is out of sync. *)
@@ -228,6 +234,10 @@ type response =
           how many tasks are still queued or running. *)
   | Trace_export_reply of string
       (** The trace ring rendered as Chrome trace-event JSON. *)
+  | Profile_export_reply of string
+      (** The continuous profile as JSON: sample counts, collapsed
+          stacks, an embedded speedscope document, GC stats and the
+          per-scheme cost table. *)
   | Error_reply of { code : error_code; message : string }
 
 val error_code_to_string : error_code -> string

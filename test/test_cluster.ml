@@ -455,6 +455,14 @@ let router_admin_endpoints () =
       check "catalog forwarded" true
         (List.exists (fun e -> e.Wire.name = "eulerian") entries)
   | _ -> Alcotest.fail "catalog through router");
+  (* Profile_export is answered by the router itself (its own
+     attribution, not a backend's), valid even with the profiler off,
+     and the GC families ride its exposition below *)
+  (match call c Wire.Profile_export with
+  | Wire.Profile_export_reply json ->
+      check "router profile parses" true
+        (Result.is_ok (Obs.Json.parse json))
+  | _ -> Alcotest.fail "profile export through router");
   (* Drain is a backend-local admin operation: the router refuses it *)
   (match call c (Wire.Drain { enable = true }) with
   | Wire.Error_reply e ->
@@ -477,6 +485,9 @@ let router_admin_endpoints () =
       (match find "lcp_router_alive_backends" [] with
       | Some v -> check "both backends alive" true (v = 2.0)
       | None -> Alcotest.fail "lcp_router_alive_backends missing");
+      (match find "lcp_gc_minor_collections_total" [] with
+      | Some v -> check "router gc telemetry" true (v >= 0.0)
+      | None -> Alcotest.fail "lcp_gc_minor_collections_total missing");
       let b0 =
         List.nth (Router.stats r).Router.per_backend 0
       in

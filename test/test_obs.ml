@@ -538,6 +538,189 @@ let metrics_json_parses () =
         | _ -> false)
   | _ -> Alcotest.fail "to_json did not produce an object"
 
+(* --- Json edge cases -------------------------------------------------- *)
+
+(* The parser is the read side of every export in the system (trace
+   spools, profile exports, bench JSON), so its totality contract —
+   malformed input is an [Error], never an exception — gets pinned
+   directly. *)
+let json_edge_cases () =
+  let parse s = Obs.Json.parse s in
+  (* string escapes, including \uXXXX decoded to UTF-8 *)
+  (match parse {|{"a":"q\" b\\ s\/ n\n t\t u\u0041 e\u00e9"}|} with
+  | Ok (Obs.Json.Obj [ ("a", Obs.Json.Str v) ]) ->
+      Alcotest.(check string)
+        "escapes decode" "q\" b\\ s/ n\n t\t uA e\xc3\xa9" v
+  | Ok j -> Alcotest.failf "unexpected shape: %s" (Obs.Json.to_string j)
+  | Error m -> Alcotest.failf "escapes: %s" m);
+  (* deep nesting of arrays and objects *)
+  (match parse {|[[[{"x":[1,[2],{"y":null,"z":[{}]}]}]]]|} with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "nesting: %s" m);
+  (* exponent forms all land on the same float *)
+  List.iter
+    (fun (txt, want) ->
+      match parse txt with
+      | Ok (Obs.Json.Num v) ->
+          check (Printf.sprintf "number %s" txt) true
+            (Float.abs (v -. want) < 1e-9)
+      | Ok j -> Alcotest.failf "%s: unexpected %s" txt (Obs.Json.to_string j)
+      | Error m -> Alcotest.failf "%s: %s" txt m)
+    [
+      ("1e3", 1000.0); ("-2.5E-2", -0.025); ("0.125e+2", 12.5);
+      ("-0", 0.0); ("1234567890123", 1234567890123.0);
+    ];
+  (* truncated / malformed inputs: Error with an offset, not an
+     exception, and trailing bytes after a complete value are refused *)
+  List.iter
+    (fun txt ->
+      match parse txt with
+      | Error _ -> ()
+      | Ok j ->
+          Alcotest.failf "%S should not parse (got %s)" txt
+            (Obs.Json.to_string j))
+    [
+      {|{"a":|}; "[1,2"; {|"abc|}; {|{"a":1|}; "tru"; "-"; "1e"; "";
+      {|{"a" 1}|}; "[1 2]"; {|{} x|}; {|"bad \q escape"|}; {|"\u00g1"|};
+    ]
+
+(* --- profile ----------------------------------------------------------- *)
+
+let with_profile_reset f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.enabled := false;
+      Obs.Trace.stacks_on := false;
+      Obs.Profile.reset ();
+      Obs.disable ())
+    f
+
+(* Drive the sampler synchronously: stacks_on makes span push frames
+   even with the trace ring off, and sample_now folds whatever is
+   open on this domain into the attribution table. *)
+let profile_attribution () =
+  with_profile_reset @@ fun () ->
+  Obs.Profile.reset ();
+  Obs.Profile.enabled := true;
+  Obs.Trace.stacks_on := true;
+  check "Trace.on sees stacks_on" true (Obs.Trace.on ());
+  Obs.Trace.span "outer" (fun () ->
+      Obs.Trace.span "inner" (fun () ->
+          Obs.Profile.sample_now ();
+          Obs.Profile.sample_now ());
+      Obs.Profile.sample_now ());
+  check_int "ticks counted" 3 (Obs.Profile.samples ());
+  check_int "non-idle stacks" 3 (Obs.Profile.stack_samples ());
+  let collapsed = Obs.Profile.collapsed () in
+  check "outer;inner weighted 2" true
+    (List.mem "outer;inner 2" (String.split_on_char '\n' collapsed));
+  check "outer alone weighted 1" true
+    (List.mem "outer 1" (String.split_on_char '\n' collapsed));
+  (* frames pop on the way out: sampling outside the spans adds
+     nothing *)
+  Obs.Profile.sample_now ();
+  check_int "idle tick adds no stack" 3 (Obs.Profile.stack_samples ());
+  (* exception safety: a raising span must still pop its frame *)
+  (try Obs.Trace.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.Profile.sample_now ();
+  check_int "frame popped on raise" 3 (Obs.Profile.stack_samples ())
+
+let profile_exports_parse () =
+  with_profile_reset @@ fun () ->
+  Obs.Profile.reset ();
+  Obs.Profile.enabled := true;
+  Obs.Trace.stacks_on := true;
+  Obs.Trace.span "compile" (fun () -> Obs.Profile.sample_now ());
+  Obs.Profile.account ~scheme:"eulerian" ~cpu_ns:5000 ~alloc_bytes:2048.0;
+  Obs.Profile.account ~scheme:"eulerian" ~cpu_ns:3000 ~alloc_bytes:1024.0;
+  Obs.Profile.account ~scheme:"bipartite" ~cpu_ns:100 ~alloc_bytes:64.0;
+  (match Obs.Profile.schemes () with
+  | [ ("eulerian", 8000, a, 2); ("bipartite", 100, b, 1) ] ->
+      check "eulerian alloc summed" true (a = 3072.0);
+      check "bipartite alloc" true (b = 64.0)
+  | rows ->
+      Alcotest.failf "unexpected scheme rows (%d)" (List.length rows));
+  (* the full wire-reply document parses with our own parser... *)
+  let doc =
+    match Obs.Json.parse (Obs.Profile.export_string ()) with
+    | Ok d -> d
+    | Error m -> Alcotest.failf "export_string unparseable: %s" m
+  in
+  let member name = Obs.Json.member name doc in
+  check "has gc object" true
+    (match member "gc" with Some (Obs.Json.Obj _) -> true | _ -> false);
+  check "collapsed mentions compile" true
+    (match Option.bind (member "collapsed") Obs.Json.to_string_opt with
+    | Some c ->
+        let re = "compile 1" in
+        List.mem re (String.split_on_char '\n' c)
+    | None -> false);
+  (* ...and so does the embedded speedscope profile, with consistent
+     frame indices and one weight per sample *)
+  (match member "speedscope" with
+  | Some ss -> (
+      check "schema url" true
+        (match
+           Option.bind (Obs.Json.member "$schema" ss) Obs.Json.to_string_opt
+         with
+        | Some u -> u = "https://www.speedscope.app/file-format-schema.json"
+        | None -> false);
+      match
+        Option.bind (Obs.Json.member "profiles" ss) Obs.Json.to_list
+      with
+      | Some [ prof ] ->
+          let n_samples =
+            match
+              Option.bind (Obs.Json.member "samples" prof) Obs.Json.to_list
+            with
+            | Some l -> List.length l
+            | None -> -1
+          in
+          let n_weights =
+            match
+              Option.bind (Obs.Json.member "weights" prof) Obs.Json.to_list
+            with
+            | Some l -> List.length l
+            | None -> -2
+          in
+          check "one weight per sample" true (n_samples = n_weights)
+      | _ -> Alcotest.fail "speedscope.profiles should hold one profile")
+  | None -> Alcotest.fail "export has no speedscope member");
+  (* a reset-and-disabled profiler still exports a valid document *)
+  Obs.Profile.enabled := false;
+  Obs.Trace.stacks_on := false;
+  Obs.Profile.reset ();
+  match Obs.Json.parse (Obs.Profile.export_string ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "zero-sample export unparseable: %s" m
+
+(* Satellite: every spool directory option means mkdir -p. A nested
+   path that does not exist yet must be created, and spooling into an
+   existing directory must stay idempotent. *)
+let spool_mkdir_p () =
+  with_profile_reset @@ fun () ->
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcp_obs_%d" (Unix.getpid ()))
+  in
+  let nested = Filename.concat (Filename.concat base "a") "b" in
+  check "nested dir absent before" false (Sys.file_exists nested);
+  Obs.Trace.mkdir_p nested;
+  check "nested dir created" true
+    (Sys.file_exists nested && Sys.is_directory nested);
+  Obs.Trace.mkdir_p nested (* idempotent *);
+  let saved = !Obs.Trace.process in
+  Obs.Trace.process := "spool-test";
+  Fun.protect ~finally:(fun () -> Obs.Trace.process := saved) @@ fun () ->
+  let deeper = Filename.concat nested "c" in
+  let tpath = Obs.Trace.spool ~dir:deeper in
+  check "trace spool created its dir" true (Sys.file_exists tpath);
+  let ppath = Obs.Profile.spool ~dir:(Filename.concat nested "d") in
+  check "profile spool created its dir" true (Sys.file_exists ppath);
+  check "profile spool named after process" true
+    (Filename.basename ppath = "profile-spool-test.json")
+
 let suite =
   ( "obs",
     [
@@ -562,4 +745,8 @@ let suite =
       Alcotest.test_case "trace merge aligns clocks" `Quick
         trace_merge_aligns_clocks;
       Alcotest.test_case "metrics to_json parses" `Quick metrics_json_parses;
+      Alcotest.test_case "json edge cases" `Quick json_edge_cases;
+      Alcotest.test_case "profile attribution tree" `Quick profile_attribution;
+      Alcotest.test_case "profile exports parse" `Quick profile_exports_parse;
+      Alcotest.test_case "spool dirs are mkdir -p" `Quick spool_mkdir_p;
     ] )

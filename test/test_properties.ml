@@ -193,15 +193,37 @@ let qcheck_tree_cert_tamper =
             Proof.set proof victim
               (Bits.flip bits (Random.State.int st (Bits.length bits)))
           in
-          (* either caught, or the flip happened to decode identically;
-             never silently accepted with a *different* decoded cert *)
+          (* Tree certificates are not unique: a flip can legally land
+             on a *different* valid certificate (e.g. an alternative
+             parent at the same BFS distance). The sound property is
+             that anything accepted still decodes, node by node, to a
+             consistent assignment — root fields all name the leader
+             and parent pointers follow graph edges with strictly
+             decreasing distance, which forces a spanning tree rooted
+             at the leader. *)
+          let consistent_assignment proof =
+            List.for_all
+              (fun v ->
+                match Tree_cert.decode (Proof.get proof v) with
+                | exception Bits.Reader.Decode_error _ -> false
+                | c ->
+                    c.Tree_cert.root = 0
+                    &&
+                    if c.Tree_cert.dist = 0 then
+                      v = 0 && c.Tree_cert.parent = None
+                    else (
+                      match c.Tree_cert.parent with
+                      | None -> false
+                      | Some p ->
+                          Graph.mem_edge g v p
+                          && (Tree_cert.decode (Proof.get proof p))
+                               .Tree_cert.dist
+                             = c.Tree_cert.dist - 1))
+              (Graph.nodes g)
+          in
           (match Scheme.decide Leader_election.strong inst corrupted with
           | Scheme.Reject _ -> true
-          | Scheme.Accept -> (
-              try
-                Tree_cert.decode (Proof.get corrupted victim)
-                = Tree_cert.decode bits
-              with Bits.Reader.Decode_error _ -> false))
+          | Scheme.Accept -> consistent_assignment corrupted)
       | _ -> false)
 
 let suite =

@@ -49,7 +49,8 @@ let expect_error code what = function
         | Wire.Drain_reply _ -> "Drain_reply"
         | Wire.Batch_reply _ -> "Batch_reply"
         | Wire.Partition_verified _ -> "Partition_verified"
-        | Wire.Trace_export_reply _ -> "Trace_export_reply")
+        | Wire.Trace_export_reply _ -> "Trace_export_reply"
+        | Wire.Profile_export_reply _ -> "Profile_export_reply")
 
 (* ------------------------------------------------------------------ *)
 (* In-process units: the LRU and the scheme registry. *)
@@ -921,6 +922,90 @@ let trace_export_disabled () =
       check "empty traceEvents" true (contains ~sub:"\"traceEvents\":[]" json)
   | r -> expect_error Wire.Internal "trace export" r
 
+(* Continuous profiling end to end: with the sampler running, a
+   served mix must produce per-scheme accounts (the exact channel is
+   driven by every request, so this is deterministic), the
+   Profile_export endpoint must answer with a document our own JSON
+   parser accepts, and the GC / profiler / per-scheme families must
+   appear on the same exposition `lcp top` scrapes. *)
+let profile_export_e2e () =
+  Obs.Profile.reset ();
+  Obs.Profile.start ~hz:499 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.stop ();
+      Obs.Profile.reset ())
+  @@ fun () ->
+  with_server { Server.default_config with jobs = 2 } @@ fun _t port ->
+  with_client port @@ fun c ->
+  let g6 = Graph6.encode (Builders.cycle 64) in
+  for _ = 1 to 8 do
+    match call c (Wire.Prove { scheme = "eulerian"; graph6 = g6 }) with
+    | Wire.Proved _ -> ()
+    | r -> expect_error Wire.Internal "prove" r
+  done;
+  (* exact channel: every request was accounted to its scheme *)
+  (match Obs.Profile.schemes () with
+  | [ ("eulerian", cpu, alloc, 8) ] ->
+      check "cpu attributed" true (cpu > 0);
+      check "alloc attributed" true (alloc >= 0.0)
+  | rows -> Alcotest.failf "unexpected scheme rows (%d)" (List.length rows));
+  (* sampler thread is live (it ticks even when the pool is idle) *)
+  check "sampler ticked" true (Obs.Profile.samples () > 0);
+  (match call c Wire.Profile_export with
+  | Wire.Profile_export_reply json -> (
+      match Obs.Json.parse json with
+      | Error m -> Alcotest.failf "profile export unparseable: %s" m
+      | Ok doc ->
+          check "export says enabled" true
+            (match Obs.Json.member "enabled" doc with
+            | Some (Obs.Json.Bool b) -> b
+            | _ -> false);
+          check "export names the scheme" true
+            (contains ~sub:"\"scheme\":\"eulerian\"" json);
+          check "export embeds speedscope" true
+            (match Obs.Json.member "speedscope" doc with
+            | Some (Obs.Json.Obj _) -> true
+            | _ -> false))
+  | r -> expect_error Wire.Internal "profile export" r);
+  match call c Wire.Metrics_text with
+  | Wire.Metrics_text_reply text ->
+      List.iter
+        (fun family ->
+          check (family ^ " exposed") true (contains ~sub:family text))
+        [
+          "lcp_gc_minor_collections_total"; "lcp_gc_major_collections_total";
+          "lcp_gc_allocated_bytes_total"; "lcp_gc_heap_bytes";
+          "lcp_profile_samples_total";
+          "lcp_scheme_cpu_ns_total{scheme=\"eulerian\"}";
+          "lcp_scheme_requests_total{scheme=\"eulerian\"}";
+        ]
+  | r -> expect_error Wire.Internal "metrics text" r
+
+let profile_export_disabled () =
+  (* with the profiler off the endpoint still answers a valid
+     zero-sample document — `lcp profile fetch` is safe anywhere, and
+     the GC families stay on the exposition (live Gc.quick_stat) *)
+  with_server Server.default_config @@ fun _t port ->
+  with_client port @@ fun c ->
+  (match call c Wire.Profile_export with
+  | Wire.Profile_export_reply json -> (
+      match Obs.Json.parse json with
+      | Error m -> Alcotest.failf "disabled export unparseable: %s" m
+      | Ok doc ->
+          check "disabled export says so" true
+            (match Obs.Json.member "enabled" doc with
+            | Some (Obs.Json.Bool b) -> not b
+            | _ -> false))
+  | r -> expect_error Wire.Internal "profile export" r);
+  match call c Wire.Metrics_text with
+  | Wire.Metrics_text_reply text ->
+      check "gc telemetry present while off" true
+        (contains ~sub:"lcp_gc_minor_collections_total" text);
+      check "alloc-rate gauge absent while off" false
+        (contains ~sub:"lcp_gc_alloc_bytes_per_s" text)
+  | r -> expect_error Wire.Internal "metrics text" r
+
 let suite =
   ( "server",
     [
@@ -958,4 +1043,7 @@ let suite =
         wire_trace_parentage;
       Alcotest.test_case "trace export while disabled" `Quick
         trace_export_disabled;
+      Alcotest.test_case "profile export end to end" `Quick profile_export_e2e;
+      Alcotest.test_case "profile export while disabled" `Quick
+        profile_export_disabled;
     ] )

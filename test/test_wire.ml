@@ -179,6 +179,7 @@ let gen_request =
         return Wire.Metrics_text;
         return Wire.Health;
         return Wire.Trace_export;
+        return Wire.Profile_export;
         (let* enable = bool in
          return (Wire.Drain { enable }));
       ])
@@ -236,6 +237,8 @@ let gen_response =
          return (Wire.Drain_reply { draining; pending }));
         (let* json = gen_blob in
          return (Wire.Trace_export_reply json));
+        (let* json = gen_blob in
+         return (Wire.Profile_export_reply json));
         (let* items = list_size (int_bound 6) gen_batch_item in
          return (Wire.Batch_reply items));
         (let* code =
@@ -637,6 +640,31 @@ let batch_rejects () =
     (Result.is_error
        (Wire.decode_response (raw_frame ~version:1 ~tag:rtag "\x00\x01\x09")))
 
+(* Pin the profile-export frames deterministically (the QCheck
+   roundtrips also draw them, but a shrunk seed could skip the arm):
+   request 0x0C carries no payload, the reply carries one JSON blob,
+   and both work on v1 — profiling predates no wire capability. *)
+let profile_export_roundtrip () =
+  List.iter
+    (fun version ->
+      (match
+         Wire.decode_request
+           (Wire.encode_request ~version ~id:7 Wire.Profile_export)
+       with
+      | Ok (_, _, Wire.Profile_export) -> ()
+      | Ok _ -> Alcotest.failf "v%d: decoded to a different request" version
+      | Error m -> Alcotest.failf "v%d: decode failed: %s" version m);
+      let json = {|{"samples":3,"collapsed":"a;b 3\n"}|} in
+      match
+        Wire.decode_response
+          (Wire.encode_response ~version ~id:7 (Wire.Profile_export_reply json))
+      with
+      | Ok (_, _, Wire.Profile_export_reply j) ->
+          check_str "reply json survives" json j
+      | Ok _ -> Alcotest.failf "v%d: decoded to a different response" version
+      | Error m -> Alcotest.failf "v%d: reply decode failed: %s" version m)
+    [ 1; 2 ]
+
 let count_mismatch () =
   (* a Verify payload whose binding count claims more entries than the
      payload can hold must be rejected by the count guard, not by
@@ -673,4 +701,6 @@ let suite =
       Alcotest.test_case "batch truncations rejected" `Quick batch_truncations;
       Alcotest.test_case "batch rejects malformed" `Quick batch_rejects;
       Alcotest.test_case "inflated count rejected" `Quick count_mismatch;
+      Alcotest.test_case "profile export roundtrip" `Quick
+        profile_export_roundtrip;
     ] )
