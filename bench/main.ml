@@ -699,34 +699,64 @@ let json_of_result { row = r; outcome; wall_s; metrics; profile } =
         (json_escape (Complexity.label fit))
         (if matches then "MATCH" else "DIFFERS")
 
-let write_json path ~smoke ~total_wall_s ?service ?partition ?profile results
-    =
+let write_json path ~smoke ~total_wall_s ?service ?partition ?randomized
+    ?profile results =
+  let fresh =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"lcp\",\n\
+      \  \"engine\": \"%s\",\n\
+      \  \"jobs\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"metrics\": %b,\n\
+      \  \"total_wall_s\": %.6f,\n\
+       %s\
+       %s\
+       %s\
+       %s\
+      \  \"rows\": [\n%s\n  ]\n\
+       }\n"
+      (if !use_reference then "reference" else "csr")
+      !jobs smoke !collect_metrics total_wall_s
+      (match service with
+      | None -> ""
+      | Some s -> Printf.sprintf "  \"service\": %s,\n" s)
+      (match partition with
+      | None -> ""
+      | Some p -> Printf.sprintf "  \"partition\": %s,\n" p)
+      (match randomized with
+      | None -> ""
+      | Some r -> Printf.sprintf "  \"randomized\": %s,\n" r)
+      (match profile with
+      | None -> ""
+      | Some p -> Printf.sprintf "  \"profile\": %s,\n" p)
+      (String.concat ",\n" (List.map json_of_result results))
+  in
+  (* A run that skips a section (say, --service without --partition)
+     must not clobber the section a previous run wrote: merge the
+     fresh document over the file's current top level, fresh keys
+     winning. An unreadable or unparsable old file degrades to a
+     plain overwrite. *)
+  let out =
+    match
+      (try
+         let ic = open_in_bin path in
+         let n = in_channel_length ic in
+         let s = really_input_string ic n in
+         close_in ic;
+         Obs.Json.parse s
+       with Sys_error _ | End_of_file -> Error "unreadable")
+    with
+    | Error _ -> fresh
+    | Ok old -> (
+        match Obs.Json.parse fresh with
+        | Error _ -> fresh
+        | Ok fresh_doc ->
+            Obs.Json.to_string (Obs.Json.merge_objects ~old ~fresh:fresh_doc)
+            ^ "\n")
+  in
   let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"lcp\",\n\
-    \  \"engine\": \"%s\",\n\
-    \  \"jobs\": %d,\n\
-    \  \"smoke\": %b,\n\
-    \  \"metrics\": %b,\n\
-    \  \"total_wall_s\": %.6f,\n\
-     %s\
-     %s\
-     %s\
-    \  \"rows\": [\n%s\n  ]\n\
-     }\n"
-    (if !use_reference then "reference" else "csr")
-    !jobs smoke !collect_metrics total_wall_s
-    (match service with
-    | None -> ""
-    | Some s -> Printf.sprintf "  \"service\": %s,\n" s)
-    (match partition with
-    | None -> ""
-    | Some p -> Printf.sprintf "  \"partition\": %s,\n" p)
-    (match profile with
-    | None -> ""
-    | Some p -> Printf.sprintf "  \"profile\": %s,\n" p)
-    (String.concat ",\n" (List.map json_of_result results));
+  output_string oc out;
   close_out oc;
   Format.printf "@.machine-readable results written to %s@." path
 
@@ -792,7 +822,7 @@ let service_bench () =
   let sizes = [ 64; 128; 256 ] in
   let run ~batch ~requests =
     match
-      Client.loadgen ~port ~batch ~connections:2 ~requests ~mix:(1, 4)
+      Client.loadgen ~port ~batch ~connections:2 ~requests ~mix:(1, 4, 0)
         ~scheme:"eulerian" ~sizes ()
     with
     | Error m -> failwith ("service bench: " ^ m)
@@ -1068,6 +1098,250 @@ let partition_bench () =
           rows))
     largest_ratio shards1 shards2
 
+(* --- randomized bench (--randomized) --------------------------------- *)
+
+(* The sampled-verification subsystem behind the "randomized" section
+   of BENCH_lcp.json. Two halves:
+
+   - an in-process table over every catalog sampled variant: honest
+     proof size, sampled vs full verification wall at each size, and
+     the measured one-sided error of the sampler over the checker's
+     forgery distribution (Wilson interval) — the declared ε is a
+     tested claim, and this is the test;
+
+   - a serving gate on the wire path: an in-process daemon serves warm
+     bipartite instances under always-full Verify and under
+     Verify_sampled (sampled fast path, escalate on rejection); the
+     sampled leg must win req-equivalent throughput on the largest row
+     while agreeing with the full verdict on both a valid proof and an
+     all-ones corruption (which every node rejects, so the sampled run
+     escalates with certainty). *)
+let randomized_bench () =
+  Format.printf "@.=== randomized bench (sampled verification) ===@.";
+  let reps = 5 in
+  (* best-of-reps for the same reason the partition bench uses it: the
+     minimum is the reproducible cost of the path itself *)
+  let wall f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Obs.Clock.now_ns () in
+      f ();
+      let s = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let cycle ?(base = 0) n =
+    let ids = List.init n (fun i -> base + i) in
+    let g = List.fold_left Graph.add_node Graph.empty ids in
+    List.fold_left
+      (fun g i -> Graph.add_edge g (base + i) (base + ((i + 1) mod n)))
+      g
+      (List.init n (fun i -> i))
+  in
+  (* even-cycle yes-instances per sampled scheme: bipartite plain, a
+     flagged hamiltonian path as the spanning tree, and s/t dropped
+     into two separate components for unreachability *)
+  let instance name n =
+    match name with
+    | "bipartite" -> Instance.of_graph (cycle n)
+    | "spanning-tree" ->
+        Instance.flag_edges
+          (Instance.of_graph (cycle n))
+          (List.init (n - 1) (fun i -> (i, i + 1)))
+    | "st-unreach" ->
+        let h = n / 2 in
+        let g =
+          Graph.union_disjoint (cycle h) (cycle ~base:h h)
+        in
+        St.of_graph g ~s:0 ~t:h
+    | _ -> failwith ("randomized bench: no instance builder for " ^ name)
+  in
+  let sizes = [ 256; 1024; 4096 ] in
+  let scheme_json (name, rs) =
+    let base = rs.Randomized_scheme.base in
+    let rows =
+      List.map
+        (fun n ->
+          let inst = instance name n in
+          let proof =
+            match base.Scheme.prover inst with
+            | Some p -> p
+            | None ->
+                failwith
+                  (Printf.sprintf "randomized bench: %s prover refused n=%d"
+                     name n)
+          in
+          let compiled = Simulator.compile inst in
+          let queries = rs.Randomized_scheme.queries in
+          let o = Randomized_scheme.run rs compiled proof ~seed:1 ~queries in
+          if not o.Randomized_scheme.accepted then
+            failwith
+              (Printf.sprintf
+                 "randomized bench: %s sampled run rejected a valid proof \
+                  (n=%d)"
+                 name n);
+          let sampled_s =
+            wall (fun () ->
+                ignore (Randomized_scheme.run rs compiled proof ~seed:1 ~queries))
+          in
+          let full_s =
+            wall (fun () ->
+                ignore
+                  (Simulator.run_verifier ~compiled inst proof
+                     ~radius:base.Scheme.radius base.Scheme.verifier))
+          in
+          let speedup = if sampled_s > 0.0 then full_s /. sampled_s else 0.0 in
+          Format.printf
+            "%-14s n=%-5d proof %2d bit(s)  sampled %8.3f ms (%d probes, %d \
+             bits)  full %8.3f ms  speedup %6.2fx@."
+            name n (Proof.size proof) (sampled_s *. 1000.0)
+            o.Randomized_scheme.nodes_checked o.Randomized_scheme.bits_read
+            (full_s *. 1000.0) speedup;
+          Printf.sprintf
+            "{\"n\":%d,\"proof_bits\":%d,\"queries\":%d,\"nodes_checked\":%d,\"bits_read\":%d,\"sampled_s\":%.6f,\"full_s\":%.6f,\"speedup\":%.3f}"
+            n (Proof.size proof) queries o.Randomized_scheme.nodes_checked
+            o.Randomized_scheme.bits_read sampled_s full_s speedup)
+        sizes
+    in
+    (* measured one-sided error at the smallest size: forge, keep what
+       the base verifier rejects, count sampled acceptances *)
+    let e =
+      Randomized_scheme.soundness rs
+        (instance name (List.hd sizes))
+        ~samples:400 ~max_bits:4
+    in
+    let within = e.Checker.wilson_low <= rs.Randomized_scheme.epsilon in
+    Format.printf
+      "%-14s soundness: %d of %d invalid forgeries fooled the sampler (rate \
+       %.4f, wilson [%.4f, %.4f], ε %g: %s)@."
+      name e.Checker.fooled e.Checker.invalid e.Checker.rate
+      e.Checker.wilson_low e.Checker.wilson_high rs.Randomized_scheme.epsilon
+      (if within then "within budget" else "EXCEEDED");
+    Printf.sprintf
+      "{\"scheme\":\"%s\",\"epsilon\":%g,\"queries\":%d,\"probes\":%d,\"budget\":\"%s\",\"soundness\":{\"n\":%d,\"samples\":400,\"trials\":%d,\"invalid\":%d,\"fooled\":%d,\"rate\":%.6f,\"wilson_low\":%.6f,\"wilson_high\":%.6f,\"within_budget\":%b},\"rows\":[%s]}"
+      name rs.Randomized_scheme.epsilon rs.Randomized_scheme.queries
+      rs.Randomized_scheme.probes rs.Randomized_scheme.budget (List.hd sizes)
+      e.Checker.trials e.Checker.invalid e.Checker.fooled e.Checker.rate
+      e.Checker.wilson_low e.Checker.wilson_high within
+      (String.concat "," rows)
+  in
+  let schemes = List.map scheme_json Sampled.all in
+  (* serving gate: the wire path, always-full vs sampled + escalate *)
+  let serving =
+    let rs =
+      match Sampled.find "bipartite" with
+      | Some rs -> rs
+      | None -> failwith "randomized bench: bipartite has no sampled variant"
+    in
+    let config =
+      { Server.default_config with Server.port = 0; jobs = 1; cache_size = 128 }
+    in
+    let server = Server.create config in
+    let th = Server.start server in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop server;
+        Thread.join th)
+    @@ fun () ->
+    let port = Server.port server in
+    let queries = rs.Randomized_scheme.queries in
+    let reqs = 40 in
+    let rows =
+      List.map
+        (fun n ->
+          let g = cycle n in
+          let g6 = Graph6.encode g in
+          let inst = Instance.of_graph g in
+          let proof =
+            match rs.Randomized_scheme.base.Scheme.prover inst with
+            | Some p -> p
+            | None -> failwith "randomized bench: bipartite prover refused"
+          in
+          (* all-ones: both endpoints of every edge claim the same
+             colour, so every node rejects — full verify says REJECT
+             and any probed node trips the sampled run into the
+             escalation path *)
+          let ones =
+            Proof.map
+              (fun _ b ->
+                Bits.of_bools (List.init (Bits.length b) (fun _ -> true)))
+              proof
+          in
+          match Client.connect ~port () with
+          | Error m -> failwith ("randomized bench: " ^ m)
+          | Ok c ->
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              let call req =
+                match Client.call c req with
+                | Ok r -> r
+                | Error m -> failwith ("randomized bench: " ^ m)
+              in
+              let full p =
+                call (Wire.Verify { scheme = "bipartite"; graph6 = g6; proof = p })
+              in
+              let sampled ~seed p =
+                call
+                  (Wire.Verify_sampled
+                     {
+                       scheme = "bipartite";
+                       graph6 = g6;
+                       proof = p;
+                       seed;
+                       queries;
+                       budget_id = "";
+                     })
+              in
+              let verdict_equal =
+                (match (full proof, sampled ~seed:1 proof) with
+                | ( Wire.Verified { accepted = true; _ },
+                    Wire.Sampled_verified
+                      { accepted = true; escalated = false; _ } ) ->
+                    true
+                | _ -> false)
+                &&
+                match (full ones, sampled ~seed:1 ones) with
+                | ( Wire.Verified { accepted = false; _ },
+                    Wire.Sampled_verified
+                      { accepted = false; escalated = true; _ } ) ->
+                    true
+                | _ -> false
+              in
+              let leg make =
+                ignore (make 0);
+                (* warm the compiled-graph cache *)
+                let t0 = Obs.Clock.now_ns () in
+                for i = 1 to reqs do
+                  ignore (make i)
+                done;
+                float_of_int reqs /. Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0)
+              in
+              let full_rps = leg (fun _ -> full proof) in
+              let sampled_rps = leg (fun i -> sampled ~seed:(i + 1) proof) in
+              let speedup =
+                if full_rps > 0.0 then sampled_rps /. full_rps else 0.0
+              in
+              Format.printf
+                "serving n=%-5d full %8.1f req/s   sampled %8.1f req/s   \
+                 speedup %5.2fx   verdicts %s@."
+                n full_rps sampled_rps speedup
+                (if verdict_equal then "equal" else "DIFFER");
+              Printf.sprintf
+                "{\"n\":%d,\"full_rps\":%.1f,\"sampled_rps\":%.1f,\"speedup\":%.3f,\"verdict_equal\":%b}"
+                n full_rps sampled_rps speedup verdict_equal)
+        [ 512; 2048 ]
+    in
+    let st = Server.stats server in
+    Printf.sprintf
+      "{\"scheme\":\"bipartite\",\"queries\":%d,\"reqs_per_leg\":%d,\"rows\":[%s],\"server\":{\"sampled_requests\":%d,\"sampled_escalations\":%d,\"sampled_bits_read\":%d}}"
+      queries reqs (String.concat "," rows)
+      st.Server.sampled_requests st.Server.sampled_escalations
+      st.Server.sampled_bits_read
+  in
+  Printf.sprintf "{\"schemes\":[%s],\"serving\":%s}"
+    (String.concat "," schemes)
+    serving
+
 (* --- lower-bound attack experiments --------------------------------- *)
 
 let gluing_outcome name scheme family =
@@ -1338,8 +1612,8 @@ let run_table title rows =
 let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--timing] [--service] [--partition] \
-     [--reference] [--jobs N] [--metrics] [--trace FILE] [--prom FILE]  \
-     [--profile-hz HZ] [--profile-dir DIR] (N=0: all cores)";
+     [--randomized] [--reference] [--jobs N] [--metrics] [--trace FILE] \
+     [--prom FILE] [--profile-hz HZ] [--profile-dir DIR] (N=0: all cores)";
   exit 2
 
 (* Wrap a whole bench section in a trace span when tracing is on. *)
@@ -1407,8 +1681,8 @@ let () =
          && not
               (List.mem a
                  [ "--smoke"; "--timing"; "--service"; "--partition";
-                   "--reference"; "--jobs"; "--metrics"; "--trace"; "--prom";
-                   "--profile-hz"; "--profile-dir" ]))
+                   "--randomized"; "--reference"; "--jobs"; "--metrics";
+                   "--trace"; "--prom"; "--profile-hz"; "--profile-dir" ]))
        (flags_only (List.tl args))
    with
   | [] -> ()
@@ -1419,6 +1693,7 @@ let () =
   collect_metrics := List.mem "--metrics" args;
   let with_service = List.mem "--service" args in
   let with_partition = List.mem "--partition" args in
+  let with_randomized = List.mem "--randomized" args in
   if !collect_metrics || trace_file <> None then
     Obs.enable ~metrics:!collect_metrics ~trace:(trace_file <> None) ();
   if profile_on then begin
@@ -1466,11 +1741,14 @@ let () =
     let partition =
       if with_partition then Some (partition_bench ()) else None
     in
+    let randomized =
+      if with_randomized then Some (randomized_bench ()) else None
+    in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     Format.printf "@.total wall time: %.3fs@." total;
     let profile = finish_profile () in
     write_json "BENCH_lcp.json" ~smoke:true ~total_wall_s:total ?service
-      ?partition ?profile results;
+      ?partition ?randomized ?profile results;
     Option.iter (fun p -> write_prom p ~total_wall_s:total results) prom_file;
     finish ()
   end
@@ -1496,10 +1774,14 @@ let () =
       if with_partition then Some (section "bench.partition" partition_bench)
       else None
     in
+    let randomized =
+      if with_randomized then Some (section "bench.randomized" randomized_bench)
+      else None
+    in
     let total = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns t0) in
     let profile = finish_profile () in
     write_json "BENCH_lcp.json" ~smoke:false ~total_wall_s:total ?service
-      ?partition ?profile (results_a @ results_b);
+      ?partition ?randomized ?profile (results_a @ results_b);
     Option.iter
       (fun p -> write_prom p ~total_wall_s:total (results_a @ results_b))
       prom_file;

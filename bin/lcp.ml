@@ -324,7 +324,93 @@ let prove_cmd =
       $ trace_arg)
 
 let verify_cmd =
-  let run scheme graph proof jobs metrics trace cluster partitions =
+  let sampled_arg =
+    Arg.(
+      value & flag
+      & info [ "sampled" ]
+          ~doc:
+            "Run the scheme's error-budgeted sampled verifier instead of \
+             checking every node; a sampled rejection escalates to the \
+             full verifier, so a printed REJECT is always exact.")
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:
+            "Per-node query bound for --sampled (default: the scheme's \
+             configured bound).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "PRG seed for --sampled; the probe set and every charged read \
+             are a pure function of it.")
+  in
+  let run_sampled scheme inst proof jobs queries seed =
+    match Sampled.find (scheme_name scheme) with
+    | None ->
+        Format.eprintf "scheme %s has no sampled variant@."
+          (scheme_name scheme);
+        1
+    | Some rs -> (
+        let queries =
+          Option.value queries ~default:rs.Randomized_scheme.queries
+        in
+        if queries < 1 then begin
+          prerr_endline "--queries must be positive";
+          1
+        end
+        else
+          let compiled = Simulator.compile inst in
+          match
+            Randomized_scheme.run ~jobs rs compiled proof ~seed ~queries
+          with
+          | exception Invalid_argument m -> prerr_endline m; 1
+          | o when o.Randomized_scheme.accepted ->
+              Format.printf
+                "ACCEPT (sampled): %d of %d node(s) probed, %d bit(s) \
+                 read, budget %s, seed %d@."
+                o.Randomized_scheme.nodes_checked (Instance.n inst)
+                o.Randomized_scheme.bits_read rs.Randomized_scheme.budget
+                seed;
+              0
+          | o -> (
+              (* A sampled rejection is only a suspicion — escalate to
+                 the full verifier so the verdict is exact. *)
+              Format.printf
+                "sampled REJECT at [%s] (%d probed, %d bit(s) read) — \
+                 escalating to a full verification@."
+                (String.concat "; "
+                   (List.map string_of_int o.Randomized_scheme.rejecting))
+                o.Randomized_scheme.nodes_checked
+                o.Randomized_scheme.bits_read;
+              let verdicts, _ =
+                Simulator.run_verifier ~jobs inst proof
+                  ~radius:scheme.Scheme.radius scheme.Scheme.verifier
+              in
+              match
+                List.filter_map
+                  (fun (v, ok) -> if ok then None else Some v)
+                  verdicts
+              with
+              | [] ->
+                  Format.printf
+                    "ACCEPT: all %d nodes accept (sampled suspicion not \
+                     confirmed)@."
+                    (Instance.n inst);
+                  0
+              | vs ->
+                  Format.printf "REJECT at nodes [%s]@."
+                    (String.concat "; " (List.map string_of_int vs));
+                  2))
+  in
+  let run scheme graph proof jobs metrics trace cluster partitions sampled
+      queries seed =
     match load_instance graph with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok inst ->
@@ -336,6 +422,16 @@ let verify_cmd =
         in
         match proof with
         | Error m -> prerr_endline m; 1
+        | Ok proof when sampled -> (
+            match cluster with
+            | Some _ ->
+                prerr_endline
+                  "--sampled runs in-process; drop --cluster (the daemon \
+                   path is 'lcp loadgen --mix P:V:S')";
+                1
+            | None ->
+                run_sampled scheme inst proof (resolve_jobs jobs) queries
+                  seed)
         | Ok proof -> (
             match cluster with
             | Some (host, port) -> (
@@ -384,7 +480,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run a scheme's verifier at every node")
     Term.(
       const run $ scheme_arg $ graph_arg $ proof_arg $ jobs_arg $ metrics_arg
-      $ trace_arg $ cluster_arg $ partitions_arg)
+      $ trace_arg $ cluster_arg $ partitions_arg $ sampled_arg $ queries_arg
+      $ seed_arg)
 
 let partition_cmd =
   let radius_arg =
@@ -532,6 +629,29 @@ let stats_cmd =
           in
           (sound, tried, ms)
         in
+        let budget_line () =
+          (* Error budget of the scheme's sampled variant, measured
+             against the same forgery distribution the probe uses. *)
+          match Sampled.find (scheme_name scheme) with
+          | None -> ()
+          | Some rs ->
+              let t = Obs.Clock.now_ns () in
+              let e =
+                Randomized_scheme.soundness ~jobs rs inst ~samples
+                  ~max_bits:bits
+              in
+              let ms = Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns t) /. 1000. in
+              Format.printf
+                "budget:    %.3f ms, %s — sampler fooled on %d of %d \
+                 invalid forgeries (err %.4f, wilson [%.4f, %.4f], ε %g: \
+                 %s)@."
+                ms rs.Randomized_scheme.budget e.Checker.fooled
+                e.Checker.invalid e.Checker.rate e.Checker.wilson_low
+                e.Checker.wilson_high rs.Randomized_scheme.epsilon
+                (if e.Checker.wilson_low <= rs.Randomized_scheme.epsilon then
+                   "within budget"
+                 else "EXCEEDED")
+        in
         let t0 = Obs.Clock.now_ns () in
         match scheme.Scheme.prover inst with
         | None ->
@@ -544,6 +664,7 @@ let stats_cmd =
                 "soundness: %.3f ms, %d random proofs (<= %d bits): all \
                  rejected@."
                 ms samples bits;
+              budget_line ();
               0
             end
             else begin
@@ -584,6 +705,7 @@ let stats_cmd =
                 "probe:     %.3f ms, random proof %d of %d accepted \
                  (yes-instance: valid proofs exist)@."
                 ms tried samples;
+            budget_line ();
             if rejecting = [] then 0 else 3)
   in
   Cmd.v
@@ -1187,21 +1309,35 @@ let loadgen_cmd =
       & info [ "requests" ] ~docv:"N" ~doc:"Requests per connection.")
   in
   let mix_arg =
-    (* "P:V" — e.g. the default 1:4 sends one prove per four verifies *)
+    (* "P:V" or "P:V:S" — e.g. the default 1:4 sends one prove per
+       four verifies; 1:2:2 adds two sampled verifies per cycle *)
     let parse s =
-      match String.split_on_char ':' s with
-      | [ p; v ] -> (
-          match (int_of_string_opt p, int_of_string_opt v) with
-          | Some p, Some v when p >= 0 && v >= 0 && p + v > 0 -> Ok (p, v)
-          | _ -> Error (`Msg "MIX needs non-negative weights, e.g. 1:4"))
-      | _ -> Error (`Msg (Printf.sprintf "invalid MIX %S (want P:V)" s))
+      let ints = List.map int_of_string_opt (String.split_on_char ':' s) in
+      match ints with
+      | [ Some p; Some v ] when p >= 0 && v >= 0 && p + v > 0 -> Ok (p, v, 0)
+      | [ Some p; Some v; Some sm ]
+        when p >= 0 && v >= 0 && sm >= 0 && p + v + sm > 0 ->
+          Ok (p, v, sm)
+      | [ _; _ ] | [ _; _; _ ] ->
+          Error (`Msg "MIX needs non-negative weights, e.g. 1:4 or 1:2:2")
+      | _ -> Error (`Msg (Printf.sprintf "invalid MIX %S (want P:V[:S])" s))
     in
-    let print ppf (p, v) = Format.fprintf ppf "%d:%d" p v in
+    let print ppf (p, v, sm) = Format.fprintf ppf "%d:%d:%d" p v sm in
     Arg.(
       value
-      & opt (conv (parse, print)) (1, 4)
+      & opt (conv (parse, print)) (1, 4, 0)
       & info [ "mix" ] ~docv:"MIX"
-          ~doc:"prove:verify weights of the request mix, e.g. 1:4.")
+          ~doc:
+            "prove:verify[:sampled] weights of the request mix, e.g. 1:4 \
+             or 1:2:2. Sampled ops send Verify_sampled frames over the \
+             proofs the setup pass stored.")
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Per-node query bound carried by sampled-verify ops.")
   in
   let scheme_name_arg =
     Arg.(
@@ -1246,8 +1382,8 @@ let loadgen_cmd =
              plain requests). The mix and graph rotation are identical per \
              operation, so ops/s is directly comparable across batch sizes.")
   in
-  let run host port targets connections requests batch mix scheme sizes out
-      trace_sample trace_dir profile_hz profile_dir =
+  let run host port targets connections requests batch mix queries scheme
+      sizes out trace_sample trace_dir profile_hz profile_dir =
     let targets = match targets with [] -> None | l -> Some l in
     with_trace_spool
       ~process:(Printf.sprintf "loadgen-%d" (Unix.getpid ()))
@@ -1255,8 +1391,8 @@ let loadgen_cmd =
     @@ fun () ->
     with_profile ~profile_hz ~profile_dir @@ fun () ->
     match
-      Client.loadgen ~host ?targets ~batch ~trace_sample ~port ~connections
-        ~requests ~mix ~scheme ~sizes ()
+      Client.loadgen ~host ?targets ~batch ~trace_sample ~queries ~port
+        ~connections ~requests ~mix ~scheme ~sizes ()
     with
     | Error m -> prerr_endline m; 1
     | Ok report ->
@@ -1278,9 +1414,9 @@ let loadgen_cmd =
           prove/verify mix and report throughput and latency percentiles")
     Term.(
       const run $ host_arg $ port_arg $ connect_arg $ connections_arg
-      $ requests_arg $ batch_arg $ mix_arg $ scheme_name_arg $ sizes_arg
-      $ out_arg $ trace_sample_arg $ trace_dir_arg $ profile_hz_arg
-      $ profile_dir_arg)
+      $ requests_arg $ batch_arg $ mix_arg $ queries_arg $ scheme_name_arg
+      $ sizes_arg $ out_arg $ trace_sample_arg $ trace_dir_arg
+      $ profile_hz_arg $ profile_dir_arg)
 
 let trace_cmd =
   let merge_cmd =
@@ -1729,7 +1865,7 @@ let top_cmd =
         | _ -> ())
       (String.split_on_char '\n' text)
   in
-  let sample gc_prev text =
+  let sample gc_prev samp_prev text =
     let f ?(labels = []) name =
       Option.value ~default:0.0 (Obs.Export.find_sample text ~name ~labels)
     in
@@ -1806,7 +1942,25 @@ let top_cmd =
     in
     if shards > 0.0 then
       Format.printf "  partition: %9.0f shard(s) %9.0f reject(s)@." shards
-        (f "lcp_partition_reject_total")
+        (f "lcp_partition_reject_total");
+    (* sampled-verify traffic likewise appears once the daemon has
+       served any Verify_sampled frame: rate is diffed across our own
+       samples, escalation %% and bits/req are lifetime averages *)
+    let sreq = f "lcp_sampled_requests_total" in
+    (if sreq > 0.0 then
+       let rate =
+         match !samp_prev with
+         | Some (t0, r0) when now -. t0 > 0.01 && sreq >= r0 ->
+             Printf.sprintf "%.1f" ((sreq -. r0) /. (now -. t0))
+         | _ -> "-"
+       in
+       Format.printf
+         "  sampled: %9.0f req(s) %8s req/s %5.1f%% escalated %8.0f \
+          bits/req@."
+         sreq rate
+         (100.0 *. f "lcp_sampled_escalations_total" /. sreq)
+         (f "lcp_sampled_bits_read_total" /. sreq));
+    samp_prev := Some (now, sreq)
   in
   (* A lost daemon renders as a status row and `top` keeps sampling:
      the next connect (itself retried with backoff) picks the daemon
@@ -1823,6 +1977,7 @@ let top_cmd =
      with Invalid_argument _ | Sys_error _ -> ());
     let successes = ref 0 and rows = ref 0 in
     let gc_prev = ref None in
+    let samp_prev = ref None in
     let conn = ref None in
     let drop_conn () =
       Option.iter Client.close !conn;
@@ -1852,7 +2007,7 @@ let top_cmd =
             match Client.call c Wire.Metrics_text with
             | Ok (Wire.Metrics_text_reply text) ->
                 incr successes;
-                row (fun () -> sample gc_prev text)
+                row (fun () -> sample gc_prev samp_prev text)
             | Ok (Wire.Error_reply { message; _ }) ->
                 drop_conn ();
                 row (fun () -> disconnected_row ("server said: " ^ message))

@@ -220,7 +220,10 @@ let op_key gtable op =
 let request_key = function
   | Wire.Prove { scheme; graph6 }
   | Wire.Verify { scheme; graph6; _ }
-  | Wire.Forge { scheme; graph6; _ } ->
+  | Wire.Forge { scheme; graph6; _ }
+  (* a sampled verify shares the plain key on purpose: both paths
+     consume the same compiled image, so cache affinity must agree *)
+  | Wire.Verify_sampled { scheme; graph6; _ } ->
       scheme ^ "/" ^ Digest.to_hex (Digest.string graph6)
   | Wire.Verify_partition { scheme; graph6; ids; _ } ->
       (* same composite identity the backend caches the shard image
@@ -866,6 +869,7 @@ let request_kind = function
   | Wire.Verify _ -> "verify"
   | Wire.Forge _ -> "forge"
   | Wire.Verify_partition _ -> "verify_partition"
+  | Wire.Verify_sampled _ -> "verify_sampled"
   | Wire.Batch _ -> "batch"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
@@ -905,7 +909,7 @@ let handle_request t ~rid ~tctx req =
         Obs.Trace.instant ~arg_name:"shard" ~arg:shard_index
           ~ctx:(child_span tctx) "router.shard";
         forward_compute t ~rid ~tctx req
-    | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ ->
+    | Wire.Prove _ | Wire.Verify _ | Wire.Forge _ | Wire.Verify_sampled _ ->
         forward_compute t ~rid ~tctx req
   in
   let latency_us = (Obs.Clock.now_ns () - t0) / 1_000 in

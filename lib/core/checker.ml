@@ -125,6 +125,92 @@ let soundness_random ?(seed = 0xC0FFEE) ?(jobs = 1) scheme inst ~samples ~max_bi
     Obs.Trace.span_arg "checker.soundness_random" "samples" samples run
   else run ()
 
+(* --- empirical one-sided error of a sampled verifier ----------------- *)
+
+type empirical = {
+  trials : int;
+  invalid : int;
+  fooled : int;
+  rate : float;
+  wilson_low : float;
+  wilson_high : float;
+}
+
+(* Wilson score interval at 95% (z = 1.96). Degenerates to [0, 1] when
+   no trial produced an invalid proof — nothing was measured. *)
+let wilson ~fooled ~invalid =
+  if invalid = 0 then (0.0, 1.0)
+  else begin
+    let z = 1.96 in
+    let n = float_of_int invalid in
+    let p = float_of_int fooled /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let half =
+      z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (max 0.0 ((centre -. half) /. denom), min 1.0 ((centre +. half) /. denom))
+  end
+
+let m_empirical_trials = Obs.Metrics.counter "checker.empirical_trials"
+let m_empirical_fooled = Obs.Metrics.counter "checker.empirical_fooled"
+
+let soundness_empirical ?(seed = 0xE9C0) ?(jobs = 1) scheme inst ~samples
+    ~max_bits ~sampled =
+  let compiled = Simulator.compile inst in
+  let nodes = Graph.nodes (Instance.graph inst) in
+  let forge st =
+    List.fold_left
+      (fun p v ->
+        let len = Random.State.int st (max_bits + 1) in
+        Proof.set p v (Bits.random st len))
+      Proof.empty nodes
+  in
+  let invalid = Atomic.make 0 in
+  let fooled = Atomic.make 0 in
+  (* Per-trial proof and sampled-run seed both derive from (seed, i)
+     only, so the measured counts are identical at any [jobs]. *)
+  let trial i =
+    Obs.Metrics.incr m_empirical_trials;
+    let proof = forge (Random.State.make [| seed; i |]) in
+    let valid =
+      Simulator.all_accept compiled proof ~radius:scheme.Scheme.radius
+        scheme.Scheme.verifier
+    in
+    if not valid then begin
+      Atomic.incr invalid;
+      if sampled ~seed:(seed lxor ((i + 1) * 0x9E3779B1)) compiled proof then begin
+        Obs.Metrics.incr m_empirical_fooled;
+        Atomic.incr fooled
+      end
+    end
+  in
+  (if jobs <= 1 then
+     for i = 0 to samples - 1 do
+       trial i
+     done
+   else
+     Pool.run ~jobs (fun pool ->
+         match pool with
+         | None -> assert false
+         | Some pool ->
+             Pool.parallel_for pool ~chunks:(Pool.size pool) ~n:samples
+               (fun _c lo hi ->
+                 for i = lo to hi - 1 do
+                   trial i
+                 done)));
+  let invalid = Atomic.get invalid and fooled = Atomic.get fooled in
+  let low, high = wilson ~fooled ~invalid in
+  {
+    trials = samples;
+    invalid;
+    fooled;
+    rate = (if invalid = 0 then 0.0 else float_of_int fooled /. float_of_int invalid);
+    wilson_low = low;
+    wilson_high = high;
+  }
+
 (* All bit strings of length 0..max_bits, shortest first. *)
 let all_strings max_bits =
   let rec go len acc =

@@ -38,6 +38,38 @@ val soundness_random :
     [jobs <= 1] stream, which keeps the original single-stream
     behaviour). *)
 
+type empirical = {
+  trials : int;  (** Forgery trials attempted. *)
+  invalid : int;  (** Trials whose proof the {e full} verifier rejected. *)
+  fooled : int;  (** Invalid proofs the sampled verifier accepted. *)
+  rate : float;  (** [fooled / invalid]; 0 when nothing was invalid. *)
+  wilson_low : float;  (** 95% Wilson score interval on [rate]. *)
+  wilson_high : float;
+}
+
+val soundness_empirical :
+  ?seed:int ->
+  ?jobs:int ->
+  Scheme.t ->
+  Instance.t ->
+  samples:int ->
+  max_bits:int ->
+  sampled:(seed:int -> Simulator.compiled -> Proof.t -> bool) ->
+  empirical
+(** Measure a sampled verifier's observed one-sided error: forge
+    [samples] random proofs exactly as {!soundness_random} does, keep
+    the ones the scheme's full verifier rejects, and count how many of
+    those the [sampled] closure (a seeded sampled-verification run —
+    see [Randomized_scheme.run]; the closure receives a per-trial
+    seed) accepts anyway. The declared error budget ε is violated when
+    [wilson_low] exceeds it. Trial proofs and sampled-run seeds derive
+    from [(seed, index)] only, so the counts are independent of
+    [jobs]. *)
+
+val wilson : fooled:int -> invalid:int -> float * float
+(** The 95% Wilson score interval on a [fooled/invalid] proportion;
+    [(0, 1)] when [invalid = 0]. *)
+
 val soundness_exhaustive :
   Scheme.t -> Instance.t -> max_bits:int -> bool
 (** Enumerates {e all} proofs assigning each node a string of length

@@ -202,6 +202,21 @@ let to_string_opt = function Str s -> Some s | _ -> None
 
 let to_float_opt = function Num v -> Some v | _ -> None
 
+(* Shallow two-object merge: fresh keys win and keep fresh's order,
+   old-only keys follow in their original order. Anything that is not
+   a pair of objects degrades to the fresh document — an unreadable
+   old file must never block writing new results. *)
+let merge_objects ~old ~fresh =
+  match (old, fresh) with
+  | Obj old_kvs, Obj fresh_kvs ->
+      let old_only =
+        List.filter
+          (fun (k, _) -> not (List.mem_assoc k fresh_kvs))
+          old_kvs
+      in
+      Obj (fresh_kvs @ old_only)
+  | _ -> fresh
+
 (* --- writer ------------------------------------------------------------ *)
 
 let escape s =
@@ -224,7 +239,11 @@ let rec to_buffer b = function
   | Num v ->
       if Float.is_integer v && Float.abs v < 1e15 then
         Printf.bprintf b "%.0f" v
-      else Printf.bprintf b "%.3f" v
+      else
+        (* 12 significant digits: enough to round-trip every value we
+           write (bench walls carry 6 decimals) without the noise tail
+           a full %.17g would print. *)
+        Printf.bprintf b "%.12g" v
   | Str s -> Printf.bprintf b "\"%s\"" (escape s)
   | Arr l ->
       Buffer.add_char b '[';

@@ -207,6 +207,8 @@ type report = {
   batch : int;
   prove_weight : int;
   verify_weight : int;
+  sampled_weight : int;
+  queries : int;
   scheme : string;
   sizes : int list;
   total_s : float;
@@ -219,6 +221,8 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  sampled : lat_summary;
+  escalations : int;
   batch_frames : lat_summary;
   targets : target_stat list;
   server : Wire.server_stats option;
@@ -258,6 +262,8 @@ type worker_result = {
   mutable w_id_mismatches : int;
   mutable w_prove_ns : int list;
   mutable w_verify_ns : int list;
+  mutable w_sampled_ns : int list;
+  mutable w_escalations : int;
   mutable w_batch_ns : int list;  (* per-frame latency, batched mode only *)
 }
 
@@ -328,8 +334,8 @@ let run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
     | Error _ -> fail_all slot_transport
   done
 
-let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
-    ~trace_sample res =
+let run_worker ~host ~port ~requests ~batch ~mix:(p, v, s) ~queries ~graphs
+    ~conn_id ~trace_sample res =
   match connect ~host ~port ~retries:2 ~backoff_seed:conn_id () with
   | Error _ ->
       let n = requests * max 1 batch in
@@ -337,6 +343,8 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
       res.w_by_slot.(slot_transport) <- res.w_by_slot.(slot_transport) + n
   | Ok client when batch > 1 ->
       Fun.protect ~finally:(fun () -> close client) @@ fun () ->
+      (* batched mode never carries sampled ops (loadgen rejects the
+         combination), so the (p, v) mix is the whole story here *)
       run_batch_worker ~client ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
         ~trace_sample res
   | Ok client ->
@@ -344,13 +352,21 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
       let ngraphs = Array.length graphs in
       for i = 0 to requests - 1 do
         let g6, (scheme, proof) = graphs.((conn_id + i) mod ngraphs) in
-        let is_prove = i mod (p + v) < p in
-        let req =
-          if is_prove then Wire.Prove { scheme; graph6 = g6 }
-          else Wire.Verify { scheme; graph6 = g6; proof }
-        in
+        let k = i mod (p + v + s) in
+        let kind = if k < p then `P else if k < p + v then `V else `S in
         (* distinct per request across all workers, never 0 *)
         let id = (conn_id * requests) + i + 1 in
+        let req =
+          match kind with
+          | `P -> Wire.Prove { scheme; graph6 = g6 }
+          | `V -> Wire.Verify { scheme; graph6 = g6; proof }
+          | `S ->
+              (* the request id doubles as the PRG seed: distinct per
+                 request, deterministic per run *)
+              Wire.Verify_sampled
+                { scheme; graph6 = g6; proof; seed = id; queries;
+                  budget_id = "" }
+        in
         let tctx =
           if Obs.Trace.sample ~every:trace_sample id then
             Obs.Trace.ctx_of_rid id
@@ -367,12 +383,17 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
             res.w_id_mismatches <- res.w_id_mismatches + 1
         | _ -> ());
         match outcome with
-        | Ok (_, Wire.Proved (Some _)) when is_prove ->
+        | Ok (_, Wire.Proved (Some _)) when kind = `P ->
             res.w_ok <- res.w_ok + 1;
             res.w_prove_ns <- dt :: res.w_prove_ns
-        | Ok (_, Wire.Verified { accepted = true; _ }) when not is_prove ->
+        | Ok (_, Wire.Verified { accepted = true; _ }) when kind = `V ->
             res.w_ok <- res.w_ok + 1;
             res.w_verify_ns <- dt :: res.w_verify_ns
+        | Ok (_, Wire.Sampled_verified { accepted = true; escalated; _ })
+          when kind = `S ->
+            res.w_ok <- res.w_ok + 1;
+            if escalated then res.w_escalations <- res.w_escalations + 1;
+            res.w_sampled_ns <- dt :: res.w_sampled_ns
         | Ok (_, Wire.Error_reply { code; _ }) ->
             res.w_errors <- res.w_errors + 1;
             let s = slot_of_code code in
@@ -388,7 +409,8 @@ let run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs ~conn_id
       done
 
 let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
-    ~port ~connections ~requests ~mix:(p, v) ~scheme ~sizes () =
+    ?(queries = 4) ~port ~connections ~requests ~mix:(p, v, s) ~scheme ~sizes
+    () =
   (* The endpoint list: explicit [targets] (router / multi-daemon runs)
      or the single [host]:[port]. Workers round-robin over it. *)
   let endpoints =
@@ -400,8 +422,11 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
   else if requests < 1 then Error "loadgen: requests must be >= 1"
   else if batch < 1 || batch > 0xFFFF then
     Error "loadgen: batch must be in 1..65535"
-  else if p < 0 || v < 0 || p + v = 0 then
+  else if p < 0 || v < 0 || s < 0 || p + v + s = 0 then
     Error "loadgen: the mix needs non-negative weights summing to >= 1"
+  else if batch > 1 && s > 0 then
+    Error "loadgen: sampled ops cannot ride batch frames (drop --batch or the S weight)"
+  else if queries < 1 then Error "loadgen: queries must be >= 1"
   else if sizes = [] then Error "loadgen: need at least one graph size"
   else if List.exists (fun s -> s < 3) sizes then
     Error "loadgen: cycle sizes must be >= 3"
@@ -461,6 +486,8 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
                 w_id_mismatches = 0;
                 w_prove_ns = [];
                 w_verify_ns = [];
+                w_sampled_ns = [];
+                w_escalations = 0;
                 w_batch_ns = [];
               })
         in
@@ -475,8 +502,8 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
               let host, port = endpoint conn_id in
               Thread.create
                 (fun () ->
-                  run_worker ~host ~port ~requests ~batch ~mix:(p, v) ~graphs
-                    ~conn_id ~trace_sample results.(conn_id))
+                  run_worker ~host ~port ~requests ~batch ~mix:(p, v, s)
+                    ~queries ~graphs ~conn_id ~trace_sample results.(conn_id))
                 ())
         in
         List.iter Thread.join threads;
@@ -531,6 +558,14 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
         let verify_ns =
           Array.fold_left (fun a r -> List.rev_append r.w_verify_ns a) [] results
         in
+        let sampled_ns =
+          Array.fold_left
+            (fun a r -> List.rev_append r.w_sampled_ns a)
+            [] results
+        in
+        let escalations =
+          Array.fold_left (fun a r -> a + r.w_escalations) 0 results
+        in
         let batch_ns =
           Array.fold_left (fun a r -> List.rev_append r.w_batch_ns a) [] results
         in
@@ -548,6 +583,8 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
             batch;
             prove_weight = p;
             verify_weight = v;
+            sampled_weight = s;
+            queries;
             scheme;
             sizes;
             total_s;
@@ -559,9 +596,13 @@ let loadgen ?(host = "127.0.0.1") ?targets ?(batch = 1) ?(trace_sample = 0)
             id_mismatches;
             overall =
               summarise
-                (List.rev_append batch_ns (List.rev_append prove_ns verify_ns));
+                (List.rev_append batch_ns
+                   (List.rev_append sampled_ns
+                      (List.rev_append prove_ns verify_ns)));
             prove = summarise prove_ns;
             verify = summarise verify_ns;
+            sampled = summarise sampled_ns;
+            escalations;
             batch_frames = summarise batch_ns;
             targets = per_target;
             server = server_stats;
@@ -622,13 +663,16 @@ let report_json r =
          r.targets)
   in
   Printf.sprintf
-    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"batch":%d,"mix":{"prove":%d,"verify":%d},"total_s":%.4f,"throughput_rps":%.1f,"throughput_ops":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"batch_frames":%s,"targets":[%s],"server":%s,"gc":{"allocated_bytes":%.0f,"minor_collections":%d,"major_collections":%d}}|}
+    {|{"scheme":"%s","sizes":[%s],"connections":%d,"requests_per_connection":%d,"batch":%d,"mix":{"prove":%d,"verify":%d,"sampled":%d},"queries":%d,"total_s":%.4f,"throughput_rps":%.1f,"throughput_ops":%.1f,"ok":%d,"errors":%d,"errors_by_code":{%s},"id_mismatches":%d,"overall":%s,"prove":%s,"verify":%s,"sampled":%s,"escalations":%d,"batch_frames":%s,"targets":[%s],"server":%s,"gc":{"allocated_bytes":%.0f,"minor_collections":%d,"major_collections":%d}}|}
     (json_escape r.scheme)
     (String.concat "," (List.map string_of_int r.sizes))
     r.connections r.requests_per_connection r.batch r.prove_weight
-    r.verify_weight r.total_s r.throughput_rps r.throughput_ops r.ok r.errors
-    by_code r.id_mismatches (summary_json r.overall) (summary_json r.prove)
+    r.verify_weight r.sampled_weight r.queries r.total_s r.throughput_rps
+    r.throughput_ops r.ok r.errors by_code r.id_mismatches
+    (summary_json r.overall) (summary_json r.prove)
     (summary_json r.verify)
+    (summary_json r.sampled)
+    r.escalations
     (summary_json r.batch_frames)
     targets_json server r.gc_alloc_bytes r.gc_minor r.gc_major
 
@@ -643,11 +687,11 @@ let pp_summary ppf name { count; latency } =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "loadgen: %d connection(s) x %d request(s)%s, mix prove:verify = %d:%d, \
-     scheme %s, cycle sizes [%s]@."
+    "loadgen: %d connection(s) x %d request(s)%s, mix \
+     prove:verify:sampled = %d:%d:%d, scheme %s, cycle sizes [%s]@."
     r.connections r.requests_per_connection
     (if r.batch > 1 then Printf.sprintf " x %d op(s)/batch" r.batch else "")
-    r.prove_weight r.verify_weight r.scheme
+    r.prove_weight r.verify_weight r.sampled_weight r.scheme
     (String.concat "; " (List.map string_of_int r.sizes));
   if r.batch > 1 then
     Format.fprintf ppf
@@ -668,7 +712,12 @@ let pp_report ppf r =
   if r.batch > 1 then pp_summary ppf "frame" r.batch_frames
   else begin
     pp_summary ppf "prove" r.prove;
-    pp_summary ppf "verify" r.verify
+    pp_summary ppf "verify" r.verify;
+    if r.sampled_weight > 0 then begin
+      pp_summary ppf "sampled" r.sampled;
+      Format.fprintf ppf "sampled: q=%d, %d escalation(s)@." r.queries
+        r.escalations
+    end
   end;
   if List.length r.targets > 1 then
     List.iter

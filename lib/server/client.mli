@@ -129,6 +129,9 @@ type report = {
       (** Ops per frame; 1 means plain (unbatched) requests. *)
   prove_weight : int;
   verify_weight : int;
+  sampled_weight : int;
+      (** Sampled-verify ops per mix cycle (the [S] in [P:V:S]). *)
+  queries : int;  (** Per-node query bound sampled ops carried. *)
   scheme : string;
   sizes : int list;
   total_s : float;
@@ -151,6 +154,12 @@ type report = {
   overall : lat_summary;
   prove : lat_summary;
   verify : lat_summary;
+  sampled : lat_summary;
+      (** Round-trip latency of {!Wire.request.Verify_sampled} ops. *)
+  escalations : int;
+      (** Sampled replies reporting a full-verify escalation; 0 on a
+          valid-proof mix (exact completeness — see
+          [Randomized_scheme]). *)
   batch_frames : lat_summary;
       (** Per-frame round-trip latency in batched mode (empty when
           [batch = 1]; [prove]/[verify] are empty in batched mode —
@@ -174,22 +183,32 @@ val loadgen :
   ?targets:(string * int) list ->
   ?batch:int ->
   ?trace_sample:int ->
+  ?queries:int ->
   port:int ->
   connections:int ->
   requests:int ->
-  mix:int * int ->
+  mix:int * int * int ->
   scheme:string ->
   sizes:int list ->
   unit ->
   (report, string) result
-(** Replay a deterministic prove/verify mix. A setup pass proves one
-    cycle graph per listed size (warming the server cache), then
-    [connections] threads each send [requests] requests round-robin
-    over the graphs; [mix = (p, v)] interleaves [p] proves then [v]
-    verifies per [p + v] requests. A request only counts as [ok] if
-    the semantically right response came back (a proof, or an
-    all-nodes-accept verdict). Each request carries a distinct
-    correlation id and the echo is verified.
+(** Replay a deterministic prove/verify/sampled-verify mix. A setup
+    pass proves one cycle graph per listed size (warming the server
+    cache), then [connections] threads each send [requests] requests
+    round-robin over the graphs; [mix = (p, v, s)] interleaves [p]
+    proves, [v] verifies, then [s] sampled verifies per [p + v + s]
+    requests. A request only counts as [ok] if the semantically right
+    response came back (a proof, an all-nodes-accept verdict, or an
+    accepting {!Wire.response.Sampled_verified}). Sampled ops carry
+    the stored valid proof, [queries] (default 4) as the per-node
+    bound, the request's correlation id as the PRG seed, and an empty
+    budget id; their escalation count surfaces in the report. Each
+    request carries a distinct correlation id and the echo is
+    verified.
+
+    Sampled ops require [batch = 1] — the batch op table has no
+    sampled kind, and mixing the two would make op-granular
+    accounting ambiguous; the combination is an [Error] up front.
 
     [batch] (default 1) > 1 switches every worker to {!Wire.Batch}
     frames of that many ops: op [k = i * batch + j] of a connection

@@ -39,6 +39,7 @@ let m_req_prove = Obs.Metrics.counter "server.req_prove"
 let m_req_verify = Obs.Metrics.counter "server.req_verify"
 let m_req_forge = Obs.Metrics.counter "server.req_forge"
 let m_req_batch = Obs.Metrics.counter "server.req_batch"
+let m_req_sampled = Obs.Metrics.counter "server.req_sampled"
 let m_batch_ops = Obs.Metrics.counter "server.batch_ops"
 let m_batch_coalesced = Obs.Metrics.counter "server.batch_ops_coalesced"
 let m_req_stats = Obs.Metrics.counter "server.req_stats"
@@ -128,6 +129,11 @@ type t = {
      dashboards must see shard flow even with the registry off *)
   c_partition_shards : int Atomic.t;
   c_partition_reject : int Atomic.t;
+  (* always-on sampled-verification counters: the serving fast path's
+     escalation rate is an SLO input, not optional telemetry *)
+  c_sampled_requests : int Atomic.t;
+  c_sampled_escalations : int Atomic.t;
+  c_sampled_bits : int Atomic.t;
 }
 
 type stats = {
@@ -145,6 +151,9 @@ type stats = {
   slow_requests : int;
   partition_shards : int;
   partition_reject : int;
+  sampled_requests : int;
+  sampled_escalations : int;
+  sampled_bits_read : int;
 }
 
 let listen_on host port =
@@ -210,6 +219,9 @@ let create config =
     c_slow = Atomic.make 0;
     c_partition_shards = Atomic.make 0;
     c_partition_reject = Atomic.make 0;
+    c_sampled_requests = Atomic.make 0;
+    c_sampled_escalations = Atomic.make 0;
+    c_sampled_bits = Atomic.make 0;
   }
 
 let port t = t.actual_port
@@ -240,6 +252,9 @@ let stats t =
     slow_requests = Atomic.get t.c_slow;
     partition_shards = Atomic.get t.c_partition_shards;
     partition_reject = Atomic.get t.c_partition_reject;
+    sampled_requests = Atomic.get t.c_sampled_requests;
+    sampled_escalations = Atomic.get t.c_sampled_escalations;
+    sampled_bits_read = Atomic.get t.c_sampled_bits;
   }
 
 let uptime_ms t = (Obs.Clock.now_ns () - t.started_ns) / 1_000_000
@@ -583,6 +598,79 @@ let compute_one t ctx req =
                 rejecting = take 64 rejecting;
               }
           end)
+  | Wire.Verify_sampled { scheme; graph6; proof; seed; queries; budget_id } -> (
+      (* budget pinning happens before any graph work: a client that
+         believes in a different ε must learn so cheaply *)
+      match Sampled.find scheme with
+      | None ->
+          if Registry.find scheme = None then
+            err Wire.Unknown_scheme "unknown scheme %S" scheme
+          else
+            err Wire.Bad_request "scheme %S has no sampled variant" scheme
+      | Some rs ->
+          if budget_id <> "" && budget_id <> rs.Randomized_scheme.budget then
+            err Wire.Bad_request
+              "budget %S does not match the server's %S for scheme %S"
+              budget_id rs.Randomized_scheme.budget scheme
+          else
+            with_compiled t ctx ~scheme ~graph6 (fun entry compiled ->
+                Atomic.incr t.c_sampled_requests;
+                (* the sampled probe pass on the arena fast path; a
+                   [Qview.Budget_exceeded] is a scheme bug and lands
+                   as [Internal] via the dispatch wrapper *)
+                let outcome =
+                  Randomized_scheme.run ~arena:(Domain.DLS.get arena_key) rs
+                    compiled proof ~seed ~queries
+                in
+                ignore
+                  (Atomic.fetch_and_add t.c_sampled_bits
+                     outcome.Randomized_scheme.bits_read);
+                if outcome.Randomized_scheme.accepted then
+                  Wire.Sampled_verified
+                    {
+                      sampled_accept = true;
+                      escalated = false;
+                      accepted = true;
+                      bits_read = outcome.Randomized_scheme.bits_read;
+                      nodes = outcome.Randomized_scheme.nodes_checked;
+                      rejecting = [];
+                    }
+                else begin
+                  (* escalation: the sampled pass rejected, so the
+                     final verdict comes from the full verifier — the
+                     fast path can only ever be {e overruled towards}
+                     acceptance, never away from it *)
+                  Atomic.incr t.c_sampled_escalations;
+                  let scheme_v = entry.Registry.scheme in
+                  let verifier view =
+                    try scheme_v.Scheme.verifier view
+                    with Bits.Reader.Decode_error _ -> false
+                  in
+                  let verdicts, _ =
+                    Simulator.run_verifier ~compiled
+                      ~arena:(Domain.DLS.get arena_key)
+                      (Simulator.compiled_instance compiled)
+                      proof ~radius:scheme_v.Scheme.radius verifier
+                  in
+                  let rejecting =
+                    List.filter_map
+                      (fun (v, ok) -> if ok then None else Some v)
+                      verdicts
+                  in
+                  let rec take n = function
+                    | x :: tl when n > 0 -> x :: take (n - 1) tl
+                    | _ -> []
+                  in
+                  Wire.Sampled_verified
+                    {
+                      sampled_accept = false;
+                      escalated = true;
+                      accepted = rejecting = [];
+                      bits_read = outcome.Randomized_scheme.bits_read;
+                      nodes = outcome.Randomized_scheme.nodes_checked;
+                      rejecting = take 64 rejecting;
+                    }
+                end))
   | Wire.Batch _ | Wire.Stats | Wire.Catalog | Wire.Metrics_text | Wire.Health
   | Wire.Drain _ | Wire.Trace_export | Wire.Profile_export ->
       err Wire.Internal "request dispatched to a worker by mistake"
@@ -716,6 +804,7 @@ let request_kind = function
   | Wire.Forge _ -> "forge"
   | Wire.Batch _ -> "batch"
   | Wire.Verify_partition _ -> "verify_partition"
+  | Wire.Verify_sampled _ -> "verify_sampled"
   | Wire.Stats -> "stats"
   | Wire.Catalog -> "catalog"
   | Wire.Metrics_text -> "metrics"
@@ -728,7 +817,8 @@ let request_scheme = function
   | Wire.Prove { scheme; _ }
   | Wire.Verify { scheme; _ }
   | Wire.Forge { scheme; _ }
-  | Wire.Verify_partition { scheme; _ } ->
+  | Wire.Verify_partition { scheme; _ }
+  | Wire.Verify_sampled { scheme; _ } ->
       scheme
   | Wire.Batch { ops; _ } -> (
       (* batches are routed by their first op's scheme; mixed-scheme
@@ -888,6 +978,21 @@ let metrics_text t =
     "partition.shards" s.partition_shards;
   Obs.Export.counter e ~help:"Rejecting owned nodes across partition shards"
     "partition.reject" s.partition_reject;
+  Obs.Export.counter e ~help:"Sampled-verification requests served"
+    "sampled.requests" s.sampled_requests;
+  Obs.Export.counter e
+    ~help:"Sampled rejections escalated to a full verification"
+    "sampled.escalations" s.sampled_escalations;
+  Obs.Export.counter e
+    ~help:"Proof and label bits consumed by sampled verification runs"
+    "sampled.bits_read" s.sampled_bits_read;
+  List.iter
+    (fun (name, rs) ->
+      Obs.Export.gauge e
+        ~labels:[ ("scheme", name) ]
+        ~help:"Declared one-sided error budget of the sampled variant"
+        "sampled.error_budget" rs.Randomized_scheme.epsilon)
+    Sampled.all;
   let dc = Diskcache.counts () in
   Obs.Export.counter e ~help:"Disk-cache images loaded and validated"
     "diskcache.hits" dc.Diskcache.hits;
@@ -1065,6 +1170,7 @@ let handle_request t ctx req =
     (match req with
     | Wire.Prove _ -> m_req_prove
     | Wire.Verify _ | Wire.Verify_partition _ -> m_req_verify
+    | Wire.Verify_sampled _ -> m_req_sampled
     | Wire.Forge _ -> m_req_forge
     | Wire.Batch _ -> m_req_batch
     | Wire.Stats -> m_req_stats

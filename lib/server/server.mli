@@ -124,6 +124,12 @@ type stats = {
       (** {!Wire.request.Verify_partition} frames executed. *)
   partition_reject : int;
       (** Rejecting owned nodes summed across all shards. *)
+  sampled_requests : int;
+      (** {!Wire.request.Verify_sampled} frames executed. *)
+  sampled_escalations : int;
+      (** Sampled rejections that escalated to a full verification. *)
+  sampled_bits_read : int;
+      (** Proof/label bits consumed by sampled runs, summed. *)
 }
 
 val stats : t -> stats

@@ -64,6 +64,17 @@ type request =
       shard_index : int;
       shard_count : int;
     }
+  | Verify_sampled of {
+      scheme : string;
+      graph6 : string;
+      proof : Proof.t;
+      seed : int;  (** PRG seed, 63-bit non-negative (carried as a u64). *)
+      queries : int;  (** Per-node query bound, u16, ≥ 1. *)
+      budget_id : string;
+          (** The client's idea of the scheme's error budget
+              ("eps0.02:q4:m24"); empty accepts the server's default,
+              any other mismatch is a typed [Bad_request]. *)
+    }
   | Stats
   | Catalog
   | Metrics_text
@@ -120,6 +131,14 @@ type response =
       owned : int;  (** Owned nodes verified. *)
       rejected : int;  (** Owned nodes that rejected (full count). *)
       rejecting : int list;  (** First ≤64 rejecting original ids. *)
+    }
+  | Sampled_verified of {
+      sampled_accept : bool;  (** The q-bounded probe run's verdict. *)
+      escalated : bool;  (** Full verify ran; always [not sampled_accept]. *)
+      accepted : bool;  (** Final verdict (sampled, or full if escalated). *)
+      bits_read : int;  (** Proof/label bits the sampled run consumed. *)
+      nodes : int;  (** Nodes the sampled run probed. *)
+      rejecting : int list;  (** First ≤64 rejecting nodes; [] if accepted. *)
     }
   | Batch_reply of batch_item list
   | Stats_reply of server_stats
@@ -178,6 +197,7 @@ let request_tag = function
   | Trace_export -> 0x0A
   | Verify_partition _ -> 0x0B
   | Profile_export -> 0x0C
+  | Verify_sampled _ -> 0x0D
 
 let response_tag = function
   | Proved _ -> 0x81
@@ -192,6 +212,7 @@ let response_tag = function
   | Trace_export_reply _ -> 0x8A
   | Partition_verified _ -> 0x8B
   | Profile_export_reply _ -> 0x8C
+  | Sampled_verified _ -> 0x8D
   | Error_reply _ -> 0xE0
 
 (* --- writers ---------------------------------------------------------- *)
@@ -528,6 +549,16 @@ let request_body req =
       w_u16 b radius;
       w_u16 b shard_index;
       w_u16 b shard_count
+  | Verify_sampled { scheme; graph6; proof; seed; queries; budget_id } ->
+      if seed < 0 then invalid_arg "Wire: sampled seeds are non-negative";
+      if queries < 1 || queries > 0xffff then
+        invalid_arg "Wire: sampled query bound out of the u16 range";
+      w_string b scheme;
+      w_string b graph6;
+      w_proof b proof;
+      w_id b seed;
+      w_u16 b queries;
+      w_string b budget_id
   | Drain { enable } -> w_u8 b (if enable then 1 else 0)
   | Stats | Catalog | Metrics_text | Health | Trace_export | Profile_export
     ->
@@ -594,6 +625,15 @@ let decode_request_payload ?(version = protocol_version) ~tag payload =
             shard_count;
         Verify_partition
           { scheme; graph6; ids; owned; proof; radius; shard_index; shard_count }
+    | 0x0D ->
+        if version < 2 then fail "Verify_sampled requires protocol version 2";
+        let scheme = r_string c in
+        let graph6 = r_string c in
+        let proof = r_proof c in
+        let seed = r_id ~what:"sampled seed" c in
+        let queries = r_u16 c in
+        if queries < 1 then fail "sampled query bound must be positive";
+        Verify_sampled { scheme; graph6; proof; seed; queries; budget_id = r_string c }
     | t -> fail "unknown request tag 0x%02x" t
   in
   (id, trace, req)
@@ -692,6 +732,14 @@ let response_body resp =
       w_u32 b owned;
       w_u32 b rejected;
       w_int_list b rejecting
+  | Sampled_verified { sampled_accept; escalated; accepted; bits_read; nodes; rejecting }
+    ->
+      w_u8 b (if sampled_accept then 1 else 0);
+      w_u8 b (if escalated then 1 else 0);
+      w_u8 b (if accepted then 1 else 0);
+      w_u32 b bits_read;
+      w_u32 b nodes;
+      w_int_list b rejecting
   | Metrics_text_reply text -> w_string b text
   | Health_reply { ready; pending; max_queue; uptime_ms } ->
       w_u8 b (if ready then 1 else 0);
@@ -776,6 +824,25 @@ let decode_response_payload ?(version = protocol_version) ~tag payload =
         if List.length rejecting > rejected then
           fail "rejecting sample larger than the rejection count";
         Partition_verified { all_accept; owned; rejected; rejecting }
+    | 0x8D ->
+        let sampled_accept = r_bool c in
+        let escalated = r_bool c in
+        let accepted = r_bool c in
+        let bits_read = r_u32 c in
+        let nodes = r_u32 c in
+        let rejecting = r_list c ~min_entry_bytes:4 r_u32 in
+        if escalated = sampled_accept then
+          fail "escalation flag disagrees with the sampled verdict";
+        if sampled_accept && not accepted then
+          fail "sampled accept downgraded without escalation";
+        if accepted && rejecting <> [] then
+          fail "accepted verdict carries %d rejecting nodes"
+            (List.length rejecting);
+        if List.length rejecting > 64 then
+          fail "rejecting sample carries %d ids (cap 64)"
+            (List.length rejecting);
+        Sampled_verified
+          { sampled_accept; escalated; accepted; bits_read; nodes; rejecting }
     | 0xE0 ->
         let code_byte = r_u8 c in
         let code =
@@ -838,6 +905,11 @@ let equal_request a b =
       && a.radius = b.radius
       && a.shard_index = b.shard_index
       && a.shard_count = b.shard_count
+  | Verify_sampled a, Verify_sampled b ->
+      a.scheme = b.scheme && a.graph6 = b.graph6
+      && Proof.equal a.proof b.proof
+      && a.seed = b.seed && a.queries = b.queries
+      && a.budget_id = b.budget_id
   | Stats, Stats | Catalog, Catalog -> true
   | Metrics_text, Metrics_text | Health, Health -> true
   | Trace_export, Trace_export -> true
@@ -877,6 +949,11 @@ let equal_response a b =
   | Partition_verified a, Partition_verified b ->
       a.all_accept = b.all_accept && a.owned = b.owned
       && a.rejected = b.rejected
+      && a.rejecting = b.rejecting
+  | Sampled_verified a, Sampled_verified b ->
+      a.sampled_accept = b.sampled_accept
+      && a.escalated = b.escalated && a.accepted = b.accepted
+      && a.bits_read = b.bits_read && a.nodes = b.nodes
       && a.rejecting = b.rejecting
   | Batch_reply a, Batch_reply b ->
       List.length a = List.length b && List.for_all2 equal_batch_item a b

@@ -134,6 +134,28 @@ type request =
           rekeyed to local ids. The backend verifies {e owned} nodes
           only and answers {!response.Partition_verified} in original
           numbering. *)
+  | Verify_sampled of {
+      scheme : string;
+      graph6 : string;
+      proof : Proof.t;
+      seed : int;
+      queries : int;
+      budget_id : string;
+    }
+      (** Error-budgeted sampled verification (v2-only; a v1 frame with
+          this tag is rejected as [Bad_request], exactly like
+          {!request.Verify_partition}). The server runs the scheme's
+          sampled verifier over a [seed]-chosen probe set, each probed
+          node reading at most [queries] proof/label cells
+          ([queries] is a u16 the decoder requires ≥ 1; [seed] is a
+          63-bit non-negative value carried as a u64 — a set sign bit
+          is a typed decode error). [budget_id] pins the client's idea
+          of the scheme's error budget (e.g. ["eps0.02:q4:m24"]);
+          empty defers to the server's default, any other mismatch is
+          answered [Bad_request] rather than silently verified under
+          a different ε. A sampled rejection escalates to a full
+          verify on the server, so the final verdict never has false
+          {e rejects}; the reply says whether escalation happened. *)
   | Stats
   | Catalog
   | Metrics_text
@@ -224,6 +246,23 @@ type response =
           rejecting node ids in {e original} numbering. The decoder
           enforces [all_accept = (rejected = 0)], [rejected <= owned],
           and the 64-entry sample cap. *)
+  | Sampled_verified of {
+      sampled_accept : bool;
+      escalated : bool;
+      accepted : bool;
+      bits_read : int;
+      nodes : int;
+      rejecting : int list;
+    }
+      (** Outcome of a {!request.Verify_sampled}: the probe run's own
+          verdict, whether the server escalated to a full verify
+          (exactly when the probe run rejected), the final verdict,
+          the proof/label bits the sampled run consumed, the number of
+          nodes probed, and — when the final verdict rejects — the
+          first ≤64 rejecting nodes. The decoder enforces
+          [escalated = not sampled_accept], [sampled_accept ⇒
+          accepted] (escalation can only {e overturn} rejections) and
+          an empty [rejecting] list on acceptance. *)
   | Batch_reply of batch_item list
   | Stats_reply of server_stats
   | Catalog_reply of catalog_entry list

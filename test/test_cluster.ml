@@ -344,7 +344,7 @@ let router_loadgen_and_affinity () =
   (match
      Client.loadgen
        ~targets:[ ("127.0.0.1", Router.port r) ]
-       ~port:0 ~connections:2 ~requests:10 ~mix:(1, 4) ~scheme:"bipartite"
+       ~port:0 ~connections:2 ~requests:10 ~mix:(1, 4, 0) ~scheme:"bipartite"
        ~sizes ()
    with
   | Error m -> Alcotest.failf "loadgen through router: %s" m

@@ -49,6 +49,7 @@ let expect_error code what = function
         | Wire.Drain_reply _ -> "Drain_reply"
         | Wire.Batch_reply _ -> "Batch_reply"
         | Wire.Partition_verified _ -> "Partition_verified"
+        | Wire.Sampled_verified _ -> "Sampled_verified"
         | Wire.Trace_export_reply _ -> "Trace_export_reply"
         | Wire.Profile_export_reply _ -> "Profile_export_reply")
 
@@ -307,7 +308,7 @@ let garbage_frames () =
 let loadgen_loopback () =
   with_server { Server.default_config with jobs = 2 } @@ fun _t port ->
   match
-    Client.loadgen ~port ~connections:2 ~requests:10 ~mix:(1, 4)
+    Client.loadgen ~port ~connections:2 ~requests:10 ~mix:(1, 4, 0)
       ~scheme:"eulerian" ~sizes:[ 24; 32 ] ()
   with
   | Error m -> Alcotest.failf "loadgen: %s" m
@@ -627,7 +628,7 @@ let loadgen_error_breakdown () =
      up (the loadgen checks every echo) *)
   with_server { Server.default_config with max_queue = 0 } @@ fun _t port ->
   match
-    Client.loadgen ~port ~connections:2 ~requests:5 ~mix:(1, 0)
+    Client.loadgen ~port ~connections:2 ~requests:5 ~mix:(1, 0, 0)
       ~scheme:"eulerian" ~sizes:[ 16 ] ()
   with
   | Error m ->
@@ -839,7 +840,7 @@ let cache_dir_warm_restart () =
 let loadgen_batched () =
   with_server { Server.default_config with jobs = 1 } @@ fun t port ->
   match
-    Client.loadgen ~port ~batch:8 ~connections:2 ~requests:5 ~mix:(1, 4)
+    Client.loadgen ~port ~batch:8 ~connections:2 ~requests:5 ~mix:(1, 4, 0)
       ~scheme:"eulerian" ~sizes:[ 16; 24 ] ()
   with
   | Error m -> Alcotest.failf "batched loadgen: %s" m
